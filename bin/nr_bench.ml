@@ -1,0 +1,131 @@
+(* nr-bench: run any of the paper's experiments with custom parameters.
+
+     dune exec bin/nr_bench.exe -- list
+     dune exec bin/nr_bench.exe -- run fig5 --scale quick
+     dune exec bin/nr_bench.exe -- run fig7 fig8 --population 100000 \
+         --threads 1,28,56,112 --measure-us 200
+     dune exec bin/nr_bench.exe -- run fig11 --topology amd *)
+
+open Cmdliner
+open Nr_harness
+
+let topology_conv =
+  let parse = function
+    | "intel" -> Ok Nr_sim.Topology.intel
+    | "amd" -> Ok Nr_sim.Topology.amd
+    | "tiny" -> Ok Nr_sim.Topology.tiny
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S (intel|amd|tiny)" s))
+  in
+  Arg.conv (parse, fun ppf t -> Nr_sim.Topology.pp ppf t)
+
+let threads_conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (`Msg "expected comma-separated thread counts")
+  in
+  Arg.conv
+    (parse, fun ppf l ->
+      Format.pp_print_string ppf
+        (String.concat "," (List.map string_of_int l)))
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok Params.quick
+    | "default" -> Ok Params.default
+    | "paper" -> Ok Params.paper
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<scale>")
+
+let params_term =
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Params.default
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Preset: quick, default or paper.")
+  in
+  let topology =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"TOPO" ~doc:"Machine topology override.")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (some threads_conv) None
+      & info [ "threads" ] ~docv:"LIST" ~doc:"Thread sweep override.")
+  in
+  let population =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "population" ] ~docv:"N" ~doc:"Initial structure size.")
+  in
+  let measure_us =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "measure-us" ] ~docv:"US"
+          ~doc:"Virtual-time measurement window per point.")
+  in
+  let combine scale topology threads population measure_us =
+    let p = scale in
+    let p = match topology with Some t -> { p with Params.topo = t } | None -> p in
+    let p =
+      match threads with Some t -> { p with Params.threads = t } | None -> p
+    in
+    let p =
+      match population with
+      | Some n -> { p with Params.population = n }
+      | None -> p
+    in
+    match measure_us with
+    | Some m -> { p with Params.measure_us = m }
+    | None -> p
+  in
+  Term.(const combine $ scale $ topology $ threads $ population $ measure_us)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun g -> Printf.printf "%-10s %s\n" g.Figures.id g.Figures.description)
+      Figures.groups
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available figure/table ids.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let figures =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"FIGURE" ~doc:"Figure ids to run (default: all).")
+  in
+  let run params figures =
+    Format.printf "# topology: %a@." Nr_sim.Topology.pp params.Params.topo;
+    match figures with
+    | [] -> Figures.run_all params
+    | ids ->
+        List.iter
+          (fun id ->
+            match Figures.find id with
+            | Some g ->
+                Format.printf "=== %s: %s ===@." g.Figures.id
+                  g.Figures.description;
+                g.Figures.run params
+            | None -> Printf.eprintf "unknown figure id %S\n" id)
+          ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print their tables.")
+    Term.(const run $ params_term $ figures)
+
+let () =
+  let doc = "regenerate the Node Replication paper's evaluation" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "nr-bench" ~doc) [ list_cmd; run_cmd ]))

@@ -1,0 +1,83 @@
+(* Quickstart: turn a plain sequential data structure into a linearizable
+   concurrent one with Node Replication.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The recipe is the paper's three-method interface (section 4): provide
+   [create], [execute] and [is_read_only], apply the [Node_replication.Make]
+   functor, and call [execute] from as many threads as you like. *)
+
+(* 1. Any sequential structure.  Here: a tiny event histogram. *)
+module Histogram = struct
+  type t = { counts : (string, int) Nr_seqds.Hashtable.t }
+  type op = Record of string | Count of string | Total
+
+  type result = int
+
+  let create () = { counts = Nr_seqds.Hashtable.create () }
+
+  let execute t = function
+    | Record label ->
+        let c = Option.value (Nr_seqds.Hashtable.find t.counts label) ~default:0 in
+        Nr_seqds.Hashtable.set t.counts label (c + 1);
+        c + 1
+    | Count label ->
+        Option.value (Nr_seqds.Hashtable.find t.counts label) ~default:0
+    | Total -> Nr_seqds.Hashtable.fold (fun acc _ c -> acc + c) t.counts 0
+
+  let is_read_only = function Record _ -> false | Count _ | Total -> true
+
+  (* Only used by the NUMA simulator; harmless defaults are fine when you
+     run on real domains. *)
+  let footprint _t = function
+    | Record l -> Nr_runtime.Footprint.v ~key:(Hashtbl.hash l) ~reads:1 ~writes:1 ()
+    | Count l -> Nr_runtime.Footprint.v ~key:(Hashtbl.hash l) ~reads:1 ()
+    | Total -> Nr_runtime.Footprint.v ~key:0 ~reads:8 ()
+
+  let lines t = max 16 (Nr_seqds.Hashtable.length t.counts)
+
+  let pp_op ppf = function
+    | Record l -> Format.fprintf ppf "record %s" l
+    | Count l -> Format.fprintf ppf "count %s" l
+    | Total -> Format.fprintf ppf "total"
+end
+
+let () =
+  (* 2. Pick a runtime.  Real OCaml domains, with a virtual NUMA topology
+        that assigns threads to nodes. *)
+  let topo = Nr_sim.Topology.tiny in
+  let module R = (val Nr_runtime.Runtime_domains.make topo) in
+
+  (* 3. Apply the black-box transformation. *)
+  let module Concurrent_histogram =
+    Nr_core.Node_replication.Make (R) (Histogram)
+  in
+  let hist = Concurrent_histogram.create (fun () -> Histogram.create ()) in
+
+  (* 4. Hammer it from several domains. *)
+  let labels = [| "get"; "put"; "del" |] in
+  let nthreads = 4 in
+  let per_thread = 5_000 in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads (fun tid ->
+      let rng = Nr_workload.Prng.create ~seed:tid in
+      for _ = 1 to per_thread do
+        let label = labels.(Nr_workload.Prng.below rng (Array.length labels)) in
+        ignore (Concurrent_histogram.execute hist (Histogram.Record label));
+        (* reads are served from the local replica *)
+        ignore (Concurrent_histogram.execute hist (Histogram.Count label))
+      done);
+
+  (* 5. Linearizability means no lost updates, ever. *)
+  Nr_runtime.Runtime_domains.register ~tid:0;
+  let total = Concurrent_histogram.execute hist Histogram.Total in
+  Printf.printf "recorded %d events from %d threads (expected %d)\n" total
+    nthreads (nthreads * per_thread);
+  Array.iter
+    (fun l ->
+      Printf.printf "  %-4s %d\n" l
+        (Concurrent_histogram.execute hist (Histogram.Count l)))
+    labels;
+  Printf.printf "NR stats: %s\n"
+    (Format.asprintf "%a" Nr_core.Stats.pp (Concurrent_histogram.stats hist));
+  assert (total = nthreads * per_thread);
+  print_endline "quickstart OK"

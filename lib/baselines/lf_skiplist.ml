@@ -1,0 +1,296 @@
+(** Baseline [LF] for the dictionary: the lock-free skip list of Herlihy &
+    Shavit [37, ch. 14], built from CAS on marked successor records.
+
+    Each next-pointer cell holds an immutable [(successor, marked)] record;
+    marking a node's successors logically deletes it, and traversals snip
+    marked nodes as they pass.  CAS compares records physically, so every
+    state change allocates a fresh record — the OCaml analogue of
+    [AtomicMarkableReference], with the GC standing in for safe memory
+    reclamation (the paper's LF numbers also omit reclamation costs).
+
+    Tower heights derive deterministically from the key so that concurrent
+    threads need no shared PRNG. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  module Backoff = Nr_sync.Backoff.Make (R)
+
+  let max_level = 20
+
+  type node = {
+    key : int;
+    value : int;
+    level : int;
+    next : succ R.cell array;
+  }
+
+  and succ = { n : node; marked : bool }
+
+  type t = { head : node; tail : node }
+
+  let level_of_key key =
+    (* geometric(1/4) from a hash of the key *)
+    let z = ref ((key * 0x9E3779B9) + 0x7F4A7C15) in
+    z := (!z lxor (!z lsr 30)) * 0x2545F4914F6CDD1D;
+    let h = ref (!z lxor (!z lsr 27)) in
+    let lvl = ref 1 in
+    while !lvl < max_level && !h land 3 = 0 do
+      incr lvl;
+      h := !h lsr 2
+    done;
+    !lvl
+
+  let create ?(home = 0) () =
+    (* the tail's own next pointers are never followed: every traversal
+       stops on reaching the tail *)
+    let tail = { key = max_int; value = 0; level = max_level; next = [||] } in
+    let head =
+      {
+        key = min_int;
+        value = 0;
+        level = max_level;
+        next =
+          Array.init max_level (fun _ -> R.cell ~home { n = tail; marked = false });
+      }
+    in
+    { head; tail }
+
+  (* Herlihy-Shavit [find]: locate the window for [key] on every level,
+     snipping marked nodes on the way.  Returns the predecessor nodes and
+     the exact successor records read from them (needed for physical CAS),
+     plus whether the key is present at the bottom level. *)
+  exception Retry
+
+  let find t key preds succ_records =
+    let rec attempt () =
+      try
+        let pred = ref t.head in
+        for lvl = max_level - 1 downto 0 do
+          let curr = ref (R.read !pred.next.(lvl)) in
+          let rec advance () =
+            (* the record we hold is [pred]'s outgoing pointer: if it is
+               marked, [pred] itself was deleted under us, and a snip CAS
+               expecting this record would overwrite the mark — silently
+               resurrecting a removed node.  (The original algorithm's
+               AtomicMarkableReference CAS fails here because it expects
+               mark = false.)  Restart instead. *)
+            if (!curr).marked then raise Retry;
+            let c = (!curr).n in
+            if c == t.tail then ()
+            else begin
+              let s = R.read c.next.(lvl) in
+              if s.marked then begin
+                (* [c] is logically deleted: snip it out *)
+                let repl = { n = s.n; marked = false } in
+                if R.cas !pred.next.(lvl) !curr repl then begin
+                  curr := repl;
+                  advance ()
+                end
+                else begin
+                  (* someone else changed the window: re-read; only a
+                     marked predecessor forces a restart *)
+                  let fresh = R.read !pred.next.(lvl) in
+                  if fresh.marked then raise Retry
+                  else begin
+                    curr := fresh;
+                    advance ()
+                  end
+                end
+              end
+              else if c.key < key then begin
+                pred := c;
+                curr := s;
+                advance ()
+              end
+            end
+          in
+          advance ();
+          preds.(lvl) <- !pred;
+          succ_records.(lvl) <- !curr
+        done;
+        let bottom = succ_records.(0).n in
+        bottom != t.tail && bottom.key = key
+      with Retry -> attempt ()
+    in
+    attempt ()
+
+  let find_node t key =
+    (* wait-free traversal, no snipping (Herlihy-Shavit [contains]) *)
+    let pred = ref t.head in
+    let curr = ref t.head in
+    for lvl = max_level - 1 downto 0 do
+      curr := (R.read !pred.next.(lvl)).n;
+      let rec advance () =
+        if !curr == t.tail then ()
+        else begin
+          let s = R.read !curr.next.(lvl) in
+          if s.marked then begin
+            curr := s.n;
+            advance ()
+          end
+          else if !curr.key < key then begin
+            pred := !curr;
+            curr := s.n;
+            advance ()
+          end
+        end
+      in
+      advance ()
+    done;
+    if !curr != t.tail && !curr.key = key then Some !curr else None
+
+  let mem t key = find_node t key <> None
+
+  let get t key =
+    match find_node t key with Some n -> Some n.value | None -> None
+
+  let add t key value =
+    if key = min_int || key = max_int then
+      invalid_arg "Lf_skiplist.add: reserved sentinel key";
+    let preds = Array.make max_level t.head in
+    let succs = Array.make max_level (R.read t.head.next.(0)) in
+    let rec loop () =
+      if find t key preds succs then false
+      else begin
+        let level = level_of_key key in
+        let node =
+          {
+            key;
+            value;
+            level;
+            next =
+              Array.init level (fun lvl ->
+                  R.cell { n = succs.(lvl).n; marked = false });
+          }
+        in
+        let expected = succs.(0) in
+        if not (R.cas preds.(0).next.(0) expected { n = node; marked = false })
+        then loop ()
+        else begin
+          (* link the upper levels; find () refreshes the window on
+             failure and also heals anything a concurrent remove did *)
+          for lvl = 1 to level - 1 do
+            let rec link () =
+              if
+                R.cas preds.(lvl).next.(lvl) succs.(lvl)
+                  { n = node; marked = false }
+              then ()
+              else begin
+                ignore (find t key preds succs);
+                link ()
+              end
+            in
+            link ()
+          done;
+          true
+        end
+      end
+    in
+    loop ()
+
+  let remove t key =
+    let preds = Array.make max_level t.head in
+    let succs = Array.make max_level (R.read t.head.next.(0)) in
+    if not (find t key preds succs) then None
+    else begin
+      let node = succs.(0).n in
+      (* mark the upper levels top-down *)
+      for lvl = node.level - 1 downto 1 do
+        let rec mark () =
+          let s = R.read node.next.(lvl) in
+          if not s.marked then
+            if R.cas node.next.(lvl) s { n = s.n; marked = true } then ()
+            else mark ()
+        in
+        mark ()
+      done;
+      (* the bottom-level mark is the linearization point; only the thread
+         whose CAS succeeds returns the value *)
+      let rec mark_bottom () =
+        let s = R.read node.next.(0) in
+        if s.marked then None
+        else if R.cas node.next.(0) s { n = s.n; marked = true } then begin
+          (* physically unlink via find *)
+          ignore (find t key preds succs);
+          Some node.value
+        end
+        else mark_bottom ()
+      in
+      mark_bottom ()
+    end
+
+  (* Lotan-Shavit deleteMin: walk the bottom level past logically-deleted
+     nodes and win (mark) the first live one.  Physical cleanup is
+     amortized, as practical implementations do: most removals just grow
+     the marked prefix (snipped wholesale once long enough), and every
+     [cleanup_period]-th removal pays for a full [find]-based unlink that
+     restructures the head towers — the head-area contention the paper's
+     evaluation revolves around. *)
+  let prefix_snip_threshold = 16
+  let cleanup_period = 2
+
+  let remove_min t =
+    let b = Backoff.create ~max_exp:8 () in
+    let head_rec = R.read t.head.next.(0) in
+    let rec walk curr prefix_len =
+      if curr == t.tail then None
+      else begin
+        let s = R.read curr.next.(0) in
+        if s.marked then walk s.n (prefix_len + 1)
+        else if R.cas curr.next.(0) s { n = s.n; marked = true } then begin
+          (* we own [curr]: mark its upper levels so traversals skip it *)
+          for lvl = curr.level - 1 downto 1 do
+            let rec mark () =
+              let su = R.read curr.next.(lvl) in
+              if not su.marked then
+                if R.cas curr.next.(lvl) su { n = su.n; marked = true } then ()
+                else mark ()
+            in
+            mark ()
+          done;
+          if curr.key land (cleanup_period - 1) = 0 then begin
+            (* full physical unlink through the head towers *)
+            let preds = Array.make max_level t.head in
+            let succs = Array.make max_level head_rec in
+            ignore (find t curr.key preds succs)
+          end
+          else if prefix_len >= prefix_snip_threshold then
+            (* unlink the marked prefix in one shot; harmless if the head
+               moved meanwhile *)
+            ignore
+              (R.cas t.head.next.(0) head_rec { n = s.n; marked = false });
+          Some (curr.key, curr.value)
+        end
+        else begin
+          (* CAS failure: someone marked or inserted after [curr]; back
+             off to thin the herd, then re-read *)
+          Backoff.once b;
+          walk curr prefix_len
+        end
+      end
+    in
+    walk head_rec.n 0
+
+  let min t =
+    let rec walk curr =
+      if curr == t.tail then None
+      else begin
+        let s = R.read curr.next.(0) in
+        if s.marked then walk s.n else Some (curr.key, curr.value)
+      end
+    in
+    walk (R.read t.head.next.(0)).n
+
+  (* Quiescent-only helpers for tests. *)
+  let to_list t =
+    let rec go acc node =
+      if node == t.tail then List.rev acc
+      else begin
+        let s = R.read node.next.(0) in
+        let acc = if s.marked then acc else (node.key, node.value) :: acc in
+        go acc s.n
+      end
+    in
+    go [] (R.read t.head.next.(0)).n
+
+  let length t = List.length (to_list t)
+end

@@ -1,0 +1,49 @@
+(** Baseline [LF] for the stack: Treiber's lock-free stack [61] with
+    exponential backoff.  Memory reclamation is the garbage collector's
+    job, which matches the paper's optimistic treatment of LF baselines
+    (they run without hazard pointers / epochs too). *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  module Backoff = Nr_sync.Backoff.Make (R)
+
+  type 'v node = { value : 'v; next : 'v node option }
+  type 'v t = { top : 'v node option R.cell }
+
+  let create ?(home = 0) () = { top = R.cell ~home None }
+
+  let push t value =
+    let b = Backoff.create () in
+    let rec loop () =
+      let cur = R.read t.top in
+      if R.cas t.top cur (Some { value; next = cur }) then ()
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  let pop t =
+    let b = Backoff.create () in
+    let rec loop () =
+      match R.read t.top with
+      | None -> None
+      | Some n as cur ->
+          if R.cas t.top cur n.next then Some n.value
+          else begin
+            Backoff.once b;
+            loop ()
+          end
+    in
+    loop ()
+
+  let peek t = match R.read t.top with Some n -> Some n.value | None -> None
+
+  let length t =
+    (* O(n); quiescent use only *)
+    let rec go acc = function
+      | None -> acc
+      | Some n -> go (acc + 1) n.next
+    in
+    go 0 (R.read t.top)
+end

@@ -1,0 +1,192 @@
+(** Baseline [NA]: a NUMA-aware stack in the style of Calciu, Gottschlich &
+    Herlihy [17] — per-node {e two-sided} elimination in front of a
+    delegated global stack.
+
+    Both sides advertise: a pusher first tries to satisfy a waiting popper
+    ([Want] slot), else publishes its value ([Offer]) and waits; a popper
+    first tries to claim a published value, else advertises [Want] and
+    waits to be handed one ([Given]).  A matched pair completes entirely
+    inside one node — no global synchronization at all — which is what lets
+    the NA stack keep scaling where every other method (including NR) pays
+    cross-node traffic.  Unmatched operations are delegated: a per-node
+    lock funnels them to the shared Treiber stack so at most one thread per
+    node competes on the global top pointer.
+
+    Elimination is linearizable for stacks: a push immediately followed by
+    the pop that consumed it can linearize back-to-back at the moment of
+    the exchange. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  module Treiber = Lf_stack.Make (R)
+  module Spin = Nr_sync.Spinlock.Make (R)
+
+  type 'v slot_state =
+    | Nothing
+    | Offer of 'v  (** a pusher waits with this value *)
+    | Taken  (** a popper consumed the offer *)
+    | Want  (** a popper waits for a value *)
+    | Given of 'v  (** a pusher fulfilled the want *)
+
+  type stats = {
+    mutable push_eliminated : int;
+    mutable push_global : int;
+    mutable pop_eliminated : int;
+    mutable pop_global : int;
+  }
+
+  type 'v t = {
+    global : 'v Treiber.t;
+    delegate : Spin.t array;
+    elim : 'v slot_state R.cell array array;  (** [node][slot] *)
+    window : int;  (** yields a waiter spends before giving up *)
+    rounds : int;  (** advertise/wait attempts before going global *)
+    stats : stats;  (** approximate on real domains; exact in the sim *)
+  }
+
+  let create ?(home = 0) ?(window = 64) ?(rounds = 6) () =
+    let nodes = R.num_nodes () in
+    let spn = R.threads_per_node () in
+    {
+      global = Treiber.create ~home ();
+      delegate = Array.init nodes (fun node -> Spin.create ~home:node ());
+      elim =
+        Array.init nodes (fun node ->
+            Array.init spn (fun _ -> R.cell ~home:node Nothing));
+      window;
+      rounds;
+      stats =
+        {
+          push_eliminated = 0;
+          push_global = 0;
+          pop_eliminated = 0;
+          pop_global = 0;
+        };
+    }
+
+  let my_slot t =
+    let node = R.my_node () in
+    (t.elim.(node), R.tid () mod R.threads_per_node ())
+
+  let global_push t v =
+    let lock = t.delegate.(R.my_node ()) in
+    Spin.lock lock;
+    Treiber.push t.global v;
+    Spin.unlock lock;
+    t.stats.push_global <- t.stats.push_global + 1
+
+  let global_pop t =
+    let lock = t.delegate.(R.my_node ()) in
+    Spin.lock lock;
+    let r = Treiber.pop t.global in
+    Spin.unlock lock;
+    t.stats.pop_global <- t.stats.pop_global + 1;
+    r
+
+  let push t value =
+    let slots, idx = my_slot t in
+    let n = Array.length slots in
+    let rec round r =
+      if r >= t.rounds then global_push t value
+      else begin
+        (* fast path: hand the value to a waiting popper anywhere on the
+           node (slot scan overlaps like a hardware-prefetched sweep) *)
+        let rec serve k states =
+          if k >= n then advertise ()
+          else begin
+            let j = (idx + k) mod n in
+            match states.(j) with
+            | Want ->
+                if R.cas slots.(j) Want (Given value) then
+                  t.stats.push_eliminated <- t.stats.push_eliminated + 1
+                else serve (k + 1) states
+            | Nothing | Offer _ | Taken | Given _ -> serve (k + 1) states
+          end
+        and advertise () =
+          let cell = slots.(idx) in
+          let offer = Offer value in
+          R.write cell offer;
+          let taken = ref false in
+          let i = ref 0 in
+          while (not !taken) && !i < t.window do
+            incr i;
+            if R.read cell == Taken then taken := true else R.yield ()
+          done;
+          if !taken then begin
+            t.stats.push_eliminated <- t.stats.push_eliminated + 1;
+            R.write cell Nothing
+          end
+          else if R.cas cell offer Nothing then round (r + 1)
+          else begin
+            (* claimed between the last check and the CAS *)
+            while R.read cell != Taken do
+              R.yield ()
+            done;
+            t.stats.push_eliminated <- t.stats.push_eliminated + 1;
+            R.write cell Nothing
+          end
+        in
+        serve 0 (R.read_all slots)
+      end
+    in
+    round 0
+
+  let pop t =
+    let slots, idx = my_slot t in
+    let n = Array.length slots in
+    let rec round r =
+      if r >= t.rounds then global_pop t
+      else begin
+        (* fast path: claim a published offer anywhere on the node *)
+        let rec claim k states =
+          if k >= n then advertise ()
+          else begin
+            let j = (idx + k) mod n in
+            match states.(j) with
+            | Offer v as offer ->
+                if R.cas slots.(j) offer Taken then begin
+                  t.stats.pop_eliminated <- t.stats.pop_eliminated + 1;
+                  Some v
+                end
+                else claim (k + 1) states
+            | Nothing | Want | Taken | Given _ -> claim (k + 1) states
+          end
+        and advertise () =
+          let cell = slots.(idx) in
+          R.write cell Want;
+          let got = ref None in
+          let i = ref 0 in
+          while !got = None && !i < t.window do
+            incr i;
+            (match R.read cell with
+            | Given v -> got := Some v
+            | Nothing | Offer _ | Taken | Want -> R.yield ())
+          done;
+          match !got with
+          | Some v ->
+              t.stats.pop_eliminated <- t.stats.pop_eliminated + 1;
+              R.write cell Nothing;
+              Some v
+          | None ->
+              if R.cas cell Want Nothing then round (r + 1)
+              else begin
+                (* a pusher fulfilled us between the check and the CAS *)
+                let rec take () =
+                  match R.read cell with
+                  | Given v ->
+                      t.stats.pop_eliminated <- t.stats.pop_eliminated + 1;
+                      R.write cell Nothing;
+                      Some v
+                  | Nothing | Offer _ | Taken | Want ->
+                      R.yield ();
+                      take ()
+                in
+                take ()
+              end
+        in
+        claim 0 (R.read_all slots)
+      end
+    in
+    round 0
+
+  let length t = Treiber.length t.global
+end

@@ -1,0 +1,38 @@
+(** Baseline [RWL] (paper fig. 4): one big readers-writer lock.  Reads run
+    in parallel; updates serialize.  Uses the same distributed
+    readers-writer lock as NR (§5.5), as the paper does, so the comparison
+    isolates NR's replication and log rather than lock quality. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Nr_core.Ds_intf.S) =
+struct
+  module Rw = Nr_sync.Rwlock_dist.Make (R)
+
+  type t = { ds : Seq.t; reg : R.region; rw : Rw.t }
+
+  let create ?(home = 0) factory =
+    let ds = factory () in
+    {
+      ds;
+      reg = R.region ~home ~lines:(max 1 (Seq.lines ds)) ();
+      rw = Rw.create ~home ~readers:(R.max_threads ()) ();
+    }
+
+  let execute t op =
+    if Seq.is_read_only op then begin
+      let slot = R.tid () in
+      Rw.read_lock t.rw slot;
+      R.touch_region t.reg (Seq.footprint t.ds op);
+      let r = Seq.execute t.ds op in
+      Rw.read_unlock t.rw slot;
+      r
+    end
+    else begin
+      Rw.write_lock t.rw;
+      R.touch_region t.reg (Seq.footprint t.ds op);
+      let r = Seq.execute t.ds op in
+      Rw.write_unlock t.rw;
+      r
+    end
+
+  let unsafe_ds t = t.ds
+end

@@ -1,0 +1,29 @@
+(** Baseline [SL] (paper fig. 4): one big spin lock around the sequential
+    structure.  Simple, correct, and the usual victim of operation
+    contention — every operation serializes, and the lock line ping-pongs
+    across nodes. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Nr_core.Ds_intf.S) =
+struct
+  module Spin = Nr_sync.Spinlock.Make (R)
+
+  type t = { ds : Seq.t; reg : R.region; lock : Spin.t }
+
+  let create ?(home = 0) factory =
+    let ds = factory () in
+    {
+      ds;
+      reg = R.region ~home ~lines:(max 1 (Seq.lines ds)) ();
+      lock = Spin.create ~home ();
+    }
+
+  let execute t op =
+    Spin.lock t.lock;
+    R.touch_region t.reg (Seq.footprint t.ds op);
+    let r = Seq.execute t.ds op in
+    Spin.unlock t.lock;
+    r
+
+  (** Quiescent-only access, for tests. *)
+  let unsafe_ds t = t.ds
+end

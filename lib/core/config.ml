@@ -1,0 +1,60 @@
+(** NR tuning parameters and the ablation toggles of paper §8.5 (fig. 13).
+    The defaults enable every technique, i.e. full NR. *)
+
+type t = {
+  log_size : int;  (** shared log capacity in entries (paper uses 1M) *)
+  min_batch : int;
+      (** a combiner with fewer outstanding operations than this refreshes
+          the local replica from the log and rescans before appending *)
+  min_batch_retries : int;  (** how many times to rescan for [min_batch] *)
+  replay_window : int;
+      (** log entries a replayer fetches per overlapped batch (streaming
+          prefetch of consecutive log lines) *)
+  flat_combining : bool;
+      (** #1: batch a node's operations through a combiner.  When disabled,
+          every thread appends its own operation to the log and applies it
+          under the writer lock. *)
+  read_optimization : bool;
+      (** #2: readers wait only for [completedTail].  When disabled they
+          wait for [logTail]. *)
+  separate_replica_lock : bool;
+      (** #3: protect the replica with a readers-writer lock distinct from
+          the combiner lock, so readers run while the combiner fills the
+          log.  When disabled the combiner lock protects the replica. *)
+  parallel_replica_update : bool;
+      (** #4: combiners on different nodes update their replicas in
+          parallel.  When disabled a combiner waits for [completedTail] to
+          reach its batch before taking the writer lock, serializing
+          replica updates. *)
+  distributed_rwlock : bool;
+      (** #5: use the distributed readers-writer lock of §5.5.  When
+          disabled, use a centralized reader-count lock. *)
+}
+
+let default =
+  {
+    log_size = 1 lsl 16;
+    min_batch = 1;
+    min_batch_retries = 4;
+    replay_window = 8;
+    flat_combining = true;
+    read_optimization = true;
+    separate_replica_lock = true;
+    parallel_replica_update = true;
+    distributed_rwlock = true;
+  }
+
+let validate t =
+  if t.log_size < 2 then invalid_arg "Config: log_size must be >= 2";
+  if t.min_batch < 1 then invalid_arg "Config: min_batch must be >= 1";
+  if t.min_batch_retries < 0 then
+    invalid_arg "Config: min_batch_retries must be >= 0";
+  if t.replay_window < 1 then
+    invalid_arg "Config: replay_window must be >= 1"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "log_size=%d min_batch=%d fc=%b read_opt=%b sep_lock=%b par_update=%b \
+     dist_rw=%b"
+    t.log_size t.min_batch t.flat_combining t.read_optimization
+    t.separate_replica_lock t.parallel_replica_update t.distributed_rwlock

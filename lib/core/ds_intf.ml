@@ -1,0 +1,63 @@
+(** The black-box sequential data structure interface (paper §4).
+
+    NR expects a sequential implementation exposing three generic methods:
+    [Create() -> ptr], [Execute(ptr, op, args) -> result] and
+    [IsReadOnly(ptr, op) -> bool].  In OCaml these become a module with an
+    abstract state type, an operation type and an [execute] function.
+
+    Requirements on [execute] (paper §4): it must produce side effects only
+    on the data structure, must not block, and must be deterministic — two
+    replicas fed the same operation sequence must reach equal states and
+    return equal results.  Structures using randomization (e.g. skip-list
+    levels) must draw from a PRNG seeded identically in every replica. *)
+
+module type S = sig
+  type t
+  (** The sequential data structure. *)
+
+  type op
+  (** One operation (constructor + arguments). *)
+
+  type result
+  (** An operation's return value. *)
+
+  val create : unit -> t
+  (** A fresh, empty structure.  Called once per replica, so it must be
+      deterministic across calls. *)
+
+  val execute : t -> op -> result
+  (** Apply [op].  Must not block and must touch only [t]. *)
+
+  val is_read_only : op -> bool
+  (** Whether [op] never modifies the structure.  Read-only operations are
+      executed on the local replica without going through the log. *)
+
+  val footprint : t -> op -> Nr_runtime.Footprint.t
+  (** Approximate cache-line footprint of executing [op] now — consumed by
+      the simulator runtime, ignored on real domains. *)
+
+  val lines : t -> int
+  (** Current payload size in cache lines (sizes the simulator's line
+      region for a replica). *)
+
+  val pp_op : Format.formatter -> op -> unit
+end
+
+(** Convenience: a sequential structure whose footprint information is
+    irrelevant (real-domains-only usage). *)
+module No_footprint (X : sig
+  type t
+  type op
+  type result
+
+  val create : unit -> t
+  val execute : t -> op -> result
+  val is_read_only : op -> bool
+end) : S with type t = X.t and type op = X.op and type result = X.result =
+struct
+  include X
+
+  let footprint _t _op = Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  let lines _t = 64
+  let pp_op ppf _ = Format.pp_print_string ppf "<op>"
+end

@@ -1,0 +1,40 @@
+(** "Fake update operations" (paper §6): some updates become read-only
+    during execution — removing a non-existent key, re-inserting a present
+    one.  Black-box methods must classify operations at invocation time, so
+    such operations otherwise pay the full update path (log append, every
+    replica).  The paper proposes — but does not implement — first
+    attempting them as a read and falling back to the real update; this is
+    that wrapper.
+
+    Correctness: the probe runs as an ordinary linearizable read-only
+    operation.  When it is conclusive (e.g. [lookup] finds nothing, so
+    [remove] would return "absent"), the whole update linearizes at the
+    probe's linearization point and its result is derived from the probe.
+    Otherwise the real update runs; the probe's outcome is discarded, so a
+    racing change between probe and update is harmless. *)
+
+module Make (Seq : Ds_intf.S) = struct
+  type probe = {
+    as_read : Seq.op -> Seq.op option;
+        (** [as_read op] is a {e read-only} operation whose result can
+            prove the update [op] to be a no-op; [None] when [op] has no
+            cheap probe *)
+    conclusive : Seq.op -> Seq.result -> Seq.result option;
+        (** [conclusive op probe_result] is [Some r] when the probe proves
+            the update unnecessary and the update's result is [r] *)
+  }
+
+  (** [wrap probe exec] is an executor with the same semantics as [exec]
+      that serves probe-conclusive updates from the local replica. *)
+  let wrap probe (exec : Seq.op -> Seq.result) : Seq.op -> Seq.result =
+   fun op ->
+    if Seq.is_read_only op then exec op
+    else
+      match probe.as_read op with
+      | None -> exec op
+      | Some read_op -> (
+          assert (Seq.is_read_only read_op);
+          match probe.conclusive op (exec read_op) with
+          | Some result -> result
+          | None -> exec op)
+end

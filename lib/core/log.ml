@@ -1,0 +1,120 @@
+(** The NUMA-aware shared log (paper §5.1, §5.6).
+
+    A circular buffer of operation entries.  Combiners reserve a batch of
+    entries with a single CAS on [tail], then fill them; consumers detect a
+    filled entry by its generation stamp ([gen = index / size] — the
+    "alternating bit" of §5.6 generalized to a lap counter, which makes
+    stale entries from a previous lap unmistakable).  [completed] is the
+    index below which every operation has been executed by the combiner that
+    appended it; readers only wait for [completed], never [tail] (§5.3).
+
+    Recycling (§5.6): an appender may only reuse an entry once every node's
+    [local_tail] has moved past it.  [log_min] caches the minimum local
+    tail; it is recomputed lazily, only when an append would otherwise not
+    fit, so the common path reads a single uncontended cell. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  type 'op entry = {
+    op : 'op;
+    gen : int;  (** lap number: entry at absolute index [i] has gen [i/size] *)
+    origin_node : int;
+    origin_slot : int;
+  }
+
+  type 'op t = {
+    entries : 'op entry option R.cell array;
+    tail : int R.cell;
+    completed : int R.cell;
+    log_min : int R.cell;
+    local_tails : int R.cell array;
+    size : int;
+  }
+
+  let create ?(home = 0) ~size ~nodes () =
+    if size < 2 then invalid_arg "Log.create: size must be >= 2";
+    if nodes < 1 then invalid_arg "Log.create: nodes must be >= 1";
+    {
+      entries = Array.init size (fun _ -> R.cell ~home None);
+      tail = R.cell ~home 0;
+      completed = R.cell ~home 0;
+      log_min = R.cell ~home 0;
+      local_tails = Array.init nodes (fun node -> R.cell ~home:node 0);
+      size;
+    }
+
+  let size t = t.size
+  let tail t = R.read t.tail
+  let completed t = R.read t.completed
+  let local_tail t node = R.read t.local_tails.(node)
+  let set_local_tail t node v = R.write t.local_tails.(node) v
+
+  let get t i =
+    match R.read t.entries.(i mod t.size) with
+    | Some e when e.gen = i / t.size -> Some e
+    | Some _ | None -> None
+
+  (* Fetch entries [i, i+n) in one overlapped batch: replaying consumers
+     stream through consecutive log lines, which the hardware prefetcher
+     pipelines (§5.7: "log cache lines do not ping pong ... a combiner
+     typically writes a full cache line before others attempt to read
+     it").  Unfilled entries come back as [None]. *)
+  let get_batch t i n =
+    let raw = R.read_all (Array.init n (fun k -> t.entries.((i + k) mod t.size))) in
+    Array.mapi
+      (fun k e ->
+        match e with
+        | Some e when e.gen = (i + k) / t.size -> Some e
+        | Some _ | None -> None)
+      raw
+
+  let fill t i ~op ~origin_node ~origin_slot =
+    R.write
+      t.entries.(i mod t.size)
+      (Some { op; gen = i / t.size; origin_node; origin_slot })
+
+  (* Reserve [n] consecutive entries; [on_full] is invoked (outside any
+     lock we hold) when the log has no room, giving NR a chance to advance
+     this node's replica so its local tail stops holding the log back. *)
+  let rec reserve t n ~on_full =
+    let tl = R.read t.tail in
+    if tl + n - R.read t.log_min > t.size then begin
+      let m =
+        Array.fold_left
+          (fun acc c -> min acc (R.read c))
+          max_int t.local_tails
+      in
+      R.write t.log_min m;
+      if tl + n - m > t.size then begin
+        on_full ();
+        R.yield ();
+        reserve t n ~on_full
+      end
+      else attempt t n tl ~on_full
+    end
+    else attempt t n tl ~on_full
+
+  and attempt t n tl ~on_full =
+    if R.cas t.tail tl (tl + n) then tl else reserve t n ~on_full
+
+  (* [batch] pairs each operation with its originating combiner slot. *)
+  let append t batch ~origin_node ~on_full =
+    let n = Array.length batch in
+    if n = 0 then invalid_arg "Log.append: empty batch";
+    if n > t.size then invalid_arg "Log.append: batch larger than the log";
+    let start = reserve t n ~on_full in
+    Array.iteri
+      (fun k (op, slot) ->
+        fill t (start + k) ~op ~origin_node ~origin_slot:slot)
+      batch;
+    start
+
+  (* Advance [completed] to at least [target]. *)
+  let advance_completed t target =
+    let rec loop () =
+      let c = R.read t.completed in
+      if c >= target then ()
+      else if R.cas t.completed c target then ()
+      else loop ()
+    in
+    loop ()
+end

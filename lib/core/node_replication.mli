@@ -1,0 +1,68 @@
+(** Node Replication: the black-box transformation from a sequential data
+    structure to a linearizable, NUMA-aware concurrent one (the paper's
+    central contribution, §4–§5).
+
+    {[
+      module R = (val Nr_runtime.Runtime_domains.make topology)
+      module C = Nr_core.Node_replication.Make (R) (My_sequential_structure)
+
+      let t = C.create (fun () -> My_sequential_structure.create ())
+      (* C.execute t op — concurrently, from any thread *)
+    ]}
+
+    One replica of the structure lives on each NUMA node; replicas are
+    synchronized through a shared log.  Within a node, update operations are
+    batched by a flat-combining leader; read-only operations run on the
+    local replica under a distributed readers-writer lock after a freshness
+    check against the log's completed prefix. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) : sig
+  type t
+  (** A concurrent, replicated instance of [Seq]. *)
+
+  val create : ?cfg:Config.t -> (unit -> Seq.t) -> t
+  (** [create factory] builds one replica per NUMA node by calling
+      [factory] once per node.  The factory must be deterministic — every
+      call must produce an identical structure (including any PRNG seeds) —
+      so that replicas stay equal under identical operation sequences.
+      Prepopulate inside the factory; it is far cheaper than executing the
+      initial operations through the log. *)
+
+  val execute : t -> Seq.op -> Seq.result
+  (** The paper's [ExecuteConcurrent]: linearizable, callable from any
+      registered thread.  Read-only operations (per [Seq.is_read_only])
+      never touch the log. *)
+
+  val refresh_local : t -> unit
+  (** Bring the calling thread's replica up to the log's completed prefix
+      if it lags; useful to bound read latency on mostly-idle nodes. *)
+
+  val run_dedicated_combiner : t -> stop:(unit -> bool) -> unit
+  (** The paper's optional dedicated combiner (§4): loop refreshing the
+      calling thread's node until [stop ()]; run one per node on otherwise
+      idle threads to keep inactive replicas from holding the log back. *)
+
+  val config : t -> Config.t
+  val num_replicas : t -> int
+
+  val stats : t -> Stats.t
+  (** Aggregated operation counters (approximate on real domains). *)
+
+  val log_tail : t -> int
+  val completed : t -> int
+  val local_tail : t -> int -> int
+
+  (** Quiescent-only introspection for tests and tooling: correct only
+      while no operations are in flight. *)
+  module Unsafe : sig
+    val replica : t -> int -> Seq.t
+    (** Direct access to one node's replica. *)
+
+    val sync : t -> unit
+    (** Replay every replica up to the completed prefix. *)
+
+    val log_entries : t -> Seq.op list
+    (** All completed operations in log order; raises [Invalid_argument]
+        if entries have been recycled (log wrapped). *)
+  end
+end

@@ -1,0 +1,52 @@
+(** Operation counters for one NR instance.
+
+    Counters are plain mutable fields: in the simulator they are exact (the
+    scheduler is single-threaded and they cost nothing in the model); on real
+    domains they are racy but only used for reporting. *)
+
+type t = {
+  mutable updates : int;  (** update operations executed *)
+  mutable reads : int;  (** read-only operations executed *)
+  mutable combines : int;  (** batches flushed by combiners *)
+  mutable combined_ops : int;  (** total operations across all batches *)
+  mutable max_batch : int;  (** largest batch observed *)
+  mutable reader_refreshes : int;
+      (** times a reader refreshed the replica itself *)
+  mutable log_full_stalls : int;  (** append attempts stalled on a full log *)
+}
+
+let create () =
+  {
+    updates = 0;
+    reads = 0;
+    combines = 0;
+    combined_ops = 0;
+    max_batch = 0;
+    reader_refreshes = 0;
+    log_full_stalls = 0;
+  }
+
+let record_batch t n =
+  t.combines <- t.combines + 1;
+  t.combined_ops <- t.combined_ops + n;
+  if n > t.max_batch then t.max_batch <- n
+
+let avg_batch t =
+  if t.combines = 0 then 0.0
+  else float_of_int t.combined_ops /. float_of_int t.combines
+
+let add acc x =
+  acc.updates <- acc.updates + x.updates;
+  acc.reads <- acc.reads + x.reads;
+  acc.combines <- acc.combines + x.combines;
+  acc.combined_ops <- acc.combined_ops + x.combined_ops;
+  acc.max_batch <- max acc.max_batch x.max_batch;
+  acc.reader_refreshes <- acc.reader_refreshes + x.reader_refreshes;
+  acc.log_full_stalls <- acc.log_full_stalls + x.log_full_stalls
+
+let pp ppf t =
+  Format.fprintf ppf
+    "updates=%d reads=%d combines=%d avg_batch=%.2f max_batch=%d \
+     reader_refreshes=%d log_full_stalls=%d"
+    t.updates t.reads t.combines (avg_batch t) t.max_batch t.reader_refreshes
+    t.log_full_stalls

@@ -1,0 +1,91 @@
+(** Experiment driver.
+
+    [run_sim] executes one benchmark point on the simulator: it builds the
+    structures through a setup callback (pre-run, so construction is free),
+    spawns [threads] simulated threads under the topology's fill-node-first
+    placement, and counts operations completed during the virtual-time
+    measurement window.  Throughput is ops per virtual microsecond — the
+    unit of every figure in the paper.
+
+    [run_domains] is the analogous wall-clock loop over real domains, used
+    by examples and cross-runtime tests (this container has one core, so
+    its absolute numbers mean little). *)
+
+type result = {
+  threads : int;
+  total_ops : int;
+  measure_us : float;
+  ops_per_us : float;
+  cas_failures : int;
+  remote_transfers : int;
+}
+
+let run_sim ~topo ?costs ~threads ~warmup_us ~measure_us setup =
+  if threads < 1 || threads > Nr_sim.Topology.max_threads topo then
+    invalid_arg "Driver.run_sim: thread count out of range for topology";
+  let sched = Nr_sim.Sched.create ?costs topo in
+  let rt = Nr_runtime.Runtime_sim.make sched in
+  let gen = setup rt in
+  let cpu = Nr_sim.Topology.cycles_per_us topo in
+  let warm_cycles = int_of_float (warmup_us *. cpu) in
+  let stop_cycles = int_of_float ((warmup_us +. measure_us) *. cpu) in
+  let ops = Array.make threads 0 in
+  for tid = 0 to threads - 1 do
+    let body = gen ~tid in
+    Nr_sim.Sched.spawn sched ~tid (fun () ->
+        let rec loop () =
+          let t = Nr_sim.Sched.now () in
+          if t < stop_cycles then begin
+            body ();
+            if t >= warm_cycles then ops.(tid) <- ops.(tid) + 1;
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Nr_sim.Sched.run sched;
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let stats = Nr_sim.Sched.stats sched in
+  {
+    threads;
+    total_ops;
+    measure_us;
+    ops_per_us = float_of_int total_ops /. measure_us;
+    cas_failures = stats.Nr_sim.Sim_stats.cas_failures;
+    remote_transfers = Nr_sim.Sim_stats.remote_transfers stats;
+  }
+
+let run_domains ~topo ~threads ~warmup_s ~measure_s setup =
+  if threads < 1 then invalid_arg "Driver.run_domains: threads must be >= 1";
+  let rt = Nr_runtime.Runtime_domains.make topo in
+  let gen = setup rt in
+  let ops = Array.make threads 0 in
+  let t0 = Unix.gettimeofday () in
+  let warm_t = t0 +. warmup_s in
+  let stop_t = warm_t +. measure_s in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads:threads (fun tid ->
+      let body = gen ~tid in
+      let counted = ref 0 in
+      let rec loop () =
+        (* amortize the clock syscall over a few operations *)
+        let now = Unix.gettimeofday () in
+        if now < stop_t then begin
+          for _ = 1 to 8 do
+            body ();
+            if now >= warm_t then incr counted
+          done;
+          loop ()
+        end
+      in
+      loop ();
+      ops.(tid) <- !counted);
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let measure_us = measure_s *. 1e6 in
+  {
+    threads;
+    total_ops;
+    measure_us;
+    ops_per_us = float_of_int total_ops /. measure_us;
+    cas_failures = 0;
+    remote_transfers = 0;
+  }

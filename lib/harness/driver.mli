@@ -1,0 +1,35 @@
+(** Experiment driver: run one benchmark point on the simulator (virtual
+    time) or on real domains (wall-clock). *)
+
+type result = {
+  threads : int;
+  total_ops : int;  (** operations completed in the measurement window *)
+  measure_us : float;
+  ops_per_us : float;  (** the y-axis of every figure in the paper *)
+  cas_failures : int;  (** simulator runs only *)
+  remote_transfers : int;  (** simulator runs only *)
+}
+
+val run_sim :
+  topo:Nr_sim.Topology.t ->
+  ?costs:Nr_sim.Costs.t ->
+  threads:int ->
+  warmup_us:float ->
+  measure_us:float ->
+  (Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit) ->
+  result
+(** [run_sim ~topo ~threads ~warmup_us ~measure_us setup] builds the
+    experiment by calling [setup runtime] once (construction happens before
+    the simulation and is free), then runs [threads] simulated threads,
+    each looping the thunk [setup runtime ~tid] until the virtual deadline.
+    Deterministic: identical inputs give identical results. *)
+
+val run_domains :
+  topo:Nr_sim.Topology.t ->
+  threads:int ->
+  warmup_s:float ->
+  measure_s:float ->
+  (Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit) ->
+  result
+(** Same shape over real domains and wall-clock time.  Useful for examples
+    and cross-runtime checks; absolute numbers depend on the host. *)

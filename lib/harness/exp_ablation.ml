@@ -1,0 +1,93 @@
+(** Ablation study (paper §8.5, figs. 13-14): disable each of NR's five
+    techniques in turn and measure the throughput loss on the skip-list
+    priority queue at max threads. *)
+
+open Nr_core
+
+type technique = {
+  index : int;
+  label : string;
+  cfg : Config.t;  (** NR config with the technique disabled *)
+}
+
+let techniques =
+  [
+    {
+      index = 1;
+      label = "#1 flat combining";
+      cfg = { Config.default with flat_combining = false };
+    };
+    {
+      index = 2;
+      label = "#2 read optimization";
+      cfg = { Config.default with read_optimization = false };
+    };
+    {
+      index = 3;
+      label = "#3 separate replica lock";
+      cfg = { Config.default with separate_replica_lock = false };
+    };
+    {
+      index = 4;
+      label = "#4 parallel replicas update";
+      cfg = { Config.default with parallel_replica_update = false };
+    };
+    {
+      index = 5;
+      label = "#5 better readers-writer lock";
+      cfg = { Config.default with distributed_rwlock = false };
+    };
+  ]
+
+module Pq = Exp_pq.Sl_exp
+
+let throughput params ~cfg ~update_pct =
+  let threads = Params.max_threads params in
+  let r =
+    Driver.run_sim ~topo:params.Params.topo ~threads
+      ~warmup_us:params.Params.warmup_us ~measure_us:params.Params.measure_us
+      (fun rt ->
+        let module W = Families.Wrap (Nr_seqds.Skiplist_pq) in
+        let exec =
+          W.build rt Method.NR ~cfg ~threads ~factory:(Pq.factory params) ()
+        in
+        Pq.body params ~update_pct ~e:0 ~exec rt)
+  in
+  r.Driver.ops_per_us
+
+(* One series per workload; x = technique index, y = % throughput loss
+   relative to full NR. *)
+let fig14 params =
+  let workloads = [ (10, "10% update"); (100, "100% update") ] in
+  let series =
+    List.map
+      (fun (update_pct, label) ->
+        let full = throughput params ~cfg:Config.default ~update_pct in
+        let points =
+          List.map
+            (fun t ->
+              let y = throughput params ~cfg:t.cfg ~update_pct in
+              let loss =
+                if full > 0.0 then 100.0 *. (full -. y) /. full else nan
+              in
+              { Table.x = t.index; y = loss })
+            techniques
+        in
+        { Table.label; points })
+      workloads
+  in
+  [
+    {
+      Table.id = "fig14";
+      title = "throughput loss when disabling each NR technique";
+      x_label = "technique#";
+      y_label = "% loss";
+      series;
+      notes =
+        List.map (fun t -> Printf.sprintf "%d = %s" t.index t.label) techniques
+        @ [
+            Printf.sprintf "skip list priority queue, %d threads"
+              (Params.max_threads params);
+          ];
+    };
+  ]

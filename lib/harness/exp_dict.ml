@@ -1,0 +1,92 @@
+(** Dictionary experiments (paper fig. 7): skip-list dictionary under
+    uniform (low-contention) and zipf-1.5 (high-contention) key
+    distributions. *)
+
+open Nr_seqds
+
+module W = Families.Wrap (Skiplist_dict)
+
+let key_space (params : Params.t) = 2 * params.population
+
+(* Populate every other key so lookups hit about half the time and the
+   add/remove mix stays balanced. *)
+let factory (params : Params.t) () =
+  let t = Skiplist_dict.create () in
+  let i = ref 0 in
+  while Skiplist_dict.length t < params.population do
+    ignore (Skiplist_dict.execute t (Dict_ops.Insert (2 * !i, !i)));
+    incr i
+  done;
+  t
+
+let body (params : Params.t) ~update_pct ~dist ~exec rt ~tid =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let rng = Nr_workload.Prng.create ~seed:(params.seed + (tid * 7919) + 1) in
+  fun () ->
+    R.work 25;
+    let key = Nr_workload.Key_dist.sample dist rng in
+    match Nr_workload.Op_mix.sample ~update_percent:update_pct rng with
+    | Nr_workload.Op_mix.Add -> ignore (exec (Dict_ops.Insert (key, key)))
+    | Nr_workload.Op_mix.Remove -> ignore (exec (Dict_ops.Remove key))
+    | Nr_workload.Op_mix.Read -> ignore (exec (Dict_ops.Lookup key))
+
+let setup_black_box params m ~update_pct ~dist ~threads rt =
+  let exec = W.build rt m ~threads ~factory:(factory params) () in
+  body params ~update_pct ~dist ~exec rt
+
+let setup_lf (params : Params.t) ~update_pct ~dist ~threads:_ rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create ~home:0 () in
+  (* distinct keys: every add succeeds, no need to recount *)
+  for i = 0 to params.Params.population - 1 do
+    ignore (Lf.add t (2 * i) i)
+  done;
+  let exec : Dict_ops.op -> Dict_ops.result = function
+    | Dict_ops.Insert (k, v) -> Dict_ops.Added (Lf.add t k v)
+    | Dict_ops.Remove k -> Dict_ops.Removed (Lf.remove t k)
+    | Dict_ops.Lookup k -> Dict_ops.Found (Lf.get t k)
+  in
+  body params ~update_pct ~dist ~exec rt
+
+let series params m ~update_pct ~dist =
+  match m with
+  | Method.LF ->
+      Sweep.threads_series params ~label:(Method.name m)
+        ~setup:(setup_lf params ~update_pct ~dist)
+  | m ->
+      Sweep.threads_series params ~label:(Method.name m)
+        ~setup:(setup_black_box params m ~update_pct ~dist)
+
+let figure params ~id ~title ~update_pct ~dist =
+  let methods =
+    [ Method.NR; Method.LF; Method.FCplus; Method.FC; Method.RWL; Method.SL ]
+  in
+  {
+    Table.id;
+    title;
+    x_label = "threads";
+    y_label = "ops/us";
+    series = List.map (fun m -> series params m ~update_pct ~dist) methods;
+    notes =
+      [
+        Printf.sprintf "%d%% updates, %s keys over [0,%d), %d initial items"
+          update_pct
+          (Nr_workload.Key_dist.name dist)
+          (key_space params) params.Params.population;
+      ];
+  }
+
+let fig7 params =
+  let uniform = Nr_workload.Key_dist.uniform (key_space params) in
+  let zipf = Nr_workload.Key_dist.zipf ~theta:1.5 ~n:(key_space params) () in
+  [
+    figure params ~id:"fig7a" ~title:"skip list dictionary, uniform keys, 10% updates"
+      ~update_pct:10 ~dist:uniform;
+    figure params ~id:"fig7b" ~title:"skip list dictionary, uniform keys, 100% updates"
+      ~update_pct:100 ~dist:uniform;
+    figure params ~id:"fig7c" ~title:"skip list dictionary, zipf keys, 10% updates"
+      ~update_pct:10 ~dist:zipf;
+    figure params ~id:"fig7d" ~title:"skip list dictionary, zipf keys, 100% updates"
+      ~update_pct:100 ~dist:zipf;
+  ]

@@ -1,0 +1,74 @@
+(** KV-store (Redis stand-in) experiments: paper fig. 11 (Intel) and
+    fig. 12 (AMD).  One sorted set of 10k items; reads are ZRANK, updates
+    ZINCRBY, driven directly at the command layer — the paper bypasses the
+    RPC the same way (§8.3). *)
+
+module W = Families.Wrap (Nr_kvstore.Store)
+
+let items = 10_000
+let zset_key = "leaderboard"
+
+let factory () =
+  let t = Nr_kvstore.Store.create () in
+  for m = 0 to items - 1 do
+    ignore
+      (Nr_kvstore.Store.execute t (Nr_kvstore.Command.Zadd (zset_key, m * 7, m)))
+  done;
+  t
+
+let body (params : Params.t) ~update_pct ~exec rt ~tid =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let rng = Nr_workload.Prng.create ~seed:(params.seed + (tid * 7919) + 1) in
+  fun () ->
+    R.work 40;
+    let member = Nr_workload.Prng.below rng items in
+    if Nr_workload.Prng.below rng 100 < update_pct then
+      ignore (exec (Nr_kvstore.Command.Zincrby (zset_key, 1, member)))
+    else ignore (exec (Nr_kvstore.Command.Zrank (zset_key, member)))
+
+let setup params m ~update_pct ~threads rt =
+  let exec = W.build rt m ~threads ~factory () in
+  body params ~update_pct ~exec rt
+
+let figure params ~id ~title ~update_pct =
+  {
+    Table.id;
+    title;
+    x_label = "threads";
+    y_label = "ops/us";
+    series =
+      List.map
+        (fun m ->
+          Sweep.threads_series params ~label:(Method.name m)
+            ~setup:(setup params m ~update_pct))
+        Method.black_box;
+    notes =
+      [
+        Printf.sprintf
+          "sorted set of %d items; ZRANK reads / ZINCRBY updates (%d%%); \
+           topology %s"
+          items update_pct params.Params.topo.Nr_sim.Topology.name;
+      ];
+  }
+
+let fig11 params =
+  [
+    figure params ~id:"fig11a" ~title:"KV store sorted set, 10% updates"
+      ~update_pct:10;
+    figure params ~id:"fig11b" ~title:"KV store sorted set, 50% updates"
+      ~update_pct:50;
+    figure params ~id:"fig11c" ~title:"KV store sorted set, 100% updates"
+      ~update_pct:100;
+  ]
+
+let fig12 params =
+  let params = Params.amd params in
+  [
+    figure params ~id:"fig12a"
+      ~title:"KV store sorted set, 10% updates (AMD topology)" ~update_pct:10;
+    figure params ~id:"fig12b"
+      ~title:"KV store sorted set, 50% updates (AMD topology)" ~update_pct:50;
+    figure params ~id:"fig12c"
+      ~title:"KV store sorted set, 100% updates (AMD topology)"
+      ~update_pct:100;
+  ]

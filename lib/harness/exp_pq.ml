@@ -1,0 +1,157 @@
+(** Priority-queue experiments: figures 5 (skip-list PQ) and 6 (pairing
+    heap) of the paper.  Workload from §8.1: generic add = insert(rnd, v),
+    remove = deleteMin(), read = findMin(), with optional external work [e]
+    between operations. *)
+
+open Nr_seqds
+
+module type PQ_DS =
+  Nr_core.Ds_intf.S with type op = Pq_ops.op and type result = Pq_ops.result
+
+module Make_exp (Seq : PQ_DS) = struct
+  module W = Families.Wrap (Seq)
+
+  let populate (params : Params.t) (t : Seq.t) =
+    let rng = Nr_workload.Prng.create ~seed:params.seed in
+    let key_space = 2 * params.population in
+    for _ = 1 to params.population do
+      ignore
+        (Seq.execute t
+           (Pq_ops.Insert (Nr_workload.Prng.below rng key_space, 1)))
+    done
+
+  let factory params () =
+    let t = Seq.create () in
+    populate params t;
+    t
+
+  (* One thread's operation loop. *)
+  let body (params : Params.t) ~update_pct ~e ~exec rt ~tid =
+    let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+    let module Ework = Nr_workload.External_work.Make (R) in
+    let key_space = 2 * params.population in
+    let rng = Nr_workload.Prng.create ~seed:(params.seed + (tid * 7919) + 1) in
+    let ew = Ework.create ~seed:(params.seed + tid) () in
+    fun () ->
+      (* fixed instruction cost of one benchmark iteration (op dispatch,
+         loop, counters) on top of the structure's memory traffic *)
+      R.work 25;
+      (match Nr_workload.Op_mix.sample ~update_percent:update_pct rng with
+      | Nr_workload.Op_mix.Add ->
+          ignore (exec (Pq_ops.Insert (Nr_workload.Prng.below rng key_space, 1)))
+      | Nr_workload.Op_mix.Remove -> ignore (exec Pq_ops.Delete_min)
+      | Nr_workload.Op_mix.Read -> ignore (exec Pq_ops.Find_min));
+      Ework.run ew e
+
+  let setup_black_box params m ~update_pct ~e ~threads rt =
+    let exec = W.build rt m ~threads ~factory:(factory params) () in
+    body params ~update_pct ~e ~exec rt
+
+  (* The lock-free skip-list priority queue (Lotan-Shavit over
+     Herlihy-Shavit), prepopulated with the same key sequence. *)
+  let setup_lf params ~update_pct ~e ~threads:_ rt =
+    let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+    let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+    let t = Lf.create ~home:0 () in
+    let rng = Nr_workload.Prng.create ~seed:params.Params.seed in
+    let key_space = 2 * params.Params.population in
+    for _ = 1 to params.Params.population do
+      ignore (Lf.add t (Nr_workload.Prng.below rng key_space) 1)
+    done;
+    let exec : Pq_ops.op -> Pq_ops.result = function
+      | Pq_ops.Insert (k, v) -> Pq_ops.Inserted (Lf.add t k v)
+      | Pq_ops.Delete_min -> Pq_ops.Removed (Lf.remove_min t)
+      | Pq_ops.Find_min -> Pq_ops.Min (Lf.min t)
+    in
+    body params ~update_pct ~e ~exec rt
+
+  let series params m ~update_pct ~e =
+    match m with
+    | Method.LF ->
+        Sweep.threads_series params ~label:(Method.name m)
+          ~setup:(setup_lf params ~update_pct ~e)
+    | m ->
+        Sweep.threads_series params ~label:(Method.name m)
+          ~setup:(setup_black_box params m ~update_pct ~e)
+
+  let scaling_figure params ~id ~title ~methods ~update_pct ~e =
+    {
+      Table.id;
+      title;
+      x_label = "threads";
+      y_label = "ops/us";
+      series = List.map (fun m -> series params m ~update_pct ~e) methods;
+      notes =
+        [
+          Printf.sprintf
+            "%d%% updates, e=%d, %d initial items, topology %s" update_pct e
+            params.Params.population params.Params.topo.Nr_sim.Topology.name;
+        ];
+    }
+
+  (* Panel (e): vary the external work at max threads. *)
+  let external_work_figure params ~id ~title ~methods =
+    let threads = Params.max_threads params in
+    let axis = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
+    let series =
+      List.map
+        (fun m ->
+          Sweep.axis_series params ~label:(Method.name m) ~axis ~threads
+            ~setup:(fun ~x rt ->
+              match m with
+              | Method.LF ->
+                  setup_lf params ~update_pct:100 ~e:x ~threads rt
+              | m ->
+                  setup_black_box params m ~update_pct:100 ~e:x ~threads rt))
+        methods
+    in
+    {
+      Table.id;
+      title;
+      x_label = "work e";
+      y_label = "ops/us";
+      series;
+      notes =
+        [
+          Printf.sprintf "100%% updates, %d threads, %d initial items" threads
+            params.Params.population;
+        ];
+    }
+end
+
+module Sl_exp = Make_exp (Skiplist_pq)
+module Ph_exp = Make_exp (Pairing_pq)
+
+(* Figure 5: skip-list priority queue. *)
+let fig5 params =
+  let methods_lf = [ Method.NR; Method.LF; Method.FCplus; Method.FC; Method.RWL; Method.SL ] in
+  [
+    Sl_exp.scaling_figure params ~id:"fig5a"
+      ~title:"skip list priority queue, 0% updates, e=0" ~methods:methods_lf
+      ~update_pct:0 ~e:0;
+    Sl_exp.scaling_figure params ~id:"fig5b"
+      ~title:"skip list priority queue, 10% updates, e=0" ~methods:methods_lf
+      ~update_pct:10 ~e:0;
+    Sl_exp.scaling_figure params ~id:"fig5c"
+      ~title:"skip list priority queue, 100% updates, e=0" ~methods:methods_lf
+      ~update_pct:100 ~e:0;
+    Sl_exp.scaling_figure params ~id:"fig5d"
+      ~title:"skip list priority queue, 100% updates, e=512"
+      ~methods:methods_lf ~update_pct:100 ~e:512;
+    Sl_exp.external_work_figure params ~id:"fig5e"
+      ~title:"skip list priority queue, 100% updates, max threads, varying e"
+      ~methods:methods_lf;
+  ]
+
+(* Figure 6: pairing-heap priority queue (no lock-free pairing heap
+   exists; the paper omits LF here too). *)
+let fig6 params =
+  let methods = Method.black_box in
+  [
+    Ph_exp.scaling_figure params ~id:"fig6a"
+      ~title:"pairing heap priority queue, 10% updates, e=0" ~methods
+      ~update_pct:10 ~e:0;
+    Ph_exp.scaling_figure params ~id:"fig6b"
+      ~title:"pairing heap priority queue, 100% updates, e=0" ~methods
+      ~update_pct:100 ~e:0;
+  ]

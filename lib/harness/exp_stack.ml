@@ -1,0 +1,95 @@
+(** Stack experiment (paper fig. 8): push/pop only — maximal operation
+    contention — including the two structure-specific baselines, Treiber's
+    lock-free stack (LF) and the NUMA-aware elimination stack (NA). *)
+
+open Nr_seqds
+
+module W = Families.Wrap (Stack_ds)
+
+let factory (params : Params.t) () =
+  let t = Stack_ds.create () in
+  for i = 1 to params.population do
+    ignore (Stack_ds.execute t (Stack_ops.Push i))
+  done;
+  t
+
+let body (params : Params.t) ~exec rt ~tid =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let rng = Nr_workload.Prng.create ~seed:(params.seed + (tid * 7919) + 1) in
+  fun () ->
+    R.work 25;
+    if Nr_workload.Prng.bool rng then
+      ignore (exec (Stack_ops.Push (Nr_workload.Prng.below rng 1000000)))
+    else ignore (exec Stack_ops.Pop)
+
+let setup_black_box params m ~threads rt =
+  let exec = W.build rt m ~threads ~factory:(factory params) () in
+  body params ~exec rt
+
+let setup_lf (params : Params.t) ~threads:_ rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module Lf = Nr_baselines.Lf_stack.Make (R) in
+  let t = Lf.create ~home:0 () in
+  for i = 1 to params.Params.population do
+    Lf.push t i
+  done;
+  let exec : Stack_ops.op -> Stack_ops.result = function
+    | Stack_ops.Push v ->
+        Lf.push t v;
+        Stack_ops.Pushed
+    | Stack_ops.Pop -> Stack_ops.Popped (Lf.pop t)
+  in
+  body params ~exec rt
+
+let setup_na (params : Params.t) ~threads:_ rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module Na = Nr_baselines.Na_stack.Make (R) in
+  let t = Na.create ~home:0 () in
+  for _ = 1 to params.Params.population do
+    Na.push t 1
+  done;
+  let exec : Stack_ops.op -> Stack_ops.result = function
+    | Stack_ops.Push v ->
+        Na.push t v;
+        Stack_ops.Pushed
+    | Stack_ops.Pop -> Stack_ops.Popped (Na.pop t)
+  in
+  body params ~exec rt
+
+let fig8 params =
+  let series m =
+    match m with
+    | Method.LF ->
+        Sweep.threads_series params ~label:(Method.name m)
+          ~setup:(setup_lf params)
+    | Method.NA ->
+        Sweep.threads_series params ~label:(Method.name m)
+          ~setup:(setup_na params)
+    | m ->
+        Sweep.threads_series params ~label:(Method.name m)
+          ~setup:(setup_black_box params m)
+  in
+  [
+    {
+      Table.id = "fig8";
+      title = "stack (push/pop, 100% updates)";
+      x_label = "threads";
+      y_label = "ops/us";
+      series =
+        List.map series
+          [
+            Method.NA;
+            Method.NR;
+            Method.FC;
+            Method.FCplus;
+            Method.LF;
+            Method.SL;
+            Method.RWL;
+          ];
+      notes =
+        [
+          Printf.sprintf "%d initial items; NA uses per-node elimination"
+            params.Params.population;
+        ];
+    };
+  ]

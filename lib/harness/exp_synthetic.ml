@@ -1,0 +1,141 @@
+(** Synthetic-structure experiments (paper §8.2): an n-entry buffer where
+    every operation touches c entries, one of them shared by all
+    operations.  Covers fig. 9 (scalability), fig. 10 (NR's advantage vs
+    data accessed per operation) and the §8.2.3 structure-size study. *)
+
+let default_n = 200_000
+let default_c = 8
+
+(* Build the concurrent executor and the thread body for one run.  The
+   synthetic structure's parameters arrive via a locally instantiated
+   functor, so each run gets its own op type — everything stays inside
+   this function's scope. *)
+let setup ~n ~c (m : Method.t) (params : Params.t) ~update_pct ~threads rt =
+  let module Seq = Nr_seqds.Synthetic.Make (struct
+    let n = n
+    let c = c
+  end) in
+  let module W = Families.Wrap (Seq) in
+  let exec = W.build rt m ~threads ~factory:Seq.create () in
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  fun ~tid ->
+    let rng = Nr_workload.Prng.create ~seed:(params.seed + (tid * 7919) + 1) in
+    fun () ->
+      R.work 25;
+      let key = Nr_workload.Prng.next rng in
+      match Nr_workload.Op_mix.sample ~update_percent:update_pct rng with
+      | Nr_workload.Op_mix.Add | Nr_workload.Op_mix.Remove ->
+          ignore (exec (Seq.Update key))
+      | Nr_workload.Op_mix.Read -> ignore (exec (Seq.Read key))
+
+let methods = Method.black_box
+
+let scaling_figure params ~id ~title ~update_pct =
+  {
+    Table.id;
+    title;
+    x_label = "threads";
+    y_label = "ops/us";
+    series =
+      List.map
+        (fun m ->
+          Sweep.threads_series params ~label:(Method.name m)
+            ~setup:(setup ~n:default_n ~c:default_c m params ~update_pct))
+        methods;
+    notes =
+      [
+        Printf.sprintf "n=%d entries, c=%d lines/op, %d%% updates" default_n
+          default_c update_pct;
+      ];
+  }
+
+let fig9 params =
+  [
+    scaling_figure params ~id:"fig9a"
+      ~title:"synthetic structure, 10% updates" ~update_pct:10;
+    scaling_figure params ~id:"fig9b"
+      ~title:"synthetic structure, 100% updates" ~update_pct:100;
+  ]
+
+(* Fig. 10: the y value is NR's throughput divided by each other method's,
+   at max threads, as c varies. *)
+let fig10 params =
+  let threads = Params.max_threads params in
+  let axis = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let run m ~update_pct =
+    Sweep.axis_series params ~label:(Method.name m) ~axis ~threads
+      ~setup:(fun ~x rt ->
+        setup ~n:default_n ~c:x m params ~update_pct ~threads rt)
+  in
+  let panel ~id ~title ~update_pct =
+    let nr = run Method.NR ~update_pct in
+    let others =
+      List.filter (fun m -> m <> Method.NR) methods
+      |> List.map (fun m -> run m ~update_pct)
+    in
+    let ratio (s : Table.series) =
+      {
+        s with
+        Table.points =
+          List.map
+            (fun (p : Table.point) ->
+              let nr_y =
+                match Table.value_at nr p.Table.x with
+                | Some y -> y
+                | None -> nan
+              in
+              { p with Table.y = (if p.Table.y > 0.0 then nr_y /. p.Table.y else nan) })
+            s.Table.points;
+      }
+    in
+    {
+      Table.id;
+      title;
+      x_label = "lines/op c";
+      y_label = "NR speedup (x)";
+      series = List.map ratio others;
+      notes =
+        [
+          Printf.sprintf "%d threads, n=%d; y = NR throughput / method's"
+            threads default_n;
+        ];
+    }
+  in
+  [
+    panel ~id:"fig10a" ~title:"NR improvement vs lines accessed, 10% updates"
+      ~update_pct:10;
+    panel ~id:"fig10b" ~title:"NR improvement vs lines accessed, 100% updates"
+      ~update_pct:100;
+  ]
+
+(* §8.2.3: effect of structure size; runs at max threads, extreme c. *)
+let fig_size params =
+  let threads = Params.max_threads params in
+  let axis = [ 2_000; 20_000; 200_000; 2_000_000 ] in
+  let panel ~id ~title ~c ~update_pct =
+    {
+      Table.id;
+      title;
+      x_label = "entries n";
+      y_label = "ops/us";
+      series =
+        List.map
+          (fun m ->
+            Sweep.axis_series params ~label:(Method.name m) ~axis ~threads
+              ~setup:(fun ~x rt ->
+                setup ~n:x ~c m params ~update_pct ~threads rt))
+          methods;
+      notes =
+        [
+          Printf.sprintf
+            "%d threads, c=%d, %d%% updates; L3 holds ~573k lines" threads c
+            update_pct;
+        ];
+    }
+  in
+  [
+    panel ~id:"size-c1-u100" ~title:"structure size sweep, c=1, 100% updates"
+      ~c:1 ~update_pct:100;
+    panel ~id:"size-c64-u10" ~title:"structure size sweep, c=64, 10% updates"
+      ~c:64 ~update_pct:10;
+  ]

@@ -1,0 +1,78 @@
+(** Ablation benches for this implementation's own design choices (beyond
+    the paper's §8.5): shared-log capacity, MIN_BATCH, and the log replay
+    prefetch window.  Each sweep runs the contended skip-list PQ at max
+    threads and reports throughput per knob value. *)
+
+open Nr_core
+
+module Pq = Exp_pq.Sl_exp
+
+let throughput params ~cfg ~update_pct =
+  let threads = Params.max_threads params in
+  (Driver.run_sim ~topo:params.Params.topo ~threads
+     ~warmup_us:params.Params.warmup_us ~measure_us:params.Params.measure_us
+     (fun rt ->
+       let module W = Families.Wrap (Nr_seqds.Skiplist_pq) in
+       let exec =
+         W.build rt Method.NR ~cfg ~threads ~factory:(Pq.factory params) ()
+       in
+       Pq.body params ~update_pct ~e:0 ~exec rt))
+    .Driver.ops_per_us
+
+let knob_series params ~label ~values ~cfg_of =
+  {
+    Table.label;
+    points =
+      List.map
+        (fun v ->
+          { Table.x = v; y = throughput params ~cfg:(cfg_of v) ~update_pct:100 })
+        values;
+  }
+
+let tuning params =
+  [
+    {
+      Table.id = "tune-log";
+      title = "NR throughput vs shared-log capacity";
+      x_label = "log entries";
+      y_label = "ops/us";
+      series =
+        [
+          knob_series params ~label:"NR"
+            ~values:[ 256; 1024; 4096; 65536 ]
+            ~cfg_of:(fun v -> { Config.default with log_size = v });
+        ];
+      notes =
+        [
+          "skip list PQ, 100% updates, max threads; small logs stall on \
+           recycling";
+        ];
+    };
+    {
+      Table.id = "tune-min-batch";
+      title = "NR throughput vs MIN_BATCH";
+      x_label = "min batch";
+      y_label = "ops/us";
+      series =
+        [
+          knob_series params ~label:"NR" ~values:[ 1; 2; 4; 8; 16 ]
+            ~cfg_of:(fun v -> { Config.default with min_batch = v });
+        ];
+      notes = [ "waiting for bigger batches trades latency for amortization" ];
+    };
+    {
+      Table.id = "tune-replay-window";
+      title = "NR throughput vs log replay prefetch window";
+      x_label = "window";
+      y_label = "ops/us";
+      series =
+        [
+          knob_series params ~label:"NR" ~values:[ 1; 2; 4; 8; 16 ]
+            ~cfg_of:(fun v -> { Config.default with replay_window = v });
+        ];
+      notes =
+        [
+          "window 1 = dependent entry fetches; wider windows stream the log";
+        ];
+    };
+  ]

@@ -1,0 +1,40 @@
+(** Build a concurrent instance of a black-box sequential structure under
+    any of the paper's generic methods, against any runtime.  Lock-free and
+    NUMA-aware baselines are structure-specific and built directly by the
+    experiments. *)
+
+module Wrap (Seq : Nr_core.Ds_intf.S) = struct
+  (** [build rt method_ ~factory] returns the concurrent executor.  The
+      factory must be deterministic: NR calls it once per node to build
+      identical replicas. *)
+  let build (rt : Nr_runtime.Runtime_intf.t) (m : Method.t)
+      ?(cfg = Nr_core.Config.default) ?threads ~(factory : unit -> Seq.t) () :
+      Seq.op -> Seq.result =
+    let module R = (val rt) in
+    match m with
+    | Method.SL ->
+        let module M = Nr_baselines.Single_lock.Make (R) (Seq) in
+        let t = M.create factory in
+        M.execute t
+    | Method.RWL ->
+        let module M = Nr_baselines.Rwl_ds.Make (R) (Seq) in
+        let t = M.create factory in
+        M.execute t
+    | Method.FC ->
+        let module M = Nr_baselines.Fc_ds.Make (R) (Seq) in
+        let t = M.create ~rw_reads:false ?slots:threads factory in
+        M.execute t
+    | Method.FCplus ->
+        let module M = Nr_baselines.Fc_ds.Make (R) (Seq) in
+        let t = M.create ~rw_reads:true ?slots:threads factory in
+        M.execute t
+    | Method.NR ->
+        let module M = Nr_core.Node_replication.Make (R) (Seq) in
+        let t = M.create ~cfg factory in
+        M.execute t
+    | Method.LF | Method.NA ->
+        invalid_arg
+          (Printf.sprintf
+             "Families.Wrap: %s is structure-specific, not black-box"
+             (Method.name m))
+end

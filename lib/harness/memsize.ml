@@ -1,0 +1,77 @@
+(** Memory-cost tables (paper figs. 5f, 6c, 7e): NR pays for its replicas
+    and its log.  Structures are built on the real-domains runtime (so no
+    simulator bookkeeping inflates them) and measured with
+    [Obj.reachable_words]. *)
+
+let mb_of_words w = float_of_int w *. 8.0 /. 1e6
+let measure v = mb_of_words (Obj.reachable_words (Obj.repr v))
+
+(* [measure_pair ~factory] returns (NR megabytes, single-structure
+   megabytes) for a populated structure. *)
+module Pair (Seq : Nr_core.Ds_intf.S) = struct
+  let measure_pair ~(factory : unit -> Seq.t) =
+    let topo = Nr_sim.Topology.intel in
+    let module R = (val Nr_runtime.Runtime_domains.make topo) in
+    let module NR = Nr_core.Node_replication.Make (R) (Seq) in
+    let nr = NR.create factory in
+    let nr_mb = measure nr in
+    let single_mb = measure (factory ()) in
+    (nr_mb, single_mb)
+end
+
+type row = { structure : string; nr_mb : float; others_mb : float }
+
+let rows (params : Params.t) =
+  let pq_factory () =
+    let t = Nr_seqds.Skiplist_pq.create () in
+    let rng = Nr_workload.Prng.create ~seed:params.seed in
+    for _ = 1 to params.population do
+      ignore
+        (Nr_seqds.Skiplist_pq.execute t
+           (Nr_seqds.Pq_ops.Insert
+              (Nr_workload.Prng.below rng (2 * params.population), 1)))
+    done;
+    t
+  in
+  let ph_factory () =
+    let t = Nr_seqds.Pairing_pq.create () in
+    let rng = Nr_workload.Prng.create ~seed:params.seed in
+    for _ = 1 to params.population do
+      ignore
+        (Nr_seqds.Pairing_pq.execute t
+           (Nr_seqds.Pq_ops.Insert
+              (Nr_workload.Prng.below rng (2 * params.population), 1)))
+    done;
+    t
+  in
+  let dict_factory () =
+    let t = Nr_seqds.Skiplist_dict.create () in
+    for i = 0 to params.population - 1 do
+      ignore
+        (Nr_seqds.Skiplist_dict.execute t (Nr_seqds.Dict_ops.Insert (2 * i, i)))
+    done;
+    t
+  in
+  let module P1 = Pair (Nr_seqds.Skiplist_pq) in
+  let module P2 = Pair (Nr_seqds.Pairing_pq) in
+  let module P3 = Pair (Nr_seqds.Skiplist_dict) in
+  let m1 = P1.measure_pair ~factory:pq_factory in
+  let m2 = P2.measure_pair ~factory:ph_factory in
+  let m3 = P3.measure_pair ~factory:dict_factory in
+  [
+    { structure = "skip list priority queue"; nr_mb = fst m1; others_mb = snd m1 };
+    { structure = "pairing heap priority queue"; nr_mb = fst m2; others_mb = snd m2 };
+    { structure = "skip list dictionary"; nr_mb = fst m3; others_mb = snd m3 };
+  ]
+
+let print params =
+  Format.printf
+    "## fig5f/6c/7e: memory at max threads (MB), %d items, 4 replicas + \
+     %d-entry log@."
+    params.Params.population Nr_core.Config.default.Nr_core.Config.log_size;
+  Format.printf "%-30s %10s %10s@." "structure" "NR" "others";
+  List.iter
+    (fun r ->
+      Format.printf "%-30s %10.1f %10.1f@." r.structure r.nr_mb r.others_mb)
+    (rows params);
+  Format.printf "@."

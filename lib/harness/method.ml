@@ -1,0 +1,34 @@
+(** The methods compared throughout the paper's evaluation (fig. 4). *)
+
+type t =
+  | SL  (** one big spin lock *)
+  | RWL  (** one big (distributed) readers-writer lock *)
+  | FC  (** flat combining, machine-wide *)
+  | FCplus  (** flat combining + readers-writer lock for reads *)
+  | LF  (** lock-free algorithm (per-structure) *)
+  | NA  (** NUMA-aware algorithm (stack only) *)
+  | NR  (** node replication *)
+
+let name = function
+  | SL -> "SL"
+  | RWL -> "RWL"
+  | FC -> "FC"
+  | FCplus -> "FC+"
+  | LF -> "LF"
+  | NA -> "NA"
+  | NR -> "NR"
+
+let of_name = function
+  | "SL" | "sl" -> Some SL
+  | "RWL" | "rwl" -> Some RWL
+  | "FC" | "fc" -> Some FC
+  | "FC+" | "fc+" | "FCplus" | "fcplus" -> Some FCplus
+  | "LF" | "lf" -> Some LF
+  | "NA" | "na" -> Some NA
+  | "NR" | "nr" -> Some NR
+  | _ -> None
+
+(** Methods available for structures that only exist as sequential code. *)
+let black_box = [ NR; FCplus; FC; RWL; SL ]
+
+let pp ppf t = Format.pp_print_string ppf (name t)

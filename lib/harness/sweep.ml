@@ -1,0 +1,34 @@
+(** Generic sweep helpers: run one setup across the thread-count axis (the
+    x-axis of most figures) or across an arbitrary parameter axis. *)
+
+let threads_series (params : Params.t) ~label
+    ~(setup : threads:int -> Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit)
+    : Table.series =
+  let points =
+    List.map
+      (fun threads ->
+        let r =
+          Driver.run_sim ~topo:params.Params.topo ~threads
+            ~warmup_us:params.Params.warmup_us
+            ~measure_us:params.Params.measure_us (setup ~threads)
+        in
+        { Table.x = threads; y = r.Driver.ops_per_us })
+      params.Params.threads
+  in
+  { Table.label; points }
+
+let axis_series (params : Params.t) ~label ~axis ~threads
+    ~(setup : x:int -> Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit) :
+    Table.series =
+  let points =
+    List.map
+      (fun x ->
+        let r =
+          Driver.run_sim ~topo:params.Params.topo ~threads
+            ~warmup_us:params.Params.warmup_us
+            ~measure_us:params.Params.measure_us (setup ~x)
+        in
+        { Table.x; y = r.Driver.ops_per_us })
+      axis
+  in
+  { Table.label; points }

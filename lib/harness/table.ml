@@ -1,0 +1,57 @@
+(** Figure data and paper-style table rendering: one column per method, one
+    row per x value (thread count, external-work amount, cache lines per
+    operation...). *)
+
+type point = { x : int; y : float }
+type series = { label : string; points : point list }
+
+type figure = {
+  id : string;  (** e.g. "fig5b" *)
+  title : string;
+  x_label : string;  (** e.g. "threads" *)
+  y_label : string;  (** e.g. "ops/us" *)
+  series : series list;
+  notes : string list;
+}
+
+let xs fig =
+  List.sort_uniq compare
+    (List.concat_map (fun s -> List.map (fun p -> p.x) s.points) fig.series)
+
+let value_at s x =
+  List.find_map (fun p -> if p.x = x then Some p.y else None) s.points
+
+let render ppf fig =
+  Format.fprintf ppf "## %s: %s@." fig.id fig.title;
+  List.iter (fun n -> Format.fprintf ppf "#  %s@." n) fig.notes;
+  let xs = xs fig in
+  Format.fprintf ppf "%-10s" fig.x_label;
+  List.iter (fun s -> Format.fprintf ppf " %10s" s.label) fig.series;
+  Format.fprintf ppf "    (%s)@." fig.y_label;
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%-10d" x;
+      List.iter
+        (fun s ->
+          match value_at s x with
+          | Some y -> Format.fprintf ppf " %10.3f" y
+          | None -> Format.fprintf ppf " %10s" "-")
+        fig.series;
+      Format.fprintf ppf "@.")
+    xs;
+  Format.fprintf ppf "@."
+
+let print fig = render Format.std_formatter fig
+
+(** Best method at the largest x, for summaries. *)
+let winner_at_max fig =
+  match List.rev (xs fig) with
+  | [] -> None
+  | x :: _ ->
+      List.fold_left
+        (fun best s ->
+          match (value_at s x, best) with
+          | Some y, Some (_, by) when y > by -> Some (s.label, y)
+          | Some y, None -> Some (s.label, y)
+          | _ -> best)
+        None fig.series

@@ -1,0 +1,120 @@
+(** The store's command vocabulary: the subset of Redis the paper's
+    macro-benchmark exercises (sorted sets via ZRANK / ZINCRBY, §8.3) plus
+    enough of the string commands for a usable store.
+
+    [is_read_only] is the classification the black-box methods need at
+    invocation time (paper §4); note the Redis subtlety the paper calls out:
+    a read must never mutate, so anything resembling lazy rehashing belongs
+    on the update path only. *)
+
+type t =
+  | Ping
+  | Get of string
+  | Set of string * string
+  | Del of string
+  | Exists of string
+  | Incr of string
+  | Incrby of string * int
+  | Zadd of string * int * int  (** key, score, member *)
+  | Zincrby of string * int * int  (** key, delta, member *)
+  | Zrank of string * int  (** key, member *)
+  | Zscore of string * int
+  | Zcard of string
+  | Zrange of string * int * int
+  | Zrem of string * int
+  | Dbsize
+  | Flushall
+
+type reply =
+  | Ok_reply
+  | Pong
+  | Int of int
+  | Bulk of string
+  | Nil
+  | Array of reply list
+  | Err of string
+
+let is_read_only = function
+  | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
+  | Dbsize ->
+      true
+  | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
+  | Flushall ->
+      false
+
+let pp ppf = function
+  | Ping -> Format.pp_print_string ppf "PING"
+  | Get k -> Format.fprintf ppf "GET %s" k
+  | Set (k, v) -> Format.fprintf ppf "SET %s %s" k v
+  | Del k -> Format.fprintf ppf "DEL %s" k
+  | Exists k -> Format.fprintf ppf "EXISTS %s" k
+  | Incr k -> Format.fprintf ppf "INCR %s" k
+  | Incrby (k, n) -> Format.fprintf ppf "INCRBY %s %d" k n
+  | Zadd (k, s, m) -> Format.fprintf ppf "ZADD %s %d %d" k s m
+  | Zincrby (k, d, m) -> Format.fprintf ppf "ZINCRBY %s %d %d" k d m
+  | Zrank (k, m) -> Format.fprintf ppf "ZRANK %s %d" k m
+  | Zscore (k, m) -> Format.fprintf ppf "ZSCORE %s %d" k m
+  | Zcard k -> Format.fprintf ppf "ZCARD %s" k
+  | Zrange (k, a, b) -> Format.fprintf ppf "ZRANGE %s %d %d" k a b
+  | Zrem (k, m) -> Format.fprintf ppf "ZREM %s %d" k m
+  | Dbsize -> Format.pp_print_string ppf "DBSIZE"
+  | Flushall -> Format.pp_print_string ppf "FLUSHALL"
+
+let rec pp_reply ppf = function
+  | Ok_reply -> Format.pp_print_string ppf "OK"
+  | Pong -> Format.pp_print_string ppf "PONG"
+  | Int n -> Format.fprintf ppf "(integer) %d" n
+  | Bulk s -> Format.fprintf ppf "%S" s
+  | Nil -> Format.pp_print_string ppf "(nil)"
+  | Array rs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_reply)
+        rs
+  | Err e -> Format.fprintf ppf "(error) %s" e
+
+(** Parse a tokenized request (e.g. from the RESP layer). *)
+let of_strings tokens =
+  let int s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "value is not an integer: %S" s)
+  in
+  let ( let* ) = Result.bind in
+  match List.map String.lowercase_ascii tokens, tokens with
+  | [ "ping" ], _ -> Ok Ping
+  | [ "get"; _ ], [ _; k ] -> Ok (Get k)
+  | [ "set"; _; _ ], [ _; k; v ] -> Ok (Set (k, v))
+  | [ "del"; _ ], [ _; k ] -> Ok (Del k)
+  | [ "exists"; _ ], [ _; k ] -> Ok (Exists k)
+  | [ "incr"; _ ], [ _; k ] -> Ok (Incr k)
+  | [ "incrby"; _; _ ], [ _; k; n ] ->
+      let* n = int n in
+      Ok (Incrby (k, n))
+  | [ "zadd"; _; _; _ ], [ _; k; s; m ] ->
+      let* s = int s in
+      let* m = int m in
+      Ok (Zadd (k, s, m))
+  | [ "zincrby"; _; _; _ ], [ _; k; d; m ] ->
+      let* d = int d in
+      let* m = int m in
+      Ok (Zincrby (k, d, m))
+  | [ "zrank"; _; _ ], [ _; k; m ] ->
+      let* m = int m in
+      Ok (Zrank (k, m))
+  | [ "zscore"; _; _ ], [ _; k; m ] ->
+      let* m = int m in
+      Ok (Zscore (k, m))
+  | [ "zcard"; _ ], [ _; k ] -> Ok (Zcard k)
+  | [ "zrange"; _; _; _ ], [ _; k; a; b ] ->
+      let* a = int a in
+      let* b = int b in
+      Ok (Zrange (k, a, b))
+  | [ "zrem"; _; _ ], [ _; k; m ] ->
+      let* m = int m in
+      Ok (Zrem (k, m))
+  | [ "dbsize" ], _ -> Ok Dbsize
+  | [ "flushall" ], _ -> Ok Flushall
+  | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
+  | [], _ -> Error "empty command"

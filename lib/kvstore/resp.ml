@@ -1,0 +1,96 @@
+(** RESP2 (REdis Serialization Protocol) codec — enough of the wire format
+    for real clients to talk to the demo server: request arrays of bulk
+    strings in, the five RESP reply types out. *)
+
+type parse_result =
+  | Parsed of string list * int  (** tokens, bytes consumed *)
+  | Incomplete
+  | Invalid of string
+
+let crlf = "\r\n"
+
+(* Find "\r\n" starting at [pos]; return index of '\r'. *)
+let find_crlf s pos =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let parse_int s ~start ~stop =
+  match int_of_string_opt (String.sub s start (stop - start)) with
+  | Some n -> Ok n
+  | None -> Error "protocol error: expected integer"
+
+(** Parse one request starting at [pos].  Accepts the RESP array-of-bulk
+    form and, like Redis, a plain inline command line. *)
+let parse_request ?(pos = 0) (s : string) : parse_result =
+  let n = String.length s in
+  if pos >= n then Incomplete
+  else if s.[pos] = '*' then begin
+    match find_crlf s (pos + 1) with
+    | None -> Incomplete
+    | Some e -> (
+        match parse_int s ~start:(pos + 1) ~stop:e with
+        | Error m -> Invalid m
+        | Ok count when count < 0 -> Invalid "protocol error: negative array"
+        | Ok count ->
+            let rec items k cursor acc =
+              if k = 0 then Parsed (List.rev acc, cursor - pos)
+              else if cursor >= n then Incomplete
+              else if s.[cursor] <> '$' then
+                Invalid "protocol error: expected bulk string"
+              else
+                match find_crlf s (cursor + 1) with
+                | None -> Incomplete
+                | Some e2 -> (
+                    match parse_int s ~start:(cursor + 1) ~stop:e2 with
+                    | Error m -> Invalid m
+                    | Ok len when len < 0 ->
+                        Invalid "protocol error: negative bulk length"
+                    | Ok len ->
+                        let body = e2 + 2 in
+                        if body + len + 2 > n then Incomplete
+                        else if
+                          s.[body + len] <> '\r' || s.[body + len + 1] <> '\n'
+                        then Invalid "protocol error: bad bulk terminator"
+                        else
+                          items (k - 1)
+                            (body + len + 2)
+                            (String.sub s body len :: acc))
+            in
+            items count (e + 2) [])
+  end
+  else begin
+    (* inline command *)
+    match find_crlf s pos with
+    | None -> Incomplete
+    | Some e ->
+        let line = String.sub s pos (e - pos) in
+        let tokens =
+          String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+        in
+        if tokens = [] then Invalid "protocol error: empty inline command"
+        else Parsed (tokens, e + 2 - pos)
+  end
+
+let rec encode_reply (r : Command.reply) : string =
+  match r with
+  | Command.Ok_reply -> "+OK" ^ crlf
+  | Command.Pong -> "+PONG" ^ crlf
+  | Command.Int n -> Printf.sprintf ":%d%s" n crlf
+  | Command.Bulk s -> Printf.sprintf "$%d%s%s%s" (String.length s) crlf s crlf
+  | Command.Nil -> "$-1" ^ crlf
+  | Command.Err e -> Printf.sprintf "-ERR %s%s" e crlf
+  | Command.Array rs ->
+      Printf.sprintf "*%d%s%s" (List.length rs) crlf
+        (String.concat "" (List.map encode_reply rs))
+
+let encode_request tokens =
+  Printf.sprintf "*%d%s%s" (List.length tokens) crlf
+    (String.concat ""
+       (List.map
+          (fun t -> Printf.sprintf "$%d%s%s%s" (String.length t) crlf t crlf)
+          tokens))

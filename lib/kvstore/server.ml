@@ -1,0 +1,93 @@
+(** A small RESP-speaking TCP front end.  Connections are handed to the
+    worker pool; every parsed command goes through a caller-supplied
+    executor, so the same server runs over an NR-wrapped store, a
+    lock-wrapped store, or a bare one (single worker).
+
+    The paper bypasses the RPC layer when measuring (§8.3) — this server
+    exists for the runnable example, not for the benchmarks. *)
+
+type t = {
+  sock : Unix.file_descr;
+  pool : Thread_pool.t;
+  exec : Command.t -> Command.reply;
+  mutable stop : bool;
+}
+
+let handle_connection t client =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec serve () =
+    (* parse as many complete requests as the buffer holds *)
+    let rec drain () =
+      let data = Buffer.contents buf in
+      match Resp.parse_request data with
+      | Resp.Parsed (tokens, consumed) ->
+          let reply =
+            match Command.of_strings tokens with
+            | Ok cmd -> t.exec cmd
+            | Error e -> Command.Err e
+          in
+          let rest = String.sub data consumed (String.length data - consumed) in
+          Buffer.clear buf;
+          Buffer.add_string buf rest;
+          let out = Bytes.of_string (Resp.encode_reply reply) in
+          let _ = Unix.write client out 0 (Bytes.length out) in
+          drain ()
+      | Resp.Incomplete -> true
+      | Resp.Invalid e ->
+          let out = Bytes.of_string (Resp.encode_reply (Command.Err e)) in
+          let _ = Unix.write client out 0 (Bytes.length out) in
+          false
+    in
+    if drain () then begin
+      let n = Unix.read client chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        serve ()
+      end
+    end
+  in
+  (try serve () with Unix.Unix_error _ | End_of_file -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let create ~port ~workers exec =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  { sock; pool = Thread_pool.create ~workers (); exec; stop = false }
+
+let port t =
+  match Unix.getsockname t.sock with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> invalid_arg "Server.port: unix socket"
+
+(** Accept loop; returns when {!shutdown} is called from another thread. *)
+let serve t =
+  while not t.stop do
+    match Unix.accept t.sock with
+    | client, _ ->
+        if t.stop then (try Unix.close client with Unix.Unix_error _ -> ())
+        else
+          Thread_pool.submit t.pool (fun () -> handle_connection t client)
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        t.stop <- true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let shutdown t =
+  let p = try Some (port t) with Invalid_argument _ -> None in
+  t.stop <- true;
+  (* closing a listening socket does not reliably wake a blocked accept();
+     poke it with a throwaway connection first *)
+  (match p with
+  | Some p -> (
+      try
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+         with Unix.Unix_error _ -> ());
+        Unix.close s
+      with Unix.Unix_error _ -> ())
+  | None -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Thread_pool.shutdown t.pool

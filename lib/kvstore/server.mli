@@ -1,0 +1,20 @@
+(** A RESP-speaking TCP front end for the store.  Connections are served by
+    a worker pool; every parsed command goes through a caller-supplied
+    executor, so the same server runs over an NR-wrapped store, a
+    lock-wrapped one, or a bare one. *)
+
+type t
+
+val create :
+  port:int -> workers:int -> (Command.t -> Command.reply) -> t
+(** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the worker
+    pool.  Does not start accepting; call {!serve}. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val serve : t -> unit
+(** Accept loop; returns after {!shutdown} is called from another thread. *)
+
+val shutdown : t -> unit
+(** Stop accepting, close the listening socket and join the workers. *)

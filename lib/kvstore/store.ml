@@ -1,0 +1,164 @@
+(** The in-memory store: a keyspace mapping string keys to strings or
+    sorted sets, executing {!Command.t} — and packaged as a black-box
+    sequential structure ([Ds_intf.S]) so NR and the baselines can make the
+    whole store concurrent exactly as the paper does with Redis (§7: "20
+    lines of wrapper code per structure").
+
+    Treating the keyspace + all its sorted sets as one sequential structure
+    is the paper's "coupled data structures" answer (§6): each command
+    atomically updates the hash table and the skip list inside a zset. *)
+
+type value = Str of string | Zset of Zset.t
+
+type t = {
+  keyspace : (string, value) Nr_seqds.Hashtable.t;
+  mutable zset_seed : int;  (** deterministic seeds for new zsets *)
+}
+
+type op = Command.t
+type result = Command.reply
+
+let create () =
+  { keyspace = Nr_seqds.Hashtable.create (); zset_seed = 0x25E7 }
+
+let dbsize t = Nr_seqds.Hashtable.length t.keyspace
+
+let zset_of t key =
+  match Nr_seqds.Hashtable.find t.keyspace key with
+  | Some (Zset z) -> Ok z
+  | Some (Str _) ->
+      Error "WRONGTYPE operation against a key holding the wrong kind of value"
+  | None -> Error "__missing__"
+
+let get_or_make_zset t key =
+  match zset_of t key with
+  | Ok z -> Ok z
+  | Error "__missing__" ->
+      t.zset_seed <- t.zset_seed + 1;
+      let z = Zset.create ~seed:t.zset_seed () in
+      Nr_seqds.Hashtable.set t.keyspace key (Zset z);
+      Ok z
+  | Error e -> Error e
+
+let rec execute t (cmd : op) : result =
+  let open Command in
+  let with_zset key f =
+    match zset_of t key with
+    | Ok z -> f z
+    | Error "__missing__" -> Nil
+    | Error e -> Err e
+  in
+  match cmd with
+  | Ping -> Pong
+  | Get k -> (
+      match Nr_seqds.Hashtable.find t.keyspace k with
+      | Some (Str s) -> Bulk s
+      | Some (Zset _) ->
+          Err "WRONGTYPE operation against a key holding the wrong kind of value"
+      | None -> Nil)
+  | Set (k, v) ->
+      Nr_seqds.Hashtable.set t.keyspace k (Str v);
+      Ok_reply
+  | Del k -> Int (match Nr_seqds.Hashtable.remove t.keyspace k with
+                  | Some _ -> 1
+                  | None -> 0)
+  | Exists k -> Int (if Nr_seqds.Hashtable.mem t.keyspace k then 1 else 0)
+  | Incr k -> execute t (Incrby (k, 1))
+  | Incrby (k, n) -> (
+      match Nr_seqds.Hashtable.find t.keyspace k with
+      | Some (Str s) -> (
+          match int_of_string_opt s with
+          | Some v ->
+              let v = v + n in
+              Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int v));
+              Int v
+          | None -> Err "value is not an integer or out of range")
+      | Some (Zset _) ->
+          Err "WRONGTYPE operation against a key holding the wrong kind of value"
+      | None ->
+          Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int n));
+          Int n)
+  | Zadd (k, s, m) -> (
+      match get_or_make_zset t k with
+      | Ok z -> Int (if Zset.add z ~member:m ~score:s then 1 else 0)
+      | Error e -> Err e)
+  | Zincrby (k, d, m) -> (
+      match get_or_make_zset t k with
+      | Ok z -> Int (Zset.incrby z ~member:m ~delta:d)
+      | Error e -> Err e)
+  | Zrank (k, m) ->
+      with_zset k (fun z ->
+          match Zset.rank z m with Some r -> Int r | None -> Nil)
+  | Zscore (k, m) ->
+      with_zset k (fun z ->
+          match Zset.score z m with Some s -> Int s | None -> Nil)
+  | Zcard k -> (
+      match zset_of t k with
+      | Ok z -> Int (Zset.cardinal z)
+      | Error "__missing__" -> Int 0
+      | Error e -> Err e)
+  | Zrange (k, a, b) ->
+      with_zset k (fun z ->
+          Array
+            (List.concat_map
+               (fun (m, s) -> [ Int m; Int s ])
+               (Zset.range z ~start:a ~stop:b)))
+  | Zrem (k, m) ->
+      with_zset k (fun z -> Int (if Zset.remove z m then 1 else 0))
+  | Dbsize -> Int (dbsize t)
+  | Flushall ->
+      let keys =
+        Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace []
+      in
+      List.iter (fun k -> ignore (Nr_seqds.Hashtable.remove t.keyspace k)) keys;
+      Ok_reply
+
+let is_read_only = Command.is_read_only
+
+(* ZRANK/ZINCRBY footprints: a hash probe plus a skip-list path, with the
+   lines determined by the member so skewed workloads contend (paper §8.3
+   uses uniform members over a 10k-item set). *)
+let footprint t (cmd : op) =
+  let open Command in
+  let zset_len key =
+    match zset_of t key with Ok z -> Zset.cardinal z | Error _ -> 0
+  in
+  let path key = Nr_seqds.Fp_util.skiplist_path_lines (zset_len key) in
+  let fpkey key m = (Hashtbl.hash key * 0x85EBCA6B) + m in
+  match cmd with
+  | Ping -> Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  | Get k | Exists k ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash k) ~reads:2 ()
+  | Set (k, _) | Del k | Incr k | Incrby (k, _) ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash k) ~reads:2 ~writes:1 ()
+  | Zadd (k, _, m) | Zincrby (k, _, m) ->
+      (* delete + reinsert in the zskiplist plus the dict update *)
+      Nr_runtime.Footprint.v ~key:(fpkey k m)
+        ~reads:(2 + path k)
+        ~writes:4 ~spine_reads:3
+        ~spine_writes:(Nr_seqds.Fp_util.spine_promotion m)
+        ()
+  | Zrank (k, m) | Zscore (k, m) ->
+      Nr_runtime.Footprint.v ~key:(fpkey k m) ~reads:(2 + path k)
+        ~spine_reads:3 ()
+  | Zcard k -> Nr_runtime.Footprint.v ~key:(Hashtbl.hash k) ~reads:2 ()
+  | Zrange (k, a, b) ->
+      Nr_runtime.Footprint.v ~key:(fpkey k a)
+        ~reads:(2 + path k + max 0 (b - a))
+        ()
+  | Zrem (k, m) ->
+      Nr_runtime.Footprint.v ~key:(fpkey k m) ~reads:(2 + path k) ~writes:4 ()
+  | Dbsize -> Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  | Flushall ->
+      Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize t) ~writes:(dbsize t)
+        ~hot_write:true ()
+
+let lines t =
+  let zset_lines =
+    Nr_seqds.Hashtable.fold
+      (fun acc _ v -> match v with Zset z -> acc + (2 * Zset.cardinal z) | Str _ -> acc)
+      t.keyspace 0
+  in
+  max 64 ((2 * dbsize t) + zset_lines)
+
+let pp_op = Command.pp

@@ -1,0 +1,67 @@
+(** A domains-backed worker pool with a shared work queue — the "thread
+    pool and work queuing" the paper added to Redis (§7).  Jobs are
+    arbitrary thunks; [submit] blocks only if the queue is at capacity. *)
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue && t.closed then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      Condition.signal t.nonfull;
+      Mutex.unlock t.mutex;
+      (try job () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(capacity = 1024) ~workers () =
+  if workers <= 0 then invalid_arg "Thread_pool.create: workers must be > 0";
+  let t =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      capacity;
+      closed = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Thread_pool.submit: pool is closed"
+  end;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.nonfull t.mutex
+  done;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+(** Close the queue and wait for the workers to drain it. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers

@@ -1,0 +1,15 @@
+(** A domains-backed worker pool with a bounded shared work queue — the
+    "thread pool and work queuing" the paper added to Redis (§7). *)
+
+type t
+
+val create : ?capacity:int -> workers:int -> unit -> t
+(** Spawn [workers] domains serving a queue of at most [capacity] pending
+    jobs (default 1024). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job; blocks while the queue is full.  Exceptions raised by
+    the job are swallowed.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the queue, drain remaining jobs and join the workers. *)

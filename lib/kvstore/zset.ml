@@ -1,0 +1,96 @@
+(** Sorted set — the Redis data type the paper evaluates (§8.3).
+
+    Exactly like Redis, a sorted set couples {e two} structures that must be
+    updated atomically by each request: a hash table for O(1) member lookup
+    and a skip list ordered by (score, member) for rank and range queries.
+    This coupling is why the paper's black-box methods matter here: lock-free
+    algorithms cannot atomically update two structures (paper §6, "Coupled
+    data structures").
+
+    Members and scores are integers, as in the paper's benchmark driver
+    (random uniformly-distributed items). *)
+
+module Sl = Nr_seqds.Skiplist.Make (Nr_seqds.Ordered.Int_pair)
+
+type t = {
+  dict : (int, int) Nr_seqds.Hashtable.t;  (** member -> score *)
+  index : unit Sl.t;  (** (score, member) ordered *)
+}
+
+let create ?(seed = 0x25E7) () =
+  {
+    dict = Nr_seqds.Hashtable.create ();
+    index = Sl.create ~seed ();
+  }
+
+let cardinal t = Nr_seqds.Hashtable.length t.dict
+let score t member = Nr_seqds.Hashtable.find t.dict member
+
+(** Add or update a member; returns [true] when the member is new. *)
+let add t ~member ~score:s =
+  match Nr_seqds.Hashtable.find t.dict member with
+  | Some old when old = s -> false
+  | Some old ->
+      ignore (Sl.remove t.index (old, member));
+      ignore (Sl.insert t.index (s, member) ());
+      Nr_seqds.Hashtable.set t.dict member s;
+      false
+  | None ->
+      ignore (Sl.insert t.index (s, member) ());
+      Nr_seqds.Hashtable.set t.dict member s;
+      true
+
+(** ZINCRBY: add [delta] to the member's score (0 if absent); returns the
+    new score.  Like Redis, deletes and reinserts in the index. *)
+let incrby t ~member ~delta =
+  let old = Option.value (score t member) ~default:0 in
+  let updated = old + delta in
+  (match Nr_seqds.Hashtable.find t.dict member with
+  | Some _ -> ignore (Sl.remove t.index (old, member))
+  | None -> ());
+  ignore (Sl.insert t.index (updated, member) ());
+  Nr_seqds.Hashtable.set t.dict member updated;
+  updated
+
+(** ZRANK: 0-based position in score order, [None] if absent. *)
+let rank t member =
+  match score t member with
+  | None -> None
+  | Some s -> Sl.rank t.index (s, member)
+
+(** ZRANGE: members with ranks in [start, stop], inclusive. *)
+let range t ~start ~stop =
+  let n = cardinal t in
+  let start = if start < 0 then max 0 (n + start) else start in
+  let stop = if stop < 0 then n + stop else min stop (n - 1) in
+  let rec collect i acc =
+    if i > stop then List.rev acc
+    else
+      match Sl.nth t.index i with
+      | Some ((s, member), ()) -> collect (i + 1) ((member, s) :: acc)
+      | None -> List.rev acc
+  in
+  if start > stop then [] else collect start []
+
+let remove t member =
+  match score t member with
+  | None -> false
+  | Some s ->
+      ignore (Sl.remove t.index (s, member));
+      ignore (Nr_seqds.Hashtable.remove t.dict member);
+      true
+
+let to_list t = range t ~start:0 ~stop:(cardinal t - 1)
+
+(* The two halves must agree exactly. *)
+let validate t =
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  if Nr_seqds.Hashtable.length t.dict <> Sl.length t.index then
+    fail "dict/index cardinality mismatch";
+  Nr_seqds.Hashtable.iter
+    (fun member s ->
+      if not (Sl.mem t.index (s, member)) then fail "member missing in index")
+    t.dict;
+  (match Sl.validate t.index with Ok () -> () | Error e -> fail e);
+  !ok

@@ -1,0 +1,39 @@
+(** Sorted set — the Redis data type the paper evaluates (§8.3).
+
+    Couples a hash table (O(1) member lookup) with a rank-indexed skip list
+    ordered by (score, member); every update maintains both atomically,
+    which is exactly the "coupled data structures" situation where
+    black-box methods shine (§6).  Members and scores are integers. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [seed] drives the skip list's deterministic leveling. *)
+
+val cardinal : t -> int
+
+val score : t -> int -> int option
+(** Score of a member, [None] if absent. *)
+
+val add : t -> member:int -> score:int -> bool
+(** Insert or update; [true] when the member is new (Redis ZADD). *)
+
+val incrby : t -> member:int -> delta:int -> int
+(** Add [delta] to the member's score (0 if absent); returns the new score
+    (Redis ZINCRBY). *)
+
+val rank : t -> int -> int option
+(** 0-based position in (score, member) order (Redis ZRANK). *)
+
+val range : t -> start:int -> stop:int -> (int * int) list
+(** Members with ranks in [start, stop] inclusive as (member, score);
+    negative indices count from the end (Redis ZRANGE). *)
+
+val remove : t -> int -> bool
+(** Remove a member; [true] if it was present (Redis ZREM). *)
+
+val to_list : t -> (int * int) list
+(** All (member, score) pairs in rank order. *)
+
+val validate : t -> (unit, string) result
+(** Check that the hash table and the skip list agree exactly. *)

@@ -1,0 +1,21 @@
+type t = {
+  key : int;
+  reads : int;
+  writes : int;
+  hot_write : bool;
+  spine_reads : int;
+  spine_writes : int;
+}
+
+let v ?(hot_write = false) ?(writes = 0) ?(spine_reads = 0)
+    ?(spine_writes = 0) ~key ~reads () =
+  if reads < 0 || writes < 0 || spine_reads < 0 || spine_writes < 0 then
+    invalid_arg "Footprint.v: negative line count";
+  { key; reads; writes; hot_write; spine_reads; spine_writes }
+
+let read_only t = t.writes = 0 && (not t.hot_write) && t.spine_writes = 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "key=%d reads=%d writes=%d hot_write=%b spine=%d/%d" t.key t.reads
+    t.writes t.hot_write t.spine_reads t.spine_writes

@@ -1,0 +1,37 @@
+(** Cache-line footprint of one data-structure operation.
+
+    Sequential data structures report, per operation, roughly how many cache
+    lines the operation reads and writes and whether it touches the
+    structure's hot entry-point line in write mode.  The simulator runtime
+    charges this footprint against the structure's line region; the real
+    (Domains) runtime ignores it, since real execution produces real memory
+    traffic. *)
+
+type t = {
+  key : int;
+      (** determines {e which} lines are touched; operations with equal keys
+          touch the same lines *)
+  reads : int;  (** body lines read *)
+  writes : int;  (** body lines written *)
+  hot_write : bool;  (** whether the hot line is written *)
+  spine_reads : int;
+      (** reads of the structure's {e spine} — the small set of lines (upper
+          skip-list levels, root children, head area) that every operation
+          traverses regardless of its key *)
+  spine_writes : int;
+      (** writes to spine lines; these invalidate every other node's cached
+          copy of the structure's entry area, the heart of operation
+          contention *)
+}
+
+val v :
+  ?hot_write:bool ->
+  ?writes:int ->
+  ?spine_reads:int ->
+  ?spine_writes:int ->
+  key:int ->
+  reads:int ->
+  unit ->
+  t
+val read_only : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+module Topology = Nr_sim.Topology
+
+let tid_key = Domain.DLS.new_key (fun () -> -1)
+let yield_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let register ~tid = Domain.DLS.set tid_key tid
+
+let current_tid () =
+  let t = Domain.DLS.get tid_key in
+  if t < 0 then
+    invalid_arg "Runtime_domains: thread not registered (call register ~tid)";
+  t
+
+(* On a machine with fewer cores than domains (this container has one), pure
+   spinning would burn a full OS quantum before the holder of a lock runs
+   again; sleeping 1us every few iterations lets the OS scheduler rotate. *)
+let yield () =
+  let c = Domain.DLS.get yield_key in
+  incr c;
+  if !c land 255 = 0 then Unix.sleepf 1e-6 else Domain.cpu_relax ()
+
+let work n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := Sys.opaque_identity (!acc + i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let make topo : Runtime_intf.t =
+  let module R = struct
+    type 'a cell = 'a Atomic.t
+    type region = unit
+
+    let cell ?home v =
+      ignore home;
+      Atomic.make v
+
+    let read = Atomic.get
+    let write = Atomic.set
+    let cas = Atomic.compare_and_set
+    let faa = Atomic.fetch_and_add
+    let read_all cells = Array.map Atomic.get cells
+
+    let region ?home ~lines () =
+      ignore home;
+      ignore lines
+
+    let touch_region () _fp = ()
+    let tid = current_tid
+    let node_of t = Topology.node_of_thread topo t
+    let my_node () = node_of (current_tid ())
+    let num_nodes () = topo.Topology.nodes
+    let threads_per_node () = Topology.threads_per_node topo
+    let max_threads () = Topology.max_threads topo
+    let yield = yield
+    let work = work
+  end in
+  (module R)
+
+let parallel_run ~nthreads body =
+  if nthreads <= 0 then invalid_arg "parallel_run: nthreads must be > 0";
+  let failure = Atomic.make None in
+  let run tid () =
+    register ~tid;
+    try body tid
+    with e ->
+      ignore (Atomic.compare_and_set failure None (Some e))
+  in
+  let domains = Array.init nthreads (fun tid -> Domain.spawn (run tid)) in
+  Array.iter Domain.join domains;
+  match Atomic.get failure with None -> () | Some e -> raise e

@@ -1,0 +1,18 @@
+(** Real-parallelism runtime over OCaml 5 domains.
+
+    Cells are [Atomic.t] values; thread identity is domain-local state set by
+    {!register} (or the {!parallel_run} helper); NUMA placement is virtual —
+    OCaml has no portable affinity API, so node ids only label threads with
+    the topology's fill-node-first policy.  Regions are free: real execution
+    produces real memory traffic. *)
+
+val make : Nr_sim.Topology.t -> Runtime_intf.t
+
+val register : tid:int -> unit
+(** Set the calling domain's thread id.  Must be called before using any
+    identity-dependent runtime operation from that domain. *)
+
+val parallel_run : nthreads:int -> (int -> unit) -> unit
+(** [parallel_run ~nthreads body] spawns [nthreads] domains, registers tids
+    [0..nthreads-1] and runs [body tid] in each, then joins them all.  The
+    first exception raised by any body (if any) is re-raised. *)

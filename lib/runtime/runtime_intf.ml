@@ -1,0 +1,71 @@
+(** The runtime abstraction all concurrency-control code is written against.
+
+    Node Replication, the lock-based and lock-free baselines, and the
+    synchronization primitives are functors over this signature, so the same
+    algorithm source runs both on real OCaml 5 domains
+    ({!Runtime_domains}) and inside the deterministic NUMA simulator
+    ({!Runtime_sim}). *)
+
+module type S = sig
+  (** {2 Shared memory}
+
+      A [cell] is one shared word occupying its own cache line (concurrency
+      metadata is always padded to a line on real NUMA machines; the paper
+      does the same, §5.7). *)
+
+  type 'a cell
+
+  val cell : ?home:int -> 'a -> 'a cell
+  (** Allocate a cell.  [home] is the NUMA node whose memory backs it; it
+      defaults to the calling thread's node (node-local allocation). *)
+
+  val read : 'a cell -> 'a
+  val write : 'a cell -> 'a -> unit
+
+  val cas : 'a cell -> 'a -> 'a -> bool
+  (** Compare-and-set with physical equality — use with immediate values
+      (ints) or uniquely-allocated boxed values. *)
+
+  val faa : int cell -> int -> int
+  (** Fetch-and-add; returns the previous value. *)
+
+  val read_all : 'a cell array -> 'a array
+  (** Read a batch of {e independent} cells.  On hardware, independent
+      misses overlap (memory-level parallelism); the simulator charges the
+      batch in overlapping windows rather than serially.  All values are
+      read at a single linearization point.  Use for scans of unrelated
+      cells: combiner slots, per-reader lock flags. *)
+
+  (** {2 Data-structure payload memory}
+
+      A [region] stands for the payload memory of a structure replica; the
+      simulator charges operation footprints against it, the domains runtime
+      treats it as free (real execution pays real cache misses). *)
+
+  type region
+
+  val region : ?home:int -> lines:int -> unit -> region
+  val touch_region : region -> Footprint.t -> unit
+
+  (** {2 Thread identity and placement} *)
+
+  val tid : unit -> int
+  (** Calling thread's id in [0, max_threads). *)
+
+  val my_node : unit -> int
+  val node_of : int -> int
+  val num_nodes : unit -> int
+  val threads_per_node : unit -> int
+  val max_threads : unit -> int
+
+  (** {2 Time} *)
+
+  val yield : unit -> unit
+  (** One spin-wait iteration.  Every unbounded wait loop must yield. *)
+
+  val work : int -> unit
+  (** Roughly [n] cycles of node-local computation. *)
+end
+
+(** A first-class runtime. *)
+type t = (module S)

@@ -1,0 +1,81 @@
+module Sched = Nr_sim.Sched
+module Mem = Nr_sim.Mem
+module Region = Nr_sim.Region
+module Topology = Nr_sim.Topology
+
+let make sched : Runtime_intf.t =
+  let topo = Sched.topology sched in
+  let stats = Sched.stats sched in
+  let module R = struct
+    type 'a cell = { line : Mem.line; mutable v : 'a }
+    type region = Region.t
+
+    let home_or_local = function
+      | Some h -> Sched.fresh_line sched ~home:h
+      | None -> Sched.fresh_line_local sched
+
+    let cell ?home v = { line = home_or_local home; v }
+
+    (* Accesses from outside a running simulation (setup, teardown, test
+       inspection) are free: there is no thread to charge. *)
+    let touch line kind = if Sched.running () then Sched.touch line kind
+
+    (* The value is read or updated immediately after the effect resumes,
+       with no intervening suspension point, so each access linearizes at
+       its resume. *)
+    let read c =
+      touch c.line Mem.Read;
+      c.v
+
+    let write c v =
+      touch c.line Mem.Write;
+      c.v <- v
+
+    let cas c expected desired =
+      touch c.line Mem.Cas;
+      if c.v == expected then (
+        c.v <- desired;
+        true)
+      else (
+        stats.Nr_sim.Sim_stats.cas_failures <-
+          stats.Nr_sim.Sim_stats.cas_failures + 1;
+        false)
+
+    let faa c n =
+      touch c.line Mem.Cas;
+      let old = c.v in
+      c.v <- old + n;
+      old
+
+    let read_all cells =
+      if Sched.running () then
+        Sched.touch_batch
+          (Array.map (fun c -> (c.line, Mem.Read)) cells);
+      Array.map (fun c -> c.v) cells
+
+    let region ?home ~lines () =
+      let home =
+        match home with
+        | Some h -> h
+        | None -> if Sched.running () then Sched.self_node () else 0
+      in
+      Region.create sched ~home ~lines
+
+    let touch_region r (fp : Footprint.t) =
+      if Sched.running () then
+        Region.touch r ~key:fp.key ~reads:fp.reads ~writes:fp.writes
+          ~hot_write:fp.hot_write ~spine_reads:fp.spine_reads
+          ~spine_writes:fp.spine_writes
+
+    let yield () = if Sched.running () then Sched.yield ()
+    let work n = if Sched.running () then Sched.work n
+
+    (* Setup/teardown code outside the simulation runs as "thread 0". *)
+    let tid () = if Sched.running () then Sched.self_tid () else 0
+    let my_node () = if Sched.running () then Sched.self_node () else 0
+    let node_of t = Topology.node_of_thread topo t
+    let num_nodes () = topo.Topology.nodes
+    let threads_per_node () = Topology.threads_per_node topo
+    let max_threads () = Topology.max_threads topo
+  end in
+  (module R)

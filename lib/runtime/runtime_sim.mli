@@ -1,0 +1,9 @@
+(** Simulator-backed runtime: cells are simulated cache lines, thread
+    identity comes from the scheduler, and regions charge operation
+    footprints against the machine model. *)
+
+val make : Nr_sim.Sched.t -> Runtime_intf.t
+(** Build a runtime bound to one simulation.  The returned module may only
+    be used by threads spawned on that scheduler (except [cell]/[region],
+    which may also run before {!Nr_sim.Sched.run} to build the initial
+    state; they then allocate on node 0 unless [home] is given). *)

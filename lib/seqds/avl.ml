@@ -1,0 +1,165 @@
+(** Sequential AVL tree — a second ordered-dictionary substrate.
+
+    NR's whole point is that the sequential structure is a black box: this
+    balanced tree plugs into the same [Dict_ops] adapter as the skip list
+    (see {!Avl_dict}), giving a concurrent NUMA-aware AVL tree for free —
+    something with no practical lock-free counterpart.
+
+    Purely functional nodes (rebuilt along the insertion path) with an
+    imperative root; deterministic, as NR requires. *)
+
+module Make (K : Ordered.S) = struct
+  type 'v node = {
+    key : K.t;
+    value : 'v;
+    left : 'v node option;
+    right : 'v node option;
+    height : int;
+  }
+
+  type 'v t = { mutable root : 'v node option; mutable len : int }
+
+  let create () = { root = None; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let height = function None -> 0 | Some n -> n.height
+
+  let node key value left right =
+    { key; value; left; right; height = 1 + max (height left) (height right) }
+
+  let balance_factor n = height n.left - height n.right
+
+  let rotate_right n =
+    match n.left with
+    | Some l -> node l.key l.value l.left (Some (node n.key n.value l.right n.right))
+    | None -> n
+
+  let rotate_left n =
+    match n.right with
+    | Some r -> node r.key r.value (Some (node n.key n.value n.left r.left)) r.right
+    | None -> n
+
+  let rebalance n =
+    let bf = balance_factor n in
+    if bf > 1 then
+      let l = Option.get n.left in
+      if balance_factor l >= 0 then rotate_right n
+      else rotate_right (node n.key n.value (Some (rotate_left l)) n.right)
+    else if bf < -1 then
+      let r = Option.get n.right in
+      if balance_factor r <= 0 then rotate_left n
+      else rotate_left (node n.key n.value n.left (Some (rotate_right r)))
+    else n
+
+  let find t key =
+    let rec go = function
+      | None -> None
+      | Some n ->
+          let c = K.compare key n.key in
+          if c = 0 then Some n.value
+          else if c < 0 then go n.left
+          else go n.right
+    in
+    go t.root
+
+  let mem t key = find t key <> None
+
+  exception Already_present
+
+  let insert t key value =
+    let rec go = function
+      | None -> node key value None None
+      | Some n ->
+          let c = K.compare key n.key in
+          if c = 0 then raise Already_present
+          else if c < 0 then rebalance (node n.key n.value (Some (go n.left)) n.right)
+          else rebalance (node n.key n.value n.left (Some (go n.right)))
+    in
+    match go t.root with
+    | root ->
+        t.root <- Some root;
+        t.len <- t.len + 1;
+        true
+    | exception Already_present -> false
+
+  let rec min_node n = match n.left with None -> n | Some l -> min_node l
+
+  exception Absent
+
+  let remove t key =
+    let removed = ref None in
+    let rec go = function
+      | None -> raise Absent
+      | Some n ->
+          let c = K.compare key n.key in
+          if c < 0 then Some (rebalance (node n.key n.value (go n.left) n.right))
+          else if c > 0 then
+            Some (rebalance (node n.key n.value n.left (go n.right)))
+          else begin
+            removed := Some n.value;
+            match (n.left, n.right) with
+            | None, r -> r
+            | l, None -> l
+            | Some _, Some r ->
+                (* replace with the in-order successor *)
+                let succ = min_node r in
+                let rec drop_min = function
+                  | None -> None
+                  | Some m ->
+                      if m.left = None then m.right
+                      else
+                        Some (rebalance (node m.key m.value (drop_min m.left) m.right))
+                in
+                Some (rebalance (node succ.key succ.value n.left (drop_min n.right)))
+          end
+    in
+    match go t.root with
+    | root ->
+        t.root <- root;
+        t.len <- t.len - 1;
+        !removed
+    | exception Absent -> None
+
+  let min t =
+    match t.root with None -> None | Some n -> (
+      let m = min_node n in
+      Some (m.key, m.value))
+
+  let fold f t init =
+    let rec go acc = function
+      | None -> acc
+      | Some n -> go (f (go acc n.left) n.key n.value) n.right
+    in
+    go init t.root
+
+  let iter f t = fold (fun () k v -> f k v) t ()
+  let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) t [])
+
+  (* AVL invariants: BST order, balance factors in [-1,1], exact heights,
+     length agreement. *)
+  let validate t =
+    let ok = ref (Ok ()) in
+    let fail msg = if !ok = Ok () then ok := Error msg in
+    let count = ref 0 in
+    let rec go lo hi = function
+      | None -> 0
+      | Some n ->
+          incr count;
+          (match lo with
+          | Some l when K.compare n.key l <= 0 -> fail "BST order violated (low)"
+          | _ -> ());
+          (match hi with
+          | Some h when K.compare n.key h >= 0 -> fail "BST order violated (high)"
+          | _ -> ());
+          let hl = go lo (Some n.key) n.left in
+          let hr = go (Some n.key) hi n.right in
+          if abs (hl - hr) > 1 then fail "unbalanced node";
+          let h = 1 + max hl hr in
+          if h <> n.height then fail "stale height";
+          h
+    in
+    ignore (go None None t.root);
+    if !count <> t.len then fail "length mismatch";
+    !ok
+end

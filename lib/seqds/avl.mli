@@ -1,0 +1,28 @@
+(** Sequential AVL tree — a second ordered-dictionary substrate proving the
+    black-box property: it plugs into the same adapters as the skip list
+    and becomes a concurrent NUMA-aware balanced tree under NR, a structure
+    with no practical lock-free counterpart. *)
+
+module Make (K : Ordered.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> bool
+  (** Insert if absent; [false] when the key exists. *)
+
+  val remove : 'v t -> K.t -> 'v option
+  val min : 'v t -> (K.t * 'v) option
+  val iter : (K.t -> 'v -> unit) -> 'v t -> unit
+  val fold : ('acc -> K.t -> 'v -> 'acc) -> 'v t -> 'acc -> 'acc
+
+  val to_list : 'v t -> (K.t * 'v) list
+  (** Ascending key order. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** BST order, AVL balance, exact heights, length agreement. *)
+end

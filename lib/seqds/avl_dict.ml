@@ -1,0 +1,45 @@
+(** AVL-tree dictionary as a black-box sequential structure — same
+    [Dict_ops] vocabulary as {!Skiplist_dict}, so the whole harness (NR and
+    all lock-based baselines) runs on it unchanged.  There is no practical
+    lock-free AVL tree, which is precisely the situation NR targets. *)
+
+module Tree = Avl.Make (Ordered.Int)
+
+type t = int Tree.t
+type op = Dict_ops.op
+type result = Dict_ops.result
+
+let create () = Tree.create ()
+
+let execute (t : t) : op -> result = function
+  | Dict_ops.Insert (k, v) -> Dict_ops.Added (Tree.insert t k v)
+  | Dict_ops.Remove k -> Dict_ops.Removed (Tree.remove t k)
+  | Dict_ops.Lookup k -> Dict_ops.Found (Tree.find t k)
+
+let is_read_only = Dict_ops.is_read_only
+
+let footprint (t : t) : op -> Nr_runtime.Footprint.t =
+  (* a balanced tree path is ~1.44 log2 n nodes; several fit a line near
+     the root, and rebalancing rewrites part of the traversed path *)
+  let depth = Fp_util.ilog2 (Tree.length t + 2) in
+  let body = max 1 (depth - 3) in
+  function
+  | Dict_ops.Insert (k, _) ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body
+        ~writes:(max 1 (body / 2))
+        ~spine_reads:3
+        ~spine_writes:(Fp_util.spine_promotion k)
+        ()
+  | Dict_ops.Remove k ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body
+        ~writes:(max 1 (body / 2))
+        ~spine_reads:3
+        ~spine_writes:(Fp_util.spine_promotion k)
+        ()
+  | Dict_ops.Lookup k ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body ~spine_reads:3 ()
+
+let lines (t : t) = max 64 (Tree.length t)
+let pp_op = Dict_ops.pp_op
+let length = Tree.length
+let to_list = Tree.to_list

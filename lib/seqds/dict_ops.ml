@@ -1,0 +1,23 @@
+(** Dictionary operation vocabulary (paper §8.1.3): insert / delete /
+    lookup of random keys. *)
+
+type op = Insert of int * int | Remove of int | Lookup of int
+
+type result =
+  | Added of bool
+  | Removed of int option
+  | Found of int option
+
+let is_read_only = function Lookup _ -> true | Insert _ | Remove _ -> false
+
+let pp_op ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "insert(%d,%d)" k v
+  | Remove k -> Format.fprintf ppf "delete(%d)" k
+  | Lookup k -> Format.fprintf ppf "lookup(%d)" k
+
+let pp_result ppf = function
+  | Added b -> Format.fprintf ppf "added:%b" b
+  | Removed (Some v) -> Format.fprintf ppf "removed:%d" v
+  | Removed None -> Format.pp_print_string ppf "removed:none"
+  | Found (Some v) -> Format.fprintf ppf "found:%d" v
+  | Found None -> Format.pp_print_string ppf "found:none"

@@ -1,0 +1,27 @@
+(** Footprint estimation helpers shared by the adapters. *)
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 (max 1 n)
+
+(* Distinct cache lines a skip-list search misses on: nodes are small (two
+   or three fit a line), the top of the tower stays cache-resident, and
+   only the lower-level hops hit fresh lines — roughly half of log2 n. *)
+let skiplist_path_lines len = max 3 (3 * ilog2 (len + 2) / 4)
+
+(* The topmost levels of the search path run through the structure's shared
+   spine; the rest are key-specific body lines. *)
+let skiplist_spine_reads = 3
+
+let skiplist_body_reads len =
+  max 1 (skiplist_path_lines len - skiplist_spine_reads)
+
+(* Fraction of inserts/removes whose tower is tall enough to relink an
+   upper (spine) level: p = 1/4 per level. *)
+let spine_promotion key =
+  let z = ref ((key * 0x9E3779B9) + 0x1B873593) in
+  z := (!z lxor (!z lsr 30)) * 0x2545F4914F6CDD1D;
+  if (!z lxor (!z lsr 27)) land 3 = 0 then 1 else 0
+
+(* A pairing-heap remove_min pairs O(log n) children amortized. *)
+let pairing_merge_lines len = max 1 (ilog2 (len + 2))

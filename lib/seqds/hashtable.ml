@@ -1,0 +1,105 @@
+(** Sequential chained hash table with doubling resize — the lookup half of
+    the sorted set (Redis keeps a dict next to the zskiplist) and the main
+    keyspace index of the KV store.
+
+    Deliberately deterministic: iteration order depends only on the
+    insertion sequence, never on addresses, so NR replicas stay identical. *)
+
+type ('k, 'v) t = {
+  mutable buckets : ('k * 'v) list array;
+  mutable len : int;
+  hash : 'k -> int;
+}
+
+let create ?(initial_size = 16) ?(hash = Hashtbl.hash) () =
+  let size = max 1 initial_size in
+  { buckets = Array.make size []; len = 0; hash }
+
+let length t = t.len
+let bucket_count t = Array.length t.buckets
+let index t k = t.hash k land max_int mod Array.length t.buckets
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun ((k, _) as kv) ->
+          let i = index t k in
+          t.buckets.(i) <- kv :: t.buckets.(i))
+        (List.rev chain))
+    old
+
+let find t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if k = k' then Some v else go rest
+  in
+  go t.buckets.(index t k)
+
+let mem t k = find t k <> None
+
+let set t k v =
+  let i = index t k in
+  let chain = t.buckets.(i) in
+  if List.exists (fun (k', _) -> k = k') chain then
+    t.buckets.(i) <-
+      List.map (fun ((k', _) as kv) -> if k = k' then (k, v) else kv) chain
+  else begin
+    t.buckets.(i) <- (k, v) :: chain;
+    t.len <- t.len + 1;
+    if t.len > 3 * Array.length t.buckets / 4 then resize t
+  end
+
+let add t k v =
+  if mem t k then false
+  else begin
+    set t k v;
+    true
+  end
+
+let remove t k =
+  let i = index t k in
+  let found = ref None in
+  let chain =
+    List.filter
+      (fun (k', v) ->
+        if !found = None && k = k' then begin
+          found := Some v;
+          false
+        end
+        else true)
+      t.buckets.(i)
+  in
+  (match !found with
+  | Some _ ->
+      t.buckets.(i) <- chain;
+      t.len <- t.len - 1
+  | None -> ());
+  !found
+
+let iter f t =
+  Array.iter (fun chain -> List.iter (fun (k, v) -> f k v) chain) t.buckets
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f !acc k v) t;
+  !acc
+
+let to_list t = fold (fun acc k v -> (k, v) :: acc) t []
+
+let validate t =
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  let count = ref 0 in
+  Array.iteri
+    (fun i chain ->
+      List.iter
+        (fun (k, _) ->
+          incr count;
+          if index t k <> i then fail "key in wrong bucket")
+        chain)
+    t.buckets;
+  if !count <> t.len then fail "length mismatch";
+  !ok

@@ -1,0 +1,33 @@
+(** Sequential chained hash table with doubling resize.
+
+    Deterministic by construction — iteration order depends only on the
+    insertion sequence, never on addresses — so it is safe inside NR
+    replicas.  Keys use structural equality and [Hashtbl.hash] unless a
+    custom hash is supplied. *)
+
+type ('k, 'v) t
+
+val create : ?initial_size:int -> ?hash:('k -> int) -> unit -> ('k, 'v) t
+val length : ('k, 'v) t -> int
+
+val bucket_count : ('k, 'v) t -> int
+(** Current number of buckets (doubles once the load factor passes 3/4). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> bool
+(** Insert only if absent; [true] when added. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+(** Remove and return the previous binding, if any. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('acc -> 'k -> 'v -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list
+
+val validate : ('k, 'v) t -> (unit, string) result
+(** Every key hashes to the bucket holding it; the size is consistent. *)

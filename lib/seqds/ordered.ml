@@ -1,0 +1,33 @@
+(** Ordered key types for the search structures. *)
+
+module type S = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int : S with type t = int = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+(** Lexicographic pairs — used by the sorted set, whose elements are ordered
+    by (score, member). *)
+module Int_pair : S with type t = int * int = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+  let pp ppf (a, b) = Format.fprintf ppf "(%d,%d)" a b
+end
+
+module String : S with type t = string = struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Format.pp_print_string
+end

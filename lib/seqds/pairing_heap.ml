@@ -1,0 +1,80 @@
+(** Sequential pairing heap (Fredman, Sedgewick, Sleator, Tarjan [26]): the
+    paper's second priority-queue substrate.  [insert] and [find_min] are
+    O(1); [remove_min] does the classic two-pass pairing of the root's
+    children, O(log n) amortized. *)
+
+module Make (K : Ordered.S) = struct
+  type 'v node = { key : K.t; value : 'v; mutable children : 'v node list }
+  type 'v t = { mutable root : 'v node option; mutable len : int }
+
+  let create () = { root = None; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let meld a b =
+    if K.compare a.key b.key <= 0 then begin
+      a.children <- b :: a.children;
+      a
+    end
+    else begin
+      b.children <- a :: b.children;
+      b
+    end
+
+  let insert t key value =
+    let node = { key; value; children = [] } in
+    (match t.root with
+    | None -> t.root <- Some node
+    | Some r -> t.root <- Some (meld r node));
+    t.len <- t.len + 1
+
+  let find_min t =
+    match t.root with Some r -> Some (r.key, r.value) | None -> None
+
+  (* Two-pass: meld children pairwise left to right, then meld the pairs
+     right to left. *)
+  let rec merge_pairs = function
+    | [] -> None
+    | [ x ] -> Some x
+    | a :: b :: rest -> (
+        let ab = meld a b in
+        match merge_pairs rest with
+        | None -> Some ab
+        | Some r -> Some (meld ab r))
+
+  let remove_min t =
+    match t.root with
+    | None -> None
+    | Some r ->
+        t.root <- merge_pairs r.children;
+        t.len <- t.len - 1;
+        Some (r.key, r.value)
+
+  let fold f t init =
+    let rec go acc node =
+      let acc = f acc node.key node.value in
+      List.fold_left go acc node.children
+    in
+    match t.root with None -> init | Some r -> go init r
+
+  let to_sorted_list t =
+    let items = fold (fun acc k v -> (k, v) :: acc) t [] in
+    List.sort (fun (a, _) (b, _) -> K.compare a b) items
+
+  (* Heap-order invariant: every child's key >= its parent's. *)
+  let validate t =
+    let ok = ref (Ok ()) in
+    let fail msg = if !ok = Ok () then ok := Error msg in
+    let count = ref 0 in
+    let rec go node =
+      incr count;
+      List.iter
+        (fun child ->
+          if K.compare child.key node.key < 0 then fail "heap order violated";
+          go child)
+        node.children
+    in
+    (match t.root with None -> () | Some r -> go r);
+    if !count <> t.len then fail "length mismatch";
+    !ok
+end

@@ -1,0 +1,22 @@
+(** Sequential pairing heap (Fredman, Sedgewick, Sleator, Tarjan): the
+    paper's second priority-queue substrate.  O(1) insert and find-min;
+    two-pass remove-min, O(log n) amortized.  Duplicate keys allowed. *)
+
+module Make (K : Ordered.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+  val insert : 'v t -> K.t -> 'v -> unit
+  val find_min : 'v t -> (K.t * 'v) option
+  val remove_min : 'v t -> (K.t * 'v) option
+
+  val fold : ('acc -> K.t -> 'v -> 'acc) -> 'v t -> 'acc -> 'acc
+  (** Heap order, not sorted. *)
+
+  val to_sorted_list : 'v t -> (K.t * 'v) list
+
+  val validate : 'v t -> (unit, string) result
+  (** Heap-order and length invariants. *)
+end

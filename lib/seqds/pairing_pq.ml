@@ -1,0 +1,44 @@
+(** Pairing-heap priority queue as a black-box sequential structure (paper
+    §8.1.2).  Unlike the skip-list queue it admits duplicate keys, which
+    matches the original pairing-heap interface; [Inserted true] is always
+    returned. *)
+
+module Ph = Pairing_heap.Make (Ordered.Int)
+
+type t = int Ph.t
+type op = Pq_ops.op
+type result = Pq_ops.result
+
+let create () = Ph.create ()
+
+let execute (t : t) : op -> result = function
+  | Pq_ops.Insert (k, v) ->
+      Ph.insert t k v;
+      Pq_ops.Inserted true
+  | Pq_ops.Delete_min -> Pq_ops.Removed (Ph.remove_min t)
+  | Pq_ops.Find_min -> Pq_ops.Min (Ph.find_min t)
+
+let is_read_only = Pq_ops.is_read_only
+
+let footprint (t : t) : op -> Nr_runtime.Footprint.t =
+  let len = Ph.length t in
+  function
+  | Pq_ops.Insert (k, _) ->
+      (* melding with the root touches the root line: always hot *)
+      Nr_runtime.Footprint.v ~key:k ~reads:1 ~writes:1 ~hot_write:true ()
+  | Pq_ops.Delete_min ->
+      (* two-pass pairing restructures the children list hanging off the
+         root: heavy traffic in the entry area *)
+      let m = Fp_util.pairing_merge_lines len in
+      Nr_runtime.Footprint.v
+        ~key:(match Ph.find_min t with Some (k, _) -> k | None -> 0)
+        ~reads:m ~writes:(max 1 (m / 2)) ~hot_write:true ~spine_reads:2
+        ~spine_writes:2 ()
+  | Pq_ops.Find_min ->
+      Nr_runtime.Footprint.v
+        ~key:(match Ph.find_min t with Some (k, _) -> k | None -> 0)
+        ~reads:1 ()
+
+let lines (t : t) = max 64 (Ph.length t)
+let pp_op = Pq_ops.pp_op
+let length = Ph.length

@@ -1,0 +1,27 @@
+(** The priority-queue operation vocabulary of the paper's benchmark
+    (§8.1): [insert(rnd, v)], [deleteMin()], [findMin()] — shared by the
+    skip-list and pairing-heap adapters so baselines and NR run identical
+    workloads on either substrate. *)
+
+type op = Insert of int * int | Delete_min | Find_min
+
+type result =
+  | Inserted of bool  (** false when the key was already present *)
+  | Removed of (int * int) option
+  | Min of (int * int) option
+
+let is_read_only = function
+  | Find_min -> true
+  | Insert _ | Delete_min -> false
+
+let pp_op ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "insert(%d,%d)" k v
+  | Delete_min -> Format.pp_print_string ppf "deleteMin()"
+  | Find_min -> Format.pp_print_string ppf "findMin()"
+
+let pp_result ppf = function
+  | Inserted b -> Format.fprintf ppf "inserted:%b" b
+  | Removed (Some (k, v)) -> Format.fprintf ppf "removed:(%d,%d)" k v
+  | Removed None -> Format.pp_print_string ppf "removed:empty"
+  | Min (Some (k, v)) -> Format.fprintf ppf "min:(%d,%d)" k v
+  | Min None -> Format.pp_print_string ppf "min:empty"

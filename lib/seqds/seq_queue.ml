@@ -1,0 +1,32 @@
+(** Sequential FIFO queue (two-list, amortized O(1)). *)
+
+type 'v t = { mutable front : 'v list; mutable back : 'v list; mutable len : int }
+
+let create () = { front = []; back = []; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let enqueue t v =
+  t.back <- v :: t.back;
+  t.len <- t.len + 1
+
+let rec dequeue t =
+  match t.front with
+  | v :: rest ->
+      t.front <- rest;
+      t.len <- t.len - 1;
+      Some v
+  | [] ->
+      if t.back = [] then None
+      else begin
+        t.front <- List.rev t.back;
+        t.back <- [];
+        dequeue t
+      end
+
+let peek t =
+  match t.front with
+  | v :: _ -> Some v
+  | [] -> ( match List.rev t.back with v :: _ -> Some v | [] -> None)
+
+let to_list t = t.front @ List.rev t.back

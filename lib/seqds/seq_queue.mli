@@ -1,0 +1,13 @@
+(** Sequential FIFO queue (two-list representation, amortized O(1)). *)
+
+type 'v t
+
+val create : unit -> 'v t
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+val enqueue : 'v t -> 'v -> unit
+val dequeue : 'v t -> 'v option
+val peek : 'v t -> 'v option
+
+val to_list : 'v t -> 'v list
+(** Front first. *)

@@ -1,0 +1,22 @@
+(** Sequential LIFO stack. *)
+
+type 'v t = { mutable items : 'v list; mutable len : int }
+
+let create () = { items = []; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t v =
+  t.items <- v :: t.items;
+  t.len <- t.len + 1
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | v :: rest ->
+      t.items <- rest;
+      t.len <- t.len - 1;
+      Some v
+
+let peek t = match t.items with [] -> None | v :: _ -> Some v
+let to_list t = t.items

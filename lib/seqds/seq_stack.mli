@@ -1,0 +1,13 @@
+(** Sequential LIFO stack. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+val push : 'v t -> 'v -> unit
+val pop : 'v t -> 'v option
+val peek : 'v t -> 'v option
+
+val to_list : 'v t -> 'v list
+(** Top first. *)

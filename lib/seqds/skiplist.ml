@@ -1,0 +1,273 @@
+(** Sequential skip list (Pugh [54]) with rank support via per-link spans
+    (as in Redis's zskiplist), so it serves as the paper's dictionary, as a
+    priority queue, and as the ordered half of the sorted set.
+
+    Levels are drawn from a per-structure seeded PRNG: NR requires replicas
+    fed the same operations to end in identical states, so all randomness
+    is deterministic (paper §4). *)
+
+module Make (K : Ordered.S) = struct
+  let max_level = 32
+
+  type 'v links = { fwd : 'v node option array; span : int array }
+  and 'v node = { key : K.t; mutable value : 'v; links : 'v links }
+
+  type 'v t = {
+    head : 'v links;
+    mutable level : int;
+    mutable len : int;
+    rng : Nr_workload.Prng.t;
+  }
+
+  let create ?(seed = 0x5EED) () =
+    {
+      head = { fwd = Array.make max_level None; span = Array.make max_level 0 };
+      level = 1;
+      len = 0;
+      rng = Nr_workload.Prng.create ~seed;
+    }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  (* Geometric with p = 1/4, like Redis. *)
+  let random_level t =
+    let lvl = ref 1 in
+    while !lvl < max_level && Nr_workload.Prng.below t.rng 4 = 0 do
+      incr lvl
+    done;
+    !lvl
+
+  (* Walk down from the top level; [update.(i)] is the last links record at
+     level [i] whose key is < [key], and [rank.(i)] the number of bottom
+     links traversed to reach it. *)
+  let find_path t key update rank =
+    let x = ref t.head in
+    let r = ref 0 in
+    for i = t.level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        match !x.fwd.(i) with
+        | Some n when K.compare n.key key < 0 ->
+            r := !r + !x.span.(i);
+            x := n.links
+        | Some _ | None -> continue := false
+      done;
+      rank.(i) <- !r;
+      update.(i) <- !x
+    done
+
+  let find t key =
+    let x = ref t.head in
+    for i = t.level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        match !x.fwd.(i) with
+        | Some n when K.compare n.key key < 0 -> x := n.links
+        | Some _ | None -> continue := false
+      done
+    done;
+    match !x.fwd.(0) with
+    | Some n when K.compare n.key key = 0 -> Some n.value
+    | Some _ | None -> None
+
+  let mem t key = find t key <> None
+
+  let insert t key value =
+    let update = Array.make max_level t.head in
+    let rank = Array.make max_level 0 in
+    find_path t key update rank;
+    match update.(0).fwd.(0) with
+    | Some n when K.compare n.key key = 0 -> false
+    | Some _ | None ->
+        let lvl = random_level t in
+        if lvl > t.level then begin
+          for i = t.level to lvl - 1 do
+            rank.(i) <- 0;
+            update.(i) <- t.head;
+            t.head.span.(i) <- t.len
+          done;
+          t.level <- lvl
+        end;
+        let node =
+          {
+            key;
+            value;
+            links = { fwd = Array.make lvl None; span = Array.make lvl 0 };
+          }
+        in
+        for i = 0 to lvl - 1 do
+          node.links.fwd.(i) <- update.(i).fwd.(i);
+          update.(i).fwd.(i) <- Some node;
+          node.links.span.(i) <- update.(i).span.(i) - (rank.(0) - rank.(i));
+          update.(i).span.(i) <- rank.(0) - rank.(i) + 1
+        done;
+        for i = lvl to t.level - 1 do
+          update.(i).span.(i) <- update.(i).span.(i) + 1
+        done;
+        t.len <- t.len + 1;
+        true
+
+  let set t key value =
+    let x = ref t.head in
+    for i = t.level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        match !x.fwd.(i) with
+        | Some n when K.compare n.key key < 0 -> x := n.links
+        | Some _ | None -> continue := false
+      done
+    done;
+    match !x.fwd.(0) with
+    | Some n when K.compare n.key key = 0 -> n.value <- value
+    | Some _ | None -> ignore (insert t key value)
+
+  (* Unlink [node], whose predecessor links are in [update]. *)
+  let unlink t node update =
+    for i = 0 to t.level - 1 do
+      (match update.(i).fwd.(i) with
+      | Some m when m == node ->
+          update.(i).span.(i) <- update.(i).span.(i) + node.links.span.(i) - 1;
+          update.(i).fwd.(i) <- node.links.fwd.(i)
+      | Some _ | None -> update.(i).span.(i) <- update.(i).span.(i) - 1);
+      ()
+    done;
+    while t.level > 1 && t.head.fwd.(t.level - 1) = None do
+      t.level <- t.level - 1
+    done;
+    t.len <- t.len - 1
+
+  let remove t key =
+    let update = Array.make max_level t.head in
+    let rank = Array.make max_level 0 in
+    find_path t key update rank;
+    match update.(0).fwd.(0) with
+    | Some n when K.compare n.key key = 0 ->
+        unlink t n update;
+        Some n.value
+    | Some _ | None -> None
+
+  let min t =
+    match t.head.fwd.(0) with Some n -> Some (n.key, n.value) | None -> None
+
+  let remove_min t =
+    match t.head.fwd.(0) with
+    | None -> None
+    | Some first ->
+        for i = 0 to t.level - 1 do
+          match t.head.fwd.(i) with
+          | Some m when m == first ->
+              t.head.span.(i) <- t.head.span.(i) + first.links.span.(i) - 1;
+              t.head.fwd.(i) <- first.links.fwd.(i)
+          | Some _ | None -> t.head.span.(i) <- t.head.span.(i) - 1
+        done;
+        while t.level > 1 && t.head.fwd.(t.level - 1) = None do
+          t.level <- t.level - 1
+        done;
+        t.len <- t.len - 1;
+        Some (first.key, first.value)
+
+  (* 0-based rank: the number of keys strictly smaller than [key]. *)
+  let rank t key =
+    let update = Array.make max_level t.head in
+    let rk = Array.make max_level 0 in
+    find_path t key update rk;
+    match update.(0).fwd.(0) with
+    | Some n when K.compare n.key key = 0 -> Some rk.(0)
+    | Some _ | None -> None
+
+  (* 0-based selection. *)
+  let nth t i =
+    if i < 0 || i >= t.len then None
+    else begin
+      let target = i + 1 in
+      let x = ref t.head in
+      let traversed = ref 0 in
+      let found = ref None in
+      for lvl = t.level - 1 downto 0 do
+        let continue = ref true in
+        while !continue && !found = None do
+          match !x.fwd.(lvl) with
+          | Some n when !traversed + !x.span.(lvl) <= target ->
+              traversed := !traversed + !x.span.(lvl);
+              if !traversed = target then found := Some (n.key, n.value)
+              else x := n.links
+          | Some _ | None -> continue := false
+        done
+      done;
+      !found
+    end
+
+  let iter f t =
+    let x = ref t.head.fwd.(0) in
+    let continue = ref true in
+    while !continue do
+      match !x with
+      | Some n ->
+          f n.key n.value;
+          x := n.links.fwd.(0)
+      | None -> continue := false
+    done
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun k v -> acc := f !acc k v) t;
+    !acc
+
+  let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) t [])
+
+  (* Structural invariant check for property tests: sorted strictly
+     ascending, length agreement, and every span equal to the bottom-level
+     distance it claims to skip. *)
+  let validate t =
+    let ok = ref (Ok ()) in
+    let fail msg = if !ok = Ok () then ok := Error msg in
+    let count = ref 0 in
+    let prev = ref None in
+    iter
+      (fun k _ ->
+        (match !prev with
+        | Some p when K.compare p k >= 0 -> fail "keys not strictly ascending"
+        | Some _ | None -> ());
+        prev := Some k;
+        incr count)
+      t;
+    if !count <> t.len then fail "length mismatch";
+    (* a link of span [s] must land, after [s] bottom-level steps from its
+       source, exactly on its target node *)
+    let rec advance x k =
+      if k = 0 then x
+      else
+        match x with
+        | Some node -> advance node.links.fwd.(0) (k - 1)
+        | None -> None
+    in
+    let check_links links =
+      Array.iteri
+        (fun lvl next ->
+          match next with
+          | Some target -> (
+              let s = links.span.(lvl) in
+              if s < 1 then fail "non-positive span on a live link"
+              else
+                match advance links.fwd.(0) (s - 1) with
+                | Some landed when landed == target -> ()
+                | Some _ | None -> fail "span mismatch")
+          | None -> ())
+        links.fwd
+    in
+    check_links t.head;
+    let x = ref t.head.fwd.(0) in
+    let continue = ref true in
+    while !continue do
+      match !x with
+      | Some n ->
+          check_links n.links;
+          x := n.links.fwd.(0)
+      | None -> continue := false
+    done;
+    for i = t.level to max_level - 1 do
+      if t.head.fwd.(i) <> None then fail "links above current level"
+    done;
+    !ok
+end

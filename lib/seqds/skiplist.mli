@@ -1,0 +1,50 @@
+(** Sequential skip list (Pugh) with rank support via per-link spans, as in
+    Redis's zskiplist.  Serves as the paper's dictionary and priority-queue
+    substrate and as the ordered half of the sorted set.
+
+    Deterministic: levels come from a per-structure seeded PRNG, so NR
+    replicas fed the same operations are structurally identical (§4). *)
+
+module Make (K : Ordered.S) : sig
+  type 'v t
+
+  val create : ?seed:int -> unit -> 'v t
+  (** An empty list; [seed] drives level generation. *)
+
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> bool
+  (** Insert if absent; [false] (and no change) when the key exists. *)
+
+  val set : 'v t -> K.t -> 'v -> unit
+  (** Insert or overwrite. *)
+
+  val remove : 'v t -> K.t -> 'v option
+  (** Remove and return the binding, if present. *)
+
+  val min : 'v t -> (K.t * 'v) option
+  (** Smallest key, O(1). *)
+
+  val remove_min : 'v t -> (K.t * 'v) option
+  (** Remove and return the smallest binding (priority-queue deleteMin). *)
+
+  val rank : 'v t -> K.t -> int option
+  (** 0-based rank: the number of strictly smaller keys; O(log n). *)
+
+  val nth : 'v t -> int -> (K.t * 'v) option
+  (** 0-based selection, the inverse of {!rank}; O(log n). *)
+
+  val iter : (K.t -> 'v -> unit) -> 'v t -> unit
+  val fold : ('acc -> K.t -> 'v -> 'acc) -> 'v t -> 'acc -> 'acc
+
+  val to_list : 'v t -> (K.t * 'v) list
+  (** Ascending key order. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Check sortedness, length agreement and that every span equals the
+      bottom-level distance it claims to skip. *)
+end

@@ -1,0 +1,35 @@
+(** Skip-list dictionary as a black-box sequential structure (paper
+    §8.1.3). *)
+
+module Sl = Skiplist.Make (Ordered.Int)
+
+type t = int Sl.t
+type op = Dict_ops.op
+type result = Dict_ops.result
+
+let create () = Sl.create ~seed:0xD1C7 ()
+
+let execute (t : t) : op -> result = function
+  | Dict_ops.Insert (k, v) -> Dict_ops.Added (Sl.insert t k v)
+  | Dict_ops.Remove k -> Dict_ops.Removed (Sl.remove t k)
+  | Dict_ops.Lookup k -> Dict_ops.Found (Sl.find t k)
+
+let is_read_only = Dict_ops.is_read_only
+
+let footprint (t : t) : op -> Nr_runtime.Footprint.t =
+  let body = Fp_util.skiplist_body_reads (Sl.length t) in
+  let spine = Fp_util.skiplist_spine_reads in
+  function
+  | Dict_ops.Insert (k, _) ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body ~writes:2 ~spine_reads:spine
+        ~spine_writes:(Fp_util.spine_promotion k) ()
+  | Dict_ops.Remove k ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body ~writes:2 ~spine_reads:spine
+        ~spine_writes:(Fp_util.spine_promotion k) ()
+  | Dict_ops.Lookup k ->
+      Nr_runtime.Footprint.v ~key:k ~reads:body ~spine_reads:spine ()
+
+let lines (t : t) = max 64 (Sl.length t)
+let pp_op = Dict_ops.pp_op
+let length = Sl.length
+let to_list = Sl.to_list

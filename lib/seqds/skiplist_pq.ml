@@ -1,0 +1,43 @@
+(** Skip-list priority queue as a black-box sequential structure (paper
+    §8.1.1).  Set semantics: inserting an existing key is a no-op returning
+    [Inserted false], as in the lock-free skip-list queues it is compared
+    against. *)
+
+module Sl = Skiplist.Make (Ordered.Int)
+
+type t = int Sl.t
+type op = Pq_ops.op
+type result = Pq_ops.result
+
+let create () = Sl.create ~seed:0x51C1 ()
+
+let execute (t : t) : op -> result = function
+  | Pq_ops.Insert (k, v) -> Pq_ops.Inserted (Sl.insert t k v)
+  | Pq_ops.Delete_min -> Pq_ops.Removed (Sl.remove_min t)
+  | Pq_ops.Find_min -> Pq_ops.Min (Sl.min t)
+
+let is_read_only = Pq_ops.is_read_only
+
+let footprint (t : t) : op -> Nr_runtime.Footprint.t =
+  let len = Sl.length t in
+  function
+  | Pq_ops.Insert (k, _) ->
+      Nr_runtime.Footprint.v ~key:k
+        ~reads:(Fp_util.skiplist_body_reads len)
+        ~writes:2
+        ~spine_reads:Fp_util.skiplist_spine_reads
+        ~spine_writes:(Fp_util.spine_promotion k) ()
+  | Pq_ops.Delete_min ->
+      (* unlinking the minimum rewrites the head-area links that every
+         search passes through: the defining contention of a PQ *)
+      let key = match Sl.min t with Some (k, _) -> k | None -> 0 in
+      Nr_runtime.Footprint.v ~key ~reads:2 ~writes:2 ~hot_write:true
+        ~spine_reads:1 ~spine_writes:1 ()
+  | Pq_ops.Find_min ->
+      let key = match Sl.min t with Some (k, _) -> k | None -> 0 in
+      Nr_runtime.Footprint.v ~key ~reads:1 ()
+
+let lines (t : t) = max 64 (Sl.length t)
+let pp_op = Pq_ops.pp_op
+let length = Sl.length
+let to_list = Sl.to_list

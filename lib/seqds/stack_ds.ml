@@ -1,0 +1,27 @@
+(** LIFO stack as a black-box sequential structure (paper §8.1.4).  Every
+    operation writes the top-of-stack line — maximal operation contention,
+    which is why the paper uses it as a stress case. *)
+
+type t = int Seq_stack.t
+type op = Stack_ops.op
+type result = Stack_ops.result
+
+let create () = Seq_stack.create ()
+
+let execute (t : t) : op -> result = function
+  | Stack_ops.Push v ->
+      Seq_stack.push t v;
+      Stack_ops.Pushed
+  | Stack_ops.Pop -> Stack_ops.Popped (Seq_stack.pop t)
+
+let is_read_only = Stack_ops.is_read_only
+
+let footprint (t : t) (_ : op) =
+  (* pushes and pops hit the lines just around the top of the stack *)
+  Nr_runtime.Footprint.v
+    ~key:(Seq_stack.length t / 8)
+    ~reads:1 ~writes:1 ~hot_write:true ()
+
+let lines (t : t) = max 64 (Seq_stack.length t)
+let pp_op = Stack_ops.pp_op
+let length = Seq_stack.length

@@ -1,0 +1,15 @@
+(** Stack operation vocabulary (paper §8.1.4): push / pop, all updates. *)
+
+type op = Push of int | Pop
+type result = Pushed | Popped of int option
+
+let is_read_only (_ : op) = false
+
+let pp_op ppf = function
+  | Push v -> Format.fprintf ppf "push(%d)" v
+  | Pop -> Format.pp_print_string ppf "pop()"
+
+let pp_result ppf = function
+  | Pushed -> Format.pp_print_string ppf "pushed"
+  | Popped (Some v) -> Format.fprintf ppf "popped:%d" v
+  | Popped None -> Format.pp_print_string ppf "popped:empty"

@@ -1,0 +1,69 @@
+(** The paper's synthetic data structure (§8.2): a buffer of [n] one-line
+    entries where every operation touches [c] entries, one of which —
+    entry 0 — is touched by {e every} operation (modeling the tail pointer
+    of a stack, the root of a tree, the head of a skip list...).  Reads sum
+    the entries; updates read-modify-write them, so reads genuinely return
+    values that updates affect.
+
+    Parameters arrive through the functor so the adapter fits the
+    [Ds_intf.S] shape ([create : unit -> t]). *)
+
+module type PARAMS = sig
+  val n : int
+  (** number of entries *)
+
+  val c : int
+  (** entries accessed per operation *)
+end
+
+module Make (P : PARAMS) = struct
+  type t = { entries : int array }
+  type op = Update of int | Read of int
+  type result = int
+
+  let () =
+    if P.n <= 0 then invalid_arg "Synthetic: n must be > 0";
+    if P.c <= 0 then invalid_arg "Synthetic: c must be > 0"
+
+  let create () = { entries = Array.make P.n 0 }
+
+  (* entry indices derived deterministically from the operation key; index
+     0 (the contended entry) always participates *)
+  let entry key i =
+    if i = 0 then 0
+    else begin
+      let z = ref ((key * 0x9E3779B9) + (i * 0x85EBCA6B)) in
+      z := (!z lxor (!z lsr 30)) * 0x2545F4914F6CDD1D;
+      (!z lxor (!z lsr 27)) land max_int mod P.n
+    end
+
+  let execute t = function
+    | Read key ->
+        let acc = ref 0 in
+        for i = 0 to P.c - 1 do
+          acc := !acc + t.entries.(entry key i)
+        done;
+        !acc
+    | Update key ->
+        let acc = ref 0 in
+        for i = 0 to P.c - 1 do
+          let e = entry key i in
+          let v = t.entries.(e) in
+          acc := !acc + v;
+          t.entries.(e) <- v + 1
+        done;
+        !acc
+
+  let is_read_only = function Read _ -> true | Update _ -> false
+
+  let footprint _t = function
+    | Read key -> Nr_runtime.Footprint.v ~key ~reads:(P.c - 1 + 1) ()
+    | Update key ->
+        Nr_runtime.Footprint.v ~key ~reads:(P.c - 1) ~writes:(P.c - 1)
+          ~hot_write:true ()
+
+  let lines _t = P.n
+  let pp_op ppf = function
+    | Read k -> Format.fprintf ppf "read(%d)" k
+    | Update k -> Format.fprintf ppf "update(%d)" k
+end

@@ -1,0 +1,46 @@
+type t = {
+  l1_hit : int;
+  l3_hit : int;
+  remote_clean : int;
+  remote_dirty : int;
+  mem_local : int;
+  mem_remote : int;
+  upgrade : int;
+  cas_extra : int;
+  yield : int;
+  probe : int;
+}
+
+let default =
+  {
+    l1_hit = 4;
+    l3_hit = 30;
+    remote_clean = 200;
+    remote_dirty = 320;
+    mem_local = 120;
+    mem_remote = 280;
+    upgrade = 110;
+    cas_extra = 12;
+    yield = 25;
+    probe = 120;
+  }
+
+let scaled f =
+  let s x = max 1 (int_of_float (float_of_int x *. f)) in
+  {
+    l1_hit = s default.l1_hit;
+    l3_hit = s default.l3_hit;
+    remote_clean = s default.remote_clean;
+    remote_dirty = s default.remote_dirty;
+    mem_local = s default.mem_local;
+    mem_remote = s default.mem_remote;
+    upgrade = s default.upgrade;
+    cas_extra = s default.cas_extra;
+    yield = default.yield;
+    probe = s default.probe;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "l1=%d l3=%d remote_clean=%d remote_dirty=%d mem_local=%d mem_remote=%d"
+    c.l1_hit c.l3_hit c.remote_clean c.remote_dirty c.mem_local c.mem_remote

@@ -1,0 +1,31 @@
+(** Latency model for the NUMA simulator.
+
+    All costs are in CPU cycles.  The defaults approximate the published
+    load-to-use latencies of a 4-socket Intel Xeon: an L1 hit is a few cycles,
+    a shared-LLC hit within the node a few tens, and any transfer that crosses
+    the socket interconnect a few hundreds, with dirty (modified-elsewhere)
+    transfers costlier than clean ones. *)
+
+type t = {
+  l1_hit : int;  (** line present and last touched by this very core *)
+  l3_hit : int;  (** line cached somewhere within this node *)
+  remote_clean : int;  (** clean copy must come from another node *)
+  remote_dirty : int;  (** modified copy must come from another node *)
+  mem_local : int;  (** uncached, home memory on this node *)
+  mem_remote : int;  (** uncached, home memory on a remote node *)
+  upgrade : int;
+      (** invalidating remote Shared copies to gain write ownership — an
+          RFO upgrade is cheaper than a full remote data transfer *)
+  cas_extra : int;  (** extra cycles for an atomic read-modify-write *)
+  yield : int;  (** cost of one spin-wait iteration (pause + branch) *)
+  probe : int;
+      (** broadcast-probe penalty added to node-local cache-to-cache hits when
+          the topology has an incomplete directory (paper §8.4) *)
+}
+
+val default : t
+
+val scaled : float -> t
+(** [scaled f] multiplies every latency (except [yield]) by [f]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type 'a event = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let heap = Array.make cap t.heap.(0) in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let add t ~time payload =
+  let ev = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then
+    if t.size = 0 then t.heap <- Array.make 16 ev else grow t;
+  (* sift up *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- ev;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before ev t.heap.(parent) then (
+      t.heap.(!i) <- t.heap.(parent);
+      t.heap.(parent) <- ev;
+      i := parent)
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then invalid_arg "Eventq.pop: empty";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then (
+    let last = t.heap.(t.size) in
+    t.heap.(0) <- last;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then (
+        let tmp = t.heap.(!i) in
+        t.heap.(!i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        i := !smallest)
+      else continue := false
+    done);
+  (top.time, top.payload)
+
+let min_time t = if t.size = 0 then None else Some t.heap.(0).time

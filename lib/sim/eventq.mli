@@ -1,0 +1,16 @@
+(** A deterministic event queue for the simulator: a binary min-heap ordered
+    by (time, insertion sequence), so simultaneous events run in the order
+    they were scheduled and a run is reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val add : 'a t -> time:int -> 'a -> unit
+
+val pop : 'a t -> int * 'a
+(** Removes and returns the earliest event as [(time, payload)].
+    Raises [Invalid_argument] if the queue is empty. *)
+
+val min_time : 'a t -> int option

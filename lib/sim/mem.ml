@@ -1,0 +1,127 @@
+type kind = Read | Write | Cas
+
+type line = {
+  home : int;
+  mutable owner : int;
+  mutable sharers : int;
+  mutable last_core : int;
+  mutable busy_until : int;
+      (** completion time of the last ownership transfer of this line: the
+          coherence protocol serializes transfers, which is what makes a
+          contended line a throughput bottleneck on real machines *)
+}
+
+let line ~home =
+  { home; owner = -1; sharers = 0; last_core = -1; busy_until = 0 }
+
+(* The probe penalty models an incomplete cache directory (paper §8.4): on
+   AMD Magny-Cours, node-local cache-to-cache transfers still broadcast
+   snoop probes across the interconnect, so even intra-node sharing pays a
+   cross-node latency. *)
+let probe_penalty topo (c : Costs.t) =
+  if topo.Topology.incomplete_directory then c.probe else 0
+
+(* Returns (cost, is_local_hit). *)
+let read_cost topo (c : Costs.t) (st : Sim_stats.t) ~node ~core l =
+  let my_bit = 1 lsl node in
+  if l.owner = node || l.sharers land my_bit <> 0 then
+    if l.last_core = core then (
+      st.l1_hits <- st.l1_hits + 1;
+      (c.l1_hit, true))
+    else (
+      st.l3_hits <- st.l3_hits + 1;
+      (c.l3_hit + probe_penalty topo c, true))
+  else if l.owner >= 0 then (
+    (* dirty in a remote cache: transfer and downgrade to shared *)
+    st.remote_dirty <- st.remote_dirty + 1;
+    l.sharers <- l.sharers lor (1 lsl l.owner);
+    l.owner <- -1;
+    (c.remote_dirty, false))
+  else if l.sharers <> 0 then (
+    st.remote_clean <- st.remote_clean + 1;
+    (c.remote_clean, false))
+  else if l.home = node then (
+    st.mem_local <- st.mem_local + 1;
+    (c.mem_local, false))
+  else (
+    st.mem_remote <- st.mem_remote + 1;
+    (c.mem_remote, false))
+
+let write_cost topo (c : Costs.t) (st : Sim_stats.t) ~node ~core l =
+  let my_bit = 1 lsl node in
+  let others_shared = l.sharers land lnot my_bit <> 0 in
+  if l.owner = node && not others_shared then
+    if l.last_core = core then (
+      st.l1_hits <- st.l1_hits + 1;
+      c.l1_hit)
+    else (
+      st.l3_hits <- st.l3_hits + 1;
+      c.l3_hit + probe_penalty topo c)
+  else if l.owner >= 0 && l.owner <> node then (
+    st.remote_dirty <- st.remote_dirty + 1;
+    c.remote_dirty)
+  else if others_shared then (
+    (* invalidate remote shared copies: an upgrade, no data transfer *)
+    st.remote_clean <- st.remote_clean + 1;
+    c.upgrade)
+  else if l.sharers land my_bit <> 0 || l.owner = node then (
+    (* shared only locally: upgrade *)
+    st.l3_hits <- st.l3_hits + 1;
+    c.l3_hit + probe_penalty topo c)
+  else if l.home = node then (
+    st.mem_local <- st.mem_local + 1;
+    c.mem_local)
+  else (
+    st.mem_remote <- st.mem_remote + 1;
+    c.mem_remote)
+
+(* Issue cost of a store that misses: the store buffer hides the transfer
+   latency from the writing thread. *)
+let store_issue = 20
+
+(* [access ... ~now] returns the time at which the issuing thread may
+   proceed.
+
+   - Reads stall the thread for the load-to-use latency; misses additionally
+     queue behind the line's previous ownership transfer (the coherence
+     protocol serializes transfers, which is what makes a contended line a
+     throughput bottleneck).
+   - Writes retire through the store buffer: the thread only pays a small
+     issue cost, while the ownership transfer completes in the background —
+     its latency is felt by the {e next} thread that touches the line.
+   - Atomic read-modify-writes (CAS and friends) are full fences: they stall
+     for the whole serialized transfer. *)
+let access topo costs stats ~node ~core ~now l kind =
+  let finish =
+    match kind with
+    | Read ->
+        let cost, local = read_cost topo costs stats ~node ~core l in
+        l.sharers <- l.sharers lor (1 lsl node);
+        if local then now + cost
+        else begin
+          let start = max now l.busy_until in
+          let fin = start + cost in
+          l.busy_until <- fin;
+          fin
+        end
+    | Write ->
+        let cost = write_cost topo costs stats ~node ~core l in
+        l.owner <- node;
+        l.sharers <- 1 lsl node;
+        l.busy_until <- max now l.busy_until + cost;
+        now + min cost store_issue
+    | Cas ->
+        stats.cas_ops <- stats.cas_ops + 1;
+        let cost =
+          write_cost topo costs stats ~node ~core l + costs.cas_extra
+        in
+        l.owner <- node;
+        l.sharers <- 1 lsl node;
+        let start = max now l.busy_until in
+        let fin = start + cost in
+        l.busy_until <- fin;
+        fin
+  in
+  l.last_core <- core;
+  stats.cycles_memory <- stats.cycles_memory + (finish - now);
+  finish

@@ -1,0 +1,38 @@
+(** Cache-line state for the NUMA simulator.
+
+    Each simulated cache line carries a MESI-like summary at node granularity:
+    at most one node may hold the line Modified ([owner]), any set of nodes may
+    hold it Shared ([sharers] bitmask), and [last_core] approximates L1
+    residency.  [access] computes the latency of a read, write or atomic
+    update by a given (node, core) and applies the coherence transition. *)
+
+type kind = Read | Write | Cas
+
+type line = {
+  home : int;  (** node whose memory backs this line *)
+  mutable owner : int;  (** node holding the line Modified, or -1 *)
+  mutable sharers : int;  (** bitmask of nodes holding a Shared copy *)
+  mutable last_core : int;  (** global core that last touched the line *)
+  mutable busy_until : int;
+      (** completion time of the line's last ownership transfer; transfers
+          serialize, so a contended line is a genuine bottleneck *)
+}
+
+val line : home:int -> line
+(** A fresh line, present in no cache. *)
+
+val access :
+  Topology.t ->
+  Costs.t ->
+  Sim_stats.t ->
+  node:int ->
+  core:int ->
+  now:int ->
+  line ->
+  kind ->
+  int
+(** [access topo costs stats ~node ~core ~now line kind] returns the
+    completion time of an access issued at [now], updating the line's
+    coherence state, its transfer queue and the statistics counters.
+    Cache-hit reads complete at [now + hit_cost]; ownership transfers and
+    atomic operations additionally wait for the line's previous transfer. *)

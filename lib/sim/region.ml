@@ -1,0 +1,65 @@
+type t = {
+  lines : Mem.line array;
+  hot : Mem.line;
+  spine : Mem.line array;
+      (** the structure's entry area — upper index levels, root children —
+          read by every operation and occasionally written by updates *)
+  evict_below : int;
+      (** lines whose selection hash falls below this threshold behave as
+          capacity misses: the structure exceeds the node's LLC, so a
+          proportional fraction of its working set is never cache-resident
+          (paper §8.2.3: throughput drops ~50% once outside L3) *)
+}
+
+let spine_size = 12
+
+let create sched ~home ~lines =
+  if lines <= 0 then invalid_arg "Region.create: lines must be > 0";
+  let capacity = Topology.l3_lines (Sched.topology sched) in
+  {
+    lines = Array.init lines (fun _ -> Sched.fresh_line sched ~home);
+    hot = Sched.fresh_line sched ~home;
+    spine = Array.init spine_size (fun _ -> Sched.fresh_line sched ~home);
+    evict_below = max 0 (lines - capacity);
+  }
+
+let line_count t = Array.length t.lines
+
+(* splitmix-style finalizer (63-bit constants): decorrelates (key, step). *)
+let mix key step =
+  let z = ref ((key * 0x9E3779B9) + (step * 0x85EBCA6B) + 0x7F4A7C15) in
+  z := (!z lxor (!z lsr 30)) * 0x2545F4914F6CDD1D;
+  z := !z lxor (!z lsr 27);
+  !z land max_int
+
+let touch_body t idx kind =
+  let line = t.lines.(idx) in
+  if idx < t.evict_below then begin
+    (* capacity miss: the line was evicted since it was last used *)
+    line.Mem.owner <- -1;
+    line.Mem.sharers <- 0;
+    line.Mem.last_core <- -1
+  end;
+  Sched.touch line kind
+
+let touch t ~key ~reads ~writes ~hot_write ~spine_reads ~spine_writes =
+  let n = Array.length t.lines in
+  let s = Array.length t.spine in
+  Sched.touch t.hot (if hot_write then Mem.Write else Mem.Read);
+  (* descend through the entry area first, like any real traversal *)
+  for i = 0 to spine_reads - 1 do
+    Sched.touch t.spine.(i mod s) Mem.Read
+  done;
+  for i = 0 to reads - 1 do
+    touch_body t (mix key i mod n) Mem.Read
+  done;
+  (* written lines are a prefix of the lines the operation read, as a real
+     update writes nodes it just traversed *)
+  for i = 0 to writes - 1 do
+    touch_body t (mix key i mod n) Mem.Write
+  done;
+  (* spine writes pick key-dependent entry lines, so different updates
+     invalidate different parts of the entry area *)
+  for i = 0 to spine_writes - 1 do
+    Sched.touch t.spine.(mix key (1000 + i) mod s) Mem.Write
+  done

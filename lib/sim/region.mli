@@ -1,0 +1,34 @@
+(** A region of simulated cache lines standing in for a data structure's
+    payload memory.
+
+    The simulator executes real sequential data structures for semantics, but
+    their memory traffic must still be charged against the machine model.  A
+    region owns [lines] simulated cache lines (all homed at one node) plus one
+    designated {e hot} line standing for the structure's entry point (skip
+    list head, tree root, stack top...).  {!touch} charges one operation's
+    footprint: the hot line plus a key-determined set of body lines, so
+    operations on the same key hit the same lines — which is what makes
+    skewed (zipf) workloads contend in the model exactly as they do on real
+    hardware. *)
+
+type t
+
+val create : Sched.t -> home:int -> lines:int -> t
+(** [create sched ~home ~lines] allocates a region of [lines] cache lines
+    homed at node [home]. *)
+
+val touch :
+  t ->
+  key:int ->
+  reads:int ->
+  writes:int ->
+  hot_write:bool ->
+  spine_reads:int ->
+  spine_writes:int ->
+  unit
+(** Charge one operation: a hot-line access (write when [hot_write]),
+    [spine_reads]/[spine_writes] on the structure's shared entry area, and
+    [reads]/[writes] body-line accesses derived deterministically from
+    [key].  Must run inside a simulated thread. *)
+
+val line_count : t -> int

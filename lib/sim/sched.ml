@@ -1,0 +1,158 @@
+open Effect
+open Effect.Deep
+
+type thread = { tid : int; node : int; core : int; mutable time : int }
+
+type t = {
+  topo : Topology.t;
+  costs : Costs.t;
+  stats : Sim_stats.t;
+  q : (unit -> unit) Eventq.t;
+  mutable pending : (thread * (unit -> unit)) list;
+  mutable active : bool;
+}
+
+type _ Effect.t +=
+  | Touch : Mem.line * Mem.kind -> unit Effect.t
+  | Touch_batch : (Mem.line * Mem.kind) array -> unit Effect.t
+  | Work : int -> unit Effect.t
+  | Yield : unit Effect.t
+
+(* Outstanding misses a core can overlap (memory-level parallelism): a
+   batch of independent accesses proceeds in windows of this many. *)
+let mlp = 8
+
+let create ?(costs = Costs.default) topo =
+  {
+    topo;
+    costs;
+    stats = Sim_stats.create ();
+    q = Eventq.create ();
+    pending = [];
+    active = false;
+  }
+
+let topology t = t.topo
+let costs t = t.costs
+let stats t = t.stats
+
+(* The scheduler is single-OS-thread by construction; these globals identify
+   the running simulation and the thread being resumed. *)
+let cur_sched : t option ref = ref None
+let cur_thread : thread option ref = ref None
+
+let self () =
+  match !cur_thread with
+  | Some th -> th
+  | None -> invalid_arg "Sched: called outside a simulated thread"
+
+let running () = !cur_thread <> None
+let now () = (self ()).time
+let self_tid () = (self ()).tid
+let self_node () = (self ()).node
+let self_core () = (self ()).core
+let touch line kind = perform (Touch (line, kind))
+
+let touch_batch accesses =
+  if Array.length accesses > 0 then perform (Touch_batch accesses)
+
+let work n = if n > 0 then perform (Work n)
+let yield () = perform Yield
+
+let fresh_line _t ~home = Mem.line ~home
+
+let fresh_line_local t =
+  let home = match !cur_thread with Some th -> th.node | None -> 0 in
+  fresh_line t ~home
+
+let spawn t ~tid fn =
+  let node = Topology.node_of_thread t.topo tid in
+  let core = Topology.core_of_thread t.topo tid in
+  let th = { tid; node; core; time = 0 } in
+  t.pending <- (th, fn) :: t.pending
+
+(* Each thread body runs under a deep handler: an effect computes the
+   latency, advances the thread's clock, stashes the continuation in the
+   event queue and returns control to the scheduler loop. *)
+let handler t th =
+  {
+    retc = (fun () -> ());
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Touch (line, kind) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.time <-
+                  Mem.access t.topo t.costs t.stats ~node:th.node
+                    ~core:th.core ~now:th.time line kind;
+                Eventq.add t.q ~time:th.time (fun () ->
+                    cur_thread := Some th;
+                    continue k ()))
+        | Touch_batch accesses ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                (* independent accesses overlap in windows of [mlp] *)
+                let n = Array.length accesses in
+                let i = ref 0 in
+                while !i < n do
+                  let stop = min n (!i + mlp) in
+                  let window_start = th.time in
+                  let window_end = ref window_start in
+                  while !i < stop do
+                    let line, kind = accesses.(!i) in
+                    let fin =
+                      Mem.access t.topo t.costs t.stats ~node:th.node
+                        ~core:th.core ~now:window_start line kind
+                    in
+                    if fin > !window_end then window_end := fin;
+                    incr i
+                  done;
+                  th.time <- !window_end
+                done;
+                Eventq.add t.q ~time:th.time (fun () ->
+                    cur_thread := Some th;
+                    continue k ()))
+        | Work n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let n = max 1 n in
+                th.time <- th.time + n;
+                t.stats.cycles_work <- t.stats.cycles_work + n;
+                Eventq.add t.q ~time:th.time (fun () ->
+                    cur_thread := Some th;
+                    continue k ()))
+        | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.time <- th.time + t.costs.yield;
+                t.stats.cycles_spin <- t.stats.cycles_spin + t.costs.yield;
+                Eventq.add t.q ~time:th.time (fun () ->
+                    cur_thread := Some th;
+                    continue k ()))
+        | _ -> None);
+  }
+
+let run t =
+  if !cur_sched <> None then
+    invalid_arg "Sched.run: a simulation is already running";
+  t.active <- true;
+  List.iter
+    (fun (th, fn) ->
+      Eventq.add t.q ~time:th.time (fun () ->
+          cur_thread := Some th;
+          match_with fn () (handler t th)))
+    (List.rev t.pending);
+  t.pending <- [];
+  cur_sched := Some t;
+  Fun.protect
+    ~finally:(fun () ->
+      cur_sched := None;
+      cur_thread := None;
+      t.active <- false)
+    (fun () ->
+      while not (Eventq.is_empty t.q) do
+        let _time, go = Eventq.pop t.q in
+        go ()
+      done)

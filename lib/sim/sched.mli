@@ -1,0 +1,65 @@
+(** Deterministic cooperative scheduler for the NUMA simulator.
+
+    Simulated threads are OCaml functions that interact with the simulated
+    machine through effects: every shared-memory access ({!touch}), local
+    computation ({!work}) and spin-wait iteration ({!yield}) suspends the
+    thread, charges it the modeled latency, and reschedules it at its new
+    virtual time.  The scheduler always resumes the thread with the smallest
+    virtual time, so interleavings are deterministic and all threads progress
+    at comparable virtual rates — like cores of a real machine.
+
+    The scheduler is strictly single-OS-thread; at most one simulation may be
+    running at a time per domain. *)
+
+type t
+
+val create : ?costs:Costs.t -> Topology.t -> t
+val topology : t -> Topology.t
+val costs : t -> Costs.t
+val stats : t -> Sim_stats.t
+
+val spawn : t -> tid:int -> (unit -> unit) -> unit
+(** Register a simulated thread pinned (by the topology's fill-node-first
+    policy) according to its [tid].  Must be called before {!run}. *)
+
+val run : t -> unit
+(** Run every spawned thread to completion.  Raises [Invalid_argument] if a
+    simulation is already running. *)
+
+(** {2 Operations available inside simulated threads}
+
+    All of the following raise [Invalid_argument] when called outside a
+    running simulation. *)
+
+val touch : Mem.line -> Mem.kind -> unit
+(** Charge one cache-line access. *)
+
+val touch_batch : (Mem.line * Mem.kind) array -> unit
+(** Charge a batch of {e independent} accesses: they overlap in windows of
+    the modeled memory-level parallelism instead of serializing through the
+    thread.  Use for scans of unrelated cells (combiner slots, reader
+    flags). *)
+
+val work : int -> unit
+(** Charge [n] cycles of node-local computation. *)
+
+val yield : unit -> unit
+(** Charge one spin-wait iteration.  Any unbounded wait loop must yield so
+    that virtual time advances. *)
+
+val now : unit -> int
+(** Virtual time (cycles) of the calling thread. *)
+
+val self_tid : unit -> int
+val self_node : unit -> int
+val self_core : unit -> int
+
+val running : unit -> bool
+(** Whether the caller is executing inside a simulation. *)
+
+val fresh_line : t -> home:int -> Mem.line
+(** Allocate a line backed by node [home]'s memory. *)
+
+val fresh_line_local : t -> Mem.line
+(** Allocate a line homed at the calling thread's node (or node 0 when
+    called outside the simulation) — models node-local allocation. *)

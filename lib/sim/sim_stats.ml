@@ -1,0 +1,67 @@
+type t = {
+  mutable l1_hits : int;
+  mutable l3_hits : int;
+  mutable remote_clean : int;
+  mutable remote_dirty : int;
+  mutable mem_local : int;
+  mutable mem_remote : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable cycles_memory : int;
+  mutable cycles_work : int;
+  mutable cycles_spin : int;
+}
+
+let create () =
+  {
+    l1_hits = 0;
+    l3_hits = 0;
+    remote_clean = 0;
+    remote_dirty = 0;
+    mem_local = 0;
+    mem_remote = 0;
+    cas_ops = 0;
+    cas_failures = 0;
+    cycles_memory = 0;
+    cycles_work = 0;
+    cycles_spin = 0;
+  }
+
+let reset t =
+  t.l1_hits <- 0;
+  t.l3_hits <- 0;
+  t.remote_clean <- 0;
+  t.remote_dirty <- 0;
+  t.mem_local <- 0;
+  t.mem_remote <- 0;
+  t.cas_ops <- 0;
+  t.cas_failures <- 0;
+  t.cycles_memory <- 0;
+  t.cycles_work <- 0;
+  t.cycles_spin <- 0
+
+let total_accesses t =
+  t.l1_hits + t.l3_hits + t.remote_clean + t.remote_dirty + t.mem_local
+  + t.mem_remote
+
+let remote_transfers t = t.remote_clean + t.remote_dirty + t.mem_remote
+
+let add acc x =
+  acc.l1_hits <- acc.l1_hits + x.l1_hits;
+  acc.l3_hits <- acc.l3_hits + x.l3_hits;
+  acc.remote_clean <- acc.remote_clean + x.remote_clean;
+  acc.remote_dirty <- acc.remote_dirty + x.remote_dirty;
+  acc.mem_local <- acc.mem_local + x.mem_local;
+  acc.mem_remote <- acc.mem_remote + x.mem_remote;
+  acc.cas_ops <- acc.cas_ops + x.cas_ops;
+  acc.cas_failures <- acc.cas_failures + x.cas_failures;
+  acc.cycles_memory <- acc.cycles_memory + x.cycles_memory;
+  acc.cycles_work <- acc.cycles_work + x.cycles_work;
+  acc.cycles_spin <- acc.cycles_spin + x.cycles_spin
+
+let pp ppf t =
+  Format.fprintf ppf
+    "l1=%d l3=%d rclean=%d rdirty=%d mem=%d/%d cas=%d(fail %d) cycles \
+     mem=%d work=%d spin=%d"
+    t.l1_hits t.l3_hits t.remote_clean t.remote_dirty t.mem_local t.mem_remote
+    t.cas_ops t.cas_failures t.cycles_memory t.cycles_work t.cycles_spin

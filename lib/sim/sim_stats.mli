@@ -1,0 +1,30 @@
+(** Counters collected by the simulator during a run: one bucket per access
+    class, plus cache-line transfer counts.  These mirror the hardware
+    performance counters the paper consults (§8.1.1: "NR had the fewest L3
+    cache misses served from remote caches"). *)
+
+type t = {
+  mutable l1_hits : int;
+  mutable l3_hits : int;
+  mutable remote_clean : int;
+  mutable remote_dirty : int;
+  mutable mem_local : int;
+  mutable mem_remote : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable cycles_memory : int;  (** total cycles spent in memory accesses *)
+  mutable cycles_work : int;  (** total cycles spent in local computation *)
+  mutable cycles_spin : int;  (** total cycles spent spinning / yielding *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_accesses : t -> int
+
+val remote_transfers : t -> int
+(** Accesses that crossed the node interconnect. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  nodes : int;
+  cores_per_node : int;
+  smt : int;
+  ghz : float;
+  incomplete_directory : bool;
+  l3_mb : float;
+}
+
+let custom ?(name = "custom") ?(smt = 1) ?(ghz = 2.0)
+    ?(incomplete_directory = false) ?(l3_mb = 16.0) ~nodes ~cores_per_node ()
+    =
+  if nodes <= 0 || cores_per_node <= 0 || smt <= 0 then
+    invalid_arg "Topology.custom: nodes, cores_per_node and smt must be > 0";
+  { name; nodes; cores_per_node; smt; ghz; incomplete_directory; l3_mb }
+
+let intel =
+  {
+    name = "intel-xeon-e7-4850v3";
+    nodes = 4;
+    cores_per_node = 14;
+    smt = 2;
+    ghz = 2.2;
+    incomplete_directory = false;
+    l3_mb = 35.0;
+  }
+
+let amd =
+  {
+    name = "amd-magny-cours";
+    nodes = 8;
+    cores_per_node = 6;
+    smt = 1;
+    ghz = 1.9;
+    incomplete_directory = true;
+    l3_mb = 10.0;
+  }
+
+let tiny =
+  {
+    name = "tiny-2x2";
+    nodes = 2;
+    cores_per_node = 2;
+    smt = 1;
+    ghz = 2.0;
+    incomplete_directory = false;
+    l3_mb = 4.0;
+  }
+
+let l3_lines t = int_of_float (t.l3_mb *. 1024.0 *. 1024.0 /. 64.0)
+
+let threads_per_node t = t.cores_per_node * t.smt
+let max_threads t = t.nodes * threads_per_node t
+
+let check_tid t tid =
+  if tid < 0 || tid >= max_threads t then
+    invalid_arg
+      (Printf.sprintf "Topology: thread id %d out of range [0,%d)" tid
+         (max_threads t))
+
+let node_of_thread t tid =
+  check_tid t tid;
+  tid / threads_per_node t
+
+let core_of_thread t tid =
+  check_tid t tid;
+  let node = tid / threads_per_node t in
+  let local = tid mod threads_per_node t in
+  (node * t.cores_per_node) + (local mod t.cores_per_node)
+
+let cycles_per_us t = t.ghz *. 1000.0
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d nodes x %d cores x %d SMT at %.1f GHz%s" t.name
+    t.nodes t.cores_per_node t.smt t.ghz
+    (if t.incomplete_directory then " (incomplete directory)" else "")

@@ -1,0 +1,64 @@
+(** Machine topologies for the NUMA simulator.
+
+    A topology describes a NUMA machine: a set of nodes, each with a number
+    of cores, each core running one or more hardware threads (SMT).  Thread
+    placement follows the paper's policy: fill all hardware threads of a node
+    (including hyperthreads) before moving to the next node. *)
+
+type t = {
+  name : string;  (** human-readable machine name *)
+  nodes : int;  (** number of NUMA nodes *)
+  cores_per_node : int;  (** physical cores per node *)
+  smt : int;  (** hardware threads per core *)
+  ghz : float;  (** clock frequency, used to convert cycles to time *)
+  incomplete_directory : bool;
+      (** model an incomplete cache directory (AMD Magny-Cours, paper §8.4):
+          cache-to-cache sharing within a node still broadcasts probes, adding
+          latency even to node-local sharing *)
+  l3_mb : float;  (** per-node shared last-level cache size *)
+}
+
+val intel : t
+(** The paper's primary testbed: 4-node Intel Xeon E7-4850v3,
+    14 cores per node, 2-way SMT — 112 hardware threads at 2.2 GHz. *)
+
+val amd : t
+(** The paper's secondary testbed (§8.4): 8-node AMD Magny-Cours,
+    6 cores per node, no SMT — 48 threads at 1.9 GHz, incomplete directory. *)
+
+val tiny : t
+(** A small 2x2 machine for unit tests. *)
+
+val custom :
+  ?name:string ->
+  ?smt:int ->
+  ?ghz:float ->
+  ?incomplete_directory:bool ->
+  ?l3_mb:float ->
+  nodes:int ->
+  cores_per_node:int ->
+  unit ->
+  t
+
+val max_threads : t -> int
+(** Total hardware threads on the machine. *)
+
+val threads_per_node : t -> int
+(** Hardware threads per node ([cores_per_node * smt]). *)
+
+val node_of_thread : t -> int -> int
+(** [node_of_thread t tid] is the NUMA node that thread [tid] is pinned to
+    under fill-node-first placement.  Raises [Invalid_argument] if [tid] is
+    outside [0, max_threads t). *)
+
+val core_of_thread : t -> int -> int
+(** [core_of_thread t tid] is the global core index of thread [tid]; two SMT
+    sibling threads share a core. *)
+
+val cycles_per_us : t -> float
+(** Clock cycles per microsecond. *)
+
+val l3_lines : t -> int
+(** Per-node last-level cache capacity in 64-byte lines. *)
+
+val pp : Format.formatter -> t -> unit

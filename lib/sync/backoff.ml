@@ -1,0 +1,17 @@
+(** Truncated exponential backoff for spin loops: each [once] call yields
+    a growing number of times, capping at [max_exp] doublings.  Reduces both
+    real cache traffic and simulated event counts under contention. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  type t = { mutable exp : int; max_exp : int }
+
+  let create ?(max_exp = 6) () = { exp = 0; max_exp }
+  let reset t = t.exp <- 0
+
+  let once t =
+    let n = 1 lsl t.exp in
+    for _ = 1 to n do
+      R.yield ()
+    done;
+    if t.exp < t.max_exp then t.exp <- t.exp + 1
+end

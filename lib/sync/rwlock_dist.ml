@@ -1,0 +1,59 @@
+(** Distributed readers-writer lock (paper §5.5, after Vyukov's distributed
+    mutex with the paper's writer-side improvement).
+
+    Each reader slot has its own flag cell (own cache line), so concurrent
+    readers never contend with each other.  A writer raises one writer flag
+    and then merely {e waits} for every reader flag to drop, without
+    acquiring them; both sides pay a single atomic write on distinct lines.
+    Readers may starve under a stream of writers, which does not arise in NR
+    because only the combiner writes. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  type t = { writer : int R.cell; readers : int R.cell array }
+
+  let create ?home ~readers () =
+    if readers <= 0 then invalid_arg "Rwlock_dist.create: readers must be > 0";
+    {
+      writer = R.cell ?home 0;
+      readers = Array.init readers (fun _ -> R.cell ?home 0);
+    }
+
+  let slots t = Array.length t.readers
+
+  let read_lock t slot =
+    let flag = t.readers.(slot) in
+    let rec loop () =
+      while R.read t.writer <> 0 do
+        R.yield ()
+      done;
+      R.write flag 1;
+      if R.read t.writer <> 0 then begin
+        (* a writer slipped in: back off and retry *)
+        R.write flag 0;
+        R.yield ();
+        loop ()
+      end
+    in
+    loop ()
+
+  let read_unlock t slot = R.write t.readers.(slot) 0
+
+  let write_lock t =
+    while not (R.read t.writer = 0 && R.cas t.writer 0 1) do
+      R.yield ()
+    done;
+    (* scan all reader flags at once (independent lines overlap), then wait
+       out the stragglers individually *)
+    let flags = R.read_all t.readers in
+    Array.iteri
+      (fun i v ->
+        if v <> 0 then begin
+          let flag = t.readers.(i) in
+          while R.read flag <> 0 do
+            R.yield ()
+          done
+        end)
+      flags
+
+  let write_unlock t = R.write t.writer 0
+end

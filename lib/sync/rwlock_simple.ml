@@ -1,0 +1,40 @@
+(** Centralized readers-writer lock: a single word holding -1 when a writer
+    is inside, otherwise the reader count.  Every acquisition — including
+    read acquisitions — writes the one word, so readers on different nodes
+    bounce its cache line; this is the "standard readers-writer lock" the
+    paper's ablation #5 (§8.5) falls back to. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  module Backoff = Backoff.Make (R)
+
+  type t = int R.cell
+
+  let create ?home () : t = R.cell ?home 0
+
+  let read_lock t =
+    let b = Backoff.create () in
+    let rec loop () =
+      let v = R.read t in
+      if v >= 0 && R.cas t v (v + 1) then ()
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  let read_unlock t = ignore (R.faa t (-1))
+
+  let write_lock t =
+    let b = Backoff.create () in
+    let rec loop () =
+      if R.read t = 0 && R.cas t 0 (-1) then ()
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  let write_unlock t = R.write t 0
+end

@@ -1,0 +1,25 @@
+(** Test-and-test-and-set spin lock with exponential backoff.  This is also
+    the paper's [SL] baseline: one big lock around a sequential structure. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  module Backoff = Backoff.Make (R)
+
+  type t = int R.cell
+
+  let create ?home () : t = R.cell ?home 0
+  let try_lock t = R.read t = 0 && R.cas t 0 1
+  let locked t = R.read t <> 0
+
+  (* The deep backoff cap matters at high thread counts: after a release,
+     every waiter that saw the lock free issues a CAS and those serialize
+     on the lock line, so the herd must thin out quickly. *)
+  let lock t =
+    if not (try_lock t) then begin
+      let b = Backoff.create ~max_exp:10 () in
+      while not (try_lock t) do
+        Backoff.once b
+      done
+    end
+
+  let unlock t = R.write t 0
+end

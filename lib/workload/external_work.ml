@@ -1,0 +1,20 @@
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  type t = { buffer : int array; rng : Prng.t }
+
+  let create ?(buffer_size = 8192) ~seed () =
+    { buffer = Array.make (max 1 buffer_size) 0; rng = Prng.create ~seed }
+
+  (* Roughly what a scattered store costs on real hardware: mostly L1/L2
+     hits with occasional misses. *)
+  let cycles_per_location = 6
+
+  let run t e =
+    if e > 0 then begin
+      let n = Array.length t.buffer in
+      for _ = 1 to e do
+        let i = Prng.below t.rng n in
+        t.buffer.(i) <- t.buffer.(i) + 1
+      done;
+      R.work (e * cycles_per_location)
+    end
+end

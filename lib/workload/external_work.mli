@@ -1,0 +1,16 @@
+(** The benchmark's "external work" knob (paper §8.1): between data
+    structure operations, a thread writes [e] random locations outside the
+    structure, polluting its caches and lowering the operation arrival
+    rate.  The functor charges the modeled cost through the runtime so the
+    simulator accounts for it. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?buffer_size:int -> seed:int -> unit -> t
+  (** One per thread; [buffer_size] is the private scratch area (in words)
+      whose random slots get written. *)
+
+  val run : t -> int -> unit
+  (** [run t e] performs [e] units of external work. *)
+end

@@ -1,0 +1,18 @@
+type t = Uniform of int | Zipfian of Zipf.t
+
+let uniform n =
+  if n <= 0 then invalid_arg "Key_dist.uniform: n must be > 0";
+  Uniform n
+
+let zipf ?theta ~n () = Zipfian (Zipf.create ?theta ~n ())
+
+let sample t rng =
+  match t with
+  | Uniform n -> Prng.below rng n
+  | Zipfian z -> Zipf.sample z rng
+
+let space = function Uniform n -> n | Zipfian z -> Zipf.n z
+
+let name = function
+  | Uniform _ -> "uniform"
+  | Zipfian z -> Printf.sprintf "zipf(%.1f)" (Zipf.theta z)

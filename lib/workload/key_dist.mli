@@ -1,0 +1,11 @@
+(** Key distributions for benchmark workloads. *)
+
+type t =
+  | Uniform of int  (** uniform over [0, n) *)
+  | Zipfian of Zipf.t  (** zipf-distributed ranks, rank = key *)
+
+val uniform : int -> t
+val zipf : ?theta:float -> n:int -> unit -> t
+val sample : t -> Prng.t -> int
+val space : t -> int
+val name : t -> string

@@ -1,0 +1,12 @@
+type kind = Add | Remove | Read
+
+let sample ~update_percent rng =
+  if update_percent < 0 || update_percent > 100 then
+    invalid_arg "Op_mix.sample: update_percent must be in [0,100]";
+  let r = Prng.below rng 100 in
+  if r < update_percent then if r land 1 = 0 then Add else Remove else Read
+
+let pp_kind ppf = function
+  | Add -> Format.pp_print_string ppf "add"
+  | Remove -> Format.pp_print_string ppf "remove"
+  | Read -> Format.pp_print_string ppf "read"

@@ -1,0 +1,12 @@
+(** The benchmark's generic operation mix (paper §8.1): a ratio of update
+    operations (split evenly between adds and removes, keeping structure
+    size steady) against read operations. *)
+
+type kind = Add | Remove | Read
+
+val sample : update_percent:int -> Prng.t -> kind
+(** [sample ~update_percent rng] draws [Add] or [Remove] (each with
+    probability [update_percent/200]) or [Read].  [update_percent] must lie
+    in [0, 100]. *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let next t = Int64.to_int (next_int64 t) land max_int
+
+let below t n =
+  if n <= 0 then invalid_arg "Prng.below: bound must be > 0";
+  (* rejection-free modulo is fine here: n is tiny relative to 2^62 *)
+  next t mod n
+
+let float t =
+  (* 53 high-quality bits into the mantissa *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library — skip-list levels, workload key choices,
+    zipf sampling — flows through explicitly seeded generators, so every
+    experiment and every replica is reproducible.  The generator is
+    splitmix64 (Steele et al.), small, fast and statistically solid for
+    simulation purposes. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** An independent generator in the same state. *)
+
+val split : t -> t
+(** A new generator derived from (and advancing) [t]; streams are
+    decorrelated. *)
+
+val next_int64 : t -> int64
+(** Uniform on all 64-bit values. *)
+
+val next : t -> int
+(** Uniform non-negative OCaml int (63-bit). *)
+
+val below : t -> int -> int
+(** [below t n] is uniform on [0, n).  Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform on [0, 1). *)
+
+val bool : t -> bool

@@ -1,0 +1,21 @@
+(** Zipf-distributed key sampling.
+
+    The paper's high-contention dictionary workload (§8.1.3) picks keys from
+    a zipf distribution with parameter 1.5, concentrating most accesses on a
+    few hot keys.  The sampler precomputes the normalized CDF once and
+    samples by binary search, so draws are exact and O(log n). *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** Distribution over ranks [0, n) with exponent [theta] (default 1.5:
+    P(rank k) proportional to 1/(k+1)^theta). *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [0, n); rank 0 is the hottest. *)
+
+val pmf : t -> int -> float
+(** Probability of a given rank. *)

@@ -1,0 +1,289 @@
+(* Baseline correctness tests on the simulator: the lock wrappers must be
+   linearizable like NR; the lock-free structures must keep their
+   invariants under heavy interleaving. *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+module Counter = struct
+  type t = { mutable v : int }
+  type op = Incr | Get
+  type result = int
+
+  let create () = { v = 0 }
+
+  let execute t = function
+    | Incr ->
+        t.v <- t.v + 1;
+        t.v
+    | Get -> t.v
+
+  let is_read_only = function Get -> true | Incr -> false
+  let footprint _ _ = Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  let lines _ = 4
+  let pp_op ppf _ = Format.pp_print_string ppf "op"
+end
+
+(* Generic permutation test for any black-box method. *)
+let wrapper_scenario build =
+  let sched = S.create T.intel in
+  let rt = Nr_runtime.Runtime_sim.make sched in
+  let exec = build rt in
+  let threads = 24 in
+  let per_thread = 60 in
+  let results = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to per_thread do
+          let r = exec Counter.Incr in
+          results.(tid) <- r :: results.(tid);
+          let g = exec Counter.Get in
+          if g < r then Alcotest.fail "stale read"
+        done)
+  done;
+  S.run sched;
+  let all = Array.to_list results |> List.concat |> List.sort compare in
+  let n = threads * per_thread in
+  Alcotest.(check (list int)) "permutation of 1..N"
+    (List.init n (fun i -> i + 1))
+    all
+
+let test_single_lock () =
+  wrapper_scenario (fun rt ->
+      let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+      let module M = Nr_baselines.Single_lock.Make (R) (Counter) in
+      let t = M.create (fun () -> Counter.create ()) in
+      M.execute t)
+
+let test_rwl () =
+  wrapper_scenario (fun rt ->
+      let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+      let module M = Nr_baselines.Rwl_ds.Make (R) (Counter) in
+      let t = M.create (fun () -> Counter.create ()) in
+      M.execute t)
+
+let test_fc () =
+  wrapper_scenario (fun rt ->
+      let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+      let module M = Nr_baselines.Fc_ds.Make (R) (Counter) in
+      let t = M.create ~rw_reads:false (fun () -> Counter.create ()) in
+      M.execute t)
+
+let test_fc_plus () =
+  wrapper_scenario (fun rt ->
+      let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+      let module M = Nr_baselines.Fc_ds.Make (R) (Counter) in
+      let t = M.create ~rw_reads:true (fun () -> Counter.create ()) in
+      M.execute t)
+
+(* --- Treiber stack --- *)
+
+let test_lf_stack_sequential () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_stack.Make (R) in
+  let t = Lf.create () in
+  Alcotest.(check (option int)) "pop empty" None (Lf.pop t);
+  Lf.push t 1;
+  Lf.push t 2;
+  Alcotest.(check (option int)) "peek" (Some 2) (Lf.peek t);
+  Alcotest.(check (option int)) "lifo" (Some 2) (Lf.pop t);
+  Alcotest.(check (option int)) "lifo2" (Some 1) (Lf.pop t);
+  Alcotest.(check int) "empty" 0 (Lf.length t)
+
+let test_lf_stack_concurrent () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_stack.Make (R) in
+  let t = Lf.create () in
+  let threads = 16 in
+  let per_thread = 100 in
+  let popped = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to per_thread do
+          Lf.push t ((tid * 10_000) + i);
+          if i mod 2 = 0 then
+            match Lf.pop t with
+            | Some v -> popped.(tid) <- v :: popped.(tid)
+            | None -> Alcotest.fail "pop of non-empty stack returned None"
+        done)
+  done;
+  S.run sched;
+  let all_popped = Array.to_list popped |> List.concat in
+  (* uniqueness: no element popped twice *)
+  Alcotest.(check int) "pops distinct"
+    (List.length (List.sort_uniq compare all_popped))
+    (List.length all_popped);
+  (* conservation: pushes = pops + remaining *)
+  Alcotest.(check int) "conservation"
+    (threads * per_thread)
+    (List.length all_popped + Lf.length t)
+
+(* --- lock-free skip list --- *)
+
+let test_lf_skiplist_sequential () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create () in
+  Alcotest.(check bool) "add" true (Lf.add t 5 50);
+  Alcotest.(check bool) "add dup" false (Lf.add t 5 51);
+  Alcotest.(check (option int)) "get" (Some 50) (Lf.get t 5);
+  Alcotest.(check bool) "mem absent" false (Lf.mem t 6);
+  Alcotest.(check (option int)) "remove" (Some 50) (Lf.remove t 5);
+  Alcotest.(check (option int)) "remove absent" None (Lf.remove t 5);
+  ignore (Lf.add t 3 30);
+  ignore (Lf.add t 1 10);
+  ignore (Lf.add t 2 20);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 10)) (Lf.min t);
+  Alcotest.(check (option (pair int int)))
+    "remove_min" (Some (1, 10)) (Lf.remove_min t);
+  Alcotest.(check (list (pair int int)))
+    "sorted remains" [ (2, 20); (3, 30) ] (Lf.to_list t)
+
+let test_lf_skiplist_concurrent_inserts () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create () in
+  let threads = 16 in
+  let per_thread = 100 in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to per_thread do
+          if not (Lf.add t ((tid * 10_000) + i) tid) then
+            Alcotest.fail "distinct key rejected"
+        done)
+  done;
+  S.run sched;
+  Alcotest.(check int) "all present" (threads * per_thread) (Lf.length t);
+  (* sortedness *)
+  let l = Lf.to_list t in
+  Alcotest.(check (list (pair int int))) "sorted" (List.sort compare l) l
+
+let test_lf_skiplist_contended_same_keys () =
+  (* all threads fight over the same tiny key space; each successful
+     remove must correspond to a successful add *)
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create () in
+  let threads = 16 in
+  let adds = Array.make threads 0 in
+  let removes = Array.make threads 0 in
+  for tid = 0 to threads - 1 do
+    let rng = Nr_workload.Prng.create ~seed:(tid + 100) in
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to 150 do
+          let k = Nr_workload.Prng.below rng 8 in
+          if Nr_workload.Prng.bool rng then begin
+            if Lf.add t k tid then adds.(tid) <- adds.(tid) + 1
+          end
+          else if Lf.remove t k <> None then
+            removes.(tid) <- removes.(tid) + 1
+        done)
+  done;
+  S.run sched;
+  let total_adds = Array.fold_left ( + ) 0 adds in
+  let total_removes = Array.fold_left ( + ) 0 removes in
+  Alcotest.(check int) "adds - removes = remaining"
+    (total_adds - total_removes)
+    (Lf.length t)
+
+let test_lf_skiplist_concurrent_remove_min () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create () in
+  let n = 800 in
+  for i = 1 to n do
+    ignore (Lf.add t i i)
+  done;
+  let threads = 16 in
+  let got = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to 40 do
+          match Lf.remove_min t with
+          | Some (k, _) -> got.(tid) <- k :: got.(tid)
+          | None -> Alcotest.fail "premature empty"
+        done)
+  done;
+  S.run sched;
+  let all = Array.to_list got |> List.concat |> List.sort compare in
+  (* each element removed at most once, and the removed set is exactly the
+     smallest 640 elements (deleteMin removes minima) *)
+  Alcotest.(check (list int)) "each removed once"
+    (List.sort_uniq compare all)
+    all;
+  Alcotest.(check int) "640 removed" (threads * 40) (List.length all);
+  Alcotest.(check int) "remaining" (n - (threads * 40)) (Lf.length t)
+
+(* --- NUMA-aware stack --- *)
+
+let test_na_stack_conservation () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Na = Nr_baselines.Na_stack.Make (R) in
+  let t = Na.create () in
+  let threads = 32 in
+  let pushes = Array.make threads 0 in
+  let pops = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    let rng = Nr_workload.Prng.create ~seed:(tid + 7) in
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to 100 do
+          if Nr_workload.Prng.bool rng then begin
+            Na.push t ((tid * 10_000) + i);
+            pushes.(tid) <- pushes.(tid) + 1
+          end
+          else
+            match Na.pop t with
+            | Some v -> pops.(tid) <- v :: pops.(tid)
+            | None -> ()
+        done)
+  done;
+  S.run sched;
+  let total_push = Array.fold_left ( + ) 0 pushes in
+  let all_pops = Array.to_list pops |> List.concat in
+  Alcotest.(check int) "pops distinct"
+    (List.length (List.sort_uniq compare all_pops))
+    (List.length all_pops);
+  Alcotest.(check int) "conservation" total_push
+    (List.length all_pops + Na.length t)
+
+let test_na_stack_eliminates () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Na = Nr_baselines.Na_stack.Make (R) in
+  let t = Na.create () in
+  for tid = 0 to 27 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to 50 do
+          if tid land 1 = 0 then Na.push t i else ignore (Na.pop t)
+        done)
+  done;
+  S.run sched;
+  Alcotest.(check bool) "some pairs eliminated" true
+    (t.Na.stats.Na.push_eliminated > 0)
+
+let suite =
+  [
+    Alcotest.test_case "SL wrapper linearizable" `Quick test_single_lock;
+    Alcotest.test_case "RWL wrapper linearizable" `Quick test_rwl;
+    Alcotest.test_case "FC wrapper linearizable" `Quick test_fc;
+    Alcotest.test_case "FC+ wrapper linearizable" `Quick test_fc_plus;
+    Alcotest.test_case "treiber sequential" `Quick test_lf_stack_sequential;
+    Alcotest.test_case "treiber concurrent" `Quick test_lf_stack_concurrent;
+    Alcotest.test_case "lf skiplist sequential" `Quick
+      test_lf_skiplist_sequential;
+    Alcotest.test_case "lf skiplist concurrent inserts" `Quick
+      test_lf_skiplist_concurrent_inserts;
+    Alcotest.test_case "lf skiplist contended keys" `Quick
+      test_lf_skiplist_contended_same_keys;
+    Alcotest.test_case "lf skiplist concurrent deleteMin" `Quick
+      test_lf_skiplist_concurrent_remove_min;
+    Alcotest.test_case "na stack conservation" `Quick test_na_stack_conservation;
+    Alcotest.test_case "na stack eliminates" `Quick test_na_stack_eliminates;
+  ]

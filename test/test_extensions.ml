@@ -1,0 +1,159 @@
+(* Tests for the extension features: the AVL tree substrate, the paper's
+   fake-update wrapper (§6), and the dedicated combiner (§4). *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+module Avl = Nr_seqds.Avl.Make (Nr_seqds.Ordered.Int)
+
+let check_valid = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "AVL invariant broken: %s" e
+
+let test_avl_basic () =
+  let t = Avl.create () in
+  Alcotest.(check bool) "insert" true (Avl.insert t 5 50);
+  Alcotest.(check bool) "insert dup" false (Avl.insert t 5 51);
+  Alcotest.(check (option int)) "find" (Some 50) (Avl.find t 5);
+  Alcotest.(check (option int)) "find absent" None (Avl.find t 7);
+  Alcotest.(check (option int)) "remove" (Some 50) (Avl.remove t 5);
+  Alcotest.(check (option int)) "remove absent" None (Avl.remove t 5);
+  Alcotest.(check int) "empty" 0 (Avl.length t);
+  check_valid (Avl.validate t)
+
+let test_avl_balance () =
+  (* ascending insertion is the classic unbalancing adversary *)
+  let t = Avl.create () in
+  for i = 1 to 1024 do
+    ignore (Avl.insert t i i)
+  done;
+  check_valid (Avl.validate t);
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    (List.init 1024 (fun i -> (i + 1, i + 1)))
+    (Avl.to_list t);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 1)) (Avl.min t)
+
+let avl_model_test =
+  QCheck.Test.make ~count:300 ~name:"avl vs assoc model"
+    QCheck.(list (pair (int_bound 60) bool))
+    (fun ops ->
+      let t = Avl.create () in
+      let model = ref [] in
+      List.iter
+        (fun (k, insert) ->
+          if insert then begin
+            let added = Avl.insert t k k in
+            if added <> not (List.mem_assoc k !model) then
+              QCheck.Test.fail_report "insert result";
+            if added then model := (k, k) :: !model
+          end
+          else begin
+            let r = Avl.remove t k in
+            if r <> List.assoc_opt k !model then
+              QCheck.Test.fail_report "remove result";
+            model := List.remove_assoc k !model
+          end)
+        ops;
+      (match Avl.validate t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Avl.to_list t = List.sort compare !model)
+
+let test_avl_dict_under_nr () =
+  (* the same Dict_ops workload the skip list runs, on the AVL substrate *)
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Avl_dict) in
+  let nr = NR.create (fun () -> Nr_seqds.Avl_dict.create ()) in
+  for tid = 0 to 15 do
+    let rng = Nr_workload.Prng.create ~seed:(tid + 1) in
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to 80 do
+          let k = Nr_workload.Prng.below rng 64 in
+          match Nr_workload.Prng.below rng 3 with
+          | 0 -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Insert (k, k)))
+          | 1 -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Remove k))
+          | _ -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Lookup k))
+        done)
+  done;
+  S.run sched;
+  NR.Unsafe.sync nr;
+  let reference = Nr_seqds.Avl_dict.to_list (NR.Unsafe.replica nr 0) in
+  for node = 1 to NR.num_replicas nr - 1 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d converged" node)
+      reference
+      (Nr_seqds.Avl_dict.to_list (NR.Unsafe.replica nr node))
+  done
+
+(* --- fake updates --- *)
+
+let test_fake_update_wrapper () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_dict) in
+  let module Fake = Nr_core.Fake_update.Make (Nr_seqds.Skiplist_dict) in
+  let nr = NR.create (fun () -> Nr_seqds.Skiplist_dict.create ()) in
+  (* removes of absent keys are proven no-ops by a lookup *)
+  let probe =
+    {
+      Fake.as_read =
+        (function
+        | Nr_seqds.Dict_ops.Remove k -> Some (Nr_seqds.Dict_ops.Lookup k)
+        | Nr_seqds.Dict_ops.Insert _ | Nr_seqds.Dict_ops.Lookup _ -> None);
+      conclusive =
+        (fun _op result ->
+          match result with
+          | Nr_seqds.Dict_ops.Found None -> Some (Nr_seqds.Dict_ops.Removed None)
+          | _ -> None);
+    }
+  in
+  let exec = Fake.wrap probe (fun op -> NR.execute nr op) in
+  S.spawn sched ~tid:0 (fun () ->
+      Alcotest.(check bool) "remove absent is fake" true
+        (exec (Nr_seqds.Dict_ops.Remove 1) = Nr_seqds.Dict_ops.Removed None);
+      ignore (exec (Nr_seqds.Dict_ops.Insert (1, 10)));
+      Alcotest.(check bool) "remove present is real" true
+        (exec (Nr_seqds.Dict_ops.Remove 1) = Nr_seqds.Dict_ops.Removed (Some 10));
+      Alcotest.(check bool) "gone afterwards" true
+        (exec (Nr_seqds.Dict_ops.Lookup 1) = Nr_seqds.Dict_ops.Found None));
+  S.run sched;
+  (* the fake remove never reached the log *)
+  let stats = NR.stats nr in
+  Alcotest.(check int) "only 2 real updates" 2 stats.Nr_core.Stats.updates
+
+(* --- dedicated combiner --- *)
+
+let test_dedicated_combiner_keeps_idle_node_fresh () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_dict) in
+  let nr = NR.create (fun () -> Nr_seqds.Skiplist_dict.create ()) in
+  let writers_done = ref false in
+  (* node 0 (tids 0-1) writes; node 1's only activity is its dedicated
+     combiner (tid 2), which must keep replica 1 fresh anyway *)
+  S.spawn sched ~tid:0 (fun () ->
+      for k = 1 to 200 do
+        ignore (NR.execute nr (Nr_seqds.Dict_ops.Insert (k, k)))
+      done;
+      writers_done := true);
+  S.spawn sched ~tid:2 (fun () ->
+      NR.run_dedicated_combiner nr ~stop:(fun () ->
+          !writers_done
+          && NR.local_tail nr 1 >= NR.completed nr));
+  S.run sched;
+  Alcotest.(check bool) "idle replica caught up" true
+    (NR.local_tail nr 1 >= 200);
+  Alcotest.(check int) "replica 1 complete" 200
+    (Nr_seqds.Skiplist_dict.length (NR.Unsafe.replica nr 1))
+
+let suite =
+  [
+    Alcotest.test_case "avl basic" `Quick test_avl_basic;
+    Alcotest.test_case "avl balance" `Quick test_avl_balance;
+    QCheck_alcotest.to_alcotest avl_model_test;
+    Alcotest.test_case "avl dict under NR" `Quick test_avl_dict_under_nr;
+    Alcotest.test_case "fake update wrapper" `Quick test_fake_update_wrapper;
+    Alcotest.test_case "dedicated combiner" `Quick
+      test_dedicated_combiner_keeps_idle_node_fresh;
+  ]

@@ -1,0 +1,319 @@
+(* KV-store tests: sorted sets, the command layer, the RESP codec, the
+   worker pool and the TCP server end-to-end. *)
+
+open Nr_kvstore
+
+let check_valid = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "zset invariant broken: %s" e
+
+(* --- zset --- *)
+
+let test_zset_add_score () =
+  let z = Zset.create () in
+  Alcotest.(check bool) "new member" true (Zset.add z ~member:1 ~score:10);
+  Alcotest.(check bool) "update member" false (Zset.add z ~member:1 ~score:20);
+  Alcotest.(check (option int)) "score" (Some 20) (Zset.score z 1);
+  Alcotest.(check int) "cardinal" 1 (Zset.cardinal z);
+  check_valid (Zset.validate z)
+
+let test_zset_rank () =
+  let z = Zset.create () in
+  ignore (Zset.add z ~member:10 ~score:300);
+  ignore (Zset.add z ~member:20 ~score:100);
+  ignore (Zset.add z ~member:30 ~score:200);
+  Alcotest.(check (option int)) "lowest score rank 0" (Some 0) (Zset.rank z 20);
+  Alcotest.(check (option int)) "middle" (Some 1) (Zset.rank z 30);
+  Alcotest.(check (option int)) "highest" (Some 2) (Zset.rank z 10);
+  Alcotest.(check (option int)) "absent" None (Zset.rank z 99);
+  check_valid (Zset.validate z)
+
+let test_zset_rank_ties_by_member () =
+  let z = Zset.create () in
+  ignore (Zset.add z ~member:5 ~score:100);
+  ignore (Zset.add z ~member:3 ~score:100);
+  Alcotest.(check (option int)) "tie broken by member id" (Some 0)
+    (Zset.rank z 3);
+  Alcotest.(check (option int)) "tie second" (Some 1) (Zset.rank z 5)
+
+let test_zset_incrby () =
+  let z = Zset.create () in
+  Alcotest.(check int) "incr absent starts at 0" 5
+    (Zset.incrby z ~member:7 ~delta:5);
+  Alcotest.(check int) "incr again" 8 (Zset.incrby z ~member:7 ~delta:3);
+  Alcotest.(check (option int)) "score tracked" (Some 8) (Zset.score z 7);
+  Alcotest.(check int) "single member" 1 (Zset.cardinal z);
+  check_valid (Zset.validate z)
+
+let test_zset_range_remove () =
+  let z = Zset.create () in
+  for m = 0 to 9 do
+    ignore (Zset.add z ~member:m ~score:(m * 10))
+  done;
+  Alcotest.(check (list (pair int int)))
+    "range 2..4"
+    [ (2, 20); (3, 30); (4, 40) ]
+    (Zset.range z ~start:2 ~stop:4);
+  Alcotest.(check (list (pair int int)))
+    "negative indices"
+    [ (8, 80); (9, 90) ]
+    (Zset.range z ~start:(-2) ~stop:(-1));
+  Alcotest.(check bool) "remove" true (Zset.remove z 5);
+  Alcotest.(check bool) "remove absent" false (Zset.remove z 5);
+  Alcotest.(check int) "cardinal after remove" 9 (Zset.cardinal z);
+  check_valid (Zset.validate z)
+
+let zset_model_test =
+  QCheck.Test.make ~count:200 ~name:"zset rank consistent with sorted model"
+    QCheck.(list (pair (int_bound 20) (int_bound 100)))
+    (fun pairs ->
+      let z = Zset.create () in
+      List.iter (fun (m, s) -> ignore (Zset.add z ~member:m ~score:s)) pairs;
+      (match Zset.validate z with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      (* recompute ranks from the model *)
+      let model =
+        List.sort compare
+          (List.filter_map
+             (fun (m, _) ->
+               match Zset.score z m with Some s -> Some (s, m) | None -> None)
+             (List.sort_uniq compare pairs))
+      in
+      let model = List.sort_uniq compare model in
+      List.for_all
+        (fun (s, m) ->
+          let expected =
+            let rec index i = function
+              | [] -> None
+              | (s', m') :: _ when s' = s && m' = m -> Some i
+              | _ :: rest -> index (i + 1) rest
+            in
+            index 0 model
+          in
+          Zset.rank z m = expected)
+        model)
+
+(* --- store / commands --- *)
+
+let test_store_strings () =
+  let s = Store.create () in
+  Alcotest.(check bool) "get missing" true (Store.execute s (Command.Get "k") = Command.Nil);
+  ignore (Store.execute s (Command.Set ("k", "v")));
+  Alcotest.(check bool) "get" true (Store.execute s (Command.Get "k") = Command.Bulk "v");
+  Alcotest.(check bool) "exists" true (Store.execute s (Command.Exists "k") = Command.Int 1);
+  Alcotest.(check bool) "del" true (Store.execute s (Command.Del "k") = Command.Int 1);
+  Alcotest.(check bool) "del again" true (Store.execute s (Command.Del "k") = Command.Int 0)
+
+let test_store_incr () =
+  let s = Store.create () in
+  Alcotest.(check bool) "incr fresh" true (Store.execute s (Command.Incr "n") = Command.Int 1);
+  Alcotest.(check bool) "incrby" true
+    (Store.execute s (Command.Incrby ("n", 10)) = Command.Int 11);
+  ignore (Store.execute s (Command.Set ("str", "abc")));
+  match Store.execute s (Command.Incr "str") with
+  | Command.Err _ -> ()
+  | _ -> Alcotest.fail "incr of non-integer should error"
+
+let test_store_zsets () =
+  let s = Store.create () in
+  Alcotest.(check bool) "zadd" true
+    (Store.execute s (Command.Zadd ("z", 10, 1)) = Command.Int 1);
+  Alcotest.(check bool) "zadd existing" true
+    (Store.execute s (Command.Zadd ("z", 20, 1)) = Command.Int 0);
+  Alcotest.(check bool) "zscore" true
+    (Store.execute s (Command.Zscore ("z", 1)) = Command.Int 20);
+  Alcotest.(check bool) "zincrby" true
+    (Store.execute s (Command.Zincrby ("z", 5, 1)) = Command.Int 25);
+  Alcotest.(check bool) "zcard" true
+    (Store.execute s (Command.Zcard "z") = Command.Int 1);
+  Alcotest.(check bool) "zrank" true
+    (Store.execute s (Command.Zrank ("z", 1)) = Command.Int 0);
+  Alcotest.(check bool) "zrank absent member" true
+    (Store.execute s (Command.Zrank ("z", 9)) = Command.Nil);
+  Alcotest.(check bool) "zrem" true
+    (Store.execute s (Command.Zrem ("z", 1)) = Command.Int 1)
+
+let test_store_wrongtype () =
+  let s = Store.create () in
+  ignore (Store.execute s (Command.Set ("k", "v")));
+  (match Store.execute s (Command.Zadd ("k", 1, 1)) with
+  | Command.Err _ -> ()
+  | _ -> Alcotest.fail "zadd on string should error");
+  ignore (Store.execute s (Command.Zadd ("z", 1, 1)));
+  match Store.execute s (Command.Get "z") with
+  | Command.Err _ -> ()
+  | _ -> Alcotest.fail "get on zset should error"
+
+let test_store_dbsize_flush () =
+  let s = Store.create () in
+  ignore (Store.execute s (Command.Set ("a", "1")));
+  ignore (Store.execute s (Command.Zadd ("z", 1, 1)));
+  Alcotest.(check bool) "dbsize" true (Store.execute s Command.Dbsize = Command.Int 2);
+  ignore (Store.execute s Command.Flushall);
+  Alcotest.(check bool) "flushed" true (Store.execute s Command.Dbsize = Command.Int 0)
+
+let test_store_determinism () =
+  (* identical command sequences produce identical replicas, including
+     zset skip lists — required for NR *)
+  let run () =
+    let s = Store.create () in
+    let rng = Nr_workload.Prng.create ~seed:5 in
+    for _ = 1 to 500 do
+      let m = Nr_workload.Prng.below rng 40 in
+      ignore (Store.execute s (Command.Zincrby ("z", 1, m)))
+    done;
+    s
+  in
+  let a = run () and b = run () in
+  for m = 0 to 39 do
+    Alcotest.(check bool)
+      (Printf.sprintf "member %d same rank" m)
+      true
+      (Store.execute a (Command.Zrank ("z", m))
+      = Store.execute b (Command.Zrank ("z", m)))
+  done
+
+let test_command_parse () =
+  let ok c tokens =
+    match Command.of_strings tokens with
+    | Ok c' when c = c' -> ()
+    | Ok _ -> Alcotest.failf "parsed wrong command from %s" (String.concat " " tokens)
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  ok Command.Ping [ "PING" ];
+  ok (Command.Get "k") [ "get"; "k" ];
+  ok (Command.Set ("k", "v")) [ "SET"; "k"; "v" ];
+  ok (Command.Zadd ("z", 5, 7)) [ "zadd"; "z"; "5"; "7" ];
+  ok (Command.Zincrby ("z", -2, 7)) [ "ZINCRBY"; "z"; "-2"; "7" ];
+  ok (Command.Zrange ("z", 0, -1)) [ "zrange"; "z"; "0"; "-1" ];
+  (match Command.of_strings [ "bogus" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus accepted");
+  match Command.of_strings [ "zadd"; "z"; "x"; "1" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-integer score accepted"
+
+(* --- RESP --- *)
+
+let test_resp_roundtrip () =
+  let tokens = [ "ZADD"; "key"; "10"; "42" ] in
+  let wire = Resp.encode_request tokens in
+  match Resp.parse_request wire with
+  | Resp.Parsed (tokens', consumed) ->
+      Alcotest.(check (list string)) "tokens" tokens tokens';
+      Alcotest.(check int) "consumed all" (String.length wire) consumed
+  | Resp.Incomplete -> Alcotest.fail "incomplete"
+  | Resp.Invalid e -> Alcotest.failf "invalid: %s" e
+
+let test_resp_incomplete () =
+  let wire = Resp.encode_request [ "GET"; "key" ] in
+  for cut = 1 to String.length wire - 1 do
+    match Resp.parse_request (String.sub wire 0 cut) with
+    | Resp.Incomplete -> ()
+    | Resp.Parsed _ -> Alcotest.failf "prefix of %d parsed" cut
+    | Resp.Invalid e -> Alcotest.failf "prefix of %d invalid: %s" cut e
+  done
+
+let test_resp_inline () =
+  match Resp.parse_request "PING\r\n" with
+  | Resp.Parsed ([ "PING" ], 6) -> ()
+  | _ -> Alcotest.fail "inline command"
+
+let test_resp_pipeline () =
+  let a = Resp.encode_request [ "PING" ] in
+  let b = Resp.encode_request [ "GET"; "x" ] in
+  match Resp.parse_request (a ^ b) with
+  | Resp.Parsed ([ "PING" ], consumed) ->
+      Alcotest.(check int) "consumed only first" (String.length a) consumed
+  | _ -> Alcotest.fail "pipeline first request"
+
+let test_resp_invalid () =
+  (match Resp.parse_request "*x\r\n" with
+  | Resp.Invalid _ -> ()
+  | _ -> Alcotest.fail "bad count accepted");
+  match Resp.parse_request "*1\r\n%3\r\nfoo\r\n" with
+  | Resp.Invalid _ -> ()
+  | _ -> Alcotest.fail "bad bulk marker accepted"
+
+let test_resp_encode_replies () =
+  Alcotest.(check string) "ok" "+OK\r\n" (Resp.encode_reply Command.Ok_reply);
+  Alcotest.(check string) "int" ":42\r\n" (Resp.encode_reply (Command.Int 42));
+  Alcotest.(check string) "bulk" "$3\r\nfoo\r\n"
+    (Resp.encode_reply (Command.Bulk "foo"));
+  Alcotest.(check string) "nil" "$-1\r\n" (Resp.encode_reply Command.Nil);
+  Alcotest.(check string) "array" "*2\r\n:1\r\n:2\r\n"
+    (Resp.encode_reply (Command.Array [ Command.Int 1; Command.Int 2 ]))
+
+(* --- thread pool --- *)
+
+let test_thread_pool () =
+  let pool = Thread_pool.create ~workers:3 () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Thread_pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Thread_pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter)
+
+(* --- server end-to-end --- *)
+
+let test_server_end_to_end () =
+  let store = Store.create () in
+  let mutex = Mutex.create () in
+  let exec cmd =
+    Mutex.lock mutex;
+    let r = Store.execute store cmd in
+    Mutex.unlock mutex;
+    r
+  in
+  let server = Server.create ~port:0 ~workers:2 exec in
+  let port = Server.port server in
+  let accept_domain = Domain.spawn (fun () -> Server.serve server) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let send tokens =
+    let out = Bytes.of_string (Resp.encode_request tokens) in
+    ignore (Unix.write sock out 0 (Bytes.length out))
+  in
+  let recv () =
+    let buf = Bytes.create 4096 in
+    let n = Unix.read sock buf 0 4096 in
+    Bytes.sub_string buf 0 n
+  in
+  send [ "PING" ];
+  Alcotest.(check string) "pong" "+PONG\r\n" (recv ());
+  send [ "ZADD"; "z"; "10"; "1" ];
+  Alcotest.(check string) "zadd" ":1\r\n" (recv ());
+  send [ "ZRANK"; "z"; "1" ];
+  Alcotest.(check string) "zrank" ":0\r\n" (recv ());
+  send [ "GET"; "missing" ];
+  Alcotest.(check string) "nil" "$-1\r\n" (recv ());
+  Unix.close sock;
+  Server.shutdown server;
+  Domain.join accept_domain
+
+let suite =
+  [
+    Alcotest.test_case "zset add/score" `Quick test_zset_add_score;
+    Alcotest.test_case "zset rank" `Quick test_zset_rank;
+    Alcotest.test_case "zset rank ties" `Quick test_zset_rank_ties_by_member;
+    Alcotest.test_case "zset incrby" `Quick test_zset_incrby;
+    Alcotest.test_case "zset range/remove" `Quick test_zset_range_remove;
+    QCheck_alcotest.to_alcotest zset_model_test;
+    Alcotest.test_case "store strings" `Quick test_store_strings;
+    Alcotest.test_case "store incr" `Quick test_store_incr;
+    Alcotest.test_case "store zsets" `Quick test_store_zsets;
+    Alcotest.test_case "store wrongtype" `Quick test_store_wrongtype;
+    Alcotest.test_case "store dbsize/flush" `Quick test_store_dbsize_flush;
+    Alcotest.test_case "store determinism" `Quick test_store_determinism;
+    Alcotest.test_case "command parse" `Quick test_command_parse;
+    Alcotest.test_case "resp roundtrip" `Quick test_resp_roundtrip;
+    Alcotest.test_case "resp incomplete" `Quick test_resp_incomplete;
+    Alcotest.test_case "resp inline" `Quick test_resp_inline;
+    Alcotest.test_case "resp pipeline" `Quick test_resp_pipeline;
+    Alcotest.test_case "resp invalid" `Quick test_resp_invalid;
+    Alcotest.test_case "resp encode replies" `Quick test_resp_encode_replies;
+    Alcotest.test_case "thread pool" `Slow test_thread_pool;
+    Alcotest.test_case "server end-to-end" `Slow test_server_end_to_end;
+  ]

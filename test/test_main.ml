@@ -1,0 +1,21 @@
+(* Test entry point: every suite in one runner so `dune runtest` covers the
+   whole library. *)
+
+let () =
+  Alcotest.run "node-replication"
+    [
+      ("prng+workload", Test_prng.suite);
+      ("sequential-structures", Test_seqds.suite);
+      ("simulator", Test_sim.suite);
+      ("sync-primitives", Test_sync.suite);
+      ("shared-log", Test_log.suite);
+      ("node-replication", Test_nr.suite);
+      ("baselines", Test_baselines.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("misc", Test_misc.suite);
+      ("memsize", Test_memsize.suite);
+      ("stress", Test_stress.suite);
+    ]

@@ -1,0 +1,19 @@
+(* Memory-accounting table (paper figs. 5f/6c/7e): NR must cost roughly
+   (replica count) x structure plus the log. *)
+
+let test_rows () =
+  let params = { Nr_harness.Params.quick with population = 5_000 } in
+  let rows = Nr_harness.Memsize.rows params in
+  Alcotest.(check int) "three structures" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      let open Nr_harness.Memsize in
+      if r.others_mb <= 0.0 then Alcotest.failf "%s: empty baseline" r.structure;
+      let ratio = r.nr_mb /. r.others_mb in
+      (* 4 replicas plus the log: between ~3.5x and ~40x (the log dominates
+         for small structures) *)
+      if ratio < 3.5 then
+        Alcotest.failf "%s: NR ratio %.1f implausibly small" r.structure ratio)
+    rows
+
+let suite = [ Alcotest.test_case "memory table" `Slow test_rows ]

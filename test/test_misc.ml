@@ -1,0 +1,130 @@
+(* Cross-topology NR behaviour, config validation, driver over real
+   domains, and the families registry edge cases. *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+module Counter = struct
+  type t = { mutable v : int }
+  type op = Incr | Get
+  type result = int
+
+  let create () = { v = 0 }
+
+  let execute t = function
+    | Incr ->
+        t.v <- t.v + 1;
+        t.v
+    | Get -> t.v
+
+  let is_read_only = function Get -> true | Incr -> false
+  let footprint _ _ = Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  let lines _ = 4
+  let pp_op ppf _ = Format.pp_print_string ppf "op"
+end
+
+let run_counter topo threads per_thread =
+  let sched = S.create topo in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Counter) in
+  let nr = NR.create (fun () -> Counter.create ()) in
+  let results = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to per_thread do
+          results.(tid) <- NR.execute nr Counter.Incr :: results.(tid)
+        done)
+  done;
+  S.run sched;
+  let all = Array.to_list results |> List.concat |> List.sort compare in
+  Alcotest.(check (list int))
+    (Printf.sprintf "permutation on %s" topo.T.name)
+    (List.init (threads * per_thread) (fun i -> i + 1))
+    all
+
+let test_nr_on_amd () = run_counter T.amd 48 30
+let test_nr_on_custom_topology () =
+  run_counter (T.custom ~nodes:8 ~cores_per_node:2 ~smt:2 ()) 32 30
+
+let test_config_validation () =
+  let bad cfg =
+    let sched = S.create T.tiny in
+    let module R = (val Nr_runtime.Runtime_sim.make sched) in
+    let module NR = Nr_core.Node_replication.Make (R) (Counter) in
+    match NR.create ~cfg (fun () -> Counter.create ()) with
+    | _ -> Alcotest.fail "invalid config accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Nr_core.Config.default with log_size = 1 };
+  bad { Nr_core.Config.default with min_batch = 0 };
+  bad { Nr_core.Config.default with replay_window = 0 };
+  bad { Nr_core.Config.default with min_batch_retries = -1 }
+
+let test_families_rejects_structure_specific () =
+  let sched = S.create T.tiny in
+  let rt = Nr_runtime.Runtime_sim.make sched in
+  let module W = Nr_harness.Families.Wrap (Nr_seqds.Skiplist_pq) in
+  List.iter
+    (fun m ->
+      try
+        ignore
+          (W.build rt m ~factory:(fun () -> Nr_seqds.Skiplist_pq.create ()) ()
+            : Nr_seqds.Pq_ops.op -> Nr_seqds.Pq_ops.result);
+        Alcotest.fail "structure-specific method accepted as black-box"
+      with Invalid_argument _ -> ())
+    [ Nr_harness.Method.LF; Nr_harness.Method.NA ]
+
+let test_driver_domains () =
+  let r =
+    Nr_harness.Driver.run_domains ~topo:T.tiny ~threads:2 ~warmup_s:0.01
+      ~measure_s:0.05 (fun rt ~tid ->
+        ignore tid;
+        let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+        fun () -> R.work 50)
+  in
+  Alcotest.(check bool) "made progress" true (r.Nr_harness.Driver.total_ops > 0)
+
+let test_stats_accumulate () =
+  let a = Nr_core.Stats.create () in
+  let b = Nr_core.Stats.create () in
+  Nr_core.Stats.record_batch b 5;
+  Nr_core.Stats.record_batch b 3;
+  b.Nr_core.Stats.updates <- 7;
+  Nr_core.Stats.add a b;
+  Alcotest.(check int) "combines" 2 a.Nr_core.Stats.combines;
+  Alcotest.(check int) "ops" 8 a.Nr_core.Stats.combined_ops;
+  Alcotest.(check int) "max batch" 5 a.Nr_core.Stats.max_batch;
+  Alcotest.(check bool) "avg" true
+    (abs_float (Nr_core.Stats.avg_batch a -. 4.0) < 1e-9)
+
+let test_costs_scaling () =
+  let c = Nr_sim.Costs.scaled 2.0 in
+  Alcotest.(check int) "latencies scale" (2 * Nr_sim.Costs.default.Nr_sim.Costs.l3_hit)
+    c.Nr_sim.Costs.l3_hit;
+  Alcotest.(check int) "yield untouched" Nr_sim.Costs.default.Nr_sim.Costs.yield
+    c.Nr_sim.Costs.yield
+
+let test_sim_scaled_costs_run () =
+  (* the simulator accepts a custom cost table end to end *)
+  let sched = S.create ~costs:(Nr_sim.Costs.scaled 0.5) T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let c = R.cell 0 in
+  S.spawn sched ~tid:0 (fun () ->
+      for _ = 1 to 100 do
+        ignore (R.faa c 1)
+      done);
+  S.run sched;
+  Alcotest.(check int) "ops applied" 100 (R.read c)
+
+let suite =
+  [
+    Alcotest.test_case "NR on AMD topology" `Quick test_nr_on_amd;
+    Alcotest.test_case "NR on custom topology" `Quick test_nr_on_custom_topology;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "families rejects LF/NA" `Quick
+      test_families_rejects_structure_specific;
+    Alcotest.test_case "driver over domains" `Slow test_driver_domains;
+    Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+    Alcotest.test_case "cost scaling" `Quick test_costs_scaling;
+    Alcotest.test_case "scaled costs end-to-end" `Quick test_sim_scaled_costs_run;
+  ]

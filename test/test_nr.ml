@@ -1,0 +1,274 @@
+(* Node Replication correctness tests, on the simulator (deterministic
+   interleavings at 112-thread scale) and on real domains.
+
+   Linearizability oracles used:
+   - counter increments: the multiset of returned values must be exactly
+     {1..N} (each update's return value is its linearization index);
+   - priority queue: every successful deleteMin returns a distinct inserted
+     element; after quiescence the remaining elements complete the multiset;
+   - read freshness: a read that starts after an update completed must
+     observe it (checked via a monotonically increasing counter: reads never
+     observe a value smaller than the last value the same thread saw). *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+module Counter = struct
+  type t = { mutable v : int }
+  type op = Incr | Get
+  type result = int
+
+  let create () = { v = 0 }
+
+  let execute t = function
+    | Incr ->
+        t.v <- t.v + 1;
+        t.v
+    | Get -> t.v
+
+  let is_read_only = function Get -> true | Incr -> false
+
+  let footprint _ op =
+    Nr_runtime.Footprint.v ~key:0 ~reads:1
+      ~writes:(match op with Incr -> 1 | Get -> 0)
+      ()
+
+  let lines _ = 4
+
+  let pp_op ppf = function
+    | Incr -> Format.pp_print_string ppf "incr"
+    | Get -> Format.pp_print_string ppf "get"
+end
+
+(* Run a counter workload under a given NR config; verify full
+   linearizability of updates and read monotonicity per thread. *)
+let counter_scenario ?(cfg = Nr_core.Config.default) ~topo ~threads ~per_thread
+    () =
+  let sched = S.create topo in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Counter) in
+  let nr = NR.create ~cfg (fun () -> Counter.create ()) in
+  let results = Array.make threads [] in
+  let monotonic = ref true in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        let last_read = ref 0 in
+        for _ = 1 to per_thread do
+          let r = NR.execute nr Counter.Incr in
+          results.(tid) <- r :: results.(tid);
+          let g = NR.execute nr Counter.Get in
+          (* the read follows our own completed increment: it must be at
+             least as large as that increment's value *)
+          if g < r || g < !last_read then monotonic := false;
+          last_read := g
+        done)
+  done;
+  S.run sched;
+  let all = Array.to_list results |> List.concat |> List.sort compare in
+  let n = threads * per_thread in
+  Alcotest.(check (list int)) "increment results are a permutation of 1..N"
+    (List.init n (fun i -> i + 1))
+    all;
+  Alcotest.(check bool) "reads monotone and fresh" true !monotonic;
+  (* all replicas converge *)
+  NR.Unsafe.sync nr;
+  for node = 0 to NR.num_replicas nr - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d converged" node)
+      n
+      (NR.Unsafe.replica nr node).Counter.v
+  done;
+  NR.stats nr
+
+let test_counter_basic () =
+  ignore (counter_scenario ~topo:T.intel ~threads:56 ~per_thread:60 ())
+
+let test_counter_tiny_topo () =
+  ignore (counter_scenario ~topo:T.tiny ~threads:4 ~per_thread:200 ())
+
+let test_counter_single_thread () =
+  ignore (counter_scenario ~topo:T.intel ~threads:1 ~per_thread:100 ())
+
+let test_counter_small_log_wraps () =
+  (* a tiny log (barely above the max batch size) forces constant
+     wrap-around and recycling *)
+  let cfg = { Nr_core.Config.default with log_size = 32 } in
+  ignore (counter_scenario ~cfg ~topo:T.intel ~threads:32 ~per_thread:50 ())
+
+let test_counter_min_batch () =
+  let cfg = { Nr_core.Config.default with min_batch = 8; min_batch_retries = 3 } in
+  ignore (counter_scenario ~cfg ~topo:T.intel ~threads:56 ~per_thread:40 ())
+
+(* every ablation configuration must remain correct *)
+let ablation_configs =
+  [
+    ("no flat combining", { Nr_core.Config.default with flat_combining = false });
+    ( "no read optimization",
+      { Nr_core.Config.default with read_optimization = false } );
+    ( "combined replica lock",
+      { Nr_core.Config.default with separate_replica_lock = false } );
+    ( "serial replica update",
+      { Nr_core.Config.default with parallel_replica_update = false } );
+    ( "simple rwlock",
+      { Nr_core.Config.default with distributed_rwlock = false } );
+  ]
+
+let test_ablations_correct () =
+  List.iter
+    (fun (_name, cfg) ->
+      ignore (counter_scenario ~cfg ~topo:T.intel ~threads:24 ~per_thread:30 ()))
+    ablation_configs
+
+let test_combining_happens () =
+  let stats = counter_scenario ~topo:T.intel ~threads:56 ~per_thread:60 () in
+  Alcotest.(check bool) "batches formed" true (stats.Nr_core.Stats.max_batch > 1)
+
+(* --- priority queue oracle --- *)
+
+let test_pq_unique_removals () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_pq) in
+  let nr = NR.create (fun () -> Nr_seqds.Skiplist_pq.create ()) in
+  let threads = 28 in
+  let per_thread = 50 in
+  let inserted = Array.make threads [] in
+  let removed = Array.make threads [] in
+  for tid = 0 to threads - 1 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to per_thread do
+          (* unique keys per thread *)
+          let key = (tid * 1_000_000) + i in
+          (match NR.execute nr (Nr_seqds.Pq_ops.Insert (key, tid)) with
+          | Nr_seqds.Pq_ops.Inserted true -> inserted.(tid) <- key :: inserted.(tid)
+          | Nr_seqds.Pq_ops.Inserted false -> Alcotest.fail "unique key rejected"
+          | _ -> Alcotest.fail "bad insert result");
+          if i mod 2 = 0 then
+            match NR.execute nr Nr_seqds.Pq_ops.Delete_min with
+            | Nr_seqds.Pq_ops.Removed (Some (k, _)) ->
+                removed.(tid) <- k :: removed.(tid)
+            | Nr_seqds.Pq_ops.Removed None -> ()
+            | _ -> Alcotest.fail "bad deleteMin result"
+        done)
+  done;
+  S.run sched;
+  let all_inserted =
+    Array.to_list inserted |> List.concat |> List.sort compare
+  in
+  let all_removed = Array.to_list removed |> List.concat |> List.sort compare in
+  (* no element removed twice *)
+  Alcotest.(check (list int)) "removals distinct"
+    (List.sort_uniq compare all_removed)
+    all_removed;
+  (* every removal was inserted *)
+  List.iter
+    (fun k ->
+      if not (List.mem k all_inserted) then
+        Alcotest.failf "removed %d was never inserted" k)
+    all_removed;
+  (* remaining elements = inserted \ removed, on every replica *)
+  NR.Unsafe.sync nr;
+  let expected =
+    List.filter (fun k -> not (List.mem k all_removed)) all_inserted
+  in
+  for node = 0 to NR.num_replicas nr - 1 do
+    let remaining =
+      List.map fst (Nr_seqds.Skiplist_pq.to_list (NR.Unsafe.replica nr node))
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "replica %d contents" node)
+      expected remaining
+  done
+
+(* the log, replayed into a fresh sequential structure, reproduces every
+   replica: NR is a faithful state machine replication *)
+let test_log_replay_oracle () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_dict) in
+  let nr = NR.create (fun () -> Nr_seqds.Skiplist_dict.create ()) in
+  for tid = 0 to 3 do
+    let rng = Nr_workload.Prng.create ~seed:(tid + 1) in
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to 100 do
+          let k = Nr_workload.Prng.below rng 50 in
+          match Nr_workload.Prng.below rng 3 with
+          | 0 -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Insert (k, k)))
+          | 1 -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Remove k))
+          | _ -> ignore (NR.execute nr (Nr_seqds.Dict_ops.Lookup k))
+        done)
+  done;
+  S.run sched;
+  NR.Unsafe.sync nr;
+  let fresh = Nr_seqds.Skiplist_dict.create () in
+  List.iter
+    (fun op -> ignore (Nr_seqds.Skiplist_dict.execute fresh op))
+    (NR.Unsafe.log_entries nr);
+  let expected = Nr_seqds.Skiplist_dict.to_list fresh in
+  for node = 0 to NR.num_replicas nr - 1 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d = log replay" node)
+      expected
+      (Nr_seqds.Skiplist_dict.to_list (NR.Unsafe.replica nr node))
+  done
+
+(* --- real domains --- *)
+
+let test_domains_counter () =
+  let topo = T.tiny in
+  let module R = (val Nr_runtime.Runtime_domains.make topo) in
+  let module NR = Nr_core.Node_replication.Make (R) (Counter) in
+  let nr = NR.create (fun () -> Counter.create ()) in
+  let threads = 4 in
+  let per_thread = 300 in
+  let results = Array.make threads [] in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads:threads (fun tid ->
+      for _ = 1 to per_thread do
+        let r = NR.execute nr Counter.Incr in
+        results.(tid) <- r :: results.(tid);
+        ignore (NR.execute nr Counter.Get)
+      done);
+  let all = Array.to_list results |> List.concat |> List.sort compare in
+  let n = threads * per_thread in
+  Alcotest.(check int) "count" n (List.length all);
+  Alcotest.(check (list int)) "permutation" (List.init n (fun i -> i + 1)) all
+
+let test_domains_coupled_structures () =
+  (* the paper's "coupled data structures" claim: NR atomically updates a
+     zset's hash table and skip list because they form one structure *)
+  let topo = T.tiny in
+  let module R = (val Nr_runtime.Runtime_domains.make topo) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
+  let nr = NR.create (fun () -> Nr_kvstore.Store.create ()) in
+  let threads = 4 in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads:threads (fun tid ->
+      for i = 1 to 100 do
+        ignore
+          (NR.execute nr (Nr_kvstore.Command.Zincrby ("z", 1, (tid * 200) + i)));
+        ignore (NR.execute nr (Nr_kvstore.Command.Zrank ("z", (tid * 200) + i)))
+      done);
+  (* quiesce and check zset internal consistency on each replica *)
+  NR.Unsafe.sync nr;
+  for node = 0 to NR.num_replicas nr - 1 do
+    let store = NR.Unsafe.replica nr node in
+    match Nr_kvstore.Store.execute store (Nr_kvstore.Command.Zcard "z") with
+    | Nr_kvstore.Command.Int n ->
+        Alcotest.(check int) "all members present" (threads * 100) n
+    | _ -> Alcotest.fail "zcard failed"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "counter 56 threads" `Quick test_counter_basic;
+    Alcotest.test_case "counter tiny topology" `Quick test_counter_tiny_topo;
+    Alcotest.test_case "counter single thread" `Quick test_counter_single_thread;
+    Alcotest.test_case "counter with log wrap" `Quick test_counter_small_log_wraps;
+    Alcotest.test_case "counter with min batch" `Quick test_counter_min_batch;
+    Alcotest.test_case "all ablation configs correct" `Quick test_ablations_correct;
+    Alcotest.test_case "combining happens" `Quick test_combining_happens;
+    Alcotest.test_case "pq removals unique" `Quick test_pq_unique_removals;
+    Alcotest.test_case "log replay oracle" `Quick test_log_replay_oracle;
+    Alcotest.test_case "domains counter" `Slow test_domains_counter;
+    Alcotest.test_case "domains coupled structures" `Slow
+      test_domains_coupled_structures;
+  ]

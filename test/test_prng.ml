@@ -1,0 +1,171 @@
+(* PRNG, zipf and workload-mix tests. *)
+
+open Nr_workload
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let eq = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr eq
+  done;
+  Alcotest.(check bool) "streams differ" true (!eq < 5)
+
+let test_below_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.below rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_below_invalid () =
+  let rng = Prng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.below: bound must be > 0")
+    (fun () -> ignore (Prng.below rng 0))
+
+let test_float_range () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_below_uniformity () =
+  let rng = Prng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Prng.below rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    buckets
+
+let test_split_independence () =
+  let parent = Prng.create ~seed:3 in
+  let child = Prng.split parent in
+  let eq = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr eq
+  done;
+  Alcotest.(check bool) "split streams decorrelated" true (!eq < 5)
+
+let test_copy () =
+  let a = Prng.create ~seed:5 in
+  ignore (Prng.next a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies continue identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+(* --- zipf --- *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~theta:1.5 ~n:1000 () in
+  let total = ref 0.0 in
+  for k = 0 to 999 do
+    total := !total +. Zipf.pmf z k
+  done;
+  Alcotest.(check bool) "pmf sums to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
+let test_zipf_rank0_hottest () =
+  let z = Zipf.create ~theta:1.5 ~n:1000 () in
+  for k = 1 to 999 do
+    if Zipf.pmf z k > Zipf.pmf z (k - 1) +. 1e-12 then
+      Alcotest.failf "pmf not decreasing at rank %d" k
+  done
+
+let test_zipf_sample_distribution () =
+  let z = Zipf.create ~theta:1.5 ~n:10_000 () in
+  let rng = Prng.create ~seed:13 in
+  let n = 100_000 in
+  let hits0 = ref 0 in
+  for _ = 1 to n do
+    let k = Zipf.sample z rng in
+    if k < 0 || k >= 10_000 then Alcotest.fail "sample out of range";
+    if k = 0 then incr hits0
+  done;
+  let expected = Zipf.pmf z 0 *. float_of_int n in
+  let observed = float_of_int !hits0 in
+  if abs_float (observed -. expected) > expected *. 0.1 then
+    Alcotest.failf "rank-0 frequency %f far from expected %f" observed expected
+
+let test_zipf_theta_skew () =
+  (* larger theta concentrates more mass on rank 0 *)
+  let z1 = Zipf.create ~theta:1.0 ~n:1000 () in
+  let z2 = Zipf.create ~theta:2.0 ~n:1000 () in
+  Alcotest.(check bool) "theta=2 hotter head" true (Zipf.pmf z2 0 > Zipf.pmf z1 0)
+
+(* --- op mix --- *)
+
+let test_op_mix_extremes () =
+  let rng = Prng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    (match Op_mix.sample ~update_percent:0 rng with
+    | Op_mix.Read -> ()
+    | Op_mix.Add | Op_mix.Remove -> Alcotest.fail "0%% updates produced update");
+    match Op_mix.sample ~update_percent:100 rng with
+    | Op_mix.Read -> Alcotest.fail "100%% updates produced read"
+    | Op_mix.Add | Op_mix.Remove -> ()
+  done
+
+let test_op_mix_ratio () =
+  let rng = Prng.create ~seed:19 in
+  let updates = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    match Op_mix.sample ~update_percent:10 rng with
+    | Op_mix.Add | Op_mix.Remove -> incr updates
+    | Op_mix.Read -> ()
+  done;
+  let ratio = float_of_int !updates /. float_of_int n in
+  Alcotest.(check bool) "about 10% updates" true
+    (ratio > 0.08 && ratio < 0.12)
+
+let test_op_mix_invalid () =
+  let rng = Prng.create ~seed:21 in
+  Alcotest.check_raises "percent 101"
+    (Invalid_argument "Op_mix.sample: update_percent must be in [0,100]")
+    (fun () -> ignore (Op_mix.sample ~update_percent:101 rng))
+
+(* --- key dist --- *)
+
+let test_key_dist () =
+  let rng = Prng.create ~seed:23 in
+  let u = Key_dist.uniform 100 in
+  for _ = 1 to 1000 do
+    let k = Key_dist.sample u rng in
+    Alcotest.(check bool) "uniform in range" true (k >= 0 && k < 100)
+  done;
+  Alcotest.(check int) "space" 100 (Key_dist.space u);
+  let z = Key_dist.zipf ~theta:1.5 ~n:50 () in
+  Alcotest.(check int) "zipf space" 50 (Key_dist.space z);
+  Alcotest.(check string) "uniform name" "uniform" (Key_dist.name u)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_determinism;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "prng below bounds" `Quick test_below_bounds;
+    Alcotest.test_case "prng below invalid" `Quick test_below_invalid;
+    Alcotest.test_case "prng float range" `Quick test_float_range;
+    Alcotest.test_case "prng uniformity" `Quick test_below_uniformity;
+    Alcotest.test_case "prng split" `Quick test_split_independence;
+    Alcotest.test_case "prng copy" `Quick test_copy;
+    Alcotest.test_case "zipf pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+    Alcotest.test_case "zipf decreasing pmf" `Quick test_zipf_rank0_hottest;
+    Alcotest.test_case "zipf sampling" `Quick test_zipf_sample_distribution;
+    Alcotest.test_case "zipf theta skew" `Quick test_zipf_theta_skew;
+    Alcotest.test_case "op mix extremes" `Quick test_op_mix_extremes;
+    Alcotest.test_case "op mix ratio" `Quick test_op_mix_ratio;
+    Alcotest.test_case "op mix invalid" `Quick test_op_mix_invalid;
+    Alcotest.test_case "key distributions" `Quick test_key_dist;
+  ]

@@ -1,0 +1,190 @@
+(* Second-wave property tests: randomized NR configurations under the
+   linearizability oracle, skip-list rank/selection laws, RESP fuzzing,
+   memory-model invariants. *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+module Counter = struct
+  type t = { mutable v : int }
+  type op = Incr | Get
+  type result = int
+
+  let create () = { v = 0 }
+
+  let execute t = function
+    | Incr ->
+        t.v <- t.v + 1;
+        t.v
+    | Get -> t.v
+
+  let is_read_only = function Get -> true | Incr -> false
+  let footprint _ _ = Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  let lines _ = 4
+  let pp_op ppf _ = Format.pp_print_string ppf "op"
+end
+
+(* --- random NR configurations stay linearizable --- *)
+
+let config_gen =
+  QCheck.Gen.(
+    let* log_size = oneofl [ 64; 128; 1024; 65536 ] in
+    let* min_batch = oneofl [ 1; 2; 8 ] in
+    let* replay_window = oneofl [ 1; 4; 8 ] in
+    let* flat_combining = bool in
+    let* read_optimization = bool in
+    let* separate_replica_lock = bool in
+    let* parallel_replica_update = bool in
+    let* distributed_rwlock = bool in
+    return
+      {
+        Nr_core.Config.log_size;
+        min_batch;
+        min_batch_retries = 2;
+        replay_window;
+        flat_combining;
+        read_optimization;
+        separate_replica_lock;
+        parallel_replica_update;
+        distributed_rwlock;
+      })
+
+let print_config c = Format.asprintf "%a" Nr_core.Config.pp c
+
+let nr_config_linearizable =
+  QCheck.Test.make ~count:30 ~name:"NR linearizable under any configuration"
+    (QCheck.make config_gen ~print:print_config)
+    (fun cfg ->
+      let threads = 12 and per_thread = 25 in
+      let sched = S.create T.intel in
+      let module R = (val Nr_runtime.Runtime_sim.make sched) in
+      let module NR = Nr_core.Node_replication.Make (R) (Counter) in
+      let nr = NR.create ~cfg (fun () -> Counter.create ()) in
+      let results = Array.make threads [] in
+      for tid = 0 to threads - 1 do
+        S.spawn sched ~tid (fun () ->
+            for _ = 1 to per_thread do
+              results.(tid) <- NR.execute nr Counter.Incr :: results.(tid);
+              ignore (NR.execute nr Counter.Get)
+            done)
+      done;
+      S.run sched;
+      let all = Array.to_list results |> List.concat |> List.sort compare in
+      all = List.init (threads * per_thread) (fun i -> i + 1))
+
+(* --- skip list selection laws --- *)
+
+module Sl = Nr_seqds.Skiplist.Make (Nr_seqds.Ordered.Int)
+
+let sl_rank_nth_inverse =
+  QCheck.Test.make ~count:200 ~name:"skiplist nth inverts rank"
+    QCheck.(list (int_bound 500))
+    (fun keys ->
+      let t = Sl.create ~seed:3 () in
+      List.iter (fun k -> ignore (Sl.insert t k k)) keys;
+      let items = Sl.to_list t in
+      List.for_all
+        (fun (k, _) ->
+          match Sl.rank t k with
+          | Some r -> (
+              match Sl.nth t r with
+              | Some (k', _) -> k = k'
+              | None -> false)
+          | None -> false)
+        items)
+
+let sl_rank_counts_smaller =
+  QCheck.Test.make ~count:200 ~name:"skiplist rank = #smaller keys"
+    QCheck.(pair (list (int_bound 300)) (int_bound 300))
+    (fun (keys, probe) ->
+      let t = Sl.create ~seed:5 () in
+      List.iter (fun k -> ignore (Sl.insert t k k)) keys;
+      let distinct = List.sort_uniq compare keys in
+      match Sl.rank t probe with
+      | Some r -> r = List.length (List.filter (fun k -> k < probe) distinct)
+      | None -> not (List.mem probe distinct))
+
+(* --- RESP never crashes on junk and parses its own output --- *)
+
+let resp_fuzz =
+  QCheck.Test.make ~count:500 ~name:"resp parser total on junk"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun junk ->
+      match Nr_kvstore.Resp.parse_request junk with
+      | Nr_kvstore.Resp.Parsed _ | Nr_kvstore.Resp.Incomplete
+      | Nr_kvstore.Resp.Invalid _ ->
+          true)
+
+let resp_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"resp request roundtrip"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) (string_of_size (QCheck.Gen.int_bound 20)))
+    (fun tokens ->
+      match Nr_kvstore.Resp.parse_request (Nr_kvstore.Resp.encode_request tokens) with
+      | Nr_kvstore.Resp.Parsed (tokens', _) -> tokens = tokens'
+      | _ -> false)
+
+(* --- memory-model invariants under random access sequences --- *)
+
+let access_gen =
+  QCheck.Gen.(
+    triple (int_bound 3) (int_bound 55)
+      (oneofl [ Nr_sim.Mem.Read; Nr_sim.Mem.Write; Nr_sim.Mem.Cas ]))
+
+let mem_invariants =
+  QCheck.Test.make ~count:300 ~name:"memory model line-state invariants"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_bound 60) access_gen)
+       ~print:(fun l -> Printf.sprintf "<%d accesses>" (List.length l)))
+    (fun accesses ->
+      let topo = T.intel in
+      let costs = Nr_sim.Costs.default in
+      let st = Nr_sim.Sim_stats.create () in
+      let line = Nr_sim.Mem.line ~home:0 in
+      let now = ref 0 in
+      List.for_all
+        (fun (node, core_raw, kind) ->
+          let core = (node * 14) + (core_raw mod 14) in
+          let fin =
+            Nr_sim.Mem.access topo costs st ~node ~core ~now:!now line kind
+          in
+          let monotone = fin >= !now in
+          now := fin;
+          let owner_ok =
+            line.Nr_sim.Mem.owner = -1
+            || line.Nr_sim.Mem.sharers = 1 lsl line.Nr_sim.Mem.owner
+          in
+          let writer_owns =
+            match kind with
+            | Nr_sim.Mem.Write | Nr_sim.Mem.Cas ->
+                line.Nr_sim.Mem.owner = node
+            | Nr_sim.Mem.Read -> line.Nr_sim.Mem.sharers land (1 lsl node) <> 0
+          in
+          monotone && owner_ok && writer_owns)
+        accesses)
+
+(* --- zipf statistics --- *)
+
+let zipf_head_mass =
+  QCheck.Test.make ~count:20 ~name:"zipf 1.5 concentrates on the head"
+    (QCheck.make QCheck.Gen.(int_range 100 5000) ~print:string_of_int)
+    (fun n ->
+      let z = Nr_workload.Zipf.create ~theta:1.5 ~n () in
+      (* the top 5% of ranks carry most of the mass for theta=1.5 *)
+      let top = max 1 (n / 20) in
+      let mass = ref 0.0 in
+      for k = 0 to top - 1 do
+        mass := !mass +. Nr_workload.Zipf.pmf z k
+      done;
+      !mass > 0.5)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      nr_config_linearizable;
+      sl_rank_nth_inverse;
+      sl_rank_counts_smaller;
+      resp_fuzz;
+      resp_roundtrip;
+      mem_invariants;
+      zipf_head_mass;
+    ]

@@ -1,0 +1,353 @@
+(* Sequential data structure tests: skip list (with rank/span machinery),
+   pairing heap, hash table, stack, queue, synthetic buffer.  Model-based
+   property tests via qcheck compare each structure against a simple
+   reference implementation. *)
+
+module Sl = Nr_seqds.Skiplist.Make (Nr_seqds.Ordered.Int)
+module Ph = Nr_seqds.Pairing_heap.Make (Nr_seqds.Ordered.Int)
+module Ht = Nr_seqds.Hashtable
+
+let check_valid name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invariant broken: %s" name e
+
+(* --- skip list: units --- *)
+
+let test_sl_basic () =
+  let t = Sl.create ~seed:1 () in
+  Alcotest.(check bool) "empty" true (Sl.is_empty t);
+  Alcotest.(check bool) "insert new" true (Sl.insert t 5 50);
+  Alcotest.(check bool) "insert dup" false (Sl.insert t 5 51);
+  Alcotest.(check (option int)) "find" (Some 50) (Sl.find t 5);
+  Alcotest.(check (option int)) "find absent" None (Sl.find t 6);
+  Alcotest.(check int) "length" 1 (Sl.length t);
+  Alcotest.(check (option int)) "remove" (Some 50) (Sl.remove t 5);
+  Alcotest.(check (option int)) "remove absent" None (Sl.remove t 5);
+  Alcotest.(check bool) "empty again" true (Sl.is_empty t);
+  check_valid "basic" (Sl.validate t)
+
+let test_sl_order () =
+  let t = Sl.create ~seed:2 () in
+  let keys = [ 9; 3; 7; 1; 5; 8; 2; 6; 4; 0 ] in
+  List.iter (fun k -> ignore (Sl.insert t k (k * 10))) keys;
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    (List.init 10 (fun i -> (i, i * 10)))
+    (Sl.to_list t);
+  check_valid "order" (Sl.validate t)
+
+let test_sl_min () =
+  let t = Sl.create ~seed:3 () in
+  List.iter (fun k -> ignore (Sl.insert t k k)) [ 5; 2; 8 ];
+  Alcotest.(check (option (pair int int))) "min" (Some (2, 2)) (Sl.min t);
+  Alcotest.(check (option (pair int int)))
+    "remove_min" (Some (2, 2)) (Sl.remove_min t);
+  Alcotest.(check (option (pair int int))) "next min" (Some (5, 5)) (Sl.min t);
+  check_valid "min" (Sl.validate t)
+
+let test_sl_remove_min_drains_sorted () =
+  let t = Sl.create ~seed:4 () in
+  let rng = Nr_workload.Prng.create ~seed:99 in
+  let keys = List.init 500 (fun _ -> Nr_workload.Prng.below rng 10_000) in
+  List.iter (fun k -> ignore (Sl.insert t k k)) keys;
+  let drained = ref [] in
+  let rec drain () =
+    match Sl.remove_min t with
+    | Some (k, _) ->
+        drained := k :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = List.rev !drained in
+  Alcotest.(check (list int)) "drained in order" (List.sort_uniq compare keys) got;
+  check_valid "drained" (Sl.validate t)
+
+let test_sl_rank_and_nth () =
+  let t = Sl.create ~seed:5 () in
+  for i = 0 to 99 do
+    ignore (Sl.insert t (2 * i) i)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "rank of %d" (2 * i))
+      (Some i)
+      (Sl.rank t (2 * i));
+    match Sl.nth t i with
+    | Some (k, _) -> Alcotest.(check int) "nth key" (2 * i) k
+    | None -> Alcotest.failf "nth %d missing" i
+  done;
+  Alcotest.(check (option int)) "rank absent" None (Sl.rank t 1);
+  Alcotest.(check bool) "nth out of range" true (Sl.nth t 100 = None);
+  Alcotest.(check bool) "nth negative" true (Sl.nth t (-1) = None)
+
+let test_sl_set () =
+  let t = Sl.create ~seed:6 () in
+  Sl.set t 1 10;
+  Sl.set t 1 20;
+  Alcotest.(check (option int)) "set overwrites" (Some 20) (Sl.find t 1);
+  Alcotest.(check int) "no duplicate" 1 (Sl.length t)
+
+let test_sl_determinism () =
+  (* identical op sequences on identically-seeded lists produce identical
+     structures — required by NR's replica contract *)
+  let build () =
+    let t = Sl.create ~seed:7 () in
+    for i = 0 to 999 do
+      ignore (Sl.insert t ((i * 37) mod 1000) i)
+    done;
+    for i = 0 to 299 do
+      ignore (Sl.remove t ((i * 11) mod 1000))
+    done;
+    t
+  in
+  let a = build () and b = build () in
+  Alcotest.(check (list (pair int int)))
+    "identical replicas" (Sl.to_list a) (Sl.to_list b)
+
+(* --- skip list: qcheck model test --- *)
+
+type sl_op = Ins of int * int | Rem of int | Find of int | RemMin
+
+let sl_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Ins (k, v)) (int_bound 50) (int_bound 1000));
+        (3, map (fun k -> Rem k) (int_bound 50));
+        (2, map (fun k -> Find k) (int_bound 50));
+        (1, return RemMin);
+      ])
+
+let pp_sl_op = function
+  | Ins (k, v) -> Printf.sprintf "Ins(%d,%d)" k v
+  | Rem k -> Printf.sprintf "Rem %d" k
+  | Find k -> Printf.sprintf "Find %d" k
+  | RemMin -> "RemMin"
+
+let sl_model_test =
+  QCheck.Test.make ~count:300 ~name:"skiplist vs sorted-assoc model"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_bound 200) sl_op_gen)
+       ~print:(fun ops -> String.concat ";" (List.map pp_sl_op ops)))
+    (fun ops ->
+      let t = Sl.create ~seed:11 () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins (k, v) ->
+              let added = Sl.insert t k v in
+              let expected = not (List.mem_assoc k !model) in
+              if added <> expected then QCheck.Test.fail_report "insert result";
+              if added then model := List.sort compare ((k, v) :: !model)
+          | Rem k ->
+              let r = Sl.remove t k in
+              let expected = List.assoc_opt k !model in
+              if r <> expected then QCheck.Test.fail_report "remove result";
+              model := List.remove_assoc k !model
+          | Find k ->
+              if Sl.find t k <> List.assoc_opt k !model then
+                QCheck.Test.fail_report "find result"
+          | RemMin -> (
+              let r = Sl.remove_min t in
+              match (!model, r) with
+              | [], None -> ()
+              | (mk, mv) :: rest, Some (k, v) when k = mk && v = mv ->
+                  model := rest
+              | _ -> QCheck.Test.fail_report "remove_min result"))
+        ops;
+      (match Sl.validate t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Sl.to_list t = !model)
+
+(* --- pairing heap --- *)
+
+let test_ph_basic () =
+  let t = Ph.create () in
+  Alcotest.(check bool) "empty" true (Ph.is_empty t);
+  Ph.insert t 5 "five";
+  Ph.insert t 2 "two";
+  Ph.insert t 8 "eight";
+  Alcotest.(check (option (pair int string)))
+    "find_min" (Some (2, "two")) (Ph.find_min t);
+  Alcotest.(check (option (pair int string)))
+    "remove_min" (Some (2, "two")) (Ph.remove_min t);
+  Alcotest.(check int) "length" 2 (Ph.length t);
+  check_valid "ph basic" (Ph.validate t)
+
+let test_ph_duplicates () =
+  let t = Ph.create () in
+  Ph.insert t 1 "a";
+  Ph.insert t 1 "b";
+  Alcotest.(check int) "two entries" 2 (Ph.length t);
+  ignore (Ph.remove_min t);
+  ignore (Ph.remove_min t);
+  Alcotest.(check bool) "drained" true (Ph.is_empty t)
+
+let ph_heapsort_test =
+  QCheck.Test.make ~count:300 ~name:"pairing heap sorts"
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let t = Ph.create () in
+      List.iter (fun k -> Ph.insert t k k) keys;
+      (match Ph.validate t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      let rec drain acc =
+        match Ph.remove_min t with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* --- hashtable --- *)
+
+let test_ht_basic () =
+  let t = Ht.create () in
+  Alcotest.(check bool) "add" true (Ht.add t "a" 1);
+  Alcotest.(check bool) "add dup" false (Ht.add t "a" 2);
+  Alcotest.(check (option int)) "find" (Some 1) (Ht.find t "a");
+  Ht.set t "a" 3;
+  Alcotest.(check (option int)) "set overwrites" (Some 3) (Ht.find t "a");
+  Alcotest.(check (option int)) "remove" (Some 3) (Ht.remove t "a");
+  Alcotest.(check (option int)) "remove absent" None (Ht.remove t "a");
+  Alcotest.(check int) "empty" 0 (Ht.length t)
+
+let test_ht_resize () =
+  let t = Ht.create ~initial_size:2 () in
+  for i = 0 to 999 do
+    Ht.set t i (i * 2)
+  done;
+  Alcotest.(check int) "length" 1000 (Ht.length t);
+  Alcotest.(check bool) "resized" true (Ht.bucket_count t > 2);
+  for i = 0 to 999 do
+    Alcotest.(check (option int)) "lookup" (Some (i * 2)) (Ht.find t i)
+  done;
+  check_valid "ht resize" (Ht.validate t)
+
+let ht_model_test =
+  QCheck.Test.make ~count:300 ~name:"hashtable vs assoc model"
+    QCheck.(list (pair (int_bound 30) (option (int_bound 100))))
+    (fun ops ->
+      let t = Ht.create ~initial_size:1 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v ->
+              Ht.set t k v;
+              Hashtbl.replace model k v
+          | None ->
+              ignore (Ht.remove t k);
+              Hashtbl.remove model k)
+        ops;
+      (match Ht.validate t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Ht.length t = Hashtbl.length model
+      && Hashtbl.fold (fun k v acc -> acc && Ht.find t k = Some v) model true)
+
+(* --- stack & queue --- *)
+
+let test_stack () =
+  let t = Nr_seqds.Seq_stack.create () in
+  Alcotest.(check (option int)) "pop empty" None (Nr_seqds.Seq_stack.pop t);
+  Nr_seqds.Seq_stack.push t 1;
+  Nr_seqds.Seq_stack.push t 2;
+  Alcotest.(check (option int)) "peek" (Some 2) (Nr_seqds.Seq_stack.peek t);
+  Alcotest.(check (option int)) "lifo" (Some 2) (Nr_seqds.Seq_stack.pop t);
+  Alcotest.(check (option int)) "lifo2" (Some 1) (Nr_seqds.Seq_stack.pop t);
+  Alcotest.(check int) "len" 0 (Nr_seqds.Seq_stack.length t)
+
+let test_queue () =
+  let t = Nr_seqds.Seq_queue.create () in
+  Alcotest.(check (option int)) "dequeue empty" None (Nr_seqds.Seq_queue.dequeue t);
+  List.iter (Nr_seqds.Seq_queue.enqueue t) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "peek" (Some 1) (Nr_seqds.Seq_queue.peek t);
+  Alcotest.(check (option int)) "fifo1" (Some 1) (Nr_seqds.Seq_queue.dequeue t);
+  Nr_seqds.Seq_queue.enqueue t 4;
+  Alcotest.(check (option int)) "fifo2" (Some 2) (Nr_seqds.Seq_queue.dequeue t);
+  Alcotest.(check (option int)) "fifo3" (Some 3) (Nr_seqds.Seq_queue.dequeue t);
+  Alcotest.(check (option int)) "fifo4" (Some 4) (Nr_seqds.Seq_queue.dequeue t);
+  Alcotest.(check bool) "empty" true (Nr_seqds.Seq_queue.is_empty t)
+
+let queue_model_test =
+  QCheck.Test.make ~count:300 ~name:"queue vs list model"
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let t = Nr_seqds.Seq_queue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              Nr_seqds.Seq_queue.enqueue t v;
+              model := !model @ [ v ];
+              true
+          | None -> (
+              let r = Nr_seqds.Seq_queue.dequeue t in
+              match (!model, r) with
+              | [], None -> true
+              | x :: rest, Some y when x = y ->
+                  model := rest;
+                  true
+              | _ -> false))
+        ops)
+
+(* --- synthetic --- *)
+
+let test_synthetic () =
+  let module Syn = Nr_seqds.Synthetic.Make (struct
+    let n = 64
+    let c = 4
+  end) in
+  let t = Syn.create () in
+  Alcotest.(check int) "read of zeros" 0 (Syn.execute t (Syn.Read 123));
+  ignore (Syn.execute t (Syn.Update 123));
+  Alcotest.(check int) "read after update" 4 (Syn.execute t (Syn.Read 123));
+  Alcotest.(check bool) "read is read-only" true (Syn.is_read_only (Syn.Read 1));
+  Alcotest.(check bool) "update is not" false (Syn.is_read_only (Syn.Update 1));
+  (* entry 0 is hot: every op touches it *)
+  ignore (Syn.execute t (Syn.Update 999));
+  let r = Syn.execute t (Syn.Read 123) in
+  Alcotest.(check bool) "hot entry shared" true (r > 4)
+
+(* --- adapters: footprints well-formed --- *)
+
+let test_footprints () =
+  let t = Nr_seqds.Skiplist_pq.create () in
+  for i = 1 to 1000 do
+    ignore (Nr_seqds.Skiplist_pq.execute t (Nr_seqds.Pq_ops.Insert (i, i)))
+  done;
+  let fp = Nr_seqds.Skiplist_pq.footprint t (Nr_seqds.Pq_ops.Insert (5000, 1)) in
+  Alcotest.(check bool) "insert reads > 0" true (fp.Nr_runtime.Footprint.reads > 0);
+  let fp2 = Nr_seqds.Skiplist_pq.footprint t Nr_seqds.Pq_ops.Find_min in
+  Alcotest.(check bool) "findMin read-only" true
+    (Nr_runtime.Footprint.read_only fp2);
+  let fp3 = Nr_seqds.Skiplist_pq.footprint t Nr_seqds.Pq_ops.Delete_min in
+  Alcotest.(check bool) "deleteMin writes hot" true fp3.Nr_runtime.Footprint.hot_write
+
+let suite =
+  [
+    Alcotest.test_case "skiplist basic" `Quick test_sl_basic;
+    Alcotest.test_case "skiplist order" `Quick test_sl_order;
+    Alcotest.test_case "skiplist min" `Quick test_sl_min;
+    Alcotest.test_case "skiplist drain sorted" `Quick test_sl_remove_min_drains_sorted;
+    Alcotest.test_case "skiplist rank/nth" `Quick test_sl_rank_and_nth;
+    Alcotest.test_case "skiplist set" `Quick test_sl_set;
+    Alcotest.test_case "skiplist determinism" `Quick test_sl_determinism;
+    QCheck_alcotest.to_alcotest sl_model_test;
+    Alcotest.test_case "pairing heap basic" `Quick test_ph_basic;
+    Alcotest.test_case "pairing heap duplicates" `Quick test_ph_duplicates;
+    QCheck_alcotest.to_alcotest ph_heapsort_test;
+    Alcotest.test_case "hashtable basic" `Quick test_ht_basic;
+    Alcotest.test_case "hashtable resize" `Quick test_ht_resize;
+    QCheck_alcotest.to_alcotest ht_model_test;
+    Alcotest.test_case "stack" `Quick test_stack;
+    Alcotest.test_case "queue" `Quick test_queue;
+    QCheck_alcotest.to_alcotest queue_model_test;
+    Alcotest.test_case "synthetic" `Quick test_synthetic;
+    Alcotest.test_case "adapter footprints" `Quick test_footprints;
+  ]

@@ -1,0 +1,258 @@
+(* Simulator tests: event queue, topology, memory model transitions,
+   scheduler determinism, regions. *)
+
+module T = Nr_sim.Topology
+module S = Nr_sim.Sched
+module M = Nr_sim.Mem
+module C = Nr_sim.Costs
+
+(* --- event queue --- *)
+
+let test_eventq_order () =
+  let q = Nr_sim.Eventq.create () in
+  Nr_sim.Eventq.add q ~time:5 "c";
+  Nr_sim.Eventq.add q ~time:1 "a";
+  Nr_sim.Eventq.add q ~time:3 "b";
+  Alcotest.(check (pair int string)) "first" (1, "a") (Nr_sim.Eventq.pop q);
+  Alcotest.(check (pair int string)) "second" (3, "b") (Nr_sim.Eventq.pop q);
+  Alcotest.(check (pair int string)) "third" (5, "c") (Nr_sim.Eventq.pop q);
+  Alcotest.(check bool) "empty" true (Nr_sim.Eventq.is_empty q)
+
+let test_eventq_fifo_ties () =
+  let q = Nr_sim.Eventq.create () in
+  for i = 0 to 9 do
+    Nr_sim.Eventq.add q ~time:7 i
+  done;
+  for i = 0 to 9 do
+    Alcotest.(check (pair int int)) "tie order" (7, i) (Nr_sim.Eventq.pop q)
+  done
+
+let eventq_sorted_test =
+  QCheck.Test.make ~count:200 ~name:"eventq pops sorted"
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Nr_sim.Eventq.create () in
+      List.iter (fun t -> Nr_sim.Eventq.add q ~time:t ()) times;
+      let rec drain acc =
+        if Nr_sim.Eventq.is_empty q then List.rev acc
+        else drain (fst (Nr_sim.Eventq.pop q) :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let test_eventq_empty_pop () =
+  let q = Nr_sim.Eventq.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Eventq.pop: empty")
+    (fun () -> ignore (Nr_sim.Eventq.pop (q : unit Nr_sim.Eventq.t)))
+
+(* --- topology --- *)
+
+let test_topology_placement () =
+  let t = T.intel in
+  Alcotest.(check int) "112 threads" 112 (T.max_threads t);
+  Alcotest.(check int) "28 per node" 28 (T.threads_per_node t);
+  Alcotest.(check int) "tid 0 on node 0" 0 (T.node_of_thread t 0);
+  Alcotest.(check int) "tid 27 on node 0" 0 (T.node_of_thread t 27);
+  Alcotest.(check int) "tid 28 on node 1" 1 (T.node_of_thread t 28);
+  Alcotest.(check int) "tid 111 on node 3" 3 (T.node_of_thread t 111);
+  (* SMT siblings share a core *)
+  Alcotest.(check int) "hyperthread sibling" (T.core_of_thread t 0)
+    (T.core_of_thread t 14);
+  Alcotest.check_raises "tid out of range"
+    (Invalid_argument "Topology: thread id 112 out of range [0,112)")
+    (fun () -> ignore (T.node_of_thread t 112))
+
+let test_topology_amd () =
+  let t = T.amd in
+  Alcotest.(check int) "48 threads" 48 (T.max_threads t);
+  Alcotest.(check bool) "incomplete directory" true t.T.incomplete_directory
+
+(* --- memory model --- *)
+
+let fresh_ctx () = (T.intel, C.default, Nr_sim.Sim_stats.create ())
+
+let test_mem_cold_read_local () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  let fin = M.access topo c st ~node:0 ~core:0 ~now:0 l M.Read in
+  Alcotest.(check int) "local memory read" c.C.mem_local fin
+
+let test_mem_l1_hit () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  let t1 = M.access topo c st ~node:0 ~core:0 ~now:0 l M.Read in
+  let t2 = M.access topo c st ~node:0 ~core:0 ~now:t1 l M.Read in
+  Alcotest.(check int) "l1 hit" c.C.l1_hit (t2 - t1)
+
+let test_mem_l3_hit () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  let t1 = M.access topo c st ~node:0 ~core:0 ~now:0 l M.Read in
+  (* another core, same node *)
+  let t2 = M.access topo c st ~node:0 ~core:1 ~now:t1 l M.Read in
+  Alcotest.(check int) "l3 hit" c.C.l3_hit (t2 - t1)
+
+let test_mem_remote_dirty_read () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  ignore (M.access topo c st ~node:0 ~core:0 ~now:0 l M.Write);
+  (* line modified at node 0; node 1 reads: dirty transfer, downgraded *)
+  let fin = M.access topo c st ~node:1 ~core:20 ~now:1000 l M.Read in
+  Alcotest.(check bool) "remote dirty cost" true (fin - 1000 >= c.C.remote_dirty);
+  Alcotest.(check int) "downgraded" (-1) l.M.owner;
+  Alcotest.(check int) "both sharers" 0b11 l.M.sharers
+
+let test_mem_write_invalidates () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  ignore (M.access topo c st ~node:0 ~core:0 ~now:0 l M.Read);
+  ignore (M.access topo c st ~node:1 ~core:20 ~now:500 l M.Read);
+  ignore (M.access topo c st ~node:2 ~core:40 ~now:5000 l M.Write);
+  Alcotest.(check int) "owner is node 2" 2 l.M.owner;
+  Alcotest.(check int) "only node 2 shares" (1 lsl 2) l.M.sharers
+
+let test_mem_store_buffer () =
+  let topo, c, st = fresh_ctx () in
+  let l = M.line ~home:0 in
+  ignore (M.access topo c st ~node:0 ~core:0 ~now:0 l M.Write);
+  (* a remote write returns quickly (store buffer)... *)
+  let fin = M.access topo c st ~node:1 ~core:20 ~now:10_000 l M.Write in
+  Alcotest.(check bool) "store issue cost small" true (fin - 10_000 <= 20);
+  (* ...but the next reader waits for the background transfer *)
+  let fin2 = M.access topo c st ~node:2 ~core:40 ~now:10_000 l M.Read in
+  Alcotest.(check bool) "reader queues behind transfer" true
+    (fin2 - 10_000 > c.C.remote_dirty)
+
+let test_mem_cas_serializes () =
+  let topo, c, st = fresh_ctx () in
+  ignore c;
+  let l = M.line ~home:0 in
+  (* two CASes from different nodes at the same instant serialize *)
+  let f1 = M.access topo c st ~node:0 ~core:0 ~now:0 l M.Cas in
+  let f2 = M.access topo c st ~node:1 ~core:20 ~now:0 l M.Cas in
+  Alcotest.(check bool) "second waits for first" true (f2 >= f1 + c.C.remote_dirty)
+
+let test_mem_probe_penalty () =
+  let c = C.default in
+  let st = Nr_sim.Sim_stats.create () in
+  let l = M.line ~home:0 in
+  (* node-local sharing on AMD pays the broadcast probe *)
+  ignore (M.access T.amd c st ~node:0 ~core:0 ~now:0 l M.Read);
+  let t = M.access T.amd c st ~node:0 ~core:1 ~now:1000 l M.Read in
+  Alcotest.(check int) "probe added" (c.C.l3_hit + c.C.probe) (t - 1000)
+
+(* --- scheduler --- *)
+
+let test_sched_requires_thread () =
+  Alcotest.check_raises "now outside sim"
+    (Invalid_argument "Sched: called outside a simulated thread") (fun () ->
+      ignore (S.now ()))
+
+let test_sched_virtual_time () =
+  let sched = S.create T.tiny in
+  let final = ref 0 in
+  S.spawn sched ~tid:0 (fun () ->
+      S.work 100;
+      S.work 50;
+      final := S.now ());
+  S.run sched;
+  Alcotest.(check int) "time accumulates" 150 !final
+
+let test_sched_fairness () =
+  (* the scheduler always runs the thread with the smallest virtual time,
+     so all threads progress at comparable virtual rates *)
+  let sched = S.create T.tiny in
+  let finish = Array.make 4 0 in
+  for tid = 0 to 3 do
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to 100 do
+          S.work 10
+        done;
+        finish.(tid) <- S.now ())
+  done;
+  S.run sched;
+  Array.iter (fun f -> Alcotest.(check int) "all finish together" 1000 f) finish
+
+let test_sched_determinism () =
+  let fingerprint () =
+    let sched = S.create T.intel in
+    let module R = (val Nr_runtime.Runtime_sim.make sched) in
+    let acc = R.cell 0 in
+    for tid = 0 to 31 do
+      S.spawn sched ~tid (fun () ->
+          for i = 1 to 50 do
+            ignore (R.faa acc i);
+            R.yield ()
+          done)
+    done;
+    S.run sched;
+    let st = S.stats sched in
+    ( Nr_sim.Sim_stats.total_accesses st,
+      st.Nr_sim.Sim_stats.cycles_memory,
+      R.read acc )
+  in
+  let a = fingerprint () and b = fingerprint () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let test_sched_rejects_nested_run () =
+  let sched = S.create T.tiny in
+  S.spawn sched ~tid:0 (fun () ->
+      let inner = S.create T.tiny in
+      match S.run inner with
+      | () -> Alcotest.fail "nested run should fail"
+      | exception Invalid_argument _ -> ());
+  S.run sched
+
+(* --- runtime over the sim --- *)
+
+let test_runtime_cells () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let c = R.cell 10 in
+  S.spawn sched ~tid:0 (fun () ->
+      Alcotest.(check int) "read" 10 (R.read c);
+      R.write c 20;
+      Alcotest.(check int) "write" 20 (R.read c);
+      Alcotest.(check bool) "cas ok" true (R.cas c 20 30);
+      Alcotest.(check bool) "cas stale" false (R.cas c 20 40);
+      Alcotest.(check int) "faa" 30 (R.faa c 5);
+      Alcotest.(check int) "after faa" 35 (R.read c);
+      let arr = Array.init 10 (fun i -> R.cell i) in
+      Alcotest.(check (array int)) "read_all"
+        (Array.init 10 (fun i -> i))
+        (R.read_all arr));
+  S.run sched
+
+let test_runtime_identity () =
+  let sched = S.create T.intel in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  S.spawn sched ~tid:30 (fun () ->
+      Alcotest.(check int) "tid" 30 (R.tid ());
+      Alcotest.(check int) "node" 1 (R.my_node ());
+      Alcotest.(check int) "nodes" 4 (R.num_nodes ());
+      Alcotest.(check int) "tpn" 28 (R.threads_per_node ()));
+  S.run sched
+
+let suite =
+  [
+    Alcotest.test_case "eventq order" `Quick test_eventq_order;
+    Alcotest.test_case "eventq fifo ties" `Quick test_eventq_fifo_ties;
+    QCheck_alcotest.to_alcotest eventq_sorted_test;
+    Alcotest.test_case "eventq empty pop" `Quick test_eventq_empty_pop;
+    Alcotest.test_case "topology placement" `Quick test_topology_placement;
+    Alcotest.test_case "topology amd" `Quick test_topology_amd;
+    Alcotest.test_case "mem cold read" `Quick test_mem_cold_read_local;
+    Alcotest.test_case "mem l1 hit" `Quick test_mem_l1_hit;
+    Alcotest.test_case "mem l3 hit" `Quick test_mem_l3_hit;
+    Alcotest.test_case "mem remote dirty" `Quick test_mem_remote_dirty_read;
+    Alcotest.test_case "mem write invalidates" `Quick test_mem_write_invalidates;
+    Alcotest.test_case "mem store buffer" `Quick test_mem_store_buffer;
+    Alcotest.test_case "mem cas serializes" `Quick test_mem_cas_serializes;
+    Alcotest.test_case "mem probe penalty" `Quick test_mem_probe_penalty;
+    Alcotest.test_case "sched requires thread" `Quick test_sched_requires_thread;
+    Alcotest.test_case "sched virtual time" `Quick test_sched_virtual_time;
+    Alcotest.test_case "sched fairness" `Quick test_sched_fairness;
+    Alcotest.test_case "sched determinism" `Quick test_sched_determinism;
+    Alcotest.test_case "sched rejects nested run" `Quick test_sched_rejects_nested_run;
+    Alcotest.test_case "runtime cells" `Quick test_runtime_cells;
+    Alcotest.test_case "runtime identity" `Quick test_runtime_identity;
+  ]

@@ -1,0 +1,92 @@
+(* Contended-key accounting stress: the invariant that exposed a real bug
+   in the lock-free skip list (a remove "succeeding" against an already
+   resurrected link), applied to every method on the dictionary workload:
+
+     per key:  successful adds - successful removes = presence (0 or 1)
+
+   A linearizable set cannot violate this.  Runs at 16-32 simulated threads
+   over a tiny key space, maximizing collisions. *)
+
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+let dict_accounting_scenario ~threads ~per_thread ~keys build =
+  let sched = S.create T.intel in
+  let rt = Nr_runtime.Runtime_sim.make sched in
+  let exec = build rt in
+  let adds = Array.make keys 0 and removes = Array.make keys 0 in
+  for tid = 0 to threads - 1 do
+    let rng = Nr_workload.Prng.create ~seed:(tid + 31) in
+    S.spawn sched ~tid (fun () ->
+        for _ = 1 to per_thread do
+          let k = Nr_workload.Prng.below rng keys in
+          match Nr_workload.Prng.below rng 3 with
+          | 0 -> (
+              match exec (Nr_seqds.Dict_ops.Insert (k, k)) with
+              | Nr_seqds.Dict_ops.Added true -> adds.(k) <- adds.(k) + 1
+              | Nr_seqds.Dict_ops.Added false -> ()
+              | _ -> Alcotest.fail "bad insert reply")
+          | 1 -> (
+              match exec (Nr_seqds.Dict_ops.Remove k) with
+              | Nr_seqds.Dict_ops.Removed (Some _) ->
+                  removes.(k) <- removes.(k) + 1
+              | Nr_seqds.Dict_ops.Removed None -> ()
+              | _ -> Alcotest.fail "bad remove reply")
+          | _ -> ignore (exec (Nr_seqds.Dict_ops.Lookup k))
+        done)
+  done;
+  S.run sched;
+  (* final presence via lookups from a fresh simulated thread *)
+  let sched2_probe k =
+    match exec (Nr_seqds.Dict_ops.Lookup k) with
+    | Nr_seqds.Dict_ops.Found r -> r <> None
+    | _ -> Alcotest.fail "bad lookup reply"
+  in
+  for k = 0 to keys - 1 do
+    let net = adds.(k) - removes.(k) in
+    let present = sched2_probe k in
+    if net <> if present then 1 else 0 then
+      Alcotest.failf "key %d: adds=%d removes=%d present=%b" k adds.(k)
+        removes.(k) present
+  done
+
+let nr_dict rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_dict) in
+  let t = NR.create (fun () -> Nr_seqds.Skiplist_dict.create ()) in
+  NR.execute t
+
+let wrapped m rt =
+  let module W = Nr_harness.Families.Wrap (Nr_seqds.Skiplist_dict) in
+  W.build rt m ~factory:(fun () -> Nr_seqds.Skiplist_dict.create ()) ()
+
+let lf_dict rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module Lf = Nr_baselines.Lf_skiplist.Make (R) in
+  let t = Lf.create () in
+  fun op ->
+    match op with
+    | Nr_seqds.Dict_ops.Insert (k, v) -> Nr_seqds.Dict_ops.Added (Lf.add t k v)
+    | Nr_seqds.Dict_ops.Remove k -> Nr_seqds.Dict_ops.Removed (Lf.remove t k)
+    | Nr_seqds.Dict_ops.Lookup k -> Nr_seqds.Dict_ops.Found (Lf.get t k)
+
+let case name build =
+  Alcotest.test_case name `Quick (fun () ->
+      dict_accounting_scenario ~threads:24 ~per_thread:120 ~keys:6 build)
+
+let nr_avl rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module NR = Nr_core.Node_replication.Make (R) (Nr_seqds.Avl_dict) in
+  let t = NR.create (fun () -> Nr_seqds.Avl_dict.create ()) in
+  NR.execute t
+
+let suite =
+  [
+    case "NR skiplist dict accounting" nr_dict;
+    case "NR avl dict accounting" nr_avl;
+    case "SL accounting" (wrapped Nr_harness.Method.SL);
+    case "RWL accounting" (wrapped Nr_harness.Method.RWL);
+    case "FC accounting" (wrapped Nr_harness.Method.FC);
+    case "FC+ accounting" (wrapped Nr_harness.Method.FCplus);
+    case "LF skiplist accounting" lf_dict;
+  ]
