@@ -6,11 +6,12 @@
 
    Then, from any Redis client:
      redis-cli -p 6380 ZADD board 10 1
-     redis-cli -p 6380 ZRANK board 1 *)
+     redis-cli -p 6380 ZRANK board 1
+     redis-cli -p 6380 SLOWLOG GET      # slowest commands, Redis-style *)
 
 open Cmdliner
 
-let serve port workers =
+let serve port workers slowlog_capacity slowlog_threshold_us =
   let topo = Nr_sim.Topology.tiny in
   let module R = (val Nr_runtime.Runtime_domains.make topo) in
   let module Db = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
@@ -25,10 +26,23 @@ let serve port workers =
          ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ()));
     Db.execute db cmd
   in
-  let server = Nr_kvstore.Server.create ~port ~workers exec in
+  let obs =
+    Nr_kvstore.Kv_obs.create ~slowlog_capacity
+      ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
+  in
+  let server = Nr_kvstore.Server.create ~obs ~port ~workers exec in
   Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, NR over %d replicas)\n%!"
     (Nr_kvstore.Server.port server)
     workers (Db.num_replicas db);
+  (* dump latency histograms + slowlog on SIGINT before exiting *)
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            Format.eprintf "@.# kv-server observability@.%a@."
+              Nr_kvstore.Kv_obs.pp obs;
+            exit 0))
+   with Invalid_argument _ -> ());
   Nr_kvstore.Server.serve server
 
 let () =
@@ -38,9 +52,22 @@ let () =
   let workers =
     Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"Worker threads.")
   in
+  let slowlog_capacity =
+    Arg.(
+      value & opt int 32
+      & info [ "slowlog-capacity" ] ~docv:"N"
+          ~doc:"Slowest-N commands retained (SLOWLOG GET).")
+  in
+  let slowlog_threshold_us =
+    Arg.(
+      value & opt int 0
+      & info [ "slowlog-threshold-us" ] ~docv:"US"
+          ~doc:"Only commands at least this slow enter the slowlog.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "kv-server" ~doc:"NR-backed RESP key-value server")
-      Term.(const serve $ port $ workers)
+      Term.(
+        const serve $ port $ workers $ slowlog_capacity $ slowlog_threshold_us)
   in
   exit (Cmd.eval cmd)

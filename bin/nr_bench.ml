@@ -74,7 +74,15 @@ let params_term =
       & info [ "measure-us" ] ~docv:"US"
           ~doc:"Virtual-time measurement window per point.")
   in
-  let combine scale topology threads population measure_us =
+  let latency =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Record per-operation latency and add p50/p99 columns (in \
+             microseconds) next to each method's throughput.")
+  in
+  let combine scale topology threads population measure_us latency =
     let p = scale in
     let p = match topology with Some t -> { p with Params.topo = t } | None -> p in
     let p =
@@ -85,11 +93,16 @@ let params_term =
       | Some n -> { p with Params.population = n }
       | None -> p
     in
-    match measure_us with
-    | Some m -> { p with Params.measure_us = m }
-    | None -> p
+    let p =
+      match measure_us with
+      | Some m -> { p with Params.measure_us = m }
+      | None -> p
+    in
+    if latency then { p with Params.latency = true } else p
   in
-  Term.(const combine $ scale $ topology $ threads $ population $ measure_us)
+  Term.(
+    const combine $ scale $ topology $ threads $ population $ measure_us
+    $ latency)
 
 let list_cmd =
   let run () =
@@ -107,9 +120,67 @@ let run_cmd =
       & pos_all string []
       & info [] ~docv:"FIGURE" ~doc:"Figure ids to run (default: all).")
   in
-  let run params figures =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Capture an event trace of the run and write it to $(docv) as \
+             Chrome trace_event JSON (open in Perfetto or chrome://tracing). \
+             Timestamps are virtual cycles, so output is byte-identical \
+             across runs with the same seed.  Best combined with a single \
+             figure and one --threads point.")
+  in
+  let trace_capacity =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Events retained per thread (drop-oldest ring buffer).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After each measured point, print a unified metrics dump \
+             (simulator counters, NR combiner stats, latency quantiles) to \
+             stderr — the same reporting path the domains runtime uses.")
+  in
+  let run params figures trace_file trace_capacity metrics =
+    Nr_obs.Sink.request_metrics metrics;
+    if trace_capacity <= 0 then begin
+      Printf.eprintf "nr-bench: --trace-capacity must be positive\n";
+      exit 124
+    end;
+    let trace =
+      match trace_file with
+      | None -> None
+      | Some file ->
+          (* open the output now so a bad path fails before the run, not
+             after the benchmark has already burned its minutes *)
+          let oc =
+            try open_out file
+            with Sys_error msg ->
+              Printf.eprintf "nr-bench: cannot write trace: %s\n" msg;
+              exit 124
+          in
+          (* virtual time: deterministic, free to read outside the sim *)
+          let now () =
+            if Nr_sim.Sched.running () then Nr_sim.Sched.now () else 0
+          in
+          let t =
+            Nr_obs.Trace.create ~capacity:trace_capacity
+              ~threads:(Nr_sim.Topology.max_threads params.Params.topo)
+              ~now ()
+          in
+          Nr_obs.Sink.install_trace t;
+          Some (file, oc, t)
+    in
     Format.printf "# topology: %a@." Nr_sim.Topology.pp params.Params.topo;
-    match figures with
+    (match figures with
     | [] -> Figures.run_all params
     | ids ->
         List.iter
@@ -120,11 +191,22 @@ let run_cmd =
                   g.Figures.description;
                 g.Figures.run params
             | None -> Printf.eprintf "unknown figure id %S\n" id)
-          ids
+          ids);
+    match trace with
+    | None -> ()
+    | Some (file, oc, t) ->
+        Nr_obs.Sink.uninstall_trace ();
+        Nr_obs.Trace.write_chrome t oc;
+        close_out oc;
+        Printf.eprintf "# trace: %d events retained (%d dropped) -> %s\n%!"
+          (Nr_obs.Trace.recorded t - Nr_obs.Trace.dropped t)
+          (Nr_obs.Trace.dropped t) file
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print their tables.")
-    Term.(const run $ params_term $ figures)
+    Term.(
+      const run $ params_term $ figures $ trace_file $ trace_capacity
+      $ metrics)
 
 let () =
   let doc = "regenerate the Node Replication paper's evaluation" in

@@ -65,7 +65,12 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         stats = Stats.create ();
       }
     in
-    { cfg; log; node_states = Array.init nodes make_node }
+    let t = { cfg; log; node_states = Array.init nodes make_node } in
+    Stats.register_collector (fun () ->
+        let acc = Stats.create () in
+        Array.iter (fun ns -> Stats.add acc ns.stats) t.node_states;
+        acc);
+    t
 
   (* {2 Replica access under the chosen locking regime}
 
@@ -172,6 +177,9 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
      and its writer lock; [try_lock] keeps this deadlock-free. *)
   let help_advance t ns ~combiner =
     ns.stats.Stats.log_full_stalls <- ns.stats.Stats.log_full_stalls + 1;
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+        "log_full_stall";
     let target = Log.tail t.log in
     acquire_write t ns ~combiner;
     ignore (replay t ns ~upto:target ~wait_holes:false);
@@ -188,7 +196,10 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
           release_write t other ~combiner:true;
           Spin.unlock other.combiner_lock
         end)
-      t.node_states
+      t.node_states;
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+        ~arg:Nr_obs.Sink.no_arg "log_full_stall"
 
   (* Refresh the replica up to [completed]; used by a waiting combiner
      (MIN_BATCH, §5.2) and by readers that find no active combiner. *)
@@ -212,6 +223,8 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   (* Runs with the combiner lock held; releases it before returning. *)
   let combine t ns my_idx =
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" "combine";
     let collected = ref [] in
     scan_slots ns collected;
     let retries = ref t.cfg.min_batch_retries in
@@ -228,6 +241,9 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       Log.append t.log batch ~origin_node:ns.node ~on_full:(fun () ->
           help_advance t ns ~combiner:true)
     in
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
+        "append";
     let end_ = start + n in
     if not t.cfg.parallel_replica_update then
       (* ablation #4: serialize replica updates across nodes *)
@@ -247,6 +263,10 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         else R.write ns.slots.(idx).response (Some res))
       batch;
     release_write t ns ~combiner:true;
+    (* batch size rides on the end event so the span is self-describing *)
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
+        "combine";
     Spin.unlock ns.combiner_lock;
     match !own with
     | Some r -> r
@@ -298,6 +318,9 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         ~origin_node:ns.node
         ~on_full:(fun () -> help_advance t ns ~combiner:false)
     in
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:1
+        "append";
     acquire_write t ns ~combiner:false;
     ignore (replay t ns ~upto:(start + 1) ~wait_holes:true);
     Log.advance_completed t.log (start + 1);
@@ -324,6 +347,9 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       if Spin.locked ns.combiner_lock then R.yield ()
       else begin
         ns.stats.Stats.reader_refreshes <- ns.stats.Stats.reader_refreshes + 1;
+        if Nr_obs.Sink.tracing () then
+          Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+            ~arg:Nr_obs.Sink.no_arg "reader_refresh";
         acquire_write t ns ~combiner:false;
         if Log.local_tail t.log ns.node < read_tail then
           ignore (replay t ns ~upto:read_tail ~wait_holes:false);

@@ -35,6 +35,23 @@ let avg_batch t =
   if t.combines = 0 then 0.0
   else float_of_int t.combined_ops /. float_of_int t.combines
 
+(* {2 Derived summary}
+
+   [avg_batch] of an accumulated record is already throughput-weighted:
+   summing [combined_ops] and [combines] before dividing weighs each
+   node's average by how many batches it actually flushed, rather than
+   averaging per-node averages. *)
+
+let total_ops t = t.updates + t.reads
+
+let update_ratio t =
+  if total_ops t = 0 then 0.0
+  else float_of_int t.updates /. float_of_int (total_ops t)
+
+let ops_per_combine t =
+  if t.combines = 0 then 0.0
+  else float_of_int (total_ops t) /. float_of_int t.combines
+
 let add acc x =
   acc.updates <- acc.updates + x.updates;
   acc.reads <- acc.reads + x.reads;
@@ -46,7 +63,52 @@ let add acc x =
 
 let pp ppf t =
   Format.fprintf ppf
-    "updates=%d reads=%d combines=%d avg_batch=%.2f max_batch=%d \
-     reader_refreshes=%d log_full_stalls=%d"
-    t.updates t.reads t.combines (avg_batch t) t.max_batch t.reader_refreshes
-    t.log_full_stalls
+    "ops=%d (%.0f%% updates) combines=%d avg_batch=%.2f max_batch=%d \
+     ops/combine=%.2f reader_refreshes=%d log_full_stalls=%d"
+    (total_ops t)
+    (100.0 *. update_ratio t)
+    t.combines (avg_batch t) t.max_batch (ops_per_combine t)
+    t.reader_refreshes t.log_full_stalls
+
+(* {2 Run-scoped collection}
+
+   [Node_replication.create] registers a closure returning its accumulated
+   stats; the experiment driver brackets a run with [start_collection] /
+   [collect] to surface combiner behaviour without threading the NR
+   instance through every experiment's setup signature.  Registration is a
+   no-op outside a collection window, so instances built by tests or
+   servers leak nothing. *)
+
+let collectors : (unit -> t) list ref = ref []
+let collecting = ref false
+
+let start_collection () =
+  collectors := [];
+  collecting := true
+
+let register_collector f = if !collecting then collectors := f :: !collectors
+
+let collect () =
+  collecting := false;
+  match !collectors with
+  | [] -> None
+  | fs ->
+      let acc = create () in
+      List.iter (fun f -> add acc (f ())) fs;
+      collectors := [];
+      Some acc
+
+(* Adapt the counters into the unified metrics registry; closures read the
+   live record, so register once and dump whenever. *)
+let register_metrics reg ?(prefix = "nr") t =
+  let c name read = Nr_obs.Metrics.counter reg ~name:(prefix ^ "_" ^ name) read in
+  let g name read = Nr_obs.Metrics.gauge reg ~name:(prefix ^ "_" ^ name) read in
+  c "updates" (fun () -> t.updates);
+  c "reads" (fun () -> t.reads);
+  c "combines" (fun () -> t.combines);
+  c "combined_ops" (fun () -> t.combined_ops);
+  c "max_batch" (fun () -> t.max_batch);
+  c "reader_refreshes" (fun () -> t.reader_refreshes);
+  c "log_full_stalls" (fun () -> t.log_full_stalls);
+  g "avg_batch" (fun () -> avg_batch t);
+  g "update_ratio" (fun () -> update_ratio t)

@@ -9,7 +9,23 @@
 
     [run_domains] is the analogous wall-clock loop over real domains, used
     by examples and cross-runtime tests (this container has one core, so
-    its absolute numbers mean little). *)
+    its absolute numbers mean little).
+
+    Both runners bracket the run with {!Nr_core.Stats} collection, so any
+    NR instance the setup builds surfaces its combiner counters in the
+    result; with [~latency:true] they additionally record per-operation
+    latency histograms (virtual cycles / wall nanoseconds, reported in
+    microseconds); and when [Nr_obs.Sink.request_metrics] is set they print
+    a unified metrics dump to stderr after the point — one reporting path
+    for both runtimes. *)
+
+type latency = {
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  p999_us : float;
+  hist : Nr_obs.Histogram.t;  (** raw distribution, unit as recorded *)
+}
 
 type result = {
   threads : int;
@@ -18,74 +34,174 @@ type result = {
   ops_per_us : float;
   cas_failures : int;
   remote_transfers : int;
+  nr_stats : Nr_core.Stats.t option;
+  latency : latency option;
 }
 
-let run_sim ~topo ?costs ~threads ~warmup_us ~measure_us setup =
+(* Summarize a histogram recorded in [unit_per_us]-ths of a microsecond. *)
+let summarize_latency hist ~unit_per_us =
+  if Nr_obs.Histogram.count hist = 0 then None
+  else
+    let q p = float_of_int (Nr_obs.Histogram.quantile hist p) /. unit_per_us in
+    Some
+      { p50_us = q 0.5; p90_us = q 0.9; p99_us = q 0.99; p999_us = q 0.999;
+        hist }
+
+(* The single reporting path shared by both runtimes: build a registry
+   from whatever the run produced and dump it to stderr (stdout carries
+   the tables). *)
+let emit_metrics ~label r ~sim_stats =
+  if Nr_obs.Sink.metrics_requested () then begin
+    let reg = Nr_obs.Metrics.create () in
+    Nr_obs.Metrics.int_gauge reg ~name:"run_threads" (fun () -> r.threads);
+    Nr_obs.Metrics.counter reg ~name:"run_total_ops" (fun () -> r.total_ops);
+    Nr_obs.Metrics.gauge reg ~name:"run_ops_per_us" (fun () -> r.ops_per_us);
+    (match sim_stats with
+    | Some s -> Nr_sim.Sim_stats.register_metrics reg s
+    | None -> ());
+    (match r.nr_stats with
+    | Some s -> Nr_core.Stats.register_metrics reg s
+    | None -> ());
+    (match r.latency with
+    | Some l -> Nr_obs.Metrics.histogram reg ~name:"op_latency" l.hist
+    | None -> ());
+    Format.eprintf "# metrics %s@.%a@." label Nr_obs.Metrics.dump reg
+  end
+
+let run_sim ~topo ?costs ?(latency = false) ~threads ~warmup_us ~measure_us
+    setup =
   if threads < 1 || threads > Nr_sim.Topology.max_threads topo then
     invalid_arg "Driver.run_sim: thread count out of range for topology";
   let sched = Nr_sim.Sched.create ?costs topo in
   let rt = Nr_runtime.Runtime_sim.make sched in
+  Nr_core.Stats.start_collection ();
   let gen = setup rt in
   let cpu = Nr_sim.Topology.cycles_per_us topo in
   let warm_cycles = int_of_float (warmup_us *. cpu) in
   let stop_cycles = int_of_float ((warmup_us +. measure_us) *. cpu) in
   let ops = Array.make threads 0 in
+  let hist = if latency then Some (Nr_obs.Histogram.create ()) else None in
   for tid = 0 to threads - 1 do
     let body = gen ~tid in
     Nr_sim.Sched.spawn sched ~tid (fun () ->
-        let rec loop () =
-          let t = Nr_sim.Sched.now () in
-          if t < stop_cycles then begin
-            body ();
-            if t >= warm_cycles then ops.(tid) <- ops.(tid) + 1;
+        match hist with
+        | None ->
+            let rec loop () =
+              let t = Nr_sim.Sched.now () in
+              if t < stop_cycles then begin
+                body ();
+                if t >= warm_cycles then ops.(tid) <- ops.(tid) + 1;
+                loop ()
+              end
+            in
             loop ()
-          end
-        in
-        loop ())
+        | Some h ->
+            (* latency variant: also charge-free timestamps around the op;
+               the simulator is single-threaded, so one histogram is safe *)
+            let rec loop () =
+              let t = Nr_sim.Sched.now () in
+              if t < stop_cycles then begin
+                body ();
+                if t >= warm_cycles then begin
+                  ops.(tid) <- ops.(tid) + 1;
+                  Nr_obs.Histogram.record h (Nr_sim.Sched.now () - t)
+                end;
+                loop ()
+              end
+            in
+            loop ())
   done;
   Nr_sim.Sched.run sched;
   let total_ops = Array.fold_left ( + ) 0 ops in
   let stats = Nr_sim.Sched.stats sched in
-  {
-    threads;
-    total_ops;
-    measure_us;
-    ops_per_us = float_of_int total_ops /. measure_us;
-    cas_failures = stats.Nr_sim.Sim_stats.cas_failures;
-    remote_transfers = Nr_sim.Sim_stats.remote_transfers stats;
-  }
+  let r =
+    {
+      threads;
+      total_ops;
+      measure_us;
+      ops_per_us = float_of_int total_ops /. measure_us;
+      cas_failures = stats.Nr_sim.Sim_stats.cas_failures;
+      remote_transfers = Nr_sim.Sim_stats.remote_transfers stats;
+      nr_stats = Nr_core.Stats.collect ();
+      latency =
+        (match hist with
+        | Some h -> summarize_latency h ~unit_per_us:cpu
+        | None -> None);
+    }
+  in
+  emit_metrics ~label:(Printf.sprintf "(sim, %d threads)" threads) r
+    ~sim_stats:(Some stats);
+  r
 
-let run_domains ~topo ~threads ~warmup_s ~measure_s setup =
+let run_domains ~topo ?(latency = false) ~threads ~warmup_s ~measure_s setup =
   if threads < 1 then invalid_arg "Driver.run_domains: threads must be >= 1";
   let rt = Nr_runtime.Runtime_domains.make topo in
+  Nr_core.Stats.start_collection ();
   let gen = setup rt in
   let ops = Array.make threads 0 in
+  let hists =
+    if latency then
+      Some (Array.init threads (fun _ -> Nr_obs.Histogram.create ()))
+    else None
+  in
   let t0 = Unix.gettimeofday () in
   let warm_t = t0 +. warmup_s in
   let stop_t = warm_t +. measure_s in
   Nr_runtime.Runtime_domains.parallel_run ~nthreads:threads (fun tid ->
       let body = gen ~tid in
       let counted = ref 0 in
-      let rec loop () =
-        (* amortize the clock syscall over a few operations *)
-        let now = Unix.gettimeofday () in
-        if now < stop_t then begin
-          for _ = 1 to 8 do
-            body ();
-            if now >= warm_t then incr counted
-          done;
+      (match hists with
+      | None ->
+          let rec loop () =
+            (* amortize the clock syscall over a few operations *)
+            let now = Unix.gettimeofday () in
+            if now < stop_t then begin
+              for _ = 1 to 8 do
+                body ();
+                if now >= warm_t then incr counted
+              done;
+              loop ()
+            end
+          in
           loop ()
-        end
-      in
-      loop ();
+      | Some hists ->
+          (* latency variant: per-op clock reads into a per-thread
+             histogram (nanoseconds), merged after the run *)
+          let h = hists.(tid) in
+          let rec loop () =
+            let now = Unix.gettimeofday () in
+            if now < stop_t then begin
+              let t0 = Nr_obs.Clock.now_ns () in
+              body ();
+              if now >= warm_t then begin
+                incr counted;
+                Nr_obs.Histogram.record h (Nr_obs.Clock.elapsed_ns ~since:t0)
+              end;
+              loop ()
+            end
+          in
+          loop ());
       ops.(tid) <- !counted);
   let total_ops = Array.fold_left ( + ) 0 ops in
   let measure_us = measure_s *. 1e6 in
-  {
-    threads;
-    total_ops;
-    measure_us;
-    ops_per_us = float_of_int total_ops /. measure_us;
-    cas_failures = 0;
-    remote_transfers = 0;
-  }
+  let r =
+    {
+      threads;
+      total_ops;
+      measure_us;
+      ops_per_us = float_of_int total_ops /. measure_us;
+      cas_failures = 0;
+      remote_transfers = 0;
+      nr_stats = Nr_core.Stats.collect ();
+      latency =
+        (match hists with
+        | Some hs ->
+            let acc = Nr_obs.Histogram.create () in
+            Array.iter (fun h -> Nr_obs.Histogram.merge ~into:acc h) hs;
+            summarize_latency acc ~unit_per_us:1000.0
+        | None -> None);
+    }
+  in
+  emit_metrics ~label:(Printf.sprintf "(domains, %d threads)" threads) r
+    ~sim_stats:None;
+  r

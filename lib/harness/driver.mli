@@ -1,6 +1,18 @@
 (** Experiment driver: run one benchmark point on the simulator (virtual
     time) or on real domains (wall-clock). *)
 
+(** Per-operation latency summary, in microseconds (virtual time under the
+    simulator, wall-clock on domains).  A dimension the paper's figures
+    omit — see EXPERIMENTS.md. *)
+type latency = {
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  p999_us : float;
+  hist : Nr_obs.Histogram.t;
+      (** full distribution, in the unit recorded (cycles / ns) *)
+}
+
 type result = {
   threads : int;
   total_ops : int;  (** operations completed in the measurement window *)
@@ -8,11 +20,16 @@ type result = {
   ops_per_us : float;  (** the y-axis of every figure in the paper *)
   cas_failures : int;  (** simulator runs only *)
   remote_transfers : int;  (** simulator runs only *)
+  nr_stats : Nr_core.Stats.t option;
+      (** combiner counters of the NR instance(s) the setup built; [None]
+          for baseline methods (§8.5-style analysis from the CLI) *)
+  latency : latency option;  (** present when run with [~latency:true] *)
 }
 
 val run_sim :
   topo:Nr_sim.Topology.t ->
   ?costs:Nr_sim.Costs.t ->
+  ?latency:bool ->
   threads:int ->
   warmup_us:float ->
   measure_us:float ->
@@ -22,14 +39,22 @@ val run_sim :
     experiment by calling [setup runtime] once (construction happens before
     the simulation and is free), then runs [threads] simulated threads,
     each looping the thunk [setup runtime ~tid] until the virtual deadline.
-    Deterministic: identical inputs give identical results. *)
+    Deterministic: identical inputs give identical results.
+
+    [~latency:true] records per-operation virtual-time latency; recording
+    performs no simulator effects, so throughput numbers are unchanged.
+    When [Nr_obs.Sink.request_metrics] is set, a metrics dump for the point
+    goes to stderr. *)
 
 val run_domains :
   topo:Nr_sim.Topology.t ->
+  ?latency:bool ->
   threads:int ->
   warmup_s:float ->
   measure_s:float ->
   (Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit) ->
   result
-(** Same shape over real domains and wall-clock time.  Useful for examples
-    and cross-runtime checks; absolute numbers depend on the host. *)
+(** Same shape over real domains and wall-clock time, sharing the same
+    stats-collection and metrics-reporting path.  [~latency:true] costs one
+    extra clock read per operation.  Useful for examples and cross-runtime
+    checks; absolute numbers depend on the host. *)

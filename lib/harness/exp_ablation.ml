@@ -70,7 +70,7 @@ let fig14 params =
               let loss =
                 if full > 0.0 then 100.0 *. (full -. y) /. full else nan
               in
-              { Table.x = t.index; y = loss })
+              { Table.x = t.index; y = loss; lat = None })
             techniques
         in
         { Table.label; points })

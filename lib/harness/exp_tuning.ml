@@ -25,7 +25,10 @@ let knob_series params ~label ~values ~cfg_of =
     points =
       List.map
         (fun v ->
-          { Table.x = v; y = throughput params ~cfg:(cfg_of v) ~update_pct:100 })
+          { Table.x = v;
+            y = throughput params ~cfg:(cfg_of v) ~update_pct:100;
+            lat = None
+          })
         values;
   }
 

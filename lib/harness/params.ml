@@ -10,6 +10,8 @@ type t = {
   measure_us : float;  (** virtual-time measurement window per point *)
   population : int;  (** initial items in each structure *)
   seed : int;
+  latency : bool;
+      (** record per-operation latency and add p50/p99 table columns *)
 }
 
 let paper =
@@ -20,6 +22,7 @@ let paper =
     measure_us = 150.0;
     population = 200_000;
     seed = 0xA5A5;
+    latency = false;
   }
 
 let quick =
@@ -30,6 +33,7 @@ let quick =
     measure_us = 50.0;
     population = 20_000;
     seed = 0xA5A5;
+    latency = false;
   }
 
 (* Keeps a full-suite run within tens of minutes while preserving every
@@ -43,6 +47,7 @@ let default =
     measure_us = 100.0;
     population = 50_000;
     seed = 0xA5A5;
+    latency = false;
   }
 
 let amd t =

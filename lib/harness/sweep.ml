@@ -1,5 +1,17 @@
 (** Generic sweep helpers: run one setup across the thread-count axis (the
-    x-axis of most figures) or across an arbitrary parameter axis. *)
+    x-axis of most figures) or across an arbitrary parameter axis.  When
+    the params ask for latency, each point carries its p50/p99 for the
+    table's extra columns. *)
+
+let point_of_result ~x (r : Driver.result) =
+  {
+    Table.x;
+    y = r.Driver.ops_per_us;
+    lat =
+      (match r.Driver.latency with
+      | Some l -> Some (l.Driver.p50_us, l.Driver.p99_us)
+      | None -> None);
+  }
 
 let threads_series (params : Params.t) ~label
     ~(setup : threads:int -> Nr_runtime.Runtime_intf.t -> tid:int -> unit -> unit)
@@ -8,11 +20,12 @@ let threads_series (params : Params.t) ~label
     List.map
       (fun threads ->
         let r =
-          Driver.run_sim ~topo:params.Params.topo ~threads
+          Driver.run_sim ~topo:params.Params.topo
+            ~latency:params.Params.latency ~threads
             ~warmup_us:params.Params.warmup_us
             ~measure_us:params.Params.measure_us (setup ~threads)
         in
-        { Table.x = threads; y = r.Driver.ops_per_us })
+        point_of_result ~x:threads r)
       params.Params.threads
   in
   { Table.label; points }
@@ -24,11 +37,12 @@ let axis_series (params : Params.t) ~label ~axis ~threads
     List.map
       (fun x ->
         let r =
-          Driver.run_sim ~topo:params.Params.topo ~threads
+          Driver.run_sim ~topo:params.Params.topo
+            ~latency:params.Params.latency ~threads
             ~warmup_us:params.Params.warmup_us
             ~measure_us:params.Params.measure_us (setup ~x)
         in
-        { Table.x; y = r.Driver.ops_per_us })
+        point_of_result ~x r)
       axis
   in
   { Table.label; points }

@@ -1,8 +1,15 @@
 (** Figure data and paper-style table rendering: one column per method, one
     row per x value (thread count, external-work amount, cache lines per
-    operation...). *)
+    operation...).
 
-type point = { x : int; y : float }
+    A point optionally carries a latency summary (p50, p99 in µs); when any
+    point of a figure has one, every series gains p50/p99 columns next to
+    its throughput — a dimension the paper's figures omit. *)
+
+type point = { x : int; y : float; lat : (float * float) option }
+
+let pt x y = { x; y; lat = None }
+
 type series = { label : string; points : point list }
 
 type figure = {
@@ -21,21 +28,40 @@ let xs fig =
 let value_at s x =
   List.find_map (fun p -> if p.x = x then Some p.y else None) s.points
 
+let point_at s x = List.find_opt (fun p -> p.x = x) s.points
+
+let has_latency fig =
+  List.exists
+    (fun s -> List.exists (fun p -> p.lat <> None) s.points)
+    fig.series
+
 let render ppf fig =
   Format.fprintf ppf "## %s: %s@." fig.id fig.title;
   List.iter (fun n -> Format.fprintf ppf "#  %s@." n) fig.notes;
+  let lat = has_latency fig in
+  if lat then
+    Format.fprintf ppf "#  p50/p99: per-operation latency in us@.";
   let xs = xs fig in
   Format.fprintf ppf "%-10s" fig.x_label;
-  List.iter (fun s -> Format.fprintf ppf " %10s" s.label) fig.series;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf " %10s" s.label;
+      if lat then Format.fprintf ppf " %9s %9s" "p50" "p99")
+    fig.series;
   Format.fprintf ppf "    (%s)@." fig.y_label;
   List.iter
     (fun x ->
       Format.fprintf ppf "%-10d" x;
       List.iter
         (fun s ->
-          match value_at s x with
+          (match value_at s x with
           | Some y -> Format.fprintf ppf " %10.3f" y
-          | None -> Format.fprintf ppf " %10s" "-")
+          | None -> Format.fprintf ppf " %10s" "-");
+          if lat then
+            match point_at s x with
+            | Some { lat = Some (p50, p99); _ } ->
+                Format.fprintf ppf " %9.3f %9.3f" p50 p99
+            | _ -> Format.fprintf ppf " %9s %9s" "-" "-")
         fig.series;
       Format.fprintf ppf "@.")
     xs;

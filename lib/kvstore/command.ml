@@ -24,6 +24,9 @@ type t =
   | Zrem of string * int
   | Dbsize
   | Flushall
+  | Slowlog_get
+  | Slowlog_reset
+  | Slowlog_len
 
 type reply =
   | Ok_reply
@@ -36,11 +39,17 @@ type reply =
 
 let is_read_only = function
   | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
-  | Dbsize ->
+  | Dbsize | Slowlog_get | Slowlog_len ->
       true
   | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
-  | Flushall ->
+  | Flushall | Slowlog_reset ->
       false
+
+(** Commands answered by the serving layer itself (observability), never
+    routed through the replicated store. *)
+let is_server_local = function
+  | Slowlog_get | Slowlog_reset | Slowlog_len -> true
+  | _ -> false
 
 let pp ppf = function
   | Ping -> Format.pp_print_string ppf "PING"
@@ -59,6 +68,9 @@ let pp ppf = function
   | Zrem (k, m) -> Format.fprintf ppf "ZREM %s %d" k m
   | Dbsize -> Format.pp_print_string ppf "DBSIZE"
   | Flushall -> Format.pp_print_string ppf "FLUSHALL"
+  | Slowlog_get -> Format.pp_print_string ppf "SLOWLOG GET"
+  | Slowlog_reset -> Format.pp_print_string ppf "SLOWLOG RESET"
+  | Slowlog_len -> Format.pp_print_string ppf "SLOWLOG LEN"
 
 let rec pp_reply ppf = function
   | Ok_reply -> Format.pp_print_string ppf "OK"
@@ -116,5 +128,8 @@ let of_strings tokens =
       Ok (Zrem (k, m))
   | [ "dbsize" ], _ -> Ok Dbsize
   | [ "flushall" ], _ -> Ok Flushall
+  | [ "slowlog"; "get" ], _ -> Ok Slowlog_get
+  | [ "slowlog"; "reset" ], _ -> Ok Slowlog_reset
+  | [ "slowlog"; "len" ], _ -> Ok Slowlog_len
   | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
   | [], _ -> Error "empty command"

@@ -1,0 +1,63 @@
+(* KV-store observability: per-command-class latency histograms plus a
+   slowest-N command log, shared by the RESP server's worker threads.
+
+   Latencies are wall-clock nanoseconds measured around the executor call
+   (the NR/lock/bare execution, not socket I/O).  Histograms are guarded
+   by a mutex — workers are real domains — which is fine at server
+   command rates; the benchmark hot paths in the harness use per-thread
+   histograms instead. *)
+
+type t = {
+  read_latency : Nr_obs.Histogram.t;  (* read-only commands *)
+  write_latency : Nr_obs.Histogram.t; (* update commands *)
+  slowlog : Nr_obs.Slowlog.t;
+  lock : Mutex.t;
+}
+
+let create ?(slowlog_capacity = 32) ?(slowlog_threshold = 0) () =
+  {
+    read_latency = Nr_obs.Histogram.create ();
+    write_latency = Nr_obs.Histogram.create ();
+    slowlog =
+      Nr_obs.Slowlog.create ~capacity:slowlog_capacity
+        ~threshold:slowlog_threshold ();
+    lock = Mutex.create ();
+  }
+
+let slowlog t = t.slowlog
+let read_latency t = t.read_latency
+let write_latency t = t.write_latency
+
+let observe t cmd ~duration_ns =
+  Mutex.lock t.lock;
+  (if Command.is_read_only cmd then
+     Nr_obs.Histogram.record t.read_latency duration_ns
+   else Nr_obs.Histogram.record t.write_latency duration_ns);
+  Mutex.unlock t.lock;
+  Nr_obs.Slowlog.note t.slowlog ~duration:duration_ns (fun () ->
+      Format.asprintf "%a" Command.pp cmd)
+
+(* Reply for SLOWLOG GET, Redis-style: one [id, duration_us, command]
+   entry per admitted command, slowest first. *)
+let slowlog_reply t =
+  Command.Array
+    (List.map
+       (fun (e : Nr_obs.Slowlog.entry) ->
+         Command.Array
+           [
+             Command.Int e.id;
+             Command.Int (e.duration / 1000);
+             Command.Bulk e.command;
+           ])
+       (Nr_obs.Slowlog.entries t.slowlog))
+
+let register_metrics t reg =
+  Nr_obs.Metrics.histogram reg ~name:"kv_read_latency_ns" t.read_latency;
+  Nr_obs.Metrics.histogram reg ~name:"kv_write_latency_ns" t.write_latency;
+  Nr_obs.Metrics.counter reg ~name:"kv_slowlog_len" (fun () ->
+      Nr_obs.Slowlog.length t.slowlog)
+
+let pp ppf t =
+  Format.fprintf ppf "reads:  %a@.writes: %a@.slowlog:@.%a"
+    Nr_obs.Histogram.pp t.read_latency Nr_obs.Histogram.pp t.write_latency
+    Nr_obs.Slowlog.pp t.slowlog

@@ -1,0 +1,27 @@
+(** KV-store observability: read/write latency histograms plus a
+    slowest-N command log, shared by the RESP server's worker threads.
+
+    Durations are wall-clock nanoseconds around the executor call (not
+    socket I/O).  Histogram recording is mutex-guarded (workers are real
+    domains); the slowlog has its own internal lock. *)
+
+type t
+
+val create : ?slowlog_capacity:int -> ?slowlog_threshold:int -> unit -> t
+(** [slowlog_threshold] is in nanoseconds (default 0: admit anything slow
+    enough to rank). *)
+
+val observe : t -> Command.t -> duration_ns:int -> unit
+(** Record one executed command: latency into the read or write histogram
+    (by {!Command.is_read_only}) and a slowlog admission attempt. *)
+
+val slowlog : t -> Nr_obs.Slowlog.t
+val read_latency : t -> Nr_obs.Histogram.t
+val write_latency : t -> Nr_obs.Histogram.t
+
+val slowlog_reply : t -> Command.reply
+(** Redis-style SLOWLOG GET reply: array of [id, duration_us, command]
+    entries, slowest first. *)
+
+val register_metrics : t -> Nr_obs.Metrics.t -> unit
+val pp : Format.formatter -> t -> unit

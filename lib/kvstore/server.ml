@@ -10,8 +10,28 @@ type t = {
   sock : Unix.file_descr;
   pool : Thread_pool.t;
   exec : Command.t -> Command.reply;
+  obs : Kv_obs.t option;
   mutable stop : bool;
 }
+
+(* SLOWLOG and friends are answered here, not by the replicated store;
+   everything else is timed around the executor when observability is on. *)
+let run_command t cmd =
+  match t.obs with
+  | None -> t.exec cmd
+  | Some obs -> (
+      match cmd with
+      | Command.Slowlog_get -> Kv_obs.slowlog_reply obs
+      | Command.Slowlog_len ->
+          Command.Int (Nr_obs.Slowlog.length (Kv_obs.slowlog obs))
+      | Command.Slowlog_reset ->
+          Nr_obs.Slowlog.reset (Kv_obs.slowlog obs);
+          Command.Ok_reply
+      | cmd ->
+          let t0 = Nr_obs.Clock.now_ns () in
+          let reply = t.exec cmd in
+          Kv_obs.observe obs cmd ~duration_ns:(Nr_obs.Clock.elapsed_ns ~since:t0);
+          reply)
 
 let handle_connection t client =
   let buf = Buffer.create 256 in
@@ -24,7 +44,7 @@ let handle_connection t client =
       | Resp.Parsed (tokens, consumed) ->
           let reply =
             match Command.of_strings tokens with
-            | Ok cmd -> t.exec cmd
+            | Ok cmd -> run_command t cmd
             | Error e -> Command.Err e
           in
           let rest = String.sub data consumed (String.length data - consumed) in
@@ -50,12 +70,14 @@ let handle_connection t client =
   (try serve () with Unix.Unix_error _ | End_of_file -> ());
   try Unix.close client with Unix.Unix_error _ -> ()
 
-let create ~port ~workers exec =
+let create ?obs ~port ~workers exec =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen sock 64;
-  { sock; pool = Thread_pool.create ~workers (); exec; stop = false }
+  { sock; pool = Thread_pool.create ~workers (); exec; obs; stop = false }
+
+let obs t = t.obs
 
 let port t =
   match Unix.getsockname t.sock with

@@ -6,9 +6,16 @@
 type t
 
 val create :
-  port:int -> workers:int -> (Command.t -> Command.reply) -> t
+  ?obs:Kv_obs.t -> port:int -> workers:int -> (Command.t -> Command.reply) -> t
 (** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the worker
-    pool.  Does not start accepting; call {!serve}. *)
+    pool.  Does not start accepting; call {!serve}.
+
+    With [obs], every executed command is timed into the observability
+    state and the SLOWLOG GET/RESET/LEN commands are answered by the
+    server itself (they never reach the store).  Without it, SLOWLOG
+    commands fall through to the executor. *)
+
+val obs : t -> Kv_obs.t option
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)

@@ -106,6 +106,10 @@ let rec execute t (cmd : op) : result =
   | Zrem (k, m) ->
       with_zset k (fun z -> Int (if Zset.remove z m then 1 else 0))
   | Dbsize -> Int (dbsize t)
+  | Slowlog_get | Slowlog_reset | Slowlog_len ->
+      (* answered by the serving layer; a store reached directly (tests,
+         bare executors) reports the misrouting instead of crashing *)
+      Err "SLOWLOG is handled by the server"
   | Flushall ->
       let keys =
         Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace []
@@ -148,7 +152,8 @@ let footprint t (cmd : op) =
         ()
   | Zrem (k, m) ->
       Nr_runtime.Footprint.v ~key:(fpkey k m) ~reads:(2 + path k) ~writes:4 ()
-  | Dbsize -> Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len ->
+      Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
   | Flushall ->
       Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize t) ~writes:(dbsize t)
         ~hot_write:true ()

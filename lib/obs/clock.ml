@@ -1,0 +1,13 @@
+(* Wall-clock time source for the domains runtime.
+
+   OCaml's stdlib has no monotonic clock; [Unix.gettimeofday] is the best
+   portable source available without adding a dependency (mtime-style).
+   It can step backwards under NTP adjustment, so durations are clamped at
+   zero.  The simulator never uses this module — virtual time comes from
+   the scheduler. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let elapsed_ns ~since =
+  let d = now_ns () - since in
+  if d < 0 then 0 else d

@@ -1,0 +1,10 @@
+(** Wall-clock time source for the domains runtime (nanoseconds).
+
+    Backed by [Unix.gettimeofday] — the stdlib has no monotonic clock and
+    the project adds no dependency for one — so it can step under NTP
+    adjustment; {!elapsed_ns} clamps negative intervals to zero.  The
+    simulator never uses this module: virtual time comes from the
+    scheduler. *)
+
+val now_ns : unit -> int
+val elapsed_ns : since:int -> int

@@ -1,0 +1,101 @@
+(* Log-bucketed latency histogram (HDR-style).
+
+   Values are non-negative integers in whatever unit the caller uses
+   (simulator cycles, wall-clock nanoseconds).  The first [sub_count]
+   values get exact unit buckets; every octave above that is split into
+   [sub_count] sub-buckets, bounding the relative quantile error at
+   1/sub_count (~3%).  Recording touches one array slot and a few scalar
+   fields — no allocation, so it is safe on benchmark hot paths and inside
+   the simulator (where it costs no virtual time). *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 sub-buckets per octave *)
+
+(* Indices 0..sub_count-1 are exact; octave o >= sub_bits contributes
+   sub_count buckets starting at (o - sub_bits + 1) * sub_count. *)
+let nbuckets = ((63 - sub_bits) * sub_count) + sub_count
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; total = 0; sum = 0; min_v = max_int;
+    max_v = 0 }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+(* Position of the highest set bit; ints only, so no allocation. *)
+let rec msb_loop v acc = if v > 1 then msb_loop (v lsr 1) (acc + 1) else acc
+
+let index_of v =
+  if v < sub_count then v
+  else
+    let o = msb_loop v 0 in
+    let shift = o - sub_bits in
+    ((o - sub_bits + 1) lsl sub_bits) + ((v lsr shift) - sub_count)
+
+(* Lower bound of bucket [i] — the value reported for quantiles.  Exact for
+   values below [sub_count]. *)
+let value_of_index i =
+  if i < sub_count then i
+  else
+    let o = (i lsr sub_bits) - 1 + sub_bits in
+    let rem = i land (sub_count - 1) in
+    (sub_count + rem) lsl (o - sub_bits)
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let sum t = t.sum
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let merge ~into src =
+  for i = 0 to nbuckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum + src.sum;
+  if src.total > 0 && src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    value_of_index (!i - 1)
+  end
+
+let pp ppf t =
+  if t.total = 0 then Format.pp_print_string ppf "empty"
+  else
+    Format.fprintf ppf
+      "count=%d mean=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" t.total
+      (mean t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+      (quantile t 0.999) t.max_v

@@ -1,0 +1,66 @@
+(* Unified metrics registry.
+
+   A metric is a name plus a closure that reads the current value from
+   whatever mutable stats record owns it — registration is cheap and the
+   cost of a metric is only paid when a dump is requested.  Names are
+   unique (re-registering replaces) and dumps are sorted by name, so the
+   text and JSON outputs are deterministic. *)
+
+type kind = Counter | Gauge
+
+type value = Int of (unit -> int) | Float of (unit -> float)
+
+type metric = { name : string; kind : kind; help : string; value : value }
+
+type t = { mutable metrics : metric list }
+
+let create () = { metrics = [] }
+
+let add t m =
+  t.metrics <- m :: List.filter (fun x -> x.name <> m.name) t.metrics
+
+let counter t ~name ?(help = "") read =
+  add t { name; kind = Counter; help; value = Int read }
+
+let gauge t ~name ?(help = "") read =
+  add t { name; kind = Gauge; help; value = Float read }
+
+let int_gauge t ~name ?(help = "") read =
+  add t { name; kind = Gauge; help; value = Int read }
+
+(* Expose a histogram as derived gauges: count plus the standard quantiles
+   (in the histogram's own unit). *)
+let histogram t ~name (h : Histogram.t) =
+  counter t ~name:(name ^ "_count") (fun () -> Histogram.count h);
+  gauge t ~name:(name ^ "_mean") (fun () -> Histogram.mean h);
+  int_gauge t ~name:(name ^ "_p50") (fun () -> Histogram.quantile h 0.5);
+  int_gauge t ~name:(name ^ "_p90") (fun () -> Histogram.quantile h 0.9);
+  int_gauge t ~name:(name ^ "_p99") (fun () -> Histogram.quantile h 0.99);
+  int_gauge t ~name:(name ^ "_p999") (fun () -> Histogram.quantile h 0.999);
+  int_gauge t ~name:(name ^ "_max") (fun () -> Histogram.max_value h)
+
+let sorted t =
+  List.sort (fun a b -> compare a.name b.name) t.metrics
+
+let length t = List.length t.metrics
+
+let read_string m =
+  match m.value with
+  | Int f -> string_of_int (f ())
+  | Float f -> Printf.sprintf "%.3f" (f ())
+
+let dump ppf t =
+  List.iter
+    (fun m -> Format.fprintf ppf "%-40s %s@." m.name (read_string m))
+    (sorted t)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n  %S: %s" m.name (read_string m)))
+    (sorted t);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

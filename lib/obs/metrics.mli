@@ -1,0 +1,33 @@
+(** Unified metrics registry: named counters and gauges backed by closures.
+
+    Stats live where they always lived (mutable records inside the NR
+    instance, the simulator, the KV store); a registry only holds names and
+    read closures, so registration costs nothing on any hot path.  Names
+    are unique — re-registering a name replaces it — and dumps are sorted
+    by name, making the output deterministic. *)
+
+type t
+
+type kind = Counter | Gauge
+
+val create : unit -> t
+
+val counter : t -> name:string -> ?help:string -> (unit -> int) -> unit
+(** A monotonically increasing integer (operation counts, stalls...). *)
+
+val gauge : t -> name:string -> ?help:string -> (unit -> float) -> unit
+(** A point-in-time float (throughput, averages...). *)
+
+val int_gauge : t -> name:string -> ?help:string -> (unit -> int) -> unit
+
+val histogram : t -> name:string -> Histogram.t -> unit
+(** Register derived metrics of a histogram: [name_count], [name_mean] and
+    [name_p50]/[_p90]/[_p99]/[_p999]/[_max] (in the histogram's unit). *)
+
+val length : t -> int
+
+val dump : Format.formatter -> t -> unit
+(** Text dump, one [name value] line per metric, sorted by name. *)
+
+val to_json : t -> string
+(** A single JSON object mapping names to current values, sorted. *)

@@ -1,0 +1,45 @@
+(* Global observability hooks.
+
+   Instrumented code (the scheduler, the NR combiner, the KV server) calls
+   the emitters below unconditionally; each one is a single ref read plus a
+   branch when nothing is installed, so instrumentation costs nothing when
+   observability is off — and in the simulator it never costs virtual time
+   either, because emitters perform no effects.
+
+   The sink is process-global: the driver or binary installs a trace for
+   the duration of a run and uninstalls it after.  All emitter arguments
+   are plain ints and strings (no options), so a disabled call site does
+   not even allocate. *)
+
+let active : Trace.t option ref = ref None
+let metrics_flag = ref false
+
+let install_trace t = active := Some t
+let uninstall_trace () = active := None
+let trace () = !active
+let tracing () = !active <> None
+
+let request_metrics b = metrics_flag := b
+let metrics_requested () = !metrics_flag
+
+let no_arg = Trace.no_arg
+
+let span_begin ~tid ~node ~cat name =
+  match !active with
+  | None -> ()
+  | Some t -> Trace.span_begin t ~tid ~node ~cat name
+
+let span_end ~tid ~node ~cat ~arg name =
+  match !active with
+  | None -> ()
+  | Some t -> Trace.span_end t ~tid ~node ~cat ~arg name
+
+let instant ~tid ~node ~cat ~arg name =
+  match !active with
+  | None -> ()
+  | Some t -> Trace.instant t ~tid ~node ~cat ~arg name
+
+let slice ~tid ~node ~cat ~ts ~dur name =
+  match !active with
+  | None -> ()
+  | Some t -> Trace.slice t ~tid ~node ~cat ~ts ~dur name

@@ -1,0 +1,31 @@
+(** Global observability hooks.
+
+    Instrumented layers (simulator scheduler, NR combiner, KV server) call
+    the emitters unconditionally; when no trace is installed each call is
+    one ref read and a branch — no allocation, and under the simulator no
+    virtual time (emitters perform no effects).  A binary installs a trace
+    around a run and uninstalls it afterwards.
+
+    The sink is process-global and not synchronized: install/uninstall
+    from the main thread only.  Concurrent {e emission} is safe because
+    every thread id writes its own trace ring. *)
+
+val install_trace : Trace.t -> unit
+val uninstall_trace : unit -> unit
+val trace : unit -> Trace.t option
+val tracing : unit -> bool
+
+val request_metrics : bool -> unit
+(** Ask reporting paths (the harness driver) to print a metrics dump after
+    each measured point. *)
+
+val metrics_requested : unit -> bool
+
+val no_arg : int
+
+(** Emitters — no-ops when no trace is installed. *)
+
+val span_begin : tid:int -> node:int -> cat:string -> string -> unit
+val span_end : tid:int -> node:int -> cat:string -> arg:int -> string -> unit
+val instant : tid:int -> node:int -> cat:string -> arg:int -> string -> unit
+val slice : tid:int -> node:int -> cat:string -> ts:int -> dur:int -> string -> unit

@@ -1,0 +1,83 @@
+(* Fixed-capacity slowest-N command log, modeled on Redis's SLOWLOG.
+
+   Unlike Redis (which keeps the N most recent entries above a threshold)
+   this keeps the N slowest, which is the more useful view for a bounded
+   benchmark run.  The command text is built lazily: the closure only runs
+   when the entry is actually admitted, so fast commands never pay for
+   formatting.  A mutex guards admission — the KV server calls [note] from
+   concurrent worker threads. *)
+
+type entry = { id : int; duration : int; command : string }
+
+type t = {
+  mutable entries : entry array; (* used prefix of length [len] *)
+  mutable len : int;
+  mutable next_id : int;
+  mutable threshold : int;
+  capacity : int;
+  lock : Mutex.t;
+}
+
+let dummy = { id = -1; duration = -1; command = "" }
+
+let create ?(capacity = 32) ?(threshold = 0) () =
+  if capacity <= 0 then invalid_arg "Slowlog.create: capacity must be > 0";
+  {
+    entries = Array.make capacity dummy;
+    len = 0;
+    next_id = 0;
+    threshold;
+    capacity;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+let threshold t = t.threshold
+let set_threshold t n = t.threshold <- n
+let length t = t.len
+
+let min_slot t =
+  let m = ref 0 in
+  for i = 1 to t.len - 1 do
+    if t.entries.(i).duration < t.entries.(!m).duration then m := i
+  done;
+  !m
+
+let note t ~duration command =
+  if duration >= t.threshold then begin
+    Mutex.lock t.lock;
+    (if t.len < t.capacity then begin
+       t.entries.(t.len) <-
+         { id = t.next_id; duration; command = command () };
+       t.len <- t.len + 1;
+       t.next_id <- t.next_id + 1
+     end
+     else
+       let m = min_slot t in
+       if duration > t.entries.(m).duration then begin
+         t.entries.(m) <- { id = t.next_id; duration; command = command () };
+         t.next_id <- t.next_id + 1
+       end);
+    Mutex.unlock t.lock
+  end
+
+let entries t =
+  Mutex.lock t.lock;
+  let l = Array.to_list (Array.sub t.entries 0 t.len) in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun a b ->
+      if a.duration <> b.duration then compare b.duration a.duration
+      else compare a.id b.id)
+    l
+
+let reset t =
+  Mutex.lock t.lock;
+  t.len <- 0;
+  Mutex.unlock t.lock
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "#%d %dns %s@." e.id e.duration e.command)
+    (entries t)

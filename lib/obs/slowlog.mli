@@ -1,0 +1,34 @@
+(** Fixed-capacity slowest-N command log, modeled on Redis's SLOWLOG.
+
+    Keeps the N slowest commands seen (Redis keeps the N most recent above
+    a threshold; slowest-N is the more useful view for a bounded run).
+    Command text is built lazily — the closure passed to {!note} only runs
+    when the entry is admitted — so commands below the threshold pay one
+    integer compare.  Thread-safe: admission is mutex-guarded. *)
+
+type entry = {
+  id : int;  (** admission order, unique *)
+  duration : int;  (** caller's unit; the KV server uses nanoseconds *)
+  command : string;
+}
+
+type t
+
+val create : ?capacity:int -> ?threshold:int -> unit -> t
+(** [capacity] defaults to 32 entries; [threshold] (same unit as
+    durations, default 0) gates admission. *)
+
+val capacity : t -> int
+val threshold : t -> int
+val set_threshold : t -> int -> unit
+val length : t -> int
+
+val note : t -> duration:int -> (unit -> string) -> unit
+(** [note t ~duration describe] admits the command when [duration] is at
+    least the threshold and among the N slowest seen. *)
+
+val entries : t -> entry list
+(** Slowest first; ties broken by admission order. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

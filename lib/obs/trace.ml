@@ -1,0 +1,185 @@
+(* Per-thread ring-buffer event recorder with a Chrome trace_event
+   exporter.
+
+   Each thread id owns a fixed-capacity ring; recording overwrites the
+   oldest event when full (drop-oldest), so a trace always holds the most
+   recent window of activity and recording never allocates: event records
+   are preallocated and mutated in place.
+
+   Timestamps come from the [now] closure supplied at creation — virtual
+   cycles under the simulator, monotonic nanoseconds on real domains — so
+   the export of a deterministic simulation is byte-identical across runs.
+   The exporter maps NUMA nodes to Chrome "processes" and thread ids to
+   Chrome "threads", loadable in Perfetto or chrome://tracing. *)
+
+type event = {
+  mutable name : string;
+  mutable cat : string;
+  mutable ph : char; (* 'B' begin | 'E' end | 'i' instant | 'X' complete *)
+  mutable ts : int;
+  mutable dur : int; (* 'X' events only *)
+  mutable pid : int; (* NUMA node *)
+  mutable tid : int;
+  mutable arg : int; (* no_arg = absent *)
+}
+
+let no_arg = min_int
+
+type ring = {
+  events : event array;
+  mutable next : int; (* next slot to overwrite *)
+  mutable recorded : int; (* total events ever recorded *)
+}
+
+(* Each thread gets two rings: complete slices ('X' — the scheduler's
+   run/spin slices, emitted on every simulated quantum) and discrete
+   events (spans and instants — combines, stalls, refreshes, orders of
+   magnitude rarer).  Separating them keeps the firehose of scheduler
+   slices from evicting the rare events a trace is usually opened for. *)
+type t = {
+  spans : ring array; (* 'B' / 'E' / 'i', indexed by tid *)
+  slices : ring array; (* 'X', indexed by tid *)
+  capacity : int;
+  now : unit -> int;
+}
+
+let fresh_event () =
+  { name = ""; cat = ""; ph = 'i'; ts = 0; dur = 0; pid = 0; tid = 0;
+    arg = no_arg }
+
+let create ?(capacity = 4096) ~threads ~now () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  if threads <= 0 then invalid_arg "Trace.create: threads must be > 0";
+  let rings () =
+    Array.init threads (fun _ ->
+        { events = Array.init capacity (fun _ -> fresh_event ());
+          next = 0; recorded = 0 })
+  in
+  { spans = rings (); slices = rings (); capacity; now }
+
+let threads t = Array.length t.spans
+let now t = t.now ()
+
+let emit t ~tid ~node ~cat ~ph ~ts ~dur ~arg name =
+  if tid >= 0 && tid < Array.length t.spans then begin
+    let r = if ph = 'X' then t.slices.(tid) else t.spans.(tid) in
+    let e = r.events.(r.next) in
+    e.name <- name;
+    e.cat <- cat;
+    e.ph <- ph;
+    e.ts <- ts;
+    e.dur <- dur;
+    e.pid <- node;
+    e.tid <- tid;
+    e.arg <- arg;
+    r.next <- (if r.next + 1 = t.capacity then 0 else r.next + 1);
+    r.recorded <- r.recorded + 1
+  end
+
+let span_begin t ~tid ~node ~cat name =
+  emit t ~tid ~node ~cat ~ph:'B' ~ts:(t.now ()) ~dur:0 ~arg:no_arg name
+
+let span_end t ~tid ~node ~cat ~arg name =
+  emit t ~tid ~node ~cat ~ph:'E' ~ts:(t.now ()) ~dur:0 ~arg name
+
+let instant t ~tid ~node ~cat ~arg name =
+  emit t ~tid ~node ~cat ~ph:'i' ~ts:(t.now ()) ~dur:0 ~arg name
+
+let slice t ~tid ~node ~cat ~ts ~dur name =
+  emit t ~tid ~node ~cat ~ph:'X' ~ts ~dur ~arg:no_arg name
+
+let sum_rings f rings = Array.fold_left (fun acc r -> acc + f r) 0 rings
+
+let recorded t =
+  sum_rings (fun r -> r.recorded) t.spans
+  + sum_rings (fun r -> r.recorded) t.slices
+
+let dropped t =
+  let d r = max 0 (r.recorded - t.capacity) in
+  sum_rings d t.spans + sum_rings d t.slices
+
+(* Oldest-to-newest iteration over one ring. *)
+let iter_ring t r f =
+  let stored = min r.recorded t.capacity in
+  let start = if r.recorded <= t.capacity then 0 else r.next in
+  for i = 0 to stored - 1 do
+    f r.events.((start + i) mod t.capacity)
+  done
+
+(* tid order; per tid the discrete events first, then the slices, each
+   oldest-to-newest — a fixed order, so exports are deterministic. *)
+let iter t f =
+  for tid = 0 to Array.length t.spans - 1 do
+    iter_ring t t.spans.(tid) f;
+    iter_ring t t.slices.(tid) f
+  done
+
+(* {2 Chrome trace_event export} *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_event buf sep e =
+  Buffer.add_string buf !sep;
+  sep := ",\n";
+  Buffer.add_string buf "{\"name\":\"";
+  escape buf e.name;
+  Buffer.add_string buf "\",\"cat\":\"";
+  escape buf e.cat;
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_char buf e.ph;
+  Buffer.add_string buf "\",\"ts\":";
+  Buffer.add_string buf (string_of_int e.ts);
+  if e.ph = 'X' then begin
+    Buffer.add_string buf ",\"dur\":";
+    Buffer.add_string buf (string_of_int e.dur)
+  end;
+  if e.ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  Buffer.add_string buf ",\"pid\":";
+  Buffer.add_string buf (string_of_int e.pid);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int e.tid);
+  if e.arg <> no_arg then begin
+    Buffer.add_string buf ",\"args\":{\"v\":";
+    Buffer.add_string buf (string_of_int e.arg);
+    Buffer.add_string buf "}"
+  end;
+  Buffer.add_string buf "}"
+
+(* Export is deterministic: process metadata for each NUMA node seen (pid
+   ascending), then every ring in tid order, each oldest-to-newest. *)
+let to_chrome_buffer t buf =
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n";
+  let sep = ref "" in
+  let nodes = Hashtbl.create 8 in
+  iter t (fun e ->
+      if not (Hashtbl.mem nodes e.pid) then Hashtbl.add nodes e.pid ());
+  let pids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) nodes []) in
+  List.iter
+    (fun pid ->
+      Buffer.add_string buf !sep;
+      sep := ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"node %d\"}}"
+           pid pid))
+    pids;
+  iter t (fun e -> add_event buf sep e);
+  Buffer.add_string buf "\n]}\n"
+
+let to_chrome_string t =
+  let buf = Buffer.create 65536 in
+  to_chrome_buffer t buf;
+  Buffer.contents buf
+
+let write_chrome t oc = output_string oc (to_chrome_string t)

@@ -1,0 +1,66 @@
+(** Per-thread ring-buffer event recorder with a Chrome [trace_event]
+    exporter.
+
+    Each thread id owns two bounded rings — one for complete slices
+    (['X'], the scheduler's high-frequency run/spin quanta) and one for
+    discrete events (spans and instants, orders of magnitude rarer) — so
+    the slice firehose cannot evict the rare events a trace is usually
+    opened for.  When a ring fills, recording overwrites its oldest event
+    (drop-oldest), so a trace holds the most recent window of activity and
+    recording never allocates.  Timestamps come from the
+    [now] closure given at creation: virtual cycles under the simulator,
+    monotonic nanoseconds on real domains.  Exporting a deterministic
+    simulation yields byte-identical output across runs.
+
+    Concurrent recording is safe as long as each thread only records under
+    its own [tid] (every tid has a private ring). *)
+
+type t
+
+(** Raw event, exposed for tests and custom exporters. *)
+type event = {
+  mutable name : string;
+  mutable cat : string;
+  mutable ph : char;  (** 'B' begin, 'E' end, 'i' instant, 'X' complete *)
+  mutable ts : int;
+  mutable dur : int;  (** 'X' events only *)
+  mutable pid : int;  (** NUMA node *)
+  mutable tid : int;
+  mutable arg : int;  (** {!no_arg} when absent *)
+}
+
+val no_arg : int
+(** Sentinel for "no argument" ([min_int]). *)
+
+val create : ?capacity:int -> threads:int -> now:(unit -> int) -> unit -> t
+(** [create ~threads ~now ()] allocates two rings of [capacity] (default
+    4096) events each per thread id in [0, threads). *)
+
+val threads : t -> int
+
+val now : t -> int
+(** The trace's current timestamp (calls the [now] closure). *)
+
+val span_begin : t -> tid:int -> node:int -> cat:string -> string -> unit
+val span_end : t -> tid:int -> node:int -> cat:string -> arg:int -> string -> unit
+val instant : t -> tid:int -> node:int -> cat:string -> arg:int -> string -> unit
+
+val slice : t -> tid:int -> node:int -> cat:string -> ts:int -> dur:int -> string -> unit
+(** A complete span with explicit start and duration (Chrome ['X']). *)
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to drop-oldest overwriting. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Visit retained events in a fixed order: tids ascending; per tid the
+    discrete events first, then the slices, each oldest-to-newest. *)
+
+val to_chrome_buffer : t -> Buffer.t -> unit
+val to_chrome_string : t -> string
+val write_chrome : t -> out_channel -> unit
+(** Chrome [trace_event] JSON ("JSON object format"): NUMA nodes appear as
+    processes, thread ids as threads.  Open in Perfetto
+    ({:https://ui.perfetto.dev}) or chrome://tracing. *)

@@ -118,6 +118,9 @@ let handler t th =
             Some
               (fun (k : (a, unit) continuation) ->
                 let n = max 1 n in
+                (* run-slice for the tracer: no effect, so no virtual cost *)
+                Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched"
+                  ~ts:th.time ~dur:n "run";
                 th.time <- th.time + n;
                 t.stats.cycles_work <- t.stats.cycles_work + n;
                 Eventq.add t.q ~time:th.time (fun () ->
@@ -126,6 +129,8 @@ let handler t th =
         | Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched"
+                  ~ts:th.time ~dur:t.costs.yield "spin";
                 th.time <- th.time + t.costs.yield;
                 t.stats.cycles_spin <- t.stats.cycles_spin + t.costs.yield;
                 Eventq.add t.q ~time:th.time (fun () ->

@@ -59,6 +59,23 @@ let add acc x =
   acc.cycles_work <- acc.cycles_work + x.cycles_work;
   acc.cycles_spin <- acc.cycles_spin + x.cycles_spin
 
+(* Adapt the counters into the unified metrics registry; closures read the
+   live record, so register once and dump whenever. *)
+let register_metrics reg ?(prefix = "sim") t =
+  let c name read = Nr_obs.Metrics.counter reg ~name:(prefix ^ "_" ^ name) read in
+  c "l1_hits" (fun () -> t.l1_hits);
+  c "l3_hits" (fun () -> t.l3_hits);
+  c "remote_clean" (fun () -> t.remote_clean);
+  c "remote_dirty" (fun () -> t.remote_dirty);
+  c "mem_local" (fun () -> t.mem_local);
+  c "mem_remote" (fun () -> t.mem_remote);
+  c "remote_transfers" (fun () -> remote_transfers t);
+  c "cas_ops" (fun () -> t.cas_ops);
+  c "cas_failures" (fun () -> t.cas_failures);
+  c "cycles_memory" (fun () -> t.cycles_memory);
+  c "cycles_work" (fun () -> t.cycles_work);
+  c "cycles_spin" (fun () -> t.cycles_spin)
+
 let pp ppf t =
   Format.fprintf ppf
     "l1=%d l3=%d rclean=%d rdirty=%d mem=%d/%d cas=%d(fail %d) cycles \

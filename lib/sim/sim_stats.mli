@@ -27,4 +27,8 @@ val remote_transfers : t -> int
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
+val register_metrics : Nr_obs.Metrics.t -> ?prefix:string -> t -> unit
+(** Register every counter (prefixed, default ["sim"]) in a metrics
+    registry; values are read live at dump time. *)
+
 val pp : Format.formatter -> t -> unit

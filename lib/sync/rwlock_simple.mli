@@ -1,0 +1,31 @@
+(** Centralized readers-writer lock.
+
+    A single word holds -1 while a writer is inside, otherwise the reader
+    count.  Every acquisition — including read acquisitions — CASes that
+    one word, so readers on different NUMA nodes bounce its cache line;
+    read scalability collapses exactly as in the paper's ablation #5
+    (§8.5), which swaps this in for the distributed lock.  Writers are not
+    prioritized and can starve under a stream of readers. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?home:int -> unit -> t
+  (** A fresh, unheld lock on node [home] (defaults to the caller's
+      node). *)
+
+  val read_lock : t -> unit
+  (** Block (spin with backoff) until no writer holds the lock, then
+      increment the reader count. *)
+
+  val read_unlock : t -> unit
+  (** Decrement the reader count.  Only a thread inside a read section may
+      call this. *)
+
+  val write_lock : t -> unit
+  (** Block until the lock is completely free (no readers, no writer),
+      then take exclusive ownership. *)
+
+  val write_unlock : t -> unit
+  (** Release exclusive ownership. *)
+end

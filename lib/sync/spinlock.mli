@@ -1,0 +1,31 @@
+(** Test-and-test-and-set spin lock with truncated exponential backoff.
+
+    One shared word on its own cache line: 0 = free, 1 = held.  Waiters
+    spin on plain reads (cheap while the line stays shared) and only issue
+    a CAS after observing the lock free.  This is also the paper's [SL]
+    baseline — a single big lock around a sequential structure — and the
+    per-replica combiner lock inside Node Replication. *)
+
+module Make (R : Nr_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?home:int -> unit -> t
+  (** A fresh, unlocked lock.  [home] is the NUMA node whose memory backs
+      the lock word (defaults to the caller's node). *)
+
+  val try_lock : t -> bool
+  (** One test-and-test-and-set attempt; never blocks.  [true] on
+      acquisition. *)
+
+  val lock : t -> unit
+  (** Spin (with backoff, deep cap for high thread counts) until
+      acquired. *)
+
+  val unlock : t -> unit
+  (** Release.  Only the holder may call this; there is no ownership
+      check. *)
+
+  val locked : t -> bool
+  (** Momentary snapshot, for heuristics only — the answer may be stale by
+      the time the caller acts on it. *)
+end

@@ -11,6 +11,7 @@ let tiny_params =
     measure_us = 10.0;
     population = 200;
     seed = 1;
+    latency = false;
   }
 
 let test_driver_counts_ops () =
@@ -52,8 +53,8 @@ let test_table_render () =
       y_label = "ops/us";
       series =
         [
-          { Table.label = "A"; points = [ { Table.x = 1; y = 1.5 }; { Table.x = 2; y = 3.0 } ] };
-          { Table.label = "B"; points = [ { Table.x = 1; y = 0.5 } ] };
+          { Table.label = "A"; points = [ Table.pt 1 1.5; Table.pt 2 3.0 ] };
+          { Table.label = "B"; points = [ Table.pt 1 0.5 ] };
         ];
       notes = [ "note" ];
     }

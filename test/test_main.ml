@@ -13,6 +13,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("kvstore", Test_kvstore.suite);
       ("harness", Test_harness.suite);
+      ("observability", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("misc", Test_misc.suite);

@@ -1,0 +1,272 @@
+(* Observability subsystem tests: histogram quantile math (units +
+   properties), the Chrome trace exporter (golden bytes, drop-oldest
+   semantics, determinism of a traced simulation), the metrics registry
+   and the slowlog. *)
+
+module H = Nr_obs.Histogram
+module Trace = Nr_obs.Trace
+module Sink = Nr_obs.Sink
+module Metrics = Nr_obs.Metrics
+module Slowlog = Nr_obs.Slowlog
+
+(* --- histogram: unit tests --- *)
+
+(* Bucket lower bounds are at most ~3% (1/32) below the true value, and
+   never above it. *)
+let check_approx what expect got =
+  let lo = expect - (expect / 16) - 1 in
+  if got < lo || got > expect then
+    Alcotest.failf "%s: expected within [%d,%d], got %d" what lo expect got
+
+let test_histogram_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check int) "sum" 0 (H.sum h);
+  Alcotest.(check int) "q50" 0 (H.quantile h 0.5);
+  Alcotest.(check int) "max" 0 (H.max_value h)
+
+let test_histogram_small_exact () =
+  (* values below 32 land in exact buckets: quantiles are exact *)
+  let h = H.create () in
+  List.iter (H.record h) [ 4; 1; 3; 2 ];
+  Alcotest.(check int) "count" 4 (H.count h);
+  Alcotest.(check int) "sum" 10 (H.sum h);
+  Alcotest.(check int) "min" 1 (H.min_value h);
+  Alcotest.(check int) "max" 4 (H.max_value h);
+  Alcotest.(check int) "q0 -> min" 1 (H.quantile h 0.0);
+  Alcotest.(check int) "q50 -> rank 2" 2 (H.quantile h 0.5);
+  Alcotest.(check int) "q75 -> rank 3" 3 (H.quantile h 0.75);
+  Alcotest.(check int) "q100 -> max" 4 (H.quantile h 1.0)
+
+let test_histogram_quantiles () =
+  let h = H.create () in
+  for v = 1 to 10_000 do
+    H.record h v
+  done;
+  check_approx "p50" 5_000 (H.quantile h 0.5);
+  check_approx "p90" 9_000 (H.quantile h 0.9);
+  check_approx "p99" 9_900 (H.quantile h 0.99);
+  check_approx "p999" 9_990 (H.quantile h 0.999);
+  check_approx "p100" 10_000 (H.quantile h 1.0);
+  Alcotest.(check int) "count" 10_000 (H.count h);
+  let mean = H.mean h in
+  if Float.abs (mean -. 5000.5) > 1.0 then
+    Alcotest.failf "mean: expected ~5000.5, got %f" mean
+
+let test_histogram_clear () =
+  let h = H.create () in
+  H.record h 1234;
+  H.clear h;
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check int) "q99" 0 (H.quantile h 0.99)
+
+(* --- histogram: qcheck properties --- *)
+
+let values_gen = QCheck.Gen.(list_size (int_range 1 200) (int_bound 2_000_000))
+
+let quantiles_monotone =
+  QCheck.Test.make ~count:200 ~name:"histogram quantiles monotone in q"
+    (QCheck.make values_gen ~print:QCheck.Print.(list int))
+    (fun vs ->
+      let h = H.create () in
+      List.iter (H.record h) vs;
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ] in
+      let rec mono = function
+        | q1 :: (q2 :: _ as rest) ->
+            H.quantile h q1 <= H.quantile h q2 && mono rest
+        | _ -> true
+      in
+      mono qs)
+
+let merge_is_union =
+  QCheck.Test.make ~count:200 ~name:"histogram merge = recording the union"
+    (QCheck.make
+       QCheck.Gen.(pair values_gen values_gen)
+       ~print:QCheck.Print.(pair (list int) (list int)))
+    (fun (xs, ys) ->
+      let a = H.create () and b = H.create () and u = H.create () in
+      List.iter (H.record a) xs;
+      List.iter (H.record b) ys;
+      List.iter (H.record u) (xs @ ys);
+      H.merge ~into:a b;
+      H.count a = H.count u
+      && H.sum a = H.sum u
+      && H.min_value a = H.min_value u
+      && H.max_value a = H.max_value u
+      && List.for_all
+           (fun q -> H.quantile a q = H.quantile u q)
+           [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+(* --- trace: golden Chrome JSON bytes --- *)
+
+let test_trace_golden () =
+  let clock = ref 0 in
+  let now () =
+    clock := !clock + 10;
+    !clock
+  in
+  let tr = Trace.create ~capacity:8 ~threads:2 ~now () in
+  Trace.span_begin tr ~tid:0 ~node:0 ~cat:"nr" "combine";
+  Trace.instant tr ~tid:0 ~node:0 ~cat:"nr" ~arg:3 "append";
+  Trace.span_end tr ~tid:0 ~node:0 ~cat:"nr" ~arg:3 "combine";
+  Trace.slice tr ~tid:1 ~node:1 ~cat:"sched" ~ts:0 ~dur:25 "run";
+  let expected =
+    String.concat "\n"
+      [
+        "{\"displayTimeUnit\":\"ns\",";
+        "\"traceEvents\":[";
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"node 0\"}},";
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"node 1\"}},";
+        "{\"name\":\"combine\",\"cat\":\"nr\",\"ph\":\"B\",\"ts\":10,\"pid\":0,\"tid\":0},";
+        "{\"name\":\"append\",\"cat\":\"nr\",\"ph\":\"i\",\"ts\":20,\"s\":\"t\",\"pid\":0,\"tid\":0,\"args\":{\"v\":3}},";
+        "{\"name\":\"combine\",\"cat\":\"nr\",\"ph\":\"E\",\"ts\":30,\"pid\":0,\"tid\":0,\"args\":{\"v\":3}},";
+        "{\"name\":\"run\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":0,\"dur\":25,\"pid\":1,\"tid\":1}";
+        "]}";
+        "";
+      ]
+  in
+  Alcotest.(check string) "chrome JSON" expected (Trace.to_chrome_string tr)
+
+let test_trace_drop_oldest () =
+  let tr = Trace.create ~capacity:2 ~threads:1 ~now:(fun () -> 0) () in
+  Trace.instant tr ~tid:0 ~node:0 ~cat:"t" ~arg:Trace.no_arg "a";
+  Trace.instant tr ~tid:0 ~node:0 ~cat:"t" ~arg:Trace.no_arg "b";
+  Trace.instant tr ~tid:0 ~node:0 ~cat:"t" ~arg:Trace.no_arg "c";
+  Alcotest.(check int) "recorded" 3 (Trace.recorded tr);
+  Alcotest.(check int) "dropped" 1 (Trace.dropped tr);
+  let names = ref [] in
+  Trace.iter tr (fun e -> names := e.Trace.name :: !names);
+  Alcotest.(check (list string)) "oldest dropped" [ "b"; "c" ]
+    (List.rev !names)
+
+let test_trace_slices_dont_evict_spans () =
+  (* high-frequency 'X' slices fill their own ring; discrete events
+     survive no matter how many slices follow *)
+  let tr = Trace.create ~capacity:2 ~threads:1 ~now:(fun () -> 7) () in
+  Trace.span_begin tr ~tid:0 ~node:0 ~cat:"nr" "combine";
+  for i = 1 to 10 do
+    Trace.slice tr ~tid:0 ~node:0 ~cat:"sched" ~ts:i ~dur:1 "run"
+  done;
+  let spans = ref 0 in
+  Trace.iter tr (fun e -> if e.Trace.ph = 'B' then incr spans);
+  Alcotest.(check int) "combine span retained" 1 !spans;
+  Alcotest.(check int) "dropped slices only" 8 (Trace.dropped tr)
+
+(* --- trace: a tiny 2-thread simulation is deterministic --- *)
+
+let trace_tiny_sim () =
+  let sched = Nr_sim.Sched.create Nr_sim.Topology.tiny in
+  let tr =
+    Trace.create ~capacity:64 ~threads:2
+      ~now:(fun () ->
+        if Nr_sim.Sched.running () then Nr_sim.Sched.now () else 0)
+      ()
+  in
+  Sink.install_trace tr;
+  Fun.protect ~finally:Sink.uninstall_trace (fun () ->
+      for tid = 0 to 1 do
+        Nr_sim.Sched.spawn sched ~tid (fun () ->
+            for _ = 1 to 5 do
+              Nr_sim.Sched.work 10;
+              Nr_sim.Sched.yield ()
+            done)
+      done;
+      Nr_sim.Sched.run sched);
+  Trace.to_chrome_string tr
+
+let contains s sub = Astring_contains.contains s sub
+
+let test_trace_sim_deterministic () =
+  let j1 = trace_tiny_sim () in
+  let j2 = trace_tiny_sim () in
+  Alcotest.(check string) "same sim, same bytes" j1 j2;
+  Alcotest.(check bool) "has run slices" true
+    (contains j1 "{\"name\":\"run\",\"cat\":\"sched\",\"ph\":\"X\"");
+  Alcotest.(check bool) "has tid 1" true (contains j1 "\"tid\":1");
+  Alcotest.(check bool) "nothing recorded after uninstall" true
+    (not (Sink.tracing ()))
+
+(* --- metrics registry --- *)
+
+let test_metrics_dump () =
+  let reg = Metrics.create () in
+  let ops = ref 0 in
+  Metrics.counter reg ~name:"b_ops" (fun () -> !ops);
+  Metrics.gauge reg ~name:"a_rate" (fun () -> float_of_int !ops /. 2.0);
+  ops := 10;
+  (* closures read live values; dump is sorted by name *)
+  let text = Format.asprintf "%a" Metrics.dump reg in
+  Alcotest.(check bool) "sorted: a before b" true
+    (contains text "a_rate"
+    &&
+    let ia = String.index text 'a' in
+    ia < String.length text
+    && String.length text > 0
+    &&
+    match String.index_opt text 'b' with
+    | Some ib -> ia < ib
+    | None -> false);
+  Alcotest.(check bool) "live counter" true (contains text "10");
+  let json = Metrics.to_json reg in
+  Alcotest.(check bool) "json has both" true
+    (contains json "\"a_rate\"" && contains json "\"b_ops\": 10")
+
+let test_metrics_replace_and_histogram () =
+  let reg = Metrics.create () in
+  Metrics.counter reg ~name:"x" (fun () -> 1);
+  Metrics.counter reg ~name:"x" (fun () -> 2);
+  Alcotest.(check int) "re-register replaces" 1 (Metrics.length reg);
+  Alcotest.(check bool) "replaced value" true
+    (contains (Metrics.to_json reg) "\"x\": 2");
+  let h = H.create () in
+  List.iter (H.record h) [ 10; 20; 30 ];
+  Metrics.histogram reg ~name:"lat" h;
+  let json = Metrics.to_json reg in
+  Alcotest.(check bool) "derived quantiles" true
+    (contains json "\"lat_count\": 3" && contains json "\"lat_p50\": 20")
+
+(* --- slowlog --- *)
+
+let test_slowlog () =
+  let sl = Slowlog.create ~capacity:2 () in
+  Slowlog.note sl ~duration:5 (fun () -> "GET a");
+  Slowlog.note sl ~duration:50 (fun () -> "ZADD b");
+  Slowlog.note sl ~duration:20 (fun () -> "ZRANK c");
+  Alcotest.(check int) "bounded" 2 (Slowlog.length sl);
+  (match Slowlog.entries sl with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "slowest first" "ZADD b" e1.Slowlog.command;
+      Alcotest.(check string) "then next" "ZRANK c" e2.Slowlog.command
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Slowlog.reset sl;
+  Alcotest.(check int) "reset" 0 (Slowlog.length sl)
+
+let test_slowlog_threshold () =
+  let sl = Slowlog.create ~capacity:4 ~threshold:100 () in
+  let formatted = ref 0 in
+  Slowlog.note sl ~duration:10 (fun () ->
+      incr formatted;
+      "fast");
+  Slowlog.note sl ~duration:500 (fun () ->
+      incr formatted;
+      "slow");
+  Alcotest.(check int) "below threshold skipped" 1 (Slowlog.length sl);
+  Alcotest.(check int) "lazy formatting" 1 !formatted
+
+let suite =
+  [
+    ("histogram empty", `Quick, test_histogram_empty);
+    ("histogram small values exact", `Quick, test_histogram_small_exact);
+    ("histogram quantiles ~3%", `Quick, test_histogram_quantiles);
+    ("histogram clear", `Quick, test_histogram_clear);
+    ("trace golden chrome JSON", `Quick, test_trace_golden);
+    ("trace drop-oldest", `Quick, test_trace_drop_oldest);
+    ("trace slices don't evict spans", `Quick,
+     test_trace_slices_dont_evict_spans);
+    ("traced sim deterministic", `Quick, test_trace_sim_deterministic);
+    ("metrics dump", `Quick, test_metrics_dump);
+    ("metrics replace + histogram", `Quick, test_metrics_replace_and_histogram);
+    ("slowlog slowest-N", `Quick, test_slowlog);
+    ("slowlog threshold + laziness", `Quick, test_slowlog_threshold);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ quantiles_monotone; merge_is_union ]
