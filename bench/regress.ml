@@ -1,0 +1,290 @@
+(* Perf-regression bench: a fixed deterministic sweep on the NUMA simulator
+   (wall-clock timed) plus single-operation micro-benchmarks on real domains
+   with allocation accounting.  Writes BENCH_nr.json at the invocation
+   directory so every PR records its before/after numbers.
+
+     dune exec bench/regress.exe              # default scale
+     NR_BENCH_SCALE=quick|default|paper       # effort knob
+     NR_BENCH_OUT=path.json                   # output location
+
+   The sweep is fig5a-style (skip-list priority queue through NR, Intel
+   preset, e=0) at three thread counts crossing the first node boundary,
+   run at 0% and 100% updates so both the read path and the combiner/log
+   path are timed.  Simulated throughput per point is deterministic — any
+   change in [ops_per_us] means the simulation semantics moved, while
+   [wall_ms] tracks how fast the simulator itself executes.  The domains
+   micro-benchmarks report ns/op and minor-heap words/op of a combiner
+   round trip, isolating NR's own allocation from the structure's. *)
+
+open Nr_harness
+
+type scale = {
+  scale_name : string;
+  population : int;
+  warmup_us : float;
+  measure_us : float;
+  micro_iters : int;
+}
+
+let scale_of_env () =
+  match Sys.getenv_opt "NR_BENCH_SCALE" with
+  (* Populations are kept small relative to the measure window so that
+     wall time is dominated by simulated hot-path execution, not by the
+     (unmeasured, pure-OCaml) replica prepopulation in each point's
+     setup — the bench gauges the machinery, not skip-list inserts. *)
+  | Some "quick" ->
+      {
+        scale_name = "quick";
+        population = 1_000;
+        warmup_us = 5.0;
+        measure_us = 40.0;
+        micro_iters = 20_000;
+      }
+  | Some "paper" ->
+      {
+        scale_name = "paper";
+        population = 20_000;
+        warmup_us = 40.0;
+        measure_us = 400.0;
+        micro_iters = 200_000;
+      }
+  | Some "default" | None ->
+      {
+        scale_name = "default";
+        population = 5_000;
+        warmup_us = 20.0;
+        measure_us = 150.0;
+        micro_iters = 100_000;
+      }
+  | Some other ->
+      Printf.eprintf
+        "NR_BENCH_SCALE=%s not recognized (quick|default|paper); using \
+         default scale\n\
+         %!"
+        other;
+      {
+        scale_name = "default";
+        population = 5_000;
+        warmup_us = 20.0;
+        measure_us = 150.0;
+        micro_iters = 100_000;
+      }
+
+(* Three points crossing the first node boundary of the Intel preset. *)
+let threads_axis = [ 1; 28; 56 ]
+let update_pcts = [ 0; 100 ]
+
+let params_of scale =
+  {
+    Params.topo = Nr_sim.Topology.intel;
+    threads = threads_axis;
+    warmup_us = scale.warmup_us;
+    measure_us = scale.measure_us;
+    population = scale.population;
+    seed = 0xA5A5;
+    latency = false;
+  }
+
+type point = {
+  update_pct : int;
+  threads : int;
+  total_ops : int;
+  ops_per_us : float;
+  remote_transfers : int;
+}
+
+let run_sweep scale =
+  let params = params_of scale in
+  let t0 = Unix.gettimeofday () in
+  let points =
+    List.concat_map
+      (fun update_pct ->
+        List.map
+          (fun threads ->
+            let r =
+              Driver.run_sim ~topo:params.Params.topo ~threads
+                ~warmup_us:params.Params.warmup_us
+                ~measure_us:params.Params.measure_us
+                (Exp_pq.Sl_exp.setup_black_box params Method.NR ~update_pct
+                   ~e:0 ~threads)
+            in
+            {
+              update_pct;
+              threads;
+              total_ops = r.Driver.total_ops;
+              ops_per_us = r.Driver.ops_per_us;
+              remote_transfers = r.Driver.remote_transfers;
+            })
+          params.Params.threads)
+      update_pcts
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (wall_ms, points)
+
+(* --- domains micro-benchmarks ------------------------------------- *)
+
+(* A counter whose operations carry no payload: the words/op measured on
+   it are NR's own combiner/log overhead plus the option boxes at the
+   slot API, with no structure allocation mixed in. *)
+module Counter = struct
+  type t = { mutable v : int }
+  type op = Incr | Get
+  type result = int
+
+  let create () = { v = 0 }
+
+  let execute t = function
+    | Incr ->
+        t.v <- t.v + 1;
+        t.v
+    | Get -> t.v
+
+  let is_read_only = function Get -> true | Incr -> false
+  let footprint _ _ = Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  let lines _ = 4
+  let pp_op ppf _ = Format.pp_print_string ppf "op"
+end
+
+type micro = { name : string; ns_per_op : float; minor_words_per_op : float }
+
+let time_micro ~name ~iters body =
+  for _ = 1 to max 1 (iters / 10) do
+    body ()
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Nr_obs.Clock.now_ns () in
+  for _ = 1 to iters do
+    body ()
+  done;
+  let dt = Nr_obs.Clock.elapsed_ns ~since:t0 in
+  let dw = Gc.minor_words () -. w0 in
+  {
+    name;
+    ns_per_op = float_of_int dt /. float_of_int iters;
+    minor_words_per_op = dw /. float_of_int iters;
+  }
+
+let run_micros scale =
+  let topo = Nr_sim.Topology.tiny in
+  let rt = Nr_runtime.Runtime_domains.make topo in
+  let module R = (val rt) in
+  Nr_runtime.Runtime_domains.register ~tid:0;
+  let module Nr_ctr = Nr_core.Node_replication.Make (R) (Counter) in
+  let ctr = Nr_ctr.create (fun () -> Counter.create ()) in
+  let m1 =
+    time_micro ~name:"nr-counter-update" ~iters:scale.micro_iters (fun () ->
+        ignore (Nr_ctr.execute ctr Counter.Incr))
+  in
+  let m2 =
+    time_micro ~name:"nr-counter-read" ~iters:scale.micro_iters (fun () ->
+        ignore (Nr_ctr.execute ctr Counter.Get))
+  in
+  let module Nr_pq = Nr_core.Node_replication.Make (R) (Nr_seqds.Skiplist_pq) in
+  let nr_pq = Nr_pq.create (fun () -> Nr_seqds.Skiplist_pq.create ()) in
+  let rng = Nr_workload.Prng.create ~seed:42 in
+  let m3 =
+    time_micro ~name:"nr-skiplist-pq-pair" ~iters:(scale.micro_iters / 4)
+      (fun () ->
+        ignore
+          (Nr_pq.execute nr_pq
+             (Nr_seqds.Pq_ops.Insert (Nr_workload.Prng.below rng 100_000, 1)));
+        ignore (Nr_pq.execute nr_pq Nr_seqds.Pq_ops.Delete_min))
+  in
+  [ m1; m2; m3 ]
+
+(* --- JSON emission (hand-rolled; the repo has no JSON dependency) -- *)
+
+(* One level of history: if the output file already holds a previous run,
+   embed it (minus its own [previous]) so a single file shows the
+   before/after of the latest change.  The marker is stable because this
+   program always writes [previous] last. *)
+let strip_previous s =
+  let marker = ",\n  \"previous\":" in
+  let mlen = String.length marker in
+  let n = String.length s in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub s i mlen = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.trim (String.sub s 0 i) ^ "\n}"
+  | None -> String.trim s
+
+let read_file path =
+  if Sys.file_exists path then (
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s)
+  else None
+
+let emit ~out ~scale ~wall_ms ~points ~micros =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"nr-regress/1\",\n";
+  add "  \"scale\": %S,\n" scale.scale_name;
+  add "  \"sim_sweep\": {\n";
+  add
+    "    \"workload\": \"fig5a-style skip-list PQ via NR, Intel preset, \
+     e=0, update_pct in {0,100}\",\n";
+  add "    \"seed\": %d,\n" (params_of scale).Params.seed;
+  add "    \"wall_ms\": %.1f,\n" wall_ms;
+  add "    \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"update_pct\": %d, \"threads\": %d, \"total_ops\": %d, \
+         \"ops_per_us\": %.4f, \"remote_transfers\": %d}%s\n"
+        p.update_pct p.threads p.total_ops p.ops_per_us p.remote_transfers
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"domains_micro\": [\n";
+  List.iteri
+    (fun i m ->
+      add
+        "    {\"name\": %S, \"ns_per_op\": %.1f, \"minor_words_per_op\": \
+         %.2f}%s\n"
+        m.name m.ns_per_op m.minor_words_per_op
+        (if i = List.length micros - 1 then "" else ","))
+    micros;
+  add "  ]";
+  (match read_file out with
+  | Some old ->
+      add ",\n  \"previous\": ";
+      (* indent is cosmetic; embed the stripped object verbatim *)
+      add "%s" (strip_previous old);
+      add "\n"
+  | None -> add "\n");
+  add "}\n";
+  let oc = open_out_bin out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let () =
+  let scale = scale_of_env () in
+  let out =
+    match Sys.getenv_opt "NR_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_nr.json"
+  in
+  Format.printf "# NR perf-regression bench (scale %s)@." scale.scale_name;
+  let wall_ms, points = run_sweep scale in
+  Format.printf "sim sweep: %.1f ms wall@." wall_ms;
+  List.iter
+    (fun p ->
+      Format.printf "  upd=%3d%% threads=%3d  %8.4f ops/us  (%d ops)@."
+        p.update_pct p.threads p.ops_per_us p.total_ops)
+    points;
+  let micros = run_micros scale in
+  List.iter
+    (fun m ->
+      Format.printf "  %-22s %8.1f ns/op  %8.2f minor words/op@." m.name
+        m.ns_per_op m.minor_words_per_op)
+    micros;
+  emit ~out ~scale ~wall_ms ~points ~micros;
+  Format.printf "wrote %s@." out

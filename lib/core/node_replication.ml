@@ -32,6 +32,22 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     rw : rwlock;
     slots : slot array;
     stats : Stats.t;
+    (* {2 Combiner scratch} — per-node reusable buffers so the combine /
+       replay hot paths allocate nothing in steady state (§5.7: the
+       machinery must stay leaner than the operations it batches).  All of
+       it is only touched under this node's combiner or writer lock. *)
+    req_cells : Seq.op option R.cell array;
+        (** the [request] cells of [slots], gathered once at creation so a
+            scan is a single overlapped batch read *)
+    req_buf : Seq.op option array;  (** scratch for scan results *)
+    batch_ops : Seq.op option array;
+        (** collected batch: the very [Some] boxes the requesters wrote *)
+    batch_slots : int array;  (** originating slot of each batch entry *)
+    replay_buf : Log.batch;  (** gen-scan scratch for replay windows *)
+    mutable on_full_combiner : unit -> unit;
+        (** hoisted [on_full] closures: allocated once per node, not once
+            per append *)
+    mutable on_full_helper : unit -> unit;
   }
 
   type t = {
@@ -39,38 +55,6 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     log : Seq.op Log.t;
     node_states : node_state array;
   }
-
-  let create ?(cfg = Config.default) replica_factory =
-    Config.validate cfg;
-    let nodes = R.num_nodes () in
-    let spn = R.threads_per_node () in
-    let log = Log.create ~home:0 ~size:cfg.log_size ~nodes () in
-    let make_node node =
-      let replica = replica_factory () in
-      {
-        node;
-        replica;
-        reg = R.region ~home:node ~lines:(max 1 (Seq.lines replica)) ();
-        combiner_lock = Spin.create ~home:node ();
-        rw =
-          (if cfg.distributed_rwlock then
-             Dist (Rw_dist.create ~home:node ~readers:spn ())
-           else Simple (Rw_simple.create ~home:node ()));
-        slots =
-          Array.init spn (fun _ ->
-              {
-                request = R.cell ~home:node None;
-                response = R.cell ~home:node None;
-              });
-        stats = Stats.create ();
-      }
-    in
-    let t = { cfg; log; node_states = Array.init nodes make_node } in
-    Stats.register_collector (fun () ->
-        let acc = Stats.create () in
-        Array.iter (fun ns -> Stats.add acc ns.stats) t.node_states;
-        acc);
-    t
 
   (* {2 Replica access under the chosen locking regime}
 
@@ -115,8 +99,13 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   (* {2 Executing operations on a replica} *)
 
+  (* [Footprint.t] is a per-operation record; only build it on runtimes
+     that charge it (the simulator).  On domains the replica's real cache
+     misses are the cost model, and the combiner applies a whole batch
+     without allocating. *)
   let apply ns op =
-    R.touch_region ns.reg (Seq.footprint ns.replica op);
+    if R.charges_footprints then
+      R.touch_region ns.reg (Seq.footprint ns.replica op);
     Seq.execute ns.replica op
 
   (* Replay log entries [local_tail, upto) onto [ns]'s replica.  Caller
@@ -129,44 +118,54 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
      replay always discards results.  Without it (ablation #1), whichever
      thread replays an entry first must post the result to the originating
      slot — including helpers from other nodes. *)
+  (* Apply entry [i] (which must be filled) and, when delivering, post the
+     result to the originating slot. *)
+  let replay_one t ns ~deliver i =
+    let res = apply ns (Log.op_at t.log i) in
+    if deliver && Log.origin_node_at t.log i = ns.node then
+      R.write ns.slots.(Log.origin_slot_at t.log i).response (Some res)
+
+  (* The loop state (position, bounds, flags) rides in the arguments of
+     top-level tail-recursive functions: no state refs and no closures are
+     allocated per replay — a [let rec] {e inside} [replay] would cost a
+     closure record per call, which on the domains runtime is the hot
+     path's entire allocation budget. *)
+  let rec replay_run t ns deliver j stop_at =
+    if j < stop_at then begin
+      replay_one t ns ~deliver j;
+      replay_run t ns deliver (j + 1) stop_at
+    end
+
+  let rec replay_window t ns deliver upto wait_holes i =
+    if i >= upto then i
+    else begin
+      let n = min t.cfg.replay_window (upto - i) in
+      (* one overlapped gen scan per window, into the node's scratch *)
+      let filled = Log.read_filled t.log ns.replay_buf i n in
+      let stop_at = i + filled in
+      replay_run t ns deliver i stop_at;
+      if filled = n then replay_window t ns deliver upto wait_holes stop_at
+      else if not wait_holes then stop_at
+      else if
+        (* wait for the missing entry to be filled, then re-fetch the
+           window from the new position *)
+        Log.is_filled t.log stop_at
+      then begin
+        replay_one t ns ~deliver stop_at;
+        replay_window t ns deliver upto wait_holes (stop_at + 1)
+      end
+      else begin
+        R.yield ();
+        replay_window t ns deliver upto wait_holes stop_at
+      end
+    end
+
   let replay t ns ~upto ~wait_holes =
     let deliver = not t.cfg.flat_combining in
     let start = Log.local_tail t.log ns.node in
-    let i = ref start in
-    let stop = ref false in
-    while (not !stop) && !i < upto do
-      let n = min t.cfg.replay_window (upto - !i) in
-      let batch = Log.get_batch t.log !i n in
-      let k = ref 0 in
-      while (not !stop) && !k < n do
-        (match batch.(!k) with
-        | Some e ->
-            let res = apply ns e.Log.op in
-            if deliver && e.Log.origin_node = ns.node then
-              R.write ns.slots.(e.Log.origin_slot).response (Some res);
-            incr i;
-            incr k
-        | None ->
-            if wait_holes then begin
-              (* wait for the missing entry to be filled, then re-fetch *)
-              (match Log.get t.log !i with
-              | Some e ->
-                  let res = apply ns e.Log.op in
-                  if deliver && e.Log.origin_node = ns.node then
-                    R.write ns.slots.(e.Log.origin_slot).response (Some res);
-                  incr i
-              | None -> R.yield ());
-              k := n (* refetch the window *)
-            end
-            else begin
-              stop := true;
-              k := n
-            end);
-        ()
-      done
-    done;
-    if !i <> start then Log.set_local_tail t.log ns.node !i;
-    !i
+    let fin = replay_window t ns deliver upto wait_holes start in
+    if fin <> start then Log.set_local_tail t.log ns.node fin;
+    fin
 
   (* When an append stalls because the log is full, advance replicas so
      their local tails stop holding the log back: first our own, then any
@@ -201,6 +200,56 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
         ~arg:Nr_obs.Sink.no_arg "log_full_stall"
 
+  let create ?(cfg = Config.default) replica_factory =
+    Config.validate cfg;
+    let nodes = R.num_nodes () in
+    let spn = R.threads_per_node () in
+    let log = Log.create ~home:0 ~size:cfg.log_size ~nodes () in
+    let make_node node =
+      let replica = replica_factory () in
+      let slots =
+        Array.init spn (fun _ ->
+            {
+              request = R.cell ~home:node None;
+              response = R.cell ~home:node None;
+            })
+      in
+      (* a combiner scans once plus up to [min_batch_retries] rescans, and
+         a drained slot cannot repost before its response arrives, so the
+         batch never exceeds this capacity *)
+      let batch_cap = spn * (cfg.min_batch_retries + 1) in
+      {
+        node;
+        replica;
+        reg = R.region ~home:node ~lines:(max 1 (Seq.lines replica)) ();
+        combiner_lock = Spin.create ~home:node ();
+        rw =
+          (if cfg.distributed_rwlock then
+             Dist (Rw_dist.create ~home:node ~readers:spn ())
+           else Simple (Rw_simple.create ~home:node ()));
+        slots;
+        stats = Stats.create ();
+        req_cells = Array.map (fun s -> s.request) slots;
+        req_buf = Array.make spn None;
+        batch_ops = Array.make batch_cap None;
+        batch_slots = Array.make batch_cap 0;
+        replay_buf = Log.batch ();
+        on_full_combiner = ignore;
+        on_full_helper = ignore;
+      }
+    in
+    let t = { cfg; log; node_states = Array.init nodes make_node } in
+    Array.iter
+      (fun ns ->
+        ns.on_full_combiner <- (fun () -> help_advance t ns ~combiner:true);
+        ns.on_full_helper <- (fun () -> help_advance t ns ~combiner:false))
+      t.node_states;
+    Stats.register_collector (fun () ->
+        let acc = Stats.create () in
+        Array.iter (fun ns -> Stats.add acc ns.stats) t.node_states;
+        acc);
+    t
+
   (* Refresh the replica up to [completed]; used by a waiting combiner
      (MIN_BATCH, §5.2) and by readers that find no active combiner. *)
   let refresh t ns ~combiner =
@@ -210,36 +259,69 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   (* {2 The combiner (§5.2)} *)
 
-  let scan_slots ns acc =
-    let requests = R.read_all (Array.map (fun s -> s.request) ns.slots) in
-    Array.iteri
-      (fun i req ->
-        match req with
+  (* Drain this node's request slots into its batch scratch starting at
+     index [count]; returns the new count.  One overlapped read of every
+     slot cell, no allocation: the collected entries are the requesters'
+     own [Some] boxes. *)
+  let rec collect_reqs ns spn i c =
+    if i = spn then c
+    else
+      match Array.unsafe_get ns.req_buf i with
+      | Some _ as req ->
+          R.write ns.slots.(i).request None;
+          ns.batch_ops.(c) <- req;
+          ns.batch_slots.(c) <- i;
+          collect_reqs ns spn (i + 1) (c + 1)
+      | None -> collect_reqs ns spn (i + 1) c
+
+  let scan_slots ns count =
+    let spn = Array.length ns.req_cells in
+    R.read_all_into ns.req_cells ~n:spn ~dst:ns.req_buf;
+    collect_reqs ns spn 0 count
+
+  (* Batch size is an int counter threaded through tail calls — no list,
+     no length recomputation, no state refs; top-level for the same
+     no-closure reason as [replay_window]. *)
+  let rec min_batch t ns count retries =
+    if count >= t.cfg.min_batch || retries = 0 then count
+    else begin
+      (* too small a batch: refresh the replica rather than idle (§5.2) *)
+      refresh t ns ~combiner:true;
+      min_batch t ns (scan_slots ns count) (retries - 1)
+    end
+
+  (* Execute a combined batch from the node-local slots; returns the
+     response for [my_idx]'s own operation.  The only allocations are the
+     [Some] response boxes handed to waiters. *)
+  let rec apply_batch t ns n my_idx k own =
+    if k = n then own
+    else begin
+      let own =
+        match ns.batch_ops.(k) with
         | Some op ->
-            R.write ns.slots.(i).request None;
-            acc := (op, i) :: !acc
-        | None -> ())
-      requests
+            let res = apply ns op in
+            let idx = ns.batch_slots.(k) in
+            if idx = my_idx then Some res
+            else begin
+              R.write ns.slots.(idx).response (Some res);
+              own
+            end
+        | None -> assert false
+      in
+      (* drop the box so the GC does not retain consumed operations *)
+      ns.batch_ops.(k) <- None;
+      apply_batch t ns n my_idx (k + 1) own
+    end
 
   (* Runs with the combiner lock held; releases it before returning. *)
   let combine t ns my_idx =
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" "combine";
-    let collected = ref [] in
-    scan_slots ns collected;
-    let retries = ref t.cfg.min_batch_retries in
-    while List.length !collected < t.cfg.min_batch && !retries > 0 do
-      (* too small a batch: refresh the replica rather than idle (§5.2) *)
-      decr retries;
-      refresh t ns ~combiner:true;
-      scan_slots ns collected
-    done;
-    let batch = Array.of_list (List.rev !collected) in
-    let n = Array.length batch in
+    let n = min_batch t ns (scan_slots ns 0) t.cfg.min_batch_retries in
     Stats.record_batch ns.stats n;
     let start =
-      Log.append t.log batch ~origin_node:ns.node ~on_full:(fun () ->
-          help_advance t ns ~combiner:true)
+      Log.append_batch t.log ~ops:ns.batch_ops ~slots:ns.batch_slots ~n
+        ~origin_node:ns.node ~on_full:ns.on_full_combiner
     in
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
@@ -253,22 +335,17 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     acquire_write t ns ~combiner:true;
     ignore (replay t ns ~upto:start ~wait_holes:true);
     Log.set_local_tail t.log ns.node end_;
+    (* one CAS carries [completed] over the whole batch *)
     Log.advance_completed t.log end_;
     (* execute own batch from the node-local slots, not from the log *)
-    let own = ref None in
-    Array.iter
-      (fun (op, idx) ->
-        let res = apply ns op in
-        if idx = my_idx then own := Some res
-        else R.write ns.slots.(idx).response (Some res))
-      batch;
+    let own = apply_batch t ns n my_idx 0 None in
     release_write t ns ~combiner:true;
     (* batch size rides on the end event so the span is self-describing *)
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
         "combine";
     Spin.unlock ns.combiner_lock;
-    match !own with
+    match own with
     | Some r -> r
     | None ->
         (* own request consumed by min-batch rescan logic is impossible:
@@ -284,18 +361,19 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
           Spin.unlock ns.combiner_lock;
           r
       | None -> combine t ns my_idx
-    else
-      let rec wait () =
-        match R.read slot.response with
-        | Some r -> r
-        | None ->
-            if Spin.locked ns.combiner_lock then begin
-              R.yield ();
-              wait ()
-            end
-            else wait_or_combine t ns my_idx
-      in
-      wait ()
+    else slot_wait t ns my_idx slot
+
+  (* top-level (not a [let rec] under [wait_or_combine]) so waiting for a
+     combiner allocates nothing *)
+  and slot_wait t ns my_idx slot =
+    match R.read slot.response with
+    | Some r -> r
+    | None ->
+        if Spin.locked ns.combiner_lock then begin
+          R.yield ();
+          slot_wait t ns my_idx slot
+        end
+        else wait_or_combine t ns my_idx
 
   let execute_update t ns my_idx op =
     ns.stats.Stats.updates <- ns.stats.Stats.updates + 1;
@@ -313,10 +391,8 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     let slot = ns.slots.(my_idx) in
     R.write slot.response None;
     let start =
-      Log.append t.log
-        [| (op, my_idx) |]
-        ~origin_node:ns.node
-        ~on_full:(fun () -> help_advance t ns ~combiner:false)
+      Log.append1 t.log op ~origin_node:ns.node ~origin_slot:my_idx
+        ~on_full:ns.on_full_helper
     in
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:1

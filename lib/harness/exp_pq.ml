@@ -5,8 +5,15 @@
 
 open Nr_seqds
 
-module type PQ_DS =
-  Nr_core.Ds_intf.S with type op = Pq_ops.op and type result = Pq_ops.result
+module type PQ_DS = sig
+  include
+    Nr_core.Ds_intf.S with type op = Pq_ops.op and type result = Pq_ops.result
+
+  val copy : t -> t
+  (** Structural copy with identical future behaviour (including any
+      internal PRNG state): lets the harness populate one master replica
+      and stamp out the others instead of re-running every insert. *)
+end
 
 module Make_exp (Seq : PQ_DS) = struct
   module W = Families.Wrap (Seq)
@@ -20,10 +27,19 @@ module Make_exp (Seq : PQ_DS) = struct
            (Pq_ops.Insert (Nr_workload.Prng.below rng key_space, 1)))
     done
 
-  let factory params () =
-    let t = Seq.create () in
-    populate params t;
-    t
+  (* Replicas are populated identically (same seed), so build the first
+     one by running the inserts and the rest as copies — replica
+     construction is a large share of a sweep point's wall time. *)
+  let factory params =
+    let master = ref None in
+    fun () ->
+      match !master with
+      | None ->
+          let t = Seq.create () in
+          populate params t;
+          master := Some t;
+          t
+      | Some m -> Seq.copy m
 
   (* One thread's operation loop. *)
   let body (params : Params.t) ~update_pct ~e ~exec rt ~tid =

@@ -41,10 +41,39 @@ let make topo : Runtime_intf.t =
     let faa = Atomic.fetch_and_add
     let read_all cells = Array.map Atomic.get cells
 
+    let read_all_into cells ~n ~dst =
+      for k = 0 to n - 1 do
+        dst.(k) <- Atomic.get cells.(k)
+      done
+
+    (* Same loop, monomorphic: int stores skip the write barrier. *)
+    let read_ints_into cells ~n ~dst =
+      for k = 0 to n - 1 do
+        dst.(k) <- (Atomic.get cells.(k) : int)
+      done
+
+    (* Eager [Atomic.t] per slot: a lazy table would need racy
+       materialization (OCaml has no per-element CAS into a plain array),
+       and real memory is only committed when written anyway. *)
+    type icells = int Atomic.t array
+
+    let icells ?home ~len init =
+      ignore home;
+      Array.init len (fun _ -> Atomic.make init)
+
+    let iget (c : icells) i = Atomic.get c.(i)
+    let iset (c : icells) i v = Atomic.set c.(i) v
+
+    let iread_into (c : icells) ~idx ~n ~dst =
+      for k = 0 to n - 1 do
+        dst.(k) <- Atomic.get c.(idx.(k))
+      done
+
     let region ?home ~lines () =
       ignore home;
       ignore lines
 
+    let charges_footprints = false
     let touch_region () _fp = ()
     let tid = current_tid
     let node_of t = Topology.node_of_thread topo t

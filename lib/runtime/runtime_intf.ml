@@ -36,6 +36,43 @@ module type S = sig
       read at a single linearization point.  Use for scans of unrelated
       cells: combiner slots, per-reader lock flags. *)
 
+  val read_all_into : 'a cell array -> n:int -> dst:'a array -> unit
+  (** [read_all_into cells ~n ~dst] is {!read_all} restricted to
+      [cells.(0..n-1)], writing the values into [dst.(0..n-1)] instead of
+      allocating a result: same single linearization point, same overlapped
+      charging on the simulator, zero allocation on the steady-state path.
+      [dst] must have length at least [n]. *)
+
+  val read_ints_into : int cell array -> n:int -> dst:int array -> unit
+  (** Int-cell fast path of {!read_all_into}: destination stores are
+      unboxed (no write barrier), and the simulator charges the batch
+      without building a per-call access descriptor.  Use on the hottest
+      scans — log generation stamps, per-node tails, reader flags. *)
+
+  (** {2 Int-cell arrays}
+
+      An [icells] is a flat array of shared int cells — the storage behind
+      the hottest per-slot metadata (log generation stamps).  Values live
+      unboxed in one contiguous array, so a scan walks consecutive words
+      instead of chasing one pointer per cell, and the simulator can
+      materialize per-slot line records lazily: a mostly-idle array (a log
+      sized for the worst case) costs its {e used} prefix, not its
+      capacity. *)
+
+  type icells
+
+  val icells : ?home:int -> len:int -> int -> icells
+  (** [icells ~home ~len init] allocates [len] shared int cells, each
+      holding [init], homed like {!cell}. *)
+
+  val iget : icells -> int -> int
+  val iset : icells -> int -> int -> unit
+
+  val iread_into : icells -> idx:int array -> n:int -> dst:int array -> unit
+  (** Gather [idx.(0..n-1)] into [dst.(0..n-1)]: the {!read_ints_into}
+      batch read (single linearization point, overlapped charging, zero
+      allocation) over an index set instead of a cell array. *)
+
   (** {2 Data-structure payload memory}
 
       A [region] stands for the payload memory of a structure replica; the
@@ -46,6 +83,12 @@ module type S = sig
 
   val region : ?home:int -> lines:int -> unit -> region
   val touch_region : region -> Footprint.t -> unit
+
+  val charges_footprints : bool
+  (** Whether {!touch_region} consumes footprints at all.  The simulator
+      charges them against its cost model; the domains runtime pays real
+      cache misses instead, so callers on its hot paths skip building the
+      {!Footprint.t} — a per-operation allocation — entirely. *)
 
   (** {2 Thread identity and placement} *)
 

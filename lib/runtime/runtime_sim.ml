@@ -53,6 +53,101 @@ let make sched : Runtime_intf.t =
           (Array.map (fun c -> (c.line, Mem.Read)) cells);
       Array.map (fun c -> c.v) cells
 
+    (* Scratch line buffer for the non-allocating batch reads.  One per
+       runtime instance is enough: the gather below runs without a
+       suspension point, and the scheduler consumes the array inside the
+       effect handler before any other simulated thread can run, so a
+       concurrent reuse can only overwrite lines that were already
+       charged. *)
+    let scratch_lines = ref [||]
+
+    let ensure_scratch n =
+      if Array.length !scratch_lines < n then
+        scratch_lines :=
+          Array.make (max n (2 * Array.length !scratch_lines))
+            (Mem.line ~home:0)
+
+    let read_all_into cells ~n ~dst =
+      if Sched.running () then begin
+        ensure_scratch n;
+        let lines = !scratch_lines in
+        for k = 0 to n - 1 do
+          Array.unsafe_set lines k cells.(k).line
+        done;
+        Sched.touch_batch_kind lines ~n Mem.Read
+      end;
+      for k = 0 to n - 1 do
+        dst.(k) <- cells.(k).v
+      done
+
+    let read_ints_into cells ~n ~dst =
+      if Sched.running () then begin
+        ensure_scratch n;
+        let lines = !scratch_lines in
+        for k = 0 to n - 1 do
+          Array.unsafe_set lines k cells.(k).line
+        done;
+        Sched.touch_batch_kind lines ~n Mem.Read
+      end;
+      for k = 0 to n - 1 do
+        dst.(k) <- (cells.(k).v : int)
+      done
+
+    (* Flat int cells: values in one unboxed array, line records
+       materialized on first simulated access.  Laziness is safe here
+       because the simulator is single-OS-thread — there is no racing
+       materialization — and cost-transparent because a line that was never
+       touched has never influenced the model: creating it at first touch
+       leaves every charge identical to eager creation.  Setup-time
+       accesses (outside a running simulation) are free, as for [cell],
+       and materialize nothing. *)
+    type icells = {
+      vals : int array;
+      ilines : Mem.line option array;
+      ihome : int;
+    }
+
+    let icells ?home ~len init =
+      let ihome =
+        match home with
+        | Some h -> h
+        | None -> if Sched.running () then Sched.self_node () else 0
+      in
+      {
+        vals = Array.make len init;
+        ilines = Array.make len None;
+        ihome;
+      }
+
+    let iline c i =
+      match Array.unsafe_get c.ilines i with
+      | Some l -> l
+      | None ->
+          let l = Mem.line ~home:c.ihome in
+          Array.unsafe_set c.ilines i (Some l);
+          l
+
+    let iget c i =
+      if Sched.running () then Sched.touch (iline c i) Mem.Read;
+      c.vals.(i)
+
+    let iset c i v =
+      if Sched.running () then Sched.touch (iline c i) Mem.Write;
+      c.vals.(i) <- v
+
+    let iread_into c ~idx ~n ~dst =
+      if Sched.running () then begin
+        ensure_scratch n;
+        let lines = !scratch_lines in
+        for k = 0 to n - 1 do
+          Array.unsafe_set lines k (iline c idx.(k))
+        done;
+        Sched.touch_batch_kind lines ~n Mem.Read
+      end;
+      for k = 0 to n - 1 do
+        dst.(k) <- c.vals.(idx.(k))
+      done
+
     let region ?home ~lines () =
       let home =
         match home with
@@ -60,6 +155,8 @@ let make sched : Runtime_intf.t =
         | None -> if Sched.running () then Sched.self_node () else 0
       in
       Region.create sched ~home ~lines
+
+    let charges_footprints = true
 
     let touch_region r (fp : Footprint.t) =
       if Sched.running () then

@@ -11,6 +11,13 @@ module Make (K : Ordered.S) = struct
   let length t = t.len
   let is_empty t = t.len = 0
 
+  (* Deep copy (values shared); child-list order is preserved, so the copy
+     melds exactly like the original on every future operation. *)
+  let rec copy_node n =
+    { key = n.key; value = n.value; children = List.map copy_node n.children }
+
+  let copy t = { root = Option.map copy_node t.root; len = t.len }
+
   let meld a b =
     if K.compare a.key b.key <= 0 then begin
       a.children <- b :: a.children;

@@ -8,6 +8,11 @@ module Make (K : Ordered.S) : sig
   val create : unit -> 'v t
   val length : 'v t -> int
   val is_empty : 'v t -> bool
+
+  val copy : 'v t -> 'v t
+  (** Deep copy (values shared), preserving child-list order so the copy
+      melds exactly like the original. *)
+
   val insert : 'v t -> K.t -> 'v -> unit
   val find_min : 'v t -> (K.t * 'v) option
   val remove_min : 'v t -> (K.t * 'v) option

@@ -42,3 +42,5 @@ let footprint (t : t) : op -> Nr_runtime.Footprint.t =
 let lines (t : t) = max 64 (Ph.length t)
 let pp_op = Pq_ops.pp_op
 let length = Ph.length
+
+let copy = Ph.copy

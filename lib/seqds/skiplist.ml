@@ -17,18 +17,70 @@ module Make (K : Ordered.S) = struct
     mutable level : int;
     mutable len : int;
     rng : Nr_workload.Prng.t;
+    (* Reused predecessor/rank scratch for the *update* path (insert and
+       remove are serialized by the caller — under NR, by the combiner
+       lock), so mutating operations allocate only the inserted node.
+       Read-side lookups ([rank], [nth]) keep local buffers: concurrent
+       readers may share a replica on real domains. *)
+    u_scratch : 'v links array;
+    r_scratch : int array;
   }
 
   let create ?(seed = 0x5EED) () =
+    let head =
+      { fwd = Array.make max_level None; span = Array.make max_level 0 }
+    in
     {
-      head = { fwd = Array.make max_level None; span = Array.make max_level 0 };
+      head;
       level = 1;
       len = 0;
       rng = Nr_workload.Prng.create ~seed;
+      u_scratch = Array.make max_level head;
+      r_scratch = Array.make max_level 0;
     }
 
   let length t = t.len
   let is_empty t = t.len = 0
+
+  (* Structural deep copy, values shared ([value] slots are copied
+     shallowly): one bottom-level walk rebuilds every tower by appending
+     each new node to the last new links record seen at each of its
+     levels, and spans carry over verbatim.  The PRNG state is copied
+     too, so a copy behaves exactly like a replica that executed the same
+     operation history — NR replicas populated identically can be built
+     once and copied, which is much cheaper than re-running the inserts. *)
+  let copy t =
+    let head =
+      { fwd = Array.make max_level None; span = Array.copy t.head.span }
+    in
+    let last = Array.make max_level head in
+    let rec clone = function
+      | None -> ()
+      | Some n ->
+          let lvl = Array.length n.links.fwd in
+          let node =
+            {
+              key = n.key;
+              value = n.value;
+              links =
+                { fwd = Array.make lvl None; span = Array.copy n.links.span };
+            }
+          in
+          for i = 0 to lvl - 1 do
+            last.(i).fwd.(i) <- Some node;
+            last.(i) <- node.links
+          done;
+          clone n.links.fwd.(0)
+    in
+    clone t.head.fwd.(0);
+    {
+      head;
+      level = t.level;
+      len = t.len;
+      rng = Nr_workload.Prng.copy t.rng;
+      u_scratch = Array.make max_level head;
+      r_scratch = Array.make max_level 0;
+    }
 
   (* Geometric with p = 1/4, like Redis. *)
   let random_level t =
@@ -74,8 +126,8 @@ module Make (K : Ordered.S) = struct
   let mem t key = find t key <> None
 
   let insert t key value =
-    let update = Array.make max_level t.head in
-    let rank = Array.make max_level 0 in
+    let update = t.u_scratch in
+    let rank = t.r_scratch in
     find_path t key update rank;
     match update.(0).fwd.(0) with
     | Some n when K.compare n.key key = 0 -> false
@@ -138,8 +190,8 @@ module Make (K : Ordered.S) = struct
     t.len <- t.len - 1
 
   let remove t key =
-    let update = Array.make max_level t.head in
-    let rank = Array.make max_level 0 in
+    let update = t.u_scratch in
+    let rank = t.r_scratch in
     find_path t key update rank;
     match update.(0).fwd.(0) with
     | Some n when K.compare n.key key = 0 ->

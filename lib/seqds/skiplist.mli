@@ -14,6 +14,13 @@ module Make (K : Ordered.S) : sig
   val length : 'v t -> int
   val is_empty : 'v t -> bool
 
+  val copy : 'v t -> 'v t
+  (** Structural deep copy (values shared), including the level-PRNG
+      state: the copy behaves exactly like a structure that executed the
+      original's operation history.  O(n) — much cheaper than replaying
+      the inserts, which is what makes identically-populated NR replicas
+      cheap to stamp out. *)
+
   val find : 'v t -> K.t -> 'v option
   val mem : 'v t -> K.t -> bool
 

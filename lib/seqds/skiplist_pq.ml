@@ -41,3 +41,5 @@ let lines (t : t) = max 64 (Sl.length t)
 let pp_op = Pq_ops.pp_op
 let length = Sl.length
 let to_list = Sl.to_list
+
+let copy = Sl.copy

@@ -62,3 +62,31 @@ let pop t =
   (top.time, top.payload)
 
 let min_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+(* {2 Non-allocating variants for the scheduler's per-event loop} *)
+
+let min_time_or t default = if t.size = 0 then default else t.heap.(0).time
+
+let pop_payload t =
+  if t.size = 0 then invalid_arg "Eventq.pop: empty";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then (
+    let last = t.heap.(t.size) in
+    t.heap.(0) <- last;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then (
+        let tmp = t.heap.(!i) in
+        t.heap.(!i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        i := !smallest)
+      else continue := false
+    done);
+  top.payload

@@ -14,3 +14,11 @@ val pop : 'a t -> int * 'a
     Raises [Invalid_argument] if the queue is empty. *)
 
 val min_time : 'a t -> int option
+
+val min_time_or : 'a t -> int -> int
+(** [min_time_or t default] is {!min_time} without the option allocation:
+    the earliest event time, or [default] when the queue is empty. *)
+
+val pop_payload : 'a t -> 'a
+(** {!pop} without the tuple allocation, for callers that track time
+    elsewhere. *)

@@ -25,12 +25,14 @@ let create sched ~home ~lines =
 
 let line_count t = Array.length t.lines
 
-(* splitmix-style finalizer (63-bit constants): decorrelates (key, step). *)
+(* splitmix-style finalizer (63-bit constants): decorrelates (key, step).
+   Pure shadowing, no state ref: this runs a few times per simulated
+   operation, so a ref cell here was a measurable allocation site. *)
 let mix key step =
-  let z = ref ((key * 0x9E3779B9) + (step * 0x85EBCA6B) + 0x7F4A7C15) in
-  z := (!z lxor (!z lsr 30)) * 0x2545F4914F6CDD1D;
-  z := !z lxor (!z lsr 27);
-  !z land max_int
+  let z = (key * 0x9E3779B9) + (step * 0x85EBCA6B) + 0x7F4A7C15 in
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 27) in
+  z land max_int
 
 let touch_body t idx kind =
   let line = t.lines.(idx) in

@@ -1,22 +1,50 @@
 open Effect
 open Effect.Deep
 
-type thread = { tid : int; node : int; core : int; mutable time : int }
+type thread = {
+  tid : int;
+  node : int;
+  core : int;
+  mutable time : int;
+  mutable as_opt : thread option;
+      (** [Some self], built once at spawn so resuming a thread does not
+          allocate a fresh option per event *)
+}
+
+(* A suspended thread waiting to be resumed at its virtual time.  The
+   scheduler keeps its own specialized binary heap (rather than a generic
+   [Eventq.t] of closures), split into parallel arrays: the ordering keys
+   (time, seq) live in two flat [int array]s so every sift comparison is an
+   unboxed array load — no record deref, no write barrier — while the boxed
+   payload record only moves when a key does.  Thread {e starts} never
+   enter the heap — [run] launches the spawned bodies in spawn order before
+   draining it, which is exactly the order the old start events popped
+   in. *)
+type event = { eth : thread; ek : (unit, unit) continuation }
 
 type t = {
   topo : Topology.t;
   costs : Costs.t;
   stats : Sim_stats.t;
-  q : (unit -> unit) Eventq.t;
+  mutable ktime : int array;  (** heap keys: due times *)
+  mutable kseq : int array;  (** heap keys: tie-breaking insertion order *)
+  mutable evs : event array;  (** heap payloads, same slot as their key *)
+  mutable hsize : int;
+  mutable hseq : int;
+  mutable start_floor : int;
+      (** 0 while spawned-but-unstarted threads remain (they are due at
+          virtual time 0, so running threads must suspend as if those
+          starts were queued); [max_int] afterwards *)
   mutable pending : (thread * (unit -> unit)) list;
   mutable active : bool;
 }
 
-type _ Effect.t +=
-  | Touch : Mem.line * Mem.kind -> unit Effect.t
-  | Touch_batch : (Mem.line * Mem.kind) array -> unit Effect.t
-  | Work : int -> unit Effect.t
-  | Yield : unit Effect.t
+(* The only effect: "another thread is due to run before my new time".
+   Latency accounting happens {e inline} in [touch]/[work]/[yield] at
+   perform-time — exactly where the old per-effect handler charged it — so
+   moving it out of the handler changes no access ordering.  The effect
+   itself only parks the continuation in the event heap. *)
+type _ Effect.t += Suspend : unit Effect.t
 
 (* Outstanding misses a core can overlap (memory-level parallelism): a
    batch of independent accesses proceeds in windows of this many. *)
@@ -27,7 +55,12 @@ let create ?(costs = Costs.default) topo =
     topo;
     costs;
     stats = Sim_stats.create ();
-    q = Eventq.create ();
+    ktime = [||];
+    kseq = [||];
+    evs = [||];
+    hsize = 0;
+    hseq = 0;
+    start_floor = max_int;
     pending = [];
     active = false;
   }
@@ -35,6 +68,98 @@ let create ?(costs = Costs.default) topo =
 let topology t = t.topo
 let costs t = t.costs
 let stats t = t.stats
+
+(* {2 The event heap: a binary min-heap on (time, seq)}
+
+   Sifts move the hole, not the element: the inserted/displaced entry is
+   written exactly once, at its final slot, and every comparison on the way
+   reads only the flat key arrays. *)
+
+let heap_grow t ev =
+  let cap = Array.length t.evs in
+  if cap = 0 then begin
+    t.ktime <- Array.make 64 0;
+    t.kseq <- Array.make 64 0;
+    t.evs <- Array.make 64 ev
+  end
+  else begin
+    let ktime = Array.make (2 * cap) 0 in
+    let kseq = Array.make (2 * cap) 0 in
+    let evs = Array.make (2 * cap) ev in
+    Array.blit t.ktime 0 ktime 0 cap;
+    Array.blit t.kseq 0 kseq 0 cap;
+    Array.blit t.evs 0 evs 0 cap;
+    t.ktime <- ktime;
+    t.kseq <- kseq;
+    t.evs <- evs
+  end
+
+let heap_add t ~time th k =
+  let ev = { eth = th; ek = k } in
+  if t.hsize = Array.length t.evs then heap_grow t ev;
+  let seq = t.hseq in
+  t.hseq <- seq + 1;
+  let kt = t.ktime and ks = t.kseq and evs = t.evs in
+  (* sift the hole up *)
+  let i = ref t.hsize in
+  t.hsize <- !i + 1;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = Array.unsafe_get kt p in
+    if time < pt || (time = pt && seq < Array.unsafe_get ks p) then begin
+      Array.unsafe_set kt !i pt;
+      Array.unsafe_set ks !i (Array.unsafe_get ks p);
+      Array.unsafe_set evs !i (Array.unsafe_get evs p);
+      i := p
+    end
+    else continue_ := false
+  done;
+  Array.unsafe_set kt !i time;
+  Array.unsafe_set ks !i seq;
+  Array.unsafe_set evs !i ev
+
+let heap_pop t =
+  let top = t.evs.(0) in
+  let n = t.hsize - 1 in
+  t.hsize <- n;
+  if n > 0 then begin
+    let kt = t.ktime and ks = t.kseq and evs = t.evs in
+    (* re-insert the last entry at the root, sifting the hole down *)
+    let time = Array.unsafe_get kt n and seq = Array.unsafe_get ks n in
+    let last = Array.unsafe_get evs n in
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        (* pick the smaller child *)
+        let r = l + 1 in
+        let c =
+          if r < n then begin
+            let lt = Array.unsafe_get kt l and rt = Array.unsafe_get kt r in
+            if rt < lt || (rt = lt && Array.unsafe_get ks r < Array.unsafe_get ks l)
+            then r
+            else l
+          end
+          else l
+        in
+        let ct = Array.unsafe_get kt c in
+        if ct < time || (ct = time && Array.unsafe_get ks c < seq) then begin
+          Array.unsafe_set kt !i ct;
+          Array.unsafe_set ks !i (Array.unsafe_get ks c);
+          Array.unsafe_set evs !i (Array.unsafe_get evs c);
+          i := c
+        end
+        else continue_ := false
+      end
+    done;
+    Array.unsafe_set kt !i time;
+    Array.unsafe_set ks !i seq;
+    Array.unsafe_set evs !i last
+  end;
+  top
 
 (* The scheduler is single-OS-thread by construction; these globals identify
    the running simulation and the thread being resumed. *)
@@ -46,18 +171,112 @@ let self () =
   | Some th -> th
   | None -> invalid_arg "Sched: called outside a simulated thread"
 
+let sched () =
+  match !cur_sched with
+  | Some t -> t
+  | None -> invalid_arg "Sched: no simulation is running"
+
 let running () = !cur_thread <> None
 let now () = (self ()).time
 let self_tid () = (self ()).tid
 let self_node () = (self ()).node
 let self_core () = (self ()).core
-let touch line kind = perform (Touch (line, kind))
 
+(* Hand the CPU back to the scheduler iff some other thread's event is due
+   at or before our new time.  When we are still strictly the earliest,
+   the old scheduler would enqueue us and immediately pop us again (a
+   fresh event carries the largest sequence number, so a tie also favors
+   the queued thread) — skipping that round-trip resumes the {e same}
+   thread the heap would have picked, so interleavings are unchanged, but
+   the continuation capture, event record and heap traffic of the
+   round-trip disappear from the common case. *)
+let maybe_suspend t th =
+  let tmin =
+    if t.hsize = 0 then t.start_floor else Array.unsafe_get t.ktime 0
+  in
+  let tmin = if t.start_floor < tmin then t.start_floor else tmin in
+  if th.time >= tmin then perform Suspend
+
+let touch line kind =
+  let th = self () in
+  let t = sched () in
+  th.time <-
+    Mem.access t.topo t.costs t.stats ~node:th.node ~core:th.core
+      ~now:th.time line kind;
+  maybe_suspend t th
+
+(* Independent accesses overlap in windows of [mlp]. *)
 let touch_batch accesses =
-  if Array.length accesses > 0 then perform (Touch_batch accesses)
+  let n = Array.length accesses in
+  if n > 0 then begin
+    let th = self () in
+    let t = sched () in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + mlp) in
+      let window_start = th.time in
+      let window_end = ref window_start in
+      while !i < stop do
+        let line, kind = accesses.(!i) in
+        let fin =
+          Mem.access t.topo t.costs t.stats ~node:th.node ~core:th.core
+            ~now:window_start line kind
+        in
+        if fin > !window_end then window_end := fin;
+        incr i
+      done;
+      th.time <- !window_end
+    done;
+    maybe_suspend t th
+  end
 
-let work n = if n > 0 then perform (Work n)
-let yield () = perform Yield
+(* Same overlapped-window charging, for a uniform access kind over
+   [lines.(0..n-1)].  The array is consumed here, before any suspension,
+   so callers may reuse their scratch buffer as soon as the call
+   returns. *)
+let touch_batch_kind lines ~n kind =
+  if n > 0 then begin
+    let th = self () in
+    let t = sched () in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + mlp) in
+      let window_start = th.time in
+      let window_end = ref window_start in
+      while !i < stop do
+        let fin =
+          Mem.access t.topo t.costs t.stats ~node:th.node ~core:th.core
+            ~now:window_start lines.(!i) kind
+        in
+        if fin > !window_end then window_end := fin;
+        incr i
+      done;
+      th.time <- !window_end
+    done;
+    maybe_suspend t th
+  end
+
+let work n =
+  if n > 0 then begin
+    let th = self () in
+    let t = sched () in
+    let n = max 1 n in
+    (* run-slice for the tracer: local computation, no memory cost *)
+    Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched" ~ts:th.time
+      ~dur:n "run";
+    th.time <- th.time + n;
+    t.stats.cycles_work <- t.stats.cycles_work + n;
+    maybe_suspend t th
+  end
+
+let yield () =
+  let th = self () in
+  let t = sched () in
+  Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched" ~ts:th.time
+    ~dur:t.costs.yield "spin";
+  th.time <- th.time + t.costs.yield;
+  t.stats.cycles_spin <- t.stats.cycles_spin + t.costs.yield;
+  maybe_suspend t th
 
 let fresh_line _t ~home = Mem.line ~home
 
@@ -68,96 +287,62 @@ let fresh_line_local t =
 let spawn t ~tid fn =
   let node = Topology.node_of_thread t.topo tid in
   let core = Topology.core_of_thread t.topo tid in
-  let th = { tid; node; core; time = 0 } in
+  let th = { tid; node; core; time = 0; as_opt = None } in
+  th.as_opt <- Some th;
   t.pending <- (th, fn) :: t.pending
 
-(* Each thread body runs under a deep handler: an effect computes the
-   latency, advances the thread's clock, stashes the continuation in the
-   event queue and returns control to the scheduler loop. *)
+(* Each thread body runs under a deep handler whose only job is to park
+   [Suspend]ed continuations in the event heap; costs were already charged
+   inline by the operation that performed the effect.  The handler arm is
+   allocated once per thread, not once per effect. *)
 let handler t th =
+  let arm =
+    Some
+      (fun (k : (unit, unit) continuation) -> heap_add t ~time:th.time th k)
+  in
   {
     retc = (fun () -> ());
     exnc = raise;
     effc =
-      (fun (type a) (eff : a Effect.t) ->
-        match eff with
-        | Touch (line, kind) ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                th.time <-
-                  Mem.access t.topo t.costs t.stats ~node:th.node
-                    ~core:th.core ~now:th.time line kind;
-                Eventq.add t.q ~time:th.time (fun () ->
-                    cur_thread := Some th;
-                    continue k ()))
-        | Touch_batch accesses ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                (* independent accesses overlap in windows of [mlp] *)
-                let n = Array.length accesses in
-                let i = ref 0 in
-                while !i < n do
-                  let stop = min n (!i + mlp) in
-                  let window_start = th.time in
-                  let window_end = ref window_start in
-                  while !i < stop do
-                    let line, kind = accesses.(!i) in
-                    let fin =
-                      Mem.access t.topo t.costs t.stats ~node:th.node
-                        ~core:th.core ~now:window_start line kind
-                    in
-                    if fin > !window_end then window_end := fin;
-                    incr i
-                  done;
-                  th.time <- !window_end
-                done;
-                Eventq.add t.q ~time:th.time (fun () ->
-                    cur_thread := Some th;
-                    continue k ()))
-        | Work n ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                let n = max 1 n in
-                (* run-slice for the tracer: no effect, so no virtual cost *)
-                Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched"
-                  ~ts:th.time ~dur:n "run";
-                th.time <- th.time + n;
-                t.stats.cycles_work <- t.stats.cycles_work + n;
-                Eventq.add t.q ~time:th.time (fun () ->
-                    cur_thread := Some th;
-                    continue k ()))
-        | Yield ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"sched"
-                  ~ts:th.time ~dur:t.costs.yield "spin";
-                th.time <- th.time + t.costs.yield;
-                t.stats.cycles_spin <- t.stats.cycles_spin + t.costs.yield;
-                Eventq.add t.q ~time:th.time (fun () ->
-                    cur_thread := Some th;
-                    continue k ()))
-        | _ -> None);
+      (fun (type a) (eff : a Effect.t) :
+           ((a, unit) continuation -> unit) option ->
+        match eff with Suspend -> arm | _ -> None);
   }
 
 let run t =
   if !cur_sched <> None then
     invalid_arg "Sched.run: a simulation is already running";
   t.active <- true;
-  List.iter
-    (fun (th, fn) ->
-      Eventq.add t.q ~time:th.time (fun () ->
-          cur_thread := Some th;
-          match_with fn () (handler t th)))
-    (List.rev t.pending);
+  let pending = List.rev t.pending in
   t.pending <- [];
   cur_sched := Some t;
   Fun.protect
     ~finally:(fun () ->
       cur_sched := None;
       cur_thread := None;
+      t.start_floor <- max_int;
       t.active <- false)
     (fun () ->
-      while not (Eventq.is_empty t.q) do
-        let _time, go = Eventq.pop t.q in
-        go ()
+      (* While unstarted threads remain they are due at time 0, so threads
+         already running must suspend on every charge — just as when the
+         starts sat in the queue. *)
+      t.start_floor <- 0;
+      let rec start = function
+        | [] -> t.start_floor <- max_int
+        | [ (th, fn) ] ->
+            (* last start: nothing later in the start list can force a
+               suspension anymore *)
+            t.start_floor <- max_int;
+            cur_thread := th.as_opt;
+            match_with fn () (handler t th)
+        | (th, fn) :: rest ->
+            cur_thread := th.as_opt;
+            match_with fn () (handler t th);
+            start rest
+      in
+      start pending;
+      while t.hsize > 0 do
+        let ev = heap_pop t in
+        cur_thread := ev.eth.as_opt;
+        continue ev.ek ()
       done)

@@ -40,6 +40,13 @@ val touch_batch : (Mem.line * Mem.kind) array -> unit
     thread.  Use for scans of unrelated cells (combiner slots, reader
     flags). *)
 
+val touch_batch_kind : Mem.line array -> n:int -> Mem.kind -> unit
+(** {!touch_batch} for a uniform access kind over [lines.(0..n-1)], without
+    a per-call descriptor allocation.  The array is consumed before the
+    effect suspends, so callers may overwrite it as soon as the call
+    returns — which makes a single reused scratch buffer safe even when
+    other simulated threads run during the charge. *)
+
 val work : int -> unit
 (** Charge [n] cycles of node-local computation. *)
 

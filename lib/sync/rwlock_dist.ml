@@ -9,13 +9,20 @@
     because only the combiner writes. *)
 
 module Make (R : Nr_runtime.Runtime_intf.S) = struct
-  type t = { writer : int R.cell; readers : int R.cell array }
+  type t = {
+    writer : int R.cell;
+    readers : int R.cell array;
+    scan : int array;
+        (** writer-side scratch for the flag scan; only ever touched while
+            holding the writer flag, so one buffer per lock suffices *)
+  }
 
   let create ?home ~readers () =
     if readers <= 0 then invalid_arg "Rwlock_dist.create: readers must be > 0";
     {
       writer = R.cell ?home 0;
       readers = Array.init readers (fun _ -> R.cell ?home 0);
+      scan = Array.make readers 0;
     }
 
   let slots t = Array.length t.readers
@@ -38,22 +45,27 @@ module Make (R : Nr_runtime.Runtime_intf.S) = struct
 
   let read_unlock t slot = R.write t.readers.(slot) 0
 
+  (* Wait out the stragglers the batch scan saw as active. *)
+  let rec drain t i n =
+    if i < n then begin
+      if Array.unsafe_get t.scan i <> 0 then begin
+        let flag = t.readers.(i) in
+        while R.read flag <> 0 do
+          R.yield ()
+        done
+      end;
+      drain t (i + 1) n
+    end
+
   let write_lock t =
     while not (R.read t.writer = 0 && R.cas t.writer 0 1) do
       R.yield ()
     done;
-    (* scan all reader flags at once (independent lines overlap), then wait
-       out the stragglers individually *)
-    let flags = R.read_all t.readers in
-    Array.iteri
-      (fun i v ->
-        if v <> 0 then begin
-          let flag = t.readers.(i) in
-          while R.read flag <> 0 do
-            R.yield ()
-          done
-        end)
-      flags
+    (* scan all reader flags at once (independent lines overlap, zero
+       allocation), then wait out the stragglers individually *)
+    let n = Array.length t.readers in
+    R.read_ints_into t.readers ~n ~dst:t.scan;
+    drain t 0 n
 
   let write_unlock t = R.write t.writer 0
 end

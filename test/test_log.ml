@@ -90,7 +90,7 @@ let test_advance_completed () =
   Log.advance_completed log 9;
   Alcotest.(check int) "advanced again" 9 (Log.completed log)
 
-let test_get_batch () =
+let test_read_filled () =
   let sched = S.create T.tiny in
   let module R = (val Nr_runtime.Runtime_sim.make sched) in
   let module Log = Nr_core.Log.Make (R) in
@@ -100,13 +100,65 @@ let test_get_batch () =
        [| ("x", 0); ("y", 1) |]
        ~origin_node:0
        ~on_full:(fun () -> ()));
-  let batch = Log.get_batch log 0 4 in
-  Alcotest.(check int) "window size" 4 (Array.length batch);
-  (match batch.(0) with
-  | Some e -> Alcotest.(check string) "x" "x" e.Log.op
-  | None -> Alcotest.fail "batch entry 0");
-  Alcotest.(check bool) "unfilled are None" true
-    (batch.(2) = None && batch.(3) = None)
+  let buf = Log.batch () in
+  Alcotest.(check int) "filled prefix of window" 2 (Log.read_filled log buf 0 4);
+  Alcotest.(check string) "x via flat accessor" "x" (Log.op_at log 0);
+  Alcotest.(check string) "y via flat accessor" "y" (Log.op_at log 1);
+  Alcotest.(check int) "origin node" 0 (Log.origin_node_at log 1);
+  Alcotest.(check int) "origin slot" 1 (Log.origin_slot_at log 1);
+  Alcotest.(check int) "window starting at a hole" 0
+    (Log.read_filled log buf 2 2);
+  Alcotest.(check int) "empty window" 0 (Log.read_filled log buf 0 0)
+
+let test_holes_block_prefix () =
+  (* a reserved-but-unfilled entry hides everything after it from
+     [read_filled], even if later entries are already published *)
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Log = Nr_core.Log.Make (R) in
+  let log = Log.create ~size:8 ~nodes:1 () in
+  let h = Log.reserve log 1 ~on_full:(fun () -> ()) in
+  Alcotest.(check int) "hole reserved at 0" 0 h;
+  ignore (Log.append log [| ("late", 3) |] ~origin_node:1 ~on_full:(fun () -> ()));
+  let buf = Log.batch () in
+  Alcotest.(check int) "hole blocks the prefix" 0 (Log.read_filled log buf 0 2);
+  Alcotest.(check bool) "entry after hole filled" true (Log.is_filled log 1);
+  Log.fill log h ~op:"early" ~origin_node:0 ~origin_slot:7;
+  Alcotest.(check int) "prefix complete after fill" 2
+    (Log.read_filled log buf 0 2);
+  Alcotest.(check int) "origin slot survives packing" 7
+    (Log.origin_slot_at log 0)
+
+let test_fill_batch_wraparound () =
+  (* a batch reserved across the wrap boundary publishes the correct lap
+     stamp on each side of the seam *)
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module Log = Nr_core.Log.Make (R) in
+  let log = Log.create ~size:4 ~nodes:1 () in
+  for i = 0 to 2 do
+    ignore
+      (Log.append log
+         [| (Printf.sprintf "pre-%d" i, 0) |]
+         ~origin_node:0
+         ~on_full:(fun () -> ()))
+  done;
+  Log.set_local_tail log 0 3;
+  let ops = [| Some "w0"; Some "w1"; Some "w2" |] in
+  let slots = [| 0; 1; 2 |] in
+  let start =
+    Log.append_batch log ~ops ~slots ~n:3 ~origin_node:0
+      ~on_full:(fun () -> Log.set_local_tail log 0 (Log.tail log))
+  in
+  Alcotest.(check int) "batch starts at 3" 3 start;
+  let buf = Log.batch () in
+  Alcotest.(check int) "whole batch readable" 3 (Log.read_filled log buf 3 3);
+  Alcotest.(check string) "entry before the seam" "w0" (Log.op_at log 3);
+  Alcotest.(check string) "entry after the seam" "w1" (Log.op_at log 4);
+  Alcotest.(check string) "last entry" "w2" (Log.op_at log 5);
+  (* slot 0 now belongs to lap 1: the old absolute index reads empty *)
+  Alcotest.(check bool) "recycled index reports empty" true
+    (Log.get log 0 = None)
 
 let test_concurrent_reservations () =
   (* concurrent combiners reserve disjoint ranges *)
@@ -168,7 +220,11 @@ let suite =
     Alcotest.test_case "full log recycling" `Quick
       test_log_full_blocks_and_recycles;
     Alcotest.test_case "advance completed" `Quick test_advance_completed;
-    Alcotest.test_case "get_batch" `Quick test_get_batch;
+    Alcotest.test_case "read_filled" `Quick test_read_filled;
+    Alcotest.test_case "holes block the filled prefix" `Quick
+      test_holes_block_prefix;
+    Alcotest.test_case "fill_batch across wraparound" `Quick
+      test_fill_batch_wraparound;
     Alcotest.test_case "concurrent reservations" `Quick
       test_concurrent_reservations;
     Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
