@@ -1,6 +1,21 @@
 (** NR tuning parameters and the ablation toggles of paper §8.5 (fig. 13).
     The defaults enable every technique, i.e. full NR. *)
 
+(** Patience budgets for the hardened (liveness) mode.  Each is a number
+    of backoff rounds a waiter tolerates before concluding the thread it
+    is waiting on has stalled or died and taking recovery action. *)
+type liveness = {
+  slot_patience : int;
+      (** rounds a waiter spins on its response slot before trying to
+          steal the combiner lock and finish the batch itself *)
+  hole_patience : int;
+      (** rounds a replayer waits on an unfilled log entry before
+          poisoning the hole so the log can advance past a dead writer *)
+  full_patience : int;
+      (** rounds a combiner waits on a full log before refreshing the
+          laggard replica remotely instead of spinning *)
+}
+
 type t = {
   log_size : int;  (** shared log capacity in entries (paper uses 1M) *)
   min_batch : int;
@@ -29,6 +44,12 @@ type t = {
   distributed_rwlock : bool;
       (** #5: use the distributed readers-writer lock of §5.5.  When
           disabled, use a centralized reader-count lock. *)
+  liveness : liveness option;
+      (** [Some _] arms the hardened combiner protocol (stealable combiner
+          lock, slot-timeout handoff, hole poisoning, bounded log-full
+          wait) — meant for runs under fault injection.  [None] keeps the
+          legacy protocol on charge sequences byte-identical to a build
+          without the feature. *)
 }
 
 let default =
@@ -42,6 +63,14 @@ let default =
     separate_replica_lock = true;
     parallel_replica_update = true;
     distributed_rwlock = true;
+    liveness = None;
+  }
+
+let robust =
+  {
+    default with
+    liveness =
+      Some { slot_patience = 64; hole_patience = 64; full_patience = 32 };
   }
 
 let validate t =
@@ -50,11 +79,30 @@ let validate t =
   if t.min_batch_retries < 0 then
     invalid_arg "Config: min_batch_retries must be >= 0";
   if t.replay_window < 1 then
-    invalid_arg "Config: replay_window must be >= 1"
+    invalid_arg "Config: replay_window must be >= 1";
+  match t.liveness with
+  | None -> ()
+  | Some l ->
+      (* The hardened protocol is written for the full-NR configuration:
+         with flat combining off there is no combiner to hand off, and
+         with the combiner lock doubling as the replica lock a steal would
+         race the replica update itself. *)
+      if not (t.flat_combining && t.separate_replica_lock) then
+        invalid_arg
+          "Config: liveness requires flat_combining and \
+           separate_replica_lock";
+      if l.slot_patience < 1 || l.hole_patience < 1 || l.full_patience < 1
+      then invalid_arg "Config: liveness patience values must be >= 1"
 
 let pp ppf t =
   Format.fprintf ppf
     "log_size=%d min_batch=%d fc=%b read_opt=%b sep_lock=%b par_update=%b \
-     dist_rw=%b"
+     dist_rw=%b%a"
     t.log_size t.min_batch t.flat_combining t.read_optimization
     t.separate_replica_lock t.parallel_replica_update t.distributed_rwlock
+    (fun ppf -> function
+      | None -> ()
+      | Some l ->
+          Format.fprintf ppf " liveness=%d/%d/%d" l.slot_patience
+            l.hole_patience l.full_patience)
+    t.liveness

@@ -88,6 +88,69 @@ module Make (R : Nr_runtime.Runtime_intf.S) = struct
 
   let is_filled t i = R.iget t.gens (i mod t.size) = i / t.size
 
+  (* {2 Hole poisoning (hardened mode)}
+
+     A reserved-but-unfilled entry whose writer died would stall every
+     replayer forever.  Hardened replayers resolve such a hole by stamping
+     it with the {e poison stamp} for its lap, [-(lap + 2)] — distinct
+     from every lap number (>= 0), from "never filled" (-1), and from any
+     other lap's poison.  Because fill and poison race through CASes on
+     the same stamp cell, whichever lands first decides the entry for
+     everyone: the stamp value itself records the outcome, so a late
+     filler learns its op was poisoned (and its requester must repost) and
+     a late poisoner learns the entry is live. *)
+
+  let poison_stamp t i = -((i / t.size) + 2)
+  let is_poisoned t i = R.iget t.gens (i mod t.size) = poison_stamp t i
+
+  (* Race fill vs. poison to resolve entry [i]; [stamp] is the caller's
+     desired outcome.  Returns the winning stamp.  Terminates in at most
+     two rounds: once resolved, a stamp never changes until recycling —
+     and a stamp from a later lap (the entry was resolved {e and}
+     recycled while the caller was stalled) is returned as-is rather than
+     fought over, so a long-dispossessed zombie can never restamp a
+     recycled entry. *)
+  let rec resolve_stamp t i stamp =
+    let j = i mod t.size in
+    let lap = i / t.size in
+    let p = poison_stamp t i in
+    let cur = R.iget t.gens j in
+    if cur = lap || cur = p then cur
+    else if cur > lap || cur < p then cur (* recycled past our lap *)
+    else if R.icas t.gens j cur stamp then stamp
+    else resolve_stamp t i stamp
+
+  (* (Re-)fill entry [i], racing concurrent fillers of the same op and
+     hole-poisoners.  The payload is stored {e after} winning the stamp
+     CAS, in the same atomic region, so exactly the winner publishes it:
+     a zombie combiner whose scratch arrays were re-used for a newer
+     batch retries with the wrong op, loses the already-resolved stamp
+     check, and never touches the payload.  Returns [false] iff the entry
+     ended up poisoned (the op must be reposted); an entry already
+     recycled past this lap reads as filled — only a zombie whose batch a
+     stealer fully finished can observe that, and it ignores the result. *)
+  let rec fill_checked t i ~op ~origin_node ~origin_slot =
+    let j = i mod t.size in
+    let lap = i / t.size in
+    let p = poison_stamp t i in
+    let cur = R.iget t.gens j in
+    if cur = lap then true
+    else if cur = p then false
+    else if cur > lap || cur < p then true (* recycled past our lap *)
+    else if R.icas t.gens j cur lap then begin
+      t.ops.(j) <- Some op;
+      t.origins.(j) <- (origin_node lsl origin_shift) lor origin_slot;
+      true
+    end
+    else fill_checked t i ~op ~origin_node ~origin_slot
+
+  (* Poison the hole at [i]; returns [true] iff this call resolved it
+      (for the poisoned counter — losing the race means no hole existed
+      anymore). *)
+  let poison t i =
+    let p = poison_stamp t i in
+    resolve_stamp t i p = p
+
   let op_at t i =
     match t.ops.(i mod t.size) with
     | Some op -> op
@@ -152,6 +215,35 @@ module Make (R : Nr_runtime.Runtime_intf.S) = struct
       filled_prefix b.stamps ~i ~size:t.size 0 n
     end
 
+  (* Hardened-replay variant of [read_filled]: the prefix count also
+     admits poisoned entries (they are resolved — there is nothing to
+     wait for), and [batch_is_poisoned] distinguishes them per entry from
+     the stamps already fetched, without another shared read. *)
+  let rec resolved_prefix t stamps ~i k n =
+    if k < n then begin
+      let s = Array.unsafe_get stamps k in
+      let idx = i + k in
+      if s = idx / t.size || s = poison_stamp t idx then
+        resolved_prefix t stamps ~i (k + 1) n
+      else k
+    end
+    else k
+
+  let read_resolved t b i n =
+    if n = 0 then 0
+    else begin
+      ensure_batch b n;
+      for k = 0 to n - 1 do
+        Array.unsafe_set b.idx k ((i + k) mod t.size)
+      done;
+      R.iread_into t.gens ~idx:b.idx ~n ~dst:b.stamps;
+      resolved_prefix t b.stamps ~i 0 n
+    end
+
+  (* Valid for offsets within the prefix a [read_resolved] just returned:
+     every poison stamp is <= -2, every lap stamp >= 0. *)
+  let batch_is_poisoned b k = b.stamps.(k) < -1
+
   (* {2 Appending} *)
 
   (* Fill one reserved entry: plain payload stores, then the gen write
@@ -208,6 +300,42 @@ module Make (R : Nr_runtime.Runtime_intf.S) = struct
 
   and attempt t n tl ~on_full =
     if R.cas t.tail tl (tl + n) then tl else reserve t n ~on_full
+
+  (* Hardened reserve: the tail CAS carries an ownership [guard], checked
+     atomically with the reservation, so a combiner that was dispossessed
+     while waiting can never commit entries it no longer owns — its
+     stealer may already be recovering the batch.  Returns [-1] when the
+     guard failed.  [on_full] may return [false] to abandon (bounded
+     log-full wait). *)
+  let rec reserve_guarded t n ~guard ~on_full =
+    if not (guard ()) then -1
+    else begin
+      let tl = R.read t.tail in
+      if tl + n - R.read t.log_min > t.size then begin
+        let m = recompute_log_min t in
+        if tl + n - m > t.size then
+          if on_full () then begin
+            R.yield ();
+            reserve_guarded t n ~guard ~on_full
+          end
+          else -1
+        else attempt_guarded t n tl ~guard ~on_full
+      end
+      else attempt_guarded t n tl ~guard ~on_full
+    end
+
+  and attempt_guarded t n tl ~guard ~on_full =
+    (* [guard_ok] separates "guard refused" (abandon) from "lost the CAS
+       race" (retry): [guarded_cas] reports both as [false]. *)
+    let guard_ok = ref true in
+    let g () =
+      let v = guard () in
+      if not v then guard_ok := false;
+      v
+    in
+    if R.guarded_cas t.tail ~guard:g tl (tl + n) then tl
+    else if not !guard_ok then -1
+    else reserve_guarded t n ~guard ~on_full
 
   (* Reserve-and-fill a batch from caller-owned scratch ([ops]/[slots]
      prefixes of length [n]); the combiner's append path. *)

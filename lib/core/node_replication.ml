@@ -12,7 +12,8 @@
     — the paper's [ExecuteConcurrent]. *)
 
 module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
-  module Spin = Nr_sync.Spinlock.Make (R)
+  module Spin = Nr_sync.Stealable_lock.Make (R)
+  module Backoff = Nr_sync.Backoff.Make (R)
   module Rw_dist = Nr_sync.Rwlock_dist.Make (R)
   module Rw_simple = Nr_sync.Rwlock_simple.Make (R)
   module Log = Log.Make (R)
@@ -22,7 +23,21 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   type slot = {
     request : Seq.op option R.cell;
     response : Seq.result option R.cell;
+    mutable seq : int;
+        (** hardened mode: incarnation of the posted request, bumped on
+            every (re)post; response deliveries are guarded on the seq
+            they were collected under, so a delivery racing a repost of
+            the same slot can never satisfy the wrong incarnation.
+            Untouched in legacy mode. *)
   }
+
+  (* Hardened-mode batch lifecycle, tracked in plain fields of
+     [node_state] (free in the simulator's cost model; the descriptor is
+     only read and written under ownership rules spelled out at each
+     site). *)
+  let if_idle = 0
+  let if_filling = 1
+  let if_applying = 2
 
   type node_state = {
     node : int;
@@ -48,6 +63,24 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         (** hoisted [on_full] closures: allocated once per node, not once
             per append *)
     mutable on_full_helper : unit -> unit;
+    (* {2 Hardened-mode in-flight batch descriptor}
+
+       Published by the combiner so that, should it stall or die, the
+       waiter that steals its lock can finish the batch.  All fields are
+       plain: [inflight_start] is stored in the same atomic region as the
+       log-tail CAS that commits the reservation, so an observer holding
+       the (stolen) combiner lock sees either no reservation or the full
+       descriptor.  [batch_seqs]/[batch_res] extend the combiner scratch:
+       the slot incarnations the batch was collected under, and the
+       results of already-applied operations so a recoverer can (re)deliver
+       them idempotently. *)
+    mutable inflight_gen : int;  (** owning lock tenure; 0 = none *)
+    mutable inflight_state : int;  (** [if_idle] / [if_filling] / [if_applying] *)
+    mutable inflight_start : int;  (** committed log start, [-1] before *)
+    mutable inflight_n : int;
+    mutable inflight_applied : int;  (** next batch offset to apply *)
+    batch_seqs : int array;
+    batch_res : Seq.result option array;
   }
 
   type t = {
@@ -74,28 +107,28 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       match ns.rw with
       | Dist l -> Rw_dist.write_lock l
       | Simple l -> Rw_simple.write_lock l
-    else if not combiner then Spin.lock ns.combiner_lock
+    else if not combiner then ignore (Spin.lock ns.combiner_lock)
 
   let release_write t ns ~combiner =
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.write_unlock l
       | Simple l -> Rw_simple.write_unlock l
-    else if not combiner then Spin.unlock ns.combiner_lock
+    else if not combiner then Spin.unlock_quiet ns.combiner_lock
 
   let acquire_read t ns slot_idx =
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.read_lock l slot_idx
       | Simple l -> Rw_simple.read_lock l
-    else Spin.lock ns.combiner_lock
+    else ignore (Spin.lock ns.combiner_lock)
 
   let release_read t ns slot_idx =
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.read_unlock l slot_idx
       | Simple l -> Rw_simple.read_unlock l
-    else Spin.unlock ns.combiner_lock
+    else Spin.unlock_quiet ns.combiner_lock
 
   (* {2 Executing operations on a replica} *)
 
@@ -188,12 +221,12 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         if
           other.node <> ns.node
           && Log.local_tail t.log other.node < target
-          && Spin.try_lock other.combiner_lock
+          && Spin.try_lock other.combiner_lock <> 0
         then begin
           acquire_write t other ~combiner:true;
           ignore (replay t other ~upto:target ~wait_holes:false);
           release_write t other ~combiner:true;
-          Spin.unlock other.combiner_lock
+          Spin.unlock_quiet other.combiner_lock
         end)
       t.node_states;
     if Nr_obs.Sink.tracing () then
@@ -212,6 +245,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
             {
               request = R.cell ~home:node None;
               response = R.cell ~home:node None;
+              seq = 0;
             })
       in
       (* a combiner scans once plus up to [min_batch_retries] rescans, and
@@ -236,6 +270,13 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         replay_buf = Log.batch ();
         on_full_combiner = ignore;
         on_full_helper = ignore;
+        inflight_gen = 0;
+        inflight_state = if_idle;
+        inflight_start = -1;
+        inflight_n = 0;
+        inflight_applied = 0;
+        batch_seqs = Array.make batch_cap 0;
+        batch_res = Array.make batch_cap None;
       }
     in
     let t = { cfg; log; node_states = Array.init nodes make_node } in
@@ -344,7 +385,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
         "combine";
-    Spin.unlock ns.combiner_lock;
+    Spin.unlock_quiet ns.combiner_lock;
     match own with
     | Some r -> r
     | None ->
@@ -354,11 +395,11 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   let rec wait_or_combine t ns my_idx =
     let slot = ns.slots.(my_idx) in
-    if Spin.try_lock ns.combiner_lock then
+    if Spin.try_lock ns.combiner_lock <> 0 then
       match R.read slot.response with
       | Some r ->
           (* a previous combiner served us just before we got the lock *)
-          Spin.unlock ns.combiner_lock;
+          Spin.unlock_quiet ns.combiner_lock;
           r
       | None -> combine t ns my_idx
     else slot_wait t ns my_idx slot
@@ -381,6 +422,415 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     R.write slot.response None;
     R.write slot.request (Some op);
     wait_or_combine t ns my_idx
+
+  (* {2 The hardened combiner (liveness mode)}
+
+     Armed by [Config.liveness].  The legacy protocol above assumes every
+     thread keeps running: a combiner that stalls mid-batch wedges its
+     node, a dead thread that reserved log entries wedges every replayer,
+     and waiters spin forever.  The hardened protocol tolerates both,
+     against the simulator's fault injector:
+
+     - the combiner lock is stealable ({!Nr_sync.Stealable_lock}): a
+       waiter whose patience runs out dispossesses the stuck tenure and
+       {e recovers} its published in-flight batch;
+     - the log-tail CAS that commits a reservation carries an ownership
+       guard, so a dispossessed combiner can never commit entries its
+       stealer does not know about — the in-flight descriptor is published
+       in the same atomic region as the commit;
+     - log holes left by dead writers are {e poisoned} after a patience
+       bound; every replica skips poisoned entries identically and their
+       requesters repost;
+     - responses are delivered under per-slot incarnation numbers, so a
+       late delivery from a dispossessed combiner cannot satisfy a
+       reposted request;
+     - the apply phase is serialized by the replica writer lock and
+       tracked by [inflight_applied], so the original combiner and a
+       recoverer each apply every operation exactly once between them.
+
+     These paths are entirely separate from the legacy ones: with
+     [liveness = None] nothing here runs and every charge sequence is
+     byte-identical to the pre-hardening code. *)
+
+  (* Hardened replay: like [replay_window], but poisoned entries are
+     skipped (they are resolved — nothing to wait for) and a hole that
+     stays open for [patience] rounds is poisoned so the log advances
+     past its dead writer.  [patience < 0] stops at the first hole, for
+     contexts that replay only resolved prefixes (completed-bounded
+     refreshes, quiescent sync). *)
+  let rec replay_window_h t ns upto patience rounds i =
+    if i >= upto then i
+    else begin
+      let n = min t.cfg.replay_window (upto - i) in
+      let resolved = Log.read_resolved t.log ns.replay_buf i n in
+      (* [replay_buf] is only touched under this node's writer lock, so
+         the stamps stay valid across the charged applies below *)
+      for k = 0 to resolved - 1 do
+        if not (Log.batch_is_poisoned ns.replay_buf k) then
+          replay_one t ns ~deliver:false (i + k)
+      done;
+      let stop_at = i + resolved in
+      if resolved = n then replay_window_h t ns upto patience 0 stop_at
+      else if patience < 0 then stop_at
+      else if rounds >= patience then begin
+        if Log.poison t.log stop_at then begin
+          ns.stats.Stats.poisoned <- ns.stats.Stats.poisoned + 1;
+          if Nr_obs.Sink.tracing () then
+            Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+              ~arg:Nr_obs.Sink.no_arg "poison"
+        end;
+        replay_window_h t ns upto patience 0 stop_at
+      end
+      else begin
+        R.yield ();
+        replay_window_h t ns upto patience (rounds + 1) stop_at
+      end
+    end
+
+  let replay_h t ns ~upto ~patience =
+    let start = Log.local_tail t.log ns.node in
+    let fin = replay_window_h t ns upto patience 0 start in
+    if fin <> start then Log.set_local_tail t.log ns.node fin;
+    fin
+
+  (* Complete the in-flight batch published under tenure [gen]: replay
+     the foreign prefix, apply whatever the previous holder had not
+     applied yet, deliver the responses, then jump the local tail over
+     the batch.  Runs under the node's writer lock, which serializes the
+     original (possibly dispossessed) combiner against any recoverer:
+     whoever holds the lock advances [inflight_applied]; the other finds
+     nothing left.  The [gen] tag keeps a resumed zombie from adopting a
+     {e newer} descriptor its stealer published after finishing this
+     one. *)
+  let finish_batch t ns ~gen ~patience =
+    acquire_write t ns ~combiner:true;
+    if
+      ns.inflight_state <> if_idle
+      && ns.inflight_gen = gen
+      && ns.inflight_start >= 0
+    then begin
+      let start = ns.inflight_start and n = ns.inflight_n in
+      let end_ = start + n in
+      ns.inflight_state <- if_applying;
+      ignore (replay_h t ns ~upto:start ~patience);
+      (* apply before the local-tail jump: while our tail sits at [start]
+         the range cannot be recycled, so the poison checks below read
+         this lap's stamps *)
+      for k = ns.inflight_applied to n - 1 do
+        (match ns.batch_ops.(k) with
+        | Some op ->
+            (* an entry that lost its fill/poison race is skipped by every
+               replica alike; its requester reposts *)
+            if not (Log.is_poisoned t.log (start + k)) then
+              ns.batch_res.(k) <- Some (apply ns op)
+        | None -> ());
+        ns.inflight_applied <- k + 1
+      done;
+      (* own batch is applied from the scratch, not the log: jump over it
+         (all local-tail writes happen under this writer lock, so the
+         plain store cannot regress a concurrent advance) *)
+      Log.set_local_tail t.log ns.node end_;
+      Log.advance_completed t.log end_;
+      (* (re)deliver under the collected incarnations: a requester that
+         already consumed its response and reposted carries a newer seq,
+         so a stale redelivery falls out at the guard *)
+      for k = 0 to n - 1 do
+        match ns.batch_res.(k) with
+        | Some _ as res ->
+            let slot = ns.slots.(ns.batch_slots.(k)) in
+            let sq = ns.batch_seqs.(k) in
+            ignore
+              (R.guarded_write slot.response
+                 ~guard:(fun () -> slot.seq = sq)
+                 res)
+        | None -> ()
+      done;
+      for k = 0 to n - 1 do
+        ns.batch_ops.(k) <- None;
+        ns.batch_res.(k) <- None
+      done;
+      ns.inflight_state <- if_idle;
+      ns.inflight_gen <- 0
+    end;
+    release_write t ns ~combiner:true
+
+  (* Adopt whatever batch a previous tenure left behind; called with the
+     combiner lock held (freshly acquired or stolen).  The dispossessed
+     combiner may still be running: every step is idempotent against it
+     (poison-respecting refills, writer-lock-serialized apply, guarded
+     delivery). *)
+  let recover t ns ~patience =
+    if ns.inflight_state <> if_idle then begin
+      let gen = ns.inflight_gen in
+      ns.stats.Stats.batches_recovered <-
+        ns.stats.Stats.batches_recovered + 1;
+      if Nr_obs.Sink.tracing () then
+        Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+          ~arg:Nr_obs.Sink.no_arg "batch_recover";
+      if ns.inflight_start >= 0 then begin
+        let start = ns.inflight_start and n = ns.inflight_n in
+        for k = 0 to n - 1 do
+          match ns.batch_ops.(k) with
+          | Some op ->
+              ignore
+                (Log.fill_checked t.log (start + k) ~op ~origin_node:ns.node
+                   ~origin_slot:ns.batch_slots.(k))
+          | None -> ()
+        done;
+        finish_batch t ns ~gen ~patience
+      end
+      else begin
+        (* the reservation never committed (the guarded tail CAS makes
+           that airtight), so the log holds nothing of this batch; the
+           drained requests are lost and their owners repost on their own
+           patience timeout *)
+        ns.inflight_state <- if_idle;
+        ns.inflight_gen <- 0
+      end
+    end
+
+  (* Hardened log-full help: advance our own replica (poisoning holes so
+     a dead writer cannot wedge the log), then laggard remote replicas —
+     through their combiner locks when free and, once [steal_laggards]
+     (the bounded wait's escalation), by stealing a lock that stayed
+     stuck across the whole patience window and recovering its batch
+     remotely. *)
+  let help_advance_h t ns ~patience ~steal_laggards =
+    ns.stats.Stats.log_full_stalls <- ns.stats.Stats.log_full_stalls + 1;
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+        "log_full_stall";
+    let target = Log.tail t.log in
+    acquire_write t ns ~combiner:true;
+    ignore (replay_h t ns ~upto:target ~patience);
+    release_write t ns ~combiner:true;
+    Array.iter
+      (fun other ->
+        if
+          other.node <> ns.node
+          && Log.local_tail t.log other.node < target
+        then begin
+          let g = Spin.try_lock other.combiner_lock in
+          let g =
+            if g <> 0 || not steal_laggards then g
+            else begin
+              let held = Spin.read_gen other.combiner_lock in
+              if held land 1 = 1 then begin
+                let g' = Spin.steal other.combiner_lock ~gen:held in
+                if g' <> 0 then begin
+                  other.stats.Stats.combiner_steals <-
+                    other.stats.Stats.combiner_steals + 1;
+                  if Nr_obs.Sink.tracing () then
+                    Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:other.node
+                      ~cat:"nr" ~arg:Nr_obs.Sink.no_arg "remote_steal"
+                end;
+                g'
+              end
+              else 0
+            end
+          in
+          if g <> 0 then begin
+            ns.stats.Stats.remote_refreshes <-
+              ns.stats.Stats.remote_refreshes + 1;
+            recover t other ~patience;
+            acquire_write t other ~combiner:true;
+            ignore (replay_h t other ~upto:target ~patience);
+            release_write t other ~combiner:true;
+            ignore (Spin.unlock other.combiner_lock ~gen:g)
+          end
+        end)
+      t.node_states;
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+        ~arg:Nr_obs.Sink.no_arg "log_full_stall"
+
+  (* Hardened slot drain: each request is taken with a CAS guarded on our
+     still owning the tenure, and the plain scratch stores ride in the
+     same atomic region, so a dispossessed combiner can neither lose a
+     request silently nor stomp its stealer's scratch.  Returns [-1] when
+     dispossessed. *)
+  let rec collect_reqs_h t ns gen spn i c =
+    if i = spn then c
+    else
+      match Array.unsafe_get ns.req_buf i with
+      | Some _ as req ->
+          if
+            R.guarded_cas
+              ns.slots.(i).request
+              ~guard:(fun () -> ns.inflight_gen = gen)
+              req None
+          then begin
+            ns.batch_ops.(c) <- req;
+            ns.batch_slots.(c) <- i;
+            ns.batch_seqs.(c) <- ns.slots.(i).seq;
+            collect_reqs_h t ns gen spn (i + 1) (c + 1)
+          end
+          else if ns.inflight_gen <> gen then -1
+          else collect_reqs_h t ns gen spn (i + 1) c
+      | None -> collect_reqs_h t ns gen spn (i + 1) c
+
+  let scan_slots_h t ns gen count =
+    let spn = Array.length ns.req_cells in
+    R.read_all_into ns.req_cells ~n:spn ~dst:ns.req_buf;
+    if ns.inflight_gen <> gen then -1
+    else collect_reqs_h t ns gen spn 0 count
+
+  let refresh_h t ns =
+    acquire_write t ns ~combiner:true;
+    ignore (replay_h t ns ~upto:(Log.completed t.log) ~patience:(-1));
+    release_write t ns ~combiner:true
+
+  let rec min_batch_h t ns gen count retries =
+    if count < 0 then -1
+    else if count >= t.cfg.min_batch || retries = 0 then count
+    else begin
+      refresh_h t ns;
+      if ns.inflight_gen <> gen then -1
+      else min_batch_h t ns gen (scan_slots_h t ns gen count) (retries - 1)
+    end
+
+  (* Hardened combine, holding tenure [gen].  Publishes the in-flight
+     descriptor before touching any scratch, commits the reservation with
+     an ownership-guarded CAS (the descriptor's [inflight_start] is
+     stored in the same atomic region as a successful commit), fills with
+     poison-respecting CASes and finishes under the writer lock.  Always
+     consumes the tenure: unlocks on completion, and on dispossession the
+     stealer has already recovered — everything past the commit is
+     idempotent.  Never returns its own response; the caller re-reads its
+     slot. *)
+  let combine_h t ns gen (lv : Config.liveness) =
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" "combine";
+    ns.inflight_gen <- gen;
+    ns.inflight_state <- if_filling;
+    ns.inflight_start <- -1;
+    ns.inflight_n <- 0;
+    ns.inflight_applied <- 0;
+    let n =
+      min_batch_h t ns gen (scan_slots_h t ns gen 0) t.cfg.min_batch_retries
+    in
+    if n <= 0 then begin
+      (* dispossessed ([-1]) or nothing to combine: retire the tenure if
+         it is still ours (plain check-and-store, atomic in the model) *)
+      if n = 0 && ns.inflight_gen = gen then begin
+        ns.inflight_state <- if_idle;
+        ns.inflight_gen <- 0;
+        ignore (Spin.unlock ns.combiner_lock ~gen)
+      end;
+      if Nr_obs.Sink.tracing () then
+        Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+          ~arg:(max n 0) "combine"
+    end
+    else begin
+      Stats.record_batch ns.stats n;
+      ns.inflight_n <- n;
+      let full_rounds = ref 0 in
+      let on_full () =
+        incr full_rounds;
+        help_advance_h t ns ~patience:lv.Config.hole_patience
+          ~steal_laggards:(!full_rounds >= lv.Config.full_patience);
+        if !full_rounds >= lv.Config.full_patience then full_rounds := 0;
+        true
+      in
+      let guard () = Spin.peek_gen ns.combiner_lock = gen in
+      let start = Log.reserve_guarded t.log n ~guard ~on_full in
+      if start >= 0 then begin
+        (* no suspension point since the commit: publishing [start] here
+           is atomic with the reservation *)
+        ns.inflight_start <- start;
+        for k = 0 to n - 1 do
+          match ns.batch_ops.(k) with
+          | Some op ->
+              ignore
+                (Log.fill_checked t.log (start + k) ~op ~origin_node:ns.node
+                   ~origin_slot:ns.batch_slots.(k))
+          | None -> ()
+        done;
+        if Nr_obs.Sink.tracing () then
+          Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
+            "append";
+        if not t.cfg.parallel_replica_update then
+          while Log.completed t.log < start do
+            R.yield ()
+          done;
+        finish_batch t ns ~gen ~patience:lv.Config.hole_patience;
+        ignore (Spin.unlock ns.combiner_lock ~gen)
+      end;
+      (* [start < 0]: the tenure was stolen mid-wait — the stealer owns
+         descriptor and lock now; nothing to undo, nothing to unlock *)
+      if Nr_obs.Sink.tracing () then
+        Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
+          "combine"
+    end
+
+  (* Hardened update wait loop: track the lock tenure; a tenure that
+     stays unchanged across [slot_patience] backoff rounds without
+     serving us is presumed stuck and stolen.  On becoming combiner
+     (acquire or steal) we first [recover] the predecessor's batch — only
+     after that settles is "no response and no pending request" proof
+     that our operation will never be applied, making the repost safe. *)
+  let rec update_wait t ns slot op lv b rounds last_gen =
+    match R.read slot.response with
+    | Some r -> r
+    | None ->
+        let g = Spin.read_gen ns.combiner_lock in
+        if g land 1 = 0 then begin
+          let gen = Spin.try_lock ns.combiner_lock in
+          if gen <> 0 then become_combiner t ns slot op lv b gen
+          else update_wait t ns slot op lv b rounds last_gen
+        end
+        else if g <> last_gen then begin
+          (* new tenure: it may serve us — restart the patience window *)
+          Backoff.reset b;
+          Backoff.once b;
+          update_wait t ns slot op lv b 0 g
+        end
+        else if rounds >= lv.Config.slot_patience then begin
+          let gen = Spin.steal ns.combiner_lock ~gen:g in
+          if gen <> 0 then begin
+            ns.stats.Stats.combiner_steals <-
+              ns.stats.Stats.combiner_steals + 1;
+            if Nr_obs.Sink.tracing () then
+              Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+                ~arg:Nr_obs.Sink.no_arg "combiner_steal";
+            become_combiner t ns slot op lv b gen
+          end
+          else update_wait t ns slot op lv b 0 last_gen
+        end
+        else begin
+          Backoff.once b;
+          update_wait t ns slot op lv b (rounds + 1) last_gen
+        end
+
+  and become_combiner t ns slot op lv b gen =
+    recover t ns ~patience:lv.Config.hole_patience;
+    match R.read slot.response with
+    | Some r ->
+        ignore (Spin.unlock ns.combiner_lock ~gen);
+        r
+    | None ->
+        if R.read slot.request = None then begin
+          (* our request was drained but, post-recovery, neither applied
+             nor pending: its entry was poisoned or its batch abandoned
+             pre-commit.  Re-submit under a fresh incarnation. *)
+          ns.stats.Stats.reposts <- ns.stats.Stats.reposts + 1;
+          if Nr_obs.Sink.tracing () then
+            Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+              ~arg:Nr_obs.Sink.no_arg "repost";
+          slot.seq <- slot.seq + 1;
+          R.write slot.request (Some op)
+        end;
+        combine_h t ns gen lv;
+        Backoff.reset b;
+        update_wait t ns slot op lv b 0 0
+
+  let execute_update_h t ns my_idx op lv =
+    ns.stats.Stats.updates <- ns.stats.Stats.updates + 1;
+    let slot = ns.slots.(my_idx) in
+    slot.seq <- slot.seq + 1;
+    R.write slot.response None;
+    R.write slot.request (Some op);
+    update_wait t ns slot op lv (Backoff.create ()) 0 0
 
   (* Ablation #1: no flat combining — each thread appends its own operation
      and applies the log itself under the writer lock.  Entries carry their
@@ -437,15 +887,81 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     release_read t ns my_idx;
     r
 
+  (* Hardened read: like [execute_read], but the refresh wait tracks the
+     combiner-lock tenure — a tenure that stays unchanged across
+     [slot_patience] backoff rounds while the replica lags is presumed
+     stuck, stolen, and its batch recovered; and self-refreshes poison
+     holes after [hole_patience], so a lone surviving reader still gets a
+     fresh replica when every writer on the node is dead. *)
+  let execute_read_h t ns my_idx op (lv : Config.liveness) =
+    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
+    let read_tail =
+      if t.cfg.read_optimization then Log.completed t.log else Log.tail t.log
+    in
+    let b = Backoff.create () in
+    let rec wait rounds last_gen =
+      if Log.local_tail t.log ns.node < read_tail then begin
+        let g = Spin.read_gen ns.combiner_lock in
+        if g land 1 = 0 then begin
+          ns.stats.Stats.reader_refreshes <-
+            ns.stats.Stats.reader_refreshes + 1;
+          if Nr_obs.Sink.tracing () then
+            Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+              ~arg:Nr_obs.Sink.no_arg "reader_refresh";
+          acquire_write t ns ~combiner:false;
+          if Log.local_tail t.log ns.node < read_tail then
+            ignore
+              (replay_h t ns ~upto:read_tail
+                 ~patience:lv.Config.hole_patience);
+          release_write t ns ~combiner:false;
+          wait rounds last_gen
+        end
+        else if g <> last_gen then begin
+          Backoff.reset b;
+          Backoff.once b;
+          wait 0 g
+        end
+        else if rounds >= lv.Config.slot_patience then begin
+          let gen = Spin.steal ns.combiner_lock ~gen:g in
+          if gen <> 0 then begin
+            ns.stats.Stats.combiner_steals <-
+              ns.stats.Stats.combiner_steals + 1;
+            if Nr_obs.Sink.tracing () then
+              Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:ns.node ~cat:"nr"
+                ~arg:Nr_obs.Sink.no_arg "combiner_steal";
+            recover t ns ~patience:lv.Config.hole_patience;
+            ignore (Spin.unlock ns.combiner_lock ~gen)
+          end;
+          Backoff.reset b;
+          wait 0 0
+        end
+        else begin
+          Backoff.once b;
+          wait (rounds + 1) last_gen
+        end
+      end
+    in
+    wait 0 0;
+    acquire_read t ns my_idx;
+    let r = apply ns op in
+    release_read t ns my_idx;
+    r
+
   (* {2 The concurrent entry point (paper's ExecuteConcurrent)} *)
 
   let execute t op =
     let node = R.my_node () in
     let ns = t.node_states.(node) in
     let my_idx = R.tid () mod R.threads_per_node () in
-    if Seq.is_read_only op then execute_read t ns my_idx op
-    else if t.cfg.flat_combining then execute_update t ns my_idx op
-    else execute_update_nofc t ns my_idx op
+    match t.cfg.liveness with
+    | None ->
+        if Seq.is_read_only op then execute_read t ns my_idx op
+        else if t.cfg.flat_combining then execute_update t ns my_idx op
+        else execute_update_nofc t ns my_idx op
+    | Some lv ->
+        (* [Config.validate] guarantees flat combining in liveness mode *)
+        if Seq.is_read_only op then execute_read_h t ns my_idx op lv
+        else execute_update_h t ns my_idx op lv
 
   (* {2 Dedicated combiner support (§4, optional optimization)}
 
@@ -459,7 +975,15 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   let refresh_local t =
     let ns = t.node_states.(R.my_node ()) in
     if Log.local_tail t.log ns.node < Log.completed t.log then
-      refresh t ns ~combiner:false
+      match t.cfg.liveness with
+      | None -> refresh t ns ~combiner:false
+      | Some _ ->
+          (* [completed] implies everything below is resolved, so no
+             patience is needed — stop at the first (impossible) hole *)
+          acquire_write t ns ~combiner:false;
+          ignore
+            (replay_h t ns ~upto:(Log.completed t.log) ~patience:(-1));
+          release_write t ns ~combiner:false
 
   (* Loop refreshing the local replica until [stop] returns true. *)
   let run_dedicated_combiner t ~stop =
@@ -485,21 +1009,78 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   module Unsafe = struct
     let replica t node = t.node_states.(node).replica
 
-    (* Bring every replica up to [completed].  Must be called from a
-       runtime thread while no other operations are in flight. *)
-    let sync t =
+    (* Post-mortem completion of batches whose combiner (and every would-be
+       stealer) died: quiescence means dead lock holders never resume, so
+       the work happens without taking any lock.  Entries of every
+       in-flight range are resolved first — afterwards no hole can remain
+       below any batch start, since in liveness mode every committed range
+       has a descriptor — then each batch is finished exactly like
+       [finish_batch] minus delivery. *)
+    let finish_inflight t =
       Array.iter
         (fun ns ->
-          ignore
-            (replay t ns ~upto:(Log.completed t.log) ~wait_holes:false
-              ))
+          if ns.inflight_state <> if_idle && ns.inflight_start >= 0 then
+            for k = 0 to ns.inflight_n - 1 do
+              match ns.batch_ops.(k) with
+              | Some op ->
+                  ignore
+                    (Log.fill_checked t.log (ns.inflight_start + k) ~op
+                       ~origin_node:ns.node ~origin_slot:ns.batch_slots.(k))
+              | None -> ()
+            done)
+        t.node_states;
+      Array.iter
+        (fun ns ->
+          if ns.inflight_state <> if_idle then begin
+            (if ns.inflight_start >= 0 then begin
+               let start = ns.inflight_start and n = ns.inflight_n in
+               ignore (replay_h t ns ~upto:start ~patience:0);
+               for k = ns.inflight_applied to n - 1 do
+                 (match ns.batch_ops.(k) with
+                 | Some op ->
+                     if not (Log.is_poisoned t.log (start + k)) then
+                       ignore (apply ns op)
+                 | None -> ());
+                 ns.inflight_applied <- k + 1
+               done;
+               Log.set_local_tail t.log ns.node (start + n);
+               Log.advance_completed t.log (start + n)
+             end);
+            ns.inflight_state <- if_idle;
+            ns.inflight_gen <- 0
+          end)
         t.node_states
 
-    let log_entries t =
-      let upto = Log.completed t.log in
-      List.init upto (fun i ->
-          match Log.get t.log i with
-          | Some e -> e.Log.op
-          | None -> invalid_arg "log_entries: recycled or unfilled entry")
+    (* Bring every replica up to [completed].  Must be called from a
+       runtime thread while no other operations are in flight.  In
+       liveness mode this first finishes any batch stranded by a dead
+       combiner, so replicas end on a clean log-prefix state. *)
+    let sync t =
+      (match t.cfg.liveness with Some _ -> finish_inflight t | None -> ());
+      Array.iter
+        (fun ns ->
+          match t.cfg.liveness with
+          | None ->
+              ignore
+                (replay t ns ~upto:(Log.completed t.log) ~wait_holes:false)
+          | Some _ ->
+              ignore
+                (replay_h t ns ~upto:(Log.completed t.log) ~patience:(-1)))
+        t.node_states
+
+    (* The still-resident completed suffix of the log, oldest first, with
+       an explicit count of entries already recycled out from under it.
+       [None] elements are poisoned entries (hardened mode; never
+       observed with [liveness = None]). *)
+    let log_entries ?upto t =
+      let upto =
+        match upto with Some u -> u | None -> Log.completed t.log
+      in
+      let wrapped = max 0 (upto - Log.size t.log) in
+      ( List.init (upto - wrapped) (fun k ->
+            match Log.get t.log (wrapped + k) with
+            | Some e -> Some e.Log.op
+            | None -> None),
+        wrapped )
   end
 end

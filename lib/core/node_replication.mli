@@ -59,10 +59,17 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) : sig
     (** Direct access to one node's replica. *)
 
     val sync : t -> unit
-    (** Replay every replica up to the completed prefix. *)
+    (** Replay every replica up to the completed prefix.  In liveness
+        mode, batches stranded in flight by a dead combiner are first
+        finished post-mortem (quiescence makes this safe without locks),
+        so every replica ends on a log-prefix state. *)
 
-    val log_entries : t -> Seq.op list
-    (** All completed operations in log order; raises [Invalid_argument]
-        if entries have been recycled (log wrapped). *)
+    val log_entries : ?upto:int -> t -> Seq.op option list * int
+    (** [(suffix, wrapped)]: the operations below [upto] (default: the
+        completed prefix) still resident in the log, oldest first, plus
+        the count of older entries already recycled (0 until the log
+        wraps).  A [None] element is a poisoned or unresolved entry —
+        skipped identically by every replica; only possible in liveness
+        mode. *)
   end
 end

@@ -13,6 +13,16 @@ type t = {
   mutable reader_refreshes : int;
       (** times a reader refreshed the replica itself *)
   mutable log_full_stalls : int;  (** append attempts stalled on a full log *)
+  mutable combiner_steals : int;
+      (** combiner locks stolen from a stalled or dead leader *)
+  mutable batches_recovered : int;
+      (** in-flight batches finished by a thread other than their leader *)
+  mutable reposts : int;
+      (** operations re-submitted after their log entry was poisoned *)
+  mutable poisoned : int;  (** log holes poisoned past a dead writer *)
+  mutable remote_refreshes : int;
+      (** laggard replicas refreshed remotely during a bounded
+          log-full wait *)
 }
 
 let create () =
@@ -24,6 +34,11 @@ let create () =
     max_batch = 0;
     reader_refreshes = 0;
     log_full_stalls = 0;
+    combiner_steals = 0;
+    batches_recovered = 0;
+    reposts = 0;
+    poisoned = 0;
+    remote_refreshes = 0;
   }
 
 let record_batch t n =
@@ -59,7 +74,12 @@ let add acc x =
   acc.combined_ops <- acc.combined_ops + x.combined_ops;
   acc.max_batch <- max acc.max_batch x.max_batch;
   acc.reader_refreshes <- acc.reader_refreshes + x.reader_refreshes;
-  acc.log_full_stalls <- acc.log_full_stalls + x.log_full_stalls
+  acc.log_full_stalls <- acc.log_full_stalls + x.log_full_stalls;
+  acc.combiner_steals <- acc.combiner_steals + x.combiner_steals;
+  acc.batches_recovered <- acc.batches_recovered + x.batches_recovered;
+  acc.reposts <- acc.reposts + x.reposts;
+  acc.poisoned <- acc.poisoned + x.poisoned;
+  acc.remote_refreshes <- acc.remote_refreshes + x.remote_refreshes
 
 let pp ppf t =
   Format.fprintf ppf
@@ -68,7 +88,16 @@ let pp ppf t =
     (total_ops t)
     (100.0 *. update_ratio t)
     t.combines (avg_batch t) t.max_batch (ops_per_combine t)
-    t.reader_refreshes t.log_full_stalls
+    t.reader_refreshes t.log_full_stalls;
+  (* liveness counters only appear when the hardened protocol fired *)
+  if
+    t.combiner_steals + t.batches_recovered + t.reposts + t.poisoned
+    + t.remote_refreshes > 0
+  then
+    Format.fprintf ppf
+      " steals=%d recovered=%d reposts=%d poisoned=%d remote_refreshes=%d"
+      t.combiner_steals t.batches_recovered t.reposts t.poisoned
+      t.remote_refreshes
 
 (* {2 Run-scoped collection}
 
@@ -110,5 +139,10 @@ let register_metrics reg ?(prefix = "nr") t =
   c "max_batch" (fun () -> t.max_batch);
   c "reader_refreshes" (fun () -> t.reader_refreshes);
   c "log_full_stalls" (fun () -> t.log_full_stalls);
+  c "combiner_steals" (fun () -> t.combiner_steals);
+  c "batches_recovered" (fun () -> t.batches_recovered);
+  c "reposts" (fun () -> t.reposts);
+  c "poisoned" (fun () -> t.poisoned);
+  c "remote_refreshes" (fun () -> t.remote_refreshes);
   g "avg_batch" (fun () -> avg_batch t);
   g "update_ratio" (fun () -> update_ratio t)

@@ -16,6 +16,16 @@ type t = {
   mutable reader_refreshes : int;
       (** times a reader refreshed the replica itself *)
   mutable log_full_stalls : int;  (** append attempts stalled on a full log *)
+  mutable combiner_steals : int;
+      (** combiner locks stolen from a stalled or dead leader *)
+  mutable batches_recovered : int;
+      (** in-flight batches finished by a thread other than their leader *)
+  mutable reposts : int;
+      (** operations re-submitted after their log entry was poisoned *)
+  mutable poisoned : int;  (** log holes poisoned past a dead writer *)
+  mutable remote_refreshes : int;
+      (** laggard replicas refreshed remotely during a bounded
+          log-full wait *)
 }
 
 val create : unit -> t

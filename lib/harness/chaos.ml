@@ -1,0 +1,212 @@
+(** Chaos harness: run a structure under a seeded fault schedule and check
+    it against the sequential oracle.
+
+    One chaos run spawns [threads] simulated threads, each executing a
+    fixed count of seeded operations through a concurrent wrapper of the
+    structure, while {!Nr_sim.Fault_plan} injects stalls, preemptions and
+    thread deaths.  Afterwards the harness checks, from outside the
+    simulation:
+
+    - {b oracle}: every replica must equal the sequential replay of its
+      own log prefix [0, local_tail) — state machine replication held
+      even while combiners were stalled, dispossessed or killed
+      mid-batch (laggards are synced to the completed prefix first;
+      under deaths a replica can legitimately sit ahead of [completed],
+      hence per-replica prefixes rather than one global one);
+    - {b completion}: with a death-free plan every submitted operation
+      must have completed and the log must hold exactly the update
+      entries the threads produced (no loss, no duplication — the
+      linearizability-level accounting the qcheck suite leans on);
+    - {b determinism}: the whole outcome is a pure function of
+      (topology, seed, plan), so a fixed-seed run can be compared
+      byte-for-byte across processes and commits.
+
+    The harness is NR-specific on purpose: it reads the log through
+    {!Nr_core.Node_replication.Make.Unsafe} and asserts on hardened-mode
+    counters.  Baselines run under the same fault plans in the experiment
+    sweeps instead, where only throughput is compared. *)
+
+module type DS = sig
+  include Nr_core.Ds_intf.S
+
+  val dump : t -> string
+  (** Canonical serialization of the abstract state: two instances are
+      equal iff their dumps are equal. *)
+end
+
+type outcome = {
+  ops_done : int;  (** operations completed by surviving threads *)
+  ops_submitted : int;  (** [threads * ops_per_thread] *)
+  log_entries : int;  (** completed log entries (updates that landed) *)
+  poisoned : int;  (** log holes poisoned past dead writers *)
+  steals : int;
+  recovered : int;
+  reposts : int;
+  fault_stats : Nr_sim.Fault_plan.stats option;
+  state : string;  (** canonical dump of the oracle-replayed state *)
+}
+
+(* Everything a fixed-seed regression wants to pin, in one line. *)
+let fingerprint o =
+  Printf.sprintf "ops=%d/%d entries=%d poisoned=%d steals=%d recovered=%d reposts=%d state=%s"
+    o.ops_done o.ops_submitted o.log_entries o.poisoned o.steals o.recovered
+    o.reposts
+    (string_of_int (Hashtbl.hash o.state))
+
+module Make (Seq : DS) = struct
+  (* [run] executes one chaos scenario and performs the oracle check
+     inline, failing loudly: a divergence is a protocol bug, never a
+     tolerable outcome.  [gen_op] draws each thread's next operation from
+     its private seeded stream. *)
+  let run ?(cfg = Nr_core.Config.robust) ~topo ~plan ~threads ~ops_per_thread
+      ~(gen_op : Nr_workload.Prng.t -> Seq.op) ~(factory : unit -> Seq.t) () =
+    if threads > Nr_sim.Topology.max_threads topo then
+      invalid_arg "Chaos.run: thread count out of range for topology";
+    let sched = Nr_sim.Sched.create topo in
+    Nr_sim.Sched.set_fault_plan sched (Some plan);
+    let module R = (val Nr_runtime.Runtime_sim.make sched) in
+    let module NR = Nr_core.Node_replication.Make (R) (Seq) in
+    let nr = NR.create ~cfg factory in
+    let done_ = Array.make threads 0 in
+    for tid = 0 to threads - 1 do
+      let rng = Nr_workload.Prng.create ~seed:(plan.Nr_sim.Fault_plan.seed + (tid * 7919) + 1) in
+      Nr_sim.Sched.spawn sched ~tid (fun () ->
+          for _ = 1 to ops_per_thread do
+            ignore (NR.execute nr (gen_op rng));
+            done_.(tid) <- done_.(tid) + 1
+          done)
+    done;
+    Nr_sim.Sched.run sched;
+    (* -- post-mortem, outside the simulation -- *)
+    NR.Unsafe.sync nr;
+    (* Each replica's state must equal the sequential replay of its OWN
+       log prefix [0, local_tail node).  Under deaths the prefixes can
+       legitimately differ — a combiner killed after applying its batch
+       but before publishing [completed] leaves its replica ahead — so
+       the oracle is advanced incrementally through the nodes in
+       local-tail order rather than compared against one global prefix. *)
+    let tails =
+      List.init (NR.num_replicas nr) (fun node ->
+          (node, NR.local_tail nr node))
+    in
+    let max_tail =
+      List.fold_left (fun acc (_, lt) -> max acc lt) (NR.completed nr) tails
+    in
+    let entries, wrapped = NR.Unsafe.log_entries ~upto:max_tail nr in
+    if wrapped > 0 then
+      failwith
+        "Chaos.run: log wrapped during a chaos run; raise cfg.log_size so \
+         the oracle sees the whole history";
+    let entries = Array.of_list entries in
+    let fresh = factory () in
+    let live = ref 0 in
+    let pos = ref 0 in
+    let advance upto =
+      while !pos < upto do
+        (match entries.(!pos) with
+        | Some op ->
+            incr live;
+            ignore (Seq.execute fresh op)
+        | None -> ());
+        incr pos
+      done
+    in
+    List.iter
+      (fun (node, lt) ->
+        advance lt;
+        let expected = Seq.dump fresh in
+        let got = Seq.dump (NR.Unsafe.replica nr node) in
+        if got <> expected then
+          failwith
+            (Printf.sprintf
+               "Chaos.run: replica %d diverged from the sequential oracle \
+                (seed %d, prefix %d)\noracle: %s\nreplica: %s"
+               node plan.Nr_sim.Fault_plan.seed lt expected got))
+      (List.sort (fun (_, a) (_, b) -> compare a b) tails);
+    advance (Array.length entries);
+    let expected = Seq.dump fresh in
+    let st = NR.stats nr in
+    {
+      ops_done = Array.fold_left ( + ) 0 done_;
+      ops_submitted = threads * ops_per_thread;
+      log_entries = !live;
+      poisoned = st.Nr_core.Stats.poisoned;
+      steals = st.Nr_core.Stats.combiner_steals;
+      recovered = st.Nr_core.Stats.batches_recovered;
+      reposts = st.Nr_core.Stats.reposts;
+      fault_stats = Nr_sim.Sched.fault_stats sched;
+      state = expected;
+    }
+
+  (* Death-free accounting: every submitted op completed, and the log
+     holds exactly the updates the op streams produced.  Replays each
+     thread's op stream (same seed, same draw order) to count updates —
+     kills would invalidate this, so the caller must pass a deathless
+     plan. *)
+  let check_complete ~plan ~threads ~ops_per_thread
+      ~(gen_op : Nr_workload.Prng.t -> Seq.op) (o : outcome) =
+    if o.ops_done <> o.ops_submitted then
+      failwith
+        (Printf.sprintf
+           "Chaos.check_complete: %d of %d ops completed under a death-free \
+            plan" o.ops_done o.ops_submitted);
+    let updates = ref 0 in
+    for tid = 0 to threads - 1 do
+      let rng = Nr_workload.Prng.create ~seed:(plan.Nr_sim.Fault_plan.seed + (tid * 7919) + 1) in
+      for _ = 1 to ops_per_thread do
+        if not (Seq.is_read_only (gen_op rng)) then incr updates
+      done
+    done;
+    (* a poisoned entry's op is reposted and lands again, so every update
+       appears exactly once among the live entries regardless of faults *)
+    if o.log_entries <> !updates then
+      failwith
+        (Printf.sprintf
+           "Chaos.check_complete: log holds %d live updates (+%d poisoned \
+            holes) but threads submitted %d" o.log_entries o.poisoned
+           !updates)
+end
+
+(* {2 Stock instances} *)
+
+module Dict_chaos = Make (struct
+  include Nr_seqds.Skiplist_dict
+
+  let dump t =
+    String.concat ";"
+      (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) (to_list t))
+end)
+
+module Pq_chaos = Make (struct
+  include Nr_seqds.Pairing_pq
+
+  (* drain a structural copy: heap shapes may differ across replicas, the
+     multiset of keys may not *)
+  let dump t =
+    let c = copy t in
+    let b = Buffer.create 256 in
+    let rec drain () =
+      match execute c Nr_seqds.Pq_ops.Delete_min with
+      | Nr_seqds.Pq_ops.Removed (Some (k, v)) ->
+          Buffer.add_string b (Printf.sprintf "%d:%d;" k v);
+          drain ()
+      | _ -> ()
+    in
+    drain ();
+    Buffer.contents b
+end)
+
+(* Seeded op generators matching the benchmark workloads. *)
+
+let dict_op key_space rng : Nr_seqds.Dict_ops.op =
+  let k = Nr_workload.Prng.below rng key_space in
+  match Nr_workload.Prng.below rng 3 with
+  | 0 -> Nr_seqds.Dict_ops.Insert (k, k)
+  | 1 -> Nr_seqds.Dict_ops.Remove k
+  | _ -> Nr_seqds.Dict_ops.Lookup k
+
+let pq_op key_space rng : Nr_seqds.Pq_ops.op =
+  match Nr_workload.Prng.below rng 3 with
+  | 0 -> Nr_seqds.Pq_ops.Insert (Nr_workload.Prng.below rng key_space, 1)
+  | 1 -> Nr_seqds.Pq_ops.Delete_min
+  | _ -> Nr_seqds.Pq_ops.Find_min

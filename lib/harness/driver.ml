@@ -36,6 +36,7 @@ type result = {
   remote_transfers : int;
   nr_stats : Nr_core.Stats.t option;
   latency : latency option;
+  fault_stats : Nr_sim.Fault_plan.stats option;
 }
 
 (* Summarize a histogram recorded in [unit_per_us]-ths of a microsecond. *)
@@ -68,11 +69,14 @@ let emit_metrics ~label r ~sim_stats =
     Format.eprintf "# metrics %s@.%a@." label Nr_obs.Metrics.dump reg
   end
 
-let run_sim ~topo ?costs ?(latency = false) ~threads ~warmup_us ~measure_us
-    setup =
+let run_sim ~topo ?costs ?faults ?(latency = false) ~threads ~warmup_us
+    ~measure_us setup =
   if threads < 1 || threads > Nr_sim.Topology.max_threads topo then
     invalid_arg "Driver.run_sim: thread count out of range for topology";
   let sched = Nr_sim.Sched.create ?costs topo in
+  (match faults with
+  | Some plan -> Nr_sim.Sched.set_fault_plan sched (Some plan)
+  | None -> ());
   let rt = Nr_runtime.Runtime_sim.make sched in
   Nr_core.Stats.start_collection ();
   let gen = setup rt in
@@ -127,6 +131,7 @@ let run_sim ~topo ?costs ?(latency = false) ~threads ~warmup_us ~measure_us
         (match hist with
         | Some h -> summarize_latency h ~unit_per_us:cpu
         | None -> None);
+      fault_stats = Nr_sim.Sched.fault_stats sched;
     }
   in
   emit_metrics ~label:(Printf.sprintf "(sim, %d threads)" threads) r
@@ -200,6 +205,7 @@ let run_domains ~topo ?(latency = false) ~threads ~warmup_s ~measure_s setup =
             Array.iter (fun h -> Nr_obs.Histogram.merge ~into:acc h) hs;
             summarize_latency acc ~unit_per_us:1000.0
         | None -> None);
+      fault_stats = None;
     }
   in
   emit_metrics ~label:(Printf.sprintf "(domains, %d threads)" threads) r

@@ -24,11 +24,15 @@ type result = {
       (** combiner counters of the NR instance(s) the setup built; [None]
           for baseline methods (§8.5-style analysis from the CLI) *)
   latency : latency option;  (** present when run with [~latency:true] *)
+  fault_stats : Nr_sim.Fault_plan.stats option;
+      (** injected-fault tally when run with [?faults]; [None] otherwise
+          and on domains *)
 }
 
 val run_sim :
   topo:Nr_sim.Topology.t ->
   ?costs:Nr_sim.Costs.t ->
+  ?faults:Nr_sim.Fault_plan.t ->
   ?latency:bool ->
   threads:int ->
   warmup_us:float ->
@@ -40,6 +44,11 @@ val run_sim :
     the simulation and is free), then runs [threads] simulated threads,
     each looping the thunk [setup runtime ~tid] until the virtual deadline.
     Deterministic: identical inputs give identical results.
+
+    [?faults] arms the scheduler's fault injector for the whole run
+    (chaos experiments); threads the plan kills stop mid-loop and their
+    operations after the kill are simply not counted.  Omitting it leaves
+    the scheduler on the zero-overhead no-faults path.
 
     [~latency:true] records per-operation virtual-time latency; recording
     performs no simulator effects, so throughput numbers are unchanged.

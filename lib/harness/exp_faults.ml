@@ -1,0 +1,111 @@
+(** Fault-injection experiments (no paper counterpart — robustness PR).
+
+    Panel (a) sweeps the injected stall length under a fixed per-effect
+    stall probability and compares legacy NR, hardened NR
+    ({!Nr_core.Config.robust}) and the FC+ baseline on the skip-list
+    priority queue: as stalls grow past the hardened patience window the
+    legacy combiner serializes behind its stalled leader while the robust
+    one hands the batch off, which shows up in p99 long before it shows
+    up in throughput.  Panel (b) runs the plain thread sweep with {e no}
+    fault plan to price the hardened paths themselves: the cost of
+    stealable tenures and guarded appends when nothing ever stalls.
+
+    Stall lengths are reported in kilocycles (the x column); the
+    per-effect-point stall probability is fixed so longer stalls mean
+    strictly more injected delay. *)
+
+let axis_kcycles = [ 0; 50; 200; 1000; 5000 ]
+let stall_prob = 0.0005
+
+let plan ~seed ~stall_kcycles =
+  {
+    Nr_sim.Fault_plan.none with
+    seed;
+    stall_prob;
+    stall_cycles = stall_kcycles * 1000;
+  }
+
+(* The fig5b workload (10% updates, e=0) at a two-node thread count:
+   handoff and remote-refresh paths need more than one replica. *)
+let update_pct = 10
+let e = 0
+
+let setup params m cfg ~threads rt =
+  let exec =
+    Exp_pq.Sl_exp.W.build rt m ~cfg ~threads
+      ~factory:(Exp_pq.Sl_exp.factory params) ()
+  in
+  Exp_pq.Sl_exp.body params ~update_pct ~e ~exec rt
+
+let methods =
+  [
+    ("NR", Method.NR, Nr_core.Config.default);
+    ("NR-robust", Method.NR, Nr_core.Config.robust);
+    ("FC+", Method.FCplus, Nr_core.Config.default);
+  ]
+
+let stall_figure (params : Params.t) =
+  let threads = min 56 (Params.max_threads params) in
+  let series =
+    List.map
+      (fun (label, m, cfg) ->
+        let points =
+          List.map
+            (fun kc ->
+              let faults =
+                if kc = 0 then None
+                else Some (plan ~seed:params.Params.seed ~stall_kcycles:kc)
+              in
+              let r =
+                Driver.run_sim ~topo:params.Params.topo ?faults ~latency:true
+                  ~threads ~warmup_us:params.Params.warmup_us
+                  ~measure_us:params.Params.measure_us
+                  (setup params m cfg ~threads)
+              in
+              Sweep.point_of_result ~x:kc r)
+            axis_kcycles
+        in
+        { Table.label; points })
+      methods
+  in
+  {
+    Table.id = "faults-a";
+    title = "stall length vs throughput under injected combiner stalls";
+    x_label = "stall kcycles";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf
+          "%d%% updates, e=%d, %d threads, stall_prob=%g per effect point, \
+           %d initial items"
+          update_pct e threads stall_prob params.Params.population;
+        "latency columns are per-op virtual-time p50/p99";
+      ];
+  }
+
+let overhead_figure (params : Params.t) =
+  let series =
+    List.map
+      (fun (label, m, cfg) ->
+        Sweep.threads_series params ~label ~setup:(fun ~threads rt ->
+            setup params m cfg ~threads rt))
+      [
+        ("NR", Method.NR, Nr_core.Config.default);
+        ("NR-robust", Method.NR, Nr_core.Config.robust);
+      ]
+  in
+  {
+    Table.id = "faults-b";
+    title = "hardened-mode overhead with no faults injected";
+    x_label = "threads";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf "%d%% updates, e=%d, no fault plan installed"
+          update_pct e;
+      ];
+  }
+
+let figures params = [ stall_figure params; overhead_figure params ]

@@ -71,6 +71,11 @@ let groups =
       description = "ablations of this implementation's own knobs";
       run = (fun p -> print_figures (Exp_tuning.tuning p));
     };
+    {
+      id = "faults";
+      description = "fault injection: stall length vs throughput/p99";
+      run = (fun p -> print_figures (Exp_faults.figures p));
+    };
   ]
 
 let ids () = List.map (fun g -> g.id) groups

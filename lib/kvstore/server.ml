@@ -78,6 +78,7 @@ let create ?obs ~port ~workers exec =
   { sock; pool = Thread_pool.create ~workers (); exec; obs; stop = false }
 
 let obs t = t.obs
+let pool_stats t = Thread_pool.stats t.pool
 
 let port t =
   match Unix.getsockname t.sock with
@@ -90,8 +91,19 @@ let serve t =
     match Unix.accept t.sock with
     | client, _ ->
         if t.stop then (try Unix.close client with Unix.Unix_error _ -> ())
-        else
-          Thread_pool.submit t.pool (fun () -> handle_connection t client)
+        else if
+          not (Thread_pool.try_submit t.pool (fun () -> handle_connection t client))
+        then begin
+          (* saturated pool: shed the connection with an explicit error
+             instead of stalling the accept loop behind slow handlers *)
+          let out =
+            Bytes.of_string
+              (Resp.encode_reply (Command.Err "BUSY server overloaded"))
+          in
+          (try ignore (Unix.write client out 0 (Bytes.length out))
+           with Unix.Unix_error _ -> ());
+          try Unix.close client with Unix.Unix_error _ -> ()
+        end
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
         t.stop <- true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

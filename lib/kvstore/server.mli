@@ -20,6 +20,11 @@ val obs : t -> Kv_obs.t option
 val port : t -> int
 (** The bound port (useful with [port:0]). *)
 
+val pool_stats : t -> Thread_pool.stats
+(** Worker-pool counters: jobs executed/failed, connections shed.  A
+    connection handed to a saturated pool is refused with a RESP
+    [BUSY] error and closed instead of blocking the accept loop. *)
+
 val serve : t -> unit
 (** Accept loop; returns after {!shutdown} is called from another thread. *)
 

@@ -1,6 +1,13 @@
 (** A domains-backed worker pool with a shared work queue — the "thread
     pool and work queuing" the paper added to Redis (§7).  Jobs are
-    arbitrary thunks; [submit] blocks only if the queue is at capacity. *)
+    arbitrary thunks; [submit] blocks only if the queue is at capacity,
+    [try_submit] sheds instead of blocking. *)
+
+type stats = {
+  executed : int;  (** jobs that ran to completion (or raised) *)
+  failed : int;  (** jobs that raised *)
+  rejected : int;  (** [try_submit] calls refused on a full queue *)
+}
 
 type t = {
   queue : (unit -> unit) Queue.t;
@@ -10,7 +17,16 @@ type t = {
   capacity : int;
   mutable closed : bool;
   mutable workers : unit Domain.t array;
+  mutable on_error : exn -> unit;
+  (* counters are mutated under [mutex] ([executed]/[failed] by workers,
+     [rejected] by producers), so [stats] reads are exact *)
+  mutable executed : int;
+  mutable failed : int;
+  mutable rejected : int;
 }
+
+let default_on_error exn =
+  Printf.eprintf "thread_pool: job raised %s\n%!" (Printexc.to_string exn)
 
 let worker t () =
   let rec loop () =
@@ -23,13 +39,26 @@ let worker t () =
       let job = Queue.pop t.queue in
       Condition.signal t.nonfull;
       Mutex.unlock t.mutex;
-      (try job () with _ -> ());
+      let err =
+        match job () with
+        | () -> None
+        | exception exn -> Some exn
+      in
+      Mutex.lock t.mutex;
+      t.executed <- t.executed + 1;
+      (match err with Some _ -> t.failed <- t.failed + 1 | None -> ());
+      Mutex.unlock t.mutex;
+      (match err with
+      | Some exn -> (
+          (* the hook must not kill the worker, whatever it does *)
+          try t.on_error exn with _ -> ())
+      | None -> ());
       loop ()
     end
   in
   loop ()
 
-let create ?(capacity = 1024) ~workers () =
+let create ?(capacity = 1024) ?(on_error = default_on_error) ~workers () =
   if workers <= 0 then invalid_arg "Thread_pool.create: workers must be > 0";
   let t =
     {
@@ -40,10 +69,16 @@ let create ?(capacity = 1024) ~workers () =
       capacity;
       closed = false;
       workers = [||];
+      on_error;
+      executed = 0;
+      failed = 0;
+      rejected = 0;
     }
   in
   t.workers <- Array.init workers (fun _ -> Domain.spawn (worker t));
   t
+
+let set_on_error t f = t.on_error <- f
 
 let submit t job =
   Mutex.lock t.mutex;
@@ -57,6 +92,30 @@ let submit t job =
   Queue.push job t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
+
+let try_submit t job =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Thread_pool.try_submit: pool is closed"
+  end;
+  if Queue.length t.queue >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    true
+  end
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { executed = t.executed; failed = t.failed; rejected = t.rejected } in
+  Mutex.unlock t.mutex;
+  s
 
 (** Close the queue and wait for the workers to drain it. *)
 let shutdown t =

@@ -3,13 +3,34 @@
 
 type t
 
-val create : ?capacity:int -> workers:int -> unit -> t
+type stats = {
+  executed : int;  (** jobs that ran to completion (or raised) *)
+  failed : int;  (** jobs that raised an exception *)
+  rejected : int;  (** {!try_submit} calls refused on a full queue *)
+}
+
+val create :
+  ?capacity:int -> ?on_error:(exn -> unit) -> workers:int -> unit -> t
 (** Spawn [workers] domains serving a queue of at most [capacity] pending
-    jobs (default 1024). *)
+    jobs (default 1024).  A job that raises is counted in {!stats} and
+    reported to [on_error] (default: one line to stderr); the exception
+    never kills the worker. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a job; blocks while the queue is full.  Exceptions raised by
-    the job are swallowed.  Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a job; blocks while the queue is full.  Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val try_submit : t -> (unit -> unit) -> bool
+(** Non-blocking [submit]: [false] (and a bump of the rejected counter)
+    instead of waiting when the queue is at capacity — the caller sheds
+    the work.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val set_on_error : t -> (exn -> unit) -> unit
+(** Replace the error hook (e.g. to route job failures into a server
+    metric).  Applies to jobs dequeued after the call. *)
+
+val stats : t -> stats
+(** Exact snapshot of the pool counters. *)
 
 val shutdown : t -> unit
 (** Close the queue, drain remaining jobs and join the workers. *)

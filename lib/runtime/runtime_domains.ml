@@ -37,7 +37,21 @@ let make topo : Runtime_intf.t =
 
     let read = Atomic.get
     let write = Atomic.set
+    let peek = Atomic.get
     let cas = Atomic.compare_and_set
+
+    (* Advisory on domains: another domain may interleave between the guard
+       and the mutation (see Runtime_intf).  The chaos protocol that needs
+       real atomicity runs on the simulator only. *)
+    let guarded_cas c ~guard expected desired =
+      guard () && Atomic.compare_and_set c expected desired
+
+    let guarded_write c ~guard v =
+      if guard () then (
+        Atomic.set c v;
+        true)
+      else false
+
     let faa = Atomic.fetch_and_add
     let read_all cells = Array.map Atomic.get cells
 
@@ -63,6 +77,9 @@ let make topo : Runtime_intf.t =
 
     let iget (c : icells) i = Atomic.get c.(i)
     let iset (c : icells) i v = Atomic.set c.(i) v
+
+    let icas (c : icells) i expected desired =
+      Atomic.compare_and_set c.(i) expected desired
 
     let iread_into (c : icells) ~idx ~n ~dst =
       for k = 0 to n - 1 do

@@ -22,9 +22,32 @@ module type S = sig
   val read : 'a cell -> 'a
   val write : 'a cell -> 'a -> unit
 
+  val peek : 'a cell -> 'a
+  (** Advisory, uncharged read: the current value without paying the
+      modeled access cost (simulator) or any ordering guarantee beyond the
+      atomic load itself (domains).  Use only to decide whether to attempt
+      a charged operation — never as the operation's linearization point. *)
+
   val cas : 'a cell -> 'a -> 'a -> bool
   (** Compare-and-set with physical equality — use with immediate values
       (ints) or uniquely-allocated boxed values. *)
+
+  val guarded_cas : 'a cell -> guard:(unit -> bool) -> 'a -> 'a -> bool
+  (** [guarded_cas c ~guard expected desired] is {!cas} that additionally
+      requires [guard ()] to hold, evaluated {e atomically with the
+      mutation}: on the simulator the guard runs after the access charge's
+      suspension point, in the same atomic region as the compare and the
+      store, so no other simulated thread can run between the check and the
+      act.  On domains the guard is evaluated immediately before the CAS
+      and the pair is {e advisory} (another domain may interleave); the
+      hardened-NR protocol that relies on atomicity is exercised on the
+      simulator only.  The guard must be pure apart from reads of plain
+      (uncharged) state and must not suspend. *)
+
+  val guarded_write : 'a cell -> guard:(unit -> bool) -> 'a -> bool
+  (** [guarded_write c ~guard v] writes [v] iff [guard ()] holds, with the
+      same atomicity contract as {!guarded_cas}; returns whether the write
+      happened. *)
 
   val faa : int cell -> int -> int
   (** Fetch-and-add; returns the previous value. *)
@@ -67,6 +90,12 @@ module type S = sig
 
   val iget : icells -> int -> int
   val iset : icells -> int -> int -> unit
+
+  val icas : icells -> int -> int -> int -> bool
+  (** [icas c i expected desired] — compare-and-set on one int cell.  Lets
+      two writers racing to stamp the same slot (a recovering combiner
+      refilling a hole vs. a stealer poisoning it) resolve consistently
+      whichever order they run in. *)
 
   val iread_into : icells -> idx:int array -> n:int -> dst:int array -> unit
   (** Gather [idx.(0..n-1)] into [dst.(0..n-1)]: the {!read_ints_into}

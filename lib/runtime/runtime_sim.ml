@@ -41,6 +41,29 @@ let make sched : Runtime_intf.t =
           stats.Nr_sim.Sim_stats.cas_failures + 1;
         false)
 
+    (* Free advisory read: no charge, no suspension. *)
+    let peek c = c.v
+
+    (* The guard runs after [touch]'s suspension point, in the same atomic
+       region as the compare and the store — no other simulated thread can
+       run between the check and the act. *)
+    let guarded_cas c ~guard expected desired =
+      touch c.line Mem.Cas;
+      if guard () && c.v == expected then (
+        c.v <- desired;
+        true)
+      else (
+        stats.Nr_sim.Sim_stats.cas_failures <-
+          stats.Nr_sim.Sim_stats.cas_failures + 1;
+        false)
+
+    let guarded_write c ~guard v =
+      touch c.line Mem.Write;
+      if guard () then (
+        c.v <- v;
+        true)
+      else false
+
     let faa c n =
       touch c.line Mem.Cas;
       let old = c.v in
@@ -134,6 +157,16 @@ let make sched : Runtime_intf.t =
     let iset c i v =
       if Sched.running () then Sched.touch (iline c i) Mem.Write;
       c.vals.(i) <- v
+
+    let icas c i expected desired =
+      if Sched.running () then Sched.touch (iline c i) Mem.Cas;
+      if c.vals.(i) = expected then (
+        c.vals.(i) <- desired;
+        true)
+      else (
+        stats.Nr_sim.Sim_stats.cas_failures <-
+          stats.Nr_sim.Sim_stats.cas_failures + 1;
+        false)
 
     let iread_into c ~idx ~n ~dst =
       if Sched.running () then begin

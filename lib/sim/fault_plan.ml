@@ -1,0 +1,203 @@
+(** Deterministic, seeded fault injection for the simulator.
+
+    A plan describes adversarial scheduling events to inject at the
+    scheduler's effect points (every {!Sched.touch}, {!Sched.work} and
+    {!Sched.yield}): thread stalls of a fixed length, long preemptions
+    that park a whole core, permanent thread death, and small cost
+    jitter.  Faults fire either probabilistically — each thread draws
+    from its own splitmix64 stream seeded from [seed] and its tid, so a
+    thread's decisions depend only on its own effect-point count and the
+    whole schedule replays byte-identically from the seed — or at
+    explicit [(tid, nth effect point)] triggers for surgical tests
+    (e.g. stalling a combiner exactly mid-batch).
+
+    A plan is pure data; {!Sched.set_fault_plan} arms it.  With no plan
+    installed the scheduler's hot paths are unchanged (one pointer
+    comparison per effect point, no allocation, no extra charges). *)
+
+type point = Touch | Work | Yield
+
+type t = {
+  seed : int;
+  stall_prob : float;  (** per effect point; 0 disables *)
+  stall_cycles : int;  (** stall length when a stall fires *)
+  preempt_prob : float;
+  preempt_cycles : int;  (** the thread's whole core parks this long *)
+  jitter_prob : float;
+  jitter_max : int;  (** uniform extra cost in [1, jitter_max] *)
+  kill_prob : float;  (** permanent thread death *)
+  stalls_at : (int * int * int) list;
+      (** explicit triggers: [(tid, nth effect point, cycles)] *)
+  kills_at : (int * int) list;  (** [(tid, nth effect point)] *)
+  only_tids : int list;
+      (** restrict probabilistic faults to these tids; [[]] = all *)
+  horizon : int;
+      (** kill any thread whose virtual time passes this; 0 = unbounded.
+          A safety net so that a chaos schedule that strands waiters on a
+          dead lock holder still terminates. *)
+}
+
+let none =
+  {
+    seed = 0;
+    stall_prob = 0.0;
+    stall_cycles = 0;
+    preempt_prob = 0.0;
+    preempt_cycles = 0;
+    jitter_prob = 0.0;
+    jitter_max = 0;
+    kill_prob = 0.0;
+    stalls_at = [];
+    kills_at = [];
+    only_tids = [];
+    horizon = 0;
+  }
+
+(** Counters accumulated while a plan is armed. *)
+type stats = {
+  mutable stalls : int;
+  mutable preempts : int;
+  mutable jitters : int;
+  mutable kills : int;  (** deaths from [kill_prob] / [kills_at] *)
+  mutable horizon_kills : int;
+  mutable injected_cycles : int;  (** total virtual cycles added *)
+}
+
+let stats_create () =
+  {
+    stalls = 0;
+    preempts = 0;
+    jitters = 0;
+    kills = 0;
+    horizon_kills = 0;
+    injected_cycles = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "stalls=%d preempts=%d jitters=%d kills=%d horizon_kills=%d \
+     injected_cycles=%d"
+    s.stalls s.preempts s.jitters s.kills s.horizon_kills s.injected_cycles
+
+(* {2 Per-thread decision streams}
+
+   splitmix64 (Steele et al.), same generator the workload PRNG uses, but
+   self-contained so the simulator keeps its dependency-free layering.
+   One state per thread, advanced once per armed effect point. *)
+
+let sm64_next st =
+  let z = Int64.add !st 0x9E3779B97F4A7C15L in
+  st := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits53 = (1 lsl 53) - 1
+let draw53 st = Int64.to_int (sm64_next st) land bits53
+
+(* Cumulative 53-bit thresholds so one draw decides stall / preempt /
+   jitter / kill per effect point. *)
+type thresholds = { t_stall : int; t_preempt : int; t_jitter : int; t_kill : int }
+
+let clamp01 p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
+
+let thresholds plan =
+  let scale p = int_of_float (clamp01 p *. float_of_int (bits53 + 1)) in
+  let a = scale plan.stall_prob in
+  let b = a + scale plan.preempt_prob in
+  let c = b + scale plan.jitter_prob in
+  let d = c + scale plan.kill_prob in
+  { t_stall = a; t_preempt = b; t_jitter = c; t_kill = d }
+
+(** What the scheduler should do at one effect point. *)
+type action =
+  | Nothing
+  | Stall of int  (** add this many cycles to the thread *)
+  | Preempt of int  (** park the thread's core this long *)
+  | Die
+
+(* Per-thread armed state. *)
+type armed = {
+  plan : t;
+  thr : thresholds;
+  rngs : int64 ref array;  (** one stream per tid *)
+  counts : int array;  (** effect points seen per tid *)
+  eligible : bool array;  (** tid participates in probabilistic faults *)
+  mutable sched_stalls : (int * int * int) list;  (** remaining explicit *)
+  mutable sched_kills : (int * int) list;
+  stats : stats;
+}
+
+let arm plan ~max_threads =
+  {
+    plan;
+    thr = thresholds plan;
+    rngs =
+      Array.init max_threads (fun tid ->
+          ref (Int64.of_int (plan.seed lxor ((tid + 1) * 0x9E3779B9))));
+    counts = Array.make max_threads 0;
+    eligible =
+      Array.init max_threads (fun tid ->
+          plan.only_tids = [] || List.mem tid plan.only_tids);
+    sched_stalls = plan.stalls_at;
+    sched_kills = plan.kills_at;
+    stats = stats_create ();
+  }
+
+(* Decide the action for [tid]'s next effect point.  [now] is the thread's
+   virtual time after the charge.  Explicit triggers take precedence, then
+   the horizon, then one probabilistic draw. *)
+let decide a ~tid ~now (_point : point) =
+  let c = a.counts.(tid) + 1 in
+  a.counts.(tid) <- c;
+  let explicit_kill = List.mem (tid, c) a.sched_kills in
+  if explicit_kill then begin
+    a.sched_kills <- List.filter (( <> ) (tid, c)) a.sched_kills;
+    a.stats.kills <- a.stats.kills + 1;
+    Die
+  end
+  else
+    match
+      List.find_opt (fun (t, n, _) -> t = tid && n = c) a.sched_stalls
+    with
+    | Some ((_, _, k) as trig) ->
+        a.sched_stalls <- List.filter (( <> ) trig) a.sched_stalls;
+        a.stats.stalls <- a.stats.stalls + 1;
+        a.stats.injected_cycles <- a.stats.injected_cycles + k;
+        Stall k
+    | None ->
+        if a.plan.horizon > 0 && now > a.plan.horizon then begin
+          a.stats.horizon_kills <- a.stats.horizon_kills + 1;
+          Die
+        end
+        else if (not a.eligible.(tid)) || a.thr.t_kill = 0 then Nothing
+        else begin
+          let u = draw53 a.rngs.(tid) in
+          if u < a.thr.t_stall then begin
+            a.stats.stalls <- a.stats.stalls + 1;
+            a.stats.injected_cycles <-
+              a.stats.injected_cycles + a.plan.stall_cycles;
+            Stall a.plan.stall_cycles
+          end
+          else if u < a.thr.t_preempt then begin
+            a.stats.preempts <- a.stats.preempts + 1;
+            a.stats.injected_cycles <-
+              a.stats.injected_cycles + a.plan.preempt_cycles;
+            Preempt a.plan.preempt_cycles
+          end
+          else if u < a.thr.t_jitter then begin
+            let k = 1 + (draw53 a.rngs.(tid) mod max 1 a.plan.jitter_max) in
+            a.stats.jitters <- a.stats.jitters + 1;
+            a.stats.injected_cycles <- a.stats.injected_cycles + k;
+            Stall k
+          end
+          else if u < a.thr.t_kill then begin
+            a.stats.kills <- a.stats.kills + 1;
+            Die
+          end
+          else Nothing
+        end
+
+let stats a = a.stats

@@ -1,0 +1,58 @@
+(** Deterministic, seeded fault injection for the simulator.
+
+    A plan is pure data describing adversarial scheduling events —
+    stalls, whole-core preemptions, permanent thread death, cost jitter —
+    injected at the scheduler's effect points.  Probabilistic faults draw
+    from per-thread splitmix64 streams seeded from [seed], so a run
+    replays byte-identically from the same plan; explicit
+    [(tid, nth effect point)] triggers give tests surgical control.
+    Arm a plan with {!Sched.set_fault_plan}; with none installed the
+    scheduler is unchanged. *)
+
+type point = Touch | Work | Yield
+
+type t = {
+  seed : int;
+  stall_prob : float;  (** per effect point; 0 disables *)
+  stall_cycles : int;
+  preempt_prob : float;
+  preempt_cycles : int;  (** parks the thread's whole core *)
+  jitter_prob : float;
+  jitter_max : int;  (** uniform extra cost in [1, jitter_max] *)
+  kill_prob : float;  (** permanent thread death *)
+  stalls_at : (int * int * int) list;
+      (** explicit [(tid, nth effect point, cycles)] triggers *)
+  kills_at : (int * int) list;  (** explicit [(tid, nth effect point)] *)
+  only_tids : int list;
+      (** restrict probabilistic faults to these tids; [[]] = all *)
+  horizon : int;
+      (** kill any thread whose virtual time passes this; 0 = unbounded *)
+}
+
+val none : t
+(** All-zero plan: every fault disabled.  Build plans with record update:
+    [{ none with seed = 7; stall_prob = 1e-3; stall_cycles = 20_000 }]. *)
+
+type stats = {
+  mutable stalls : int;
+  mutable preempts : int;
+  mutable jitters : int;
+  mutable kills : int;
+  mutable horizon_kills : int;
+  mutable injected_cycles : int;
+}
+
+val stats_create : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Scheduler-side machinery} — used by {!Sched}; not part of the
+    public surface most callers need. *)
+
+type action = Nothing | Stall of int | Preempt of int | Die
+
+type armed
+
+val arm : t -> max_threads:int -> armed
+val decide : armed -> tid:int -> now:int -> point -> action
+
+val stats : armed -> stats

@@ -6,6 +6,9 @@ type thread = {
   node : int;
   core : int;
   mutable time : int;
+  mutable dead : bool;
+      (** set by an armed fault plan; a dead thread's next suspension is
+          final — the handler drops its continuation instead of queuing it *)
   mutable as_opt : thread option;
       (** [Some self], built once at spawn so resuming a thread does not
           allocate a fresh option per event *)
@@ -37,6 +40,16 @@ type t = {
           starts were queued); [max_int] afterwards *)
   mutable pending : (thread * (unit -> unit)) list;
   mutable active : bool;
+  mutable faults : faults option;
+      (** armed fault plan; [None] keeps every hot path on its original
+          charge sequence (one pointer comparison per effect point) *)
+}
+
+(* Armed fault-injection state: the plan's per-thread decision streams
+   plus the per-core park deadlines that model whole-core preemption. *)
+and faults = {
+  armed : Fault_plan.armed;
+  core_until : int array;  (** global core index -> parked until *)
 }
 
 (* The only effect: "another thread is due to run before my new time".
@@ -63,11 +76,29 @@ let create ?(costs = Costs.default) topo =
     start_floor = max_int;
     pending = [];
     active = false;
+    faults = None;
   }
 
 let topology t = t.topo
 let costs t = t.costs
 let stats t = t.stats
+
+let set_fault_plan t = function
+  | None -> t.faults <- None
+  | Some plan ->
+      let max_threads = Topology.max_threads t.topo in
+      (* one slot per core; core ids are global in the topology *)
+      t.faults <-
+        Some
+          {
+            armed = Fault_plan.arm plan ~max_threads;
+            core_until = Array.make max_threads 0;
+          }
+
+let fault_stats t =
+  match t.faults with
+  | None -> None
+  | Some f -> Some (Fault_plan.stats f.armed)
 
 (* {2 The event heap: a binary min-heap on (time, seq)}
 
@@ -197,13 +228,46 @@ let maybe_suspend t th =
   let tmin = if t.start_floor < tmin then t.start_floor else tmin in
   if th.time >= tmin then perform Suspend
 
+(* Apply the armed fault plan at one effect point: float the thread past
+   its core's park deadline, then let the plan stall, preempt, jitter or
+   kill it.  Runs after the charge, before the suspension decision. *)
+let fault_point f th point =
+  let cu = Array.unsafe_get f.core_until th.core in
+  if cu > th.time then th.time <- cu;
+  match Fault_plan.decide f.armed ~tid:th.tid ~now:th.time point with
+  | Fault_plan.Nothing -> ()
+  | Fault_plan.Stall k ->
+      Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"fault" ~ts:th.time
+        ~dur:k "stall";
+      th.time <- th.time + k
+  | Fault_plan.Preempt k ->
+      Nr_obs.Sink.slice ~tid:th.tid ~node:th.node ~cat:"fault" ~ts:th.time
+        ~dur:k "preempt";
+      let until = th.time + k in
+      Array.unsafe_set f.core_until th.core until;
+      th.time <- until
+  | Fault_plan.Die ->
+      Nr_obs.Sink.instant ~tid:th.tid ~node:th.node ~cat:"fault"
+        ~arg:Nr_obs.Sink.no_arg "die";
+      th.dead <- true
+
+(* The per-effect-point epilogue: with no plan armed this is exactly
+   [maybe_suspend]; with one armed, injection runs first and a killed
+   thread suspends unconditionally so the handler can drop it. *)
+let after_charge t th point =
+  match t.faults with
+  | None -> maybe_suspend t th
+  | Some f ->
+      fault_point f th point;
+      if th.dead then perform Suspend else maybe_suspend t th
+
 let touch line kind =
   let th = self () in
   let t = sched () in
   th.time <-
     Mem.access t.topo t.costs t.stats ~node:th.node ~core:th.core
       ~now:th.time line kind;
-  maybe_suspend t th
+  after_charge t th Fault_plan.Touch
 
 (* Independent accesses overlap in windows of [mlp]. *)
 let touch_batch accesses =
@@ -227,7 +291,7 @@ let touch_batch accesses =
       done;
       th.time <- !window_end
     done;
-    maybe_suspend t th
+    after_charge t th Fault_plan.Touch
   end
 
 (* Same overlapped-window charging, for a uniform access kind over
@@ -253,7 +317,7 @@ let touch_batch_kind lines ~n kind =
       done;
       th.time <- !window_end
     done;
-    maybe_suspend t th
+    after_charge t th Fault_plan.Touch
   end
 
 let work n =
@@ -266,7 +330,7 @@ let work n =
       ~dur:n "run";
     th.time <- th.time + n;
     t.stats.cycles_work <- t.stats.cycles_work + n;
-    maybe_suspend t th
+    after_charge t th Fault_plan.Work
   end
 
 let yield () =
@@ -276,7 +340,7 @@ let yield () =
     ~dur:t.costs.yield "spin";
   th.time <- th.time + t.costs.yield;
   t.stats.cycles_spin <- t.stats.cycles_spin + t.costs.yield;
-  maybe_suspend t th
+  after_charge t th Fault_plan.Yield
 
 let fresh_line _t ~home = Mem.line ~home
 
@@ -287,7 +351,7 @@ let fresh_line_local t =
 let spawn t ~tid fn =
   let node = Topology.node_of_thread t.topo tid in
   let core = Topology.core_of_thread t.topo tid in
-  let th = { tid; node; core; time = 0; as_opt = None } in
+  let th = { tid; node; core; time = 0; dead = false; as_opt = None } in
   th.as_opt <- Some th;
   t.pending <- (th, fn) :: t.pending
 
@@ -298,7 +362,10 @@ let spawn t ~tid fn =
 let handler t th =
   let arm =
     Some
-      (fun (k : (unit, unit) continuation) -> heap_add t ~time:th.time th k)
+      (fun (k : (unit, unit) continuation) ->
+        (* dropping a dead thread's continuation is its death: the fiber is
+           never resumed and the GC reclaims it *)
+        if not th.dead then heap_add t ~time:th.time th k)
   in
   {
     retc = (fun () -> ());

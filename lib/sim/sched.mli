@@ -24,7 +24,20 @@ val spawn : t -> tid:int -> (unit -> unit) -> unit
 
 val run : t -> unit
 (** Run every spawned thread to completion.  Raises [Invalid_argument] if a
-    simulation is already running. *)
+    simulation is already running.  A thread killed by an armed fault plan
+    counts as completed: its continuation is dropped at its next effect
+    point and never resumed. *)
+
+val set_fault_plan : t -> Fault_plan.t option -> unit
+(** Arm (or with [None] disarm) a fault-injection plan.  Must be called
+    before {!run}.  With no plan armed every effect point keeps its
+    original charge sequence — the only added cost is one pointer
+    comparison — so seeded runs are byte-identical to a scheduler without
+    the feature. *)
+
+val fault_stats : t -> Fault_plan.stats option
+(** Counters of the armed plan's injected faults, or [None] when no plan
+    is armed. *)
 
 (** {2 Operations available inside simulated threads}
 

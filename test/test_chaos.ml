@@ -1,0 +1,254 @@
+(* Chaos suite: NR under seeded fault schedules, checked against the
+   sequential oracle by the harness (Nr_harness.Chaos).  Every test is
+   deterministic — fixed seeds, virtual time — so a pass here pins the
+   hardened protocol's behaviour, not a probability of it. *)
+
+module FP = Nr_sim.Fault_plan
+module T = Nr_sim.Topology
+module C = Nr_harness.Chaos
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+let key_space = 64
+
+(* Long stalls (well past the robust patience window, as charged by the
+   backoff ladder) force handoffs; short probabilities keep runs quick. *)
+let stall_plan seed =
+  { FP.none with seed; stall_prob = 0.001; stall_cycles = 5_000_000 }
+
+let death_plan seed =
+  {
+    FP.none with
+    seed;
+    stall_prob = 0.0005;
+    stall_cycles = 1_000_000;
+    kill_prob = 0.0003;
+    horizon = 1_000_000_000;
+  }
+
+let dict_run ~topo ~plan ~ops_per_thread =
+  C.Dict_chaos.run ~topo ~plan ~threads:(T.max_threads topo) ~ops_per_thread
+    ~gen_op:(C.dict_op key_space)
+    ~factory:(fun () -> Nr_seqds.Skiplist_dict.create ())
+    ()
+
+let pq_run ~topo ~plan ~ops_per_thread =
+  C.Pq_chaos.run ~topo ~plan ~threads:(T.max_threads topo) ~ops_per_thread
+    ~gen_op:(C.pq_op key_space)
+    ~factory:(fun () -> Nr_seqds.Pairing_pq.create ())
+    ()
+
+(* -- oracle under stall schedules, 10 fixed seeds per structure -- *)
+
+let test_dict_stalls () =
+  let total_steals = ref 0 in
+  List.iter
+    (fun seed ->
+      let o = dict_run ~topo:T.tiny ~plan:(stall_plan seed) ~ops_per_thread:150 in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: all ops complete (stalls only)" seed)
+        o.C.ops_submitted o.C.ops_done;
+      total_steals := !total_steals + o.C.steals)
+    seeds;
+  (* at least one seed must stall a combiner mid-batch long enough for a
+     waiter to dispossess it — the handoff path is exercised, not just
+     compiled *)
+  Alcotest.(check bool)
+    "combiner handoffs observed across the stall seeds" true (!total_steals > 0)
+
+let test_pq_stalls () =
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let o = pq_run ~topo:T.tiny ~plan:(stall_plan seed) ~ops_per_thread:150 in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: all ops complete (stalls only)" seed)
+        o.C.ops_submitted o.C.ops_done;
+      total := !total + o.C.steals)
+    seeds;
+  Alcotest.(check bool) "handoffs observed" true (!total > 0)
+
+(* -- oracle under death schedules -- *)
+
+let test_dict_deaths () =
+  let kills = ref 0 in
+  List.iter
+    (fun seed ->
+      let o = dict_run ~topo:T.tiny ~plan:(death_plan seed) ~ops_per_thread:150 in
+      (match o.C.fault_stats with
+      | Some fs -> kills := !kills + fs.FP.kills + fs.FP.horizon_kills
+      | None -> ());
+      (* dead threads lose their tail of operations, never the prefix the
+         oracle replays — Chaos.run already failed if a replica diverged *)
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: completed ops within submitted" seed)
+        true
+        (o.C.ops_done <= o.C.ops_submitted))
+    seeds;
+  Alcotest.(check bool) "threads actually died" true (!kills > 0)
+
+let test_pq_deaths () =
+  let kills = ref 0 in
+  List.iter
+    (fun seed ->
+      let o = pq_run ~topo:T.tiny ~plan:(death_plan seed) ~ops_per_thread:150 in
+      (match o.C.fault_stats with
+      | Some fs -> kills := !kills + fs.FP.kills + fs.FP.horizon_kills
+      | None -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: completed ops within submitted" seed)
+        true
+        (o.C.ops_done <= o.C.ops_submitted))
+    seeds;
+  Alcotest.(check bool) "threads actually died" true (!kills > 0)
+
+(* -- explicit kills: tid 0 dies at a swept effect-point index, hitting
+   arbitrary protocol states (waiting, draining, filling, applying) -- *)
+
+let test_explicit_kills () =
+  List.iter
+    (fun nth ->
+      (* the horizon is a termination net: a kill that lands inside a
+         replica-rwlock critical section (the one documented-unsupported
+         window) blocks the survivors, and without the net the sim would
+         spin forever *)
+      let plan =
+        { FP.none with seed = 77; kills_at = [ (0, nth) ]; horizon = 2_000_000_000 }
+      in
+      let o = dict_run ~topo:T.tiny ~plan ~ops_per_thread:100 in
+      let reaped =
+        match o.C.fault_stats with
+        | Some fs -> fs.FP.horizon_kills > 0
+        | None -> false
+      in
+      if reaped then
+        (* unsupported window hit: liveness is forfeit by design, but the
+           sim terminated and the oracle (checked inside [run]) held *)
+        Alcotest.(check bool)
+          (Printf.sprintf "kill@%d: bounded completions" nth)
+          true
+          (o.C.ops_done <= 4 * 100)
+      else
+        (* supported states: three survivors finish everything; tid 0
+           loses at most its tail *)
+        Alcotest.(check bool)
+          (Printf.sprintf "kill@%d: survivors completed" nth)
+          true
+          (o.C.ops_done >= 3 * 100 && o.C.ops_done < 4 * 100))
+    [ 5; 17; 50; 111; 200; 333; 500; 650 ]
+
+(* -- multi-node custom topology, stalls and deaths together -- *)
+
+let test_multinode_mixed () =
+  let topo = T.custom ~name:"chaos4x2" ~nodes:4 ~cores_per_node:2 () in
+  List.iter
+    (fun seed ->
+      let plan =
+        {
+          FP.none with
+          seed;
+          stall_prob = 0.0008;
+          stall_cycles = 3_000_000;
+          kill_prob = 0.0002;
+          horizon = 1_000_000_000;
+        }
+      in
+      ignore (dict_run ~topo ~plan ~ops_per_thread:100))
+    [ 11; 12; 13; 14; 15 ]
+
+(* -- death-free accounting: every op completed, every update exactly
+   once in the log, even with handoffs and reposts in play -- *)
+
+let test_accounting () =
+  List.iter
+    (fun seed ->
+      let plan = stall_plan seed in
+      let threads = T.max_threads T.tiny in
+      let o = dict_run ~topo:T.tiny ~plan ~ops_per_thread:150 in
+      C.Dict_chaos.check_complete ~plan ~threads ~ops_per_thread:150
+        ~gen_op:(C.dict_op key_space) o)
+    [ 3; 6; 9 ]
+
+(* -- determinism: a chaos run is a pure function of (topo, plan) -- *)
+
+let test_determinism () =
+  let plan = death_plan 5 in
+  let a = dict_run ~topo:T.tiny ~plan ~ops_per_thread:150 in
+  let b = dict_run ~topo:T.tiny ~plan ~ops_per_thread:150 in
+  Alcotest.(check string)
+    "same plan, byte-identical outcome" (C.fingerprint a) (C.fingerprint b);
+  Alcotest.(check string) "same end state" a.C.state b.C.state
+
+(* -- a pinned scenario whose metrics prove the mid-batch handoff: the
+   combiner stalls holding the lock with a drained batch, a waiter steals
+   the tenure and finishes it -- *)
+
+let test_handoff_metrics () =
+  let hit = ref None in
+  List.iter
+    (fun seed ->
+      if !hit = None then begin
+        let o = dict_run ~topo:T.tiny ~plan:(stall_plan seed) ~ops_per_thread:150 in
+        if o.C.steals > 0 && o.C.recovered > 0 then hit := Some (seed, o)
+      end)
+    seeds;
+  match !hit with
+  | Some (_, o) ->
+      Alcotest.(check bool) "batch recovered by stealer" true (o.C.recovered > 0);
+      Alcotest.(check int) "yet nothing was lost" o.C.ops_submitted o.C.ops_done
+  | None ->
+      Alcotest.fail
+        "no stall seed produced a mid-batch handoff (steals + recoveries)"
+
+(* -- random plans keep the oracle: qcheck over the plan space -- *)
+
+let chaos_plan_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* stall_prob = oneofl [ 0.0; 0.0005; 0.002 ] in
+    let* stall_cycles = oneofl [ 50_000; 1_000_000; 5_000_000 ] in
+    let* kill_prob = oneofl [ 0.0; 0.0002 ] in
+    let* preempt_prob = oneofl [ 0.0; 0.0005 ] in
+    return
+      {
+        FP.none with
+        seed;
+        stall_prob;
+        stall_cycles;
+        preempt_prob;
+        preempt_cycles = 2_000_000;
+        kill_prob;
+        horizon = 1_000_000_000;
+      })
+
+let print_plan (p : FP.t) =
+  Printf.sprintf "seed=%d stall=%g/%d preempt=%g kill=%g" p.FP.seed
+    p.FP.stall_prob p.FP.stall_cycles p.FP.preempt_prob p.FP.kill_prob
+
+let qcheck_oracle =
+  QCheck.Test.make ~count:25 ~name:"chaos oracle holds for random fault plans"
+    (QCheck.make chaos_plan_gen ~print:print_plan)
+    (fun plan ->
+      (* Chaos.run raises on divergence; completing is the property *)
+      let o = dict_run ~topo:T.tiny ~plan ~ops_per_thread:80 in
+      o.C.ops_done <= o.C.ops_submitted)
+
+let suite =
+  [
+    Alcotest.test_case "dict oracle under stalls (10 seeds)" `Quick
+      test_dict_stalls;
+    Alcotest.test_case "pq oracle under stalls (10 seeds)" `Quick
+      test_pq_stalls;
+    Alcotest.test_case "dict oracle under deaths (10 seeds)" `Quick
+      test_dict_deaths;
+    Alcotest.test_case "pq oracle under deaths (10 seeds)" `Quick
+      test_pq_deaths;
+    Alcotest.test_case "explicit kills across protocol states" `Quick
+      test_explicit_kills;
+    Alcotest.test_case "multi-node mixed faults" `Quick test_multinode_mixed;
+    Alcotest.test_case "death-free accounting" `Quick test_accounting;
+    Alcotest.test_case "fault schedules are deterministic" `Quick
+      test_determinism;
+    Alcotest.test_case "mid-batch handoff visible in metrics" `Quick
+      test_handoff_metrics;
+    QCheck_alcotest.to_alcotest qcheck_oracle;
+  ]

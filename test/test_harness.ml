@@ -76,7 +76,7 @@ let test_figure_registry () =
   Alcotest.(check bool) "has fig5" true (Figures.find "fig5" <> None);
   Alcotest.(check bool) "has fig14" true (Figures.find "fig14" <> None);
   Alcotest.(check bool) "unknown id" true (Figures.find "nope" = None);
-  Alcotest.(check int) "12 groups" 12 (List.length (Figures.ids ()))
+  Alcotest.(check int) "13 groups" 13 (List.length (Figures.ids ()))
 
 (* Cross-method smoke at miniature scale: every black-box method produces a
    working executor and nonzero throughput on the PQ workload. *)

@@ -160,7 +160,7 @@ let pairing_copy_equiv =
 
 open Nr_harness
 
-let run_point () =
+let run_point ?faults () =
   let params =
     {
       Params.topo = T.intel;
@@ -172,20 +172,33 @@ let run_point () =
       latency = false;
     }
   in
-  Driver.run_sim ~topo:params.Params.topo ~threads:14
+  Driver.run_sim ?faults ~topo:params.Params.topo ~threads:14
     ~warmup_us:params.Params.warmup_us ~measure_us:params.Params.measure_us
     (Exp_pq.Sl_exp.setup_black_box params Method.NR ~update_pct:10 ~e:0
        ~threads:14)
 
-let test_sweep_point_deterministic () =
-  let a = run_point () and b = run_point () in
-  Alcotest.(check int) "total ops" a.Driver.total_ops b.Driver.total_ops;
+let check_points_identical msg (a : Driver.result) (b : Driver.result) =
+  Alcotest.(check int) (msg ^ ": total ops") a.Driver.total_ops b.Driver.total_ops;
   Alcotest.(check int)
-    "remote transfers" a.Driver.remote_transfers b.Driver.remote_transfers;
+    (msg ^ ": remote transfers")
+    a.Driver.remote_transfers b.Driver.remote_transfers;
   Alcotest.(check bool)
-    "throughput bit-identical" true
+    (msg ^ ": throughput bit-identical")
+    true
     (Int64.bits_of_float a.Driver.ops_per_us
     = Int64.bits_of_float b.Driver.ops_per_us)
+
+let test_sweep_point_deterministic () =
+  check_points_identical "rerun" (run_point ()) (run_point ())
+
+(* Zero-overhead guard: installing the fault-injection hooks with a plan
+   that never fires must not move a single virtual-time charge — the
+   fig5a-style sweep point stays byte-identical.  (Legacy configs with no
+   plan at all are covered by the rerun test above.) *)
+let test_fault_hooks_transparent () =
+  check_points_identical "armed-but-silent plan"
+    (run_point ())
+    (run_point ~faults:Nr_sim.Fault_plan.none ())
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
@@ -193,4 +206,6 @@ let suite =
   @ [
       Alcotest.test_case "seeded sweep point is deterministic" `Quick
         test_sweep_point_deterministic;
+      Alcotest.test_case "fault hooks are timing-transparent" `Quick
+        test_fault_hooks_transparent;
     ]

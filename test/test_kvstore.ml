@@ -256,6 +256,45 @@ let test_thread_pool () =
   Thread_pool.shutdown pool;
   Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter)
 
+let test_thread_pool_errors () =
+  let hooked = Atomic.make 0 in
+  let pool =
+    Thread_pool.create ~workers:2
+      ~on_error:(fun _ -> Atomic.incr hooked)
+      ()
+  in
+  for i = 1 to 10 do
+    Thread_pool.submit pool (fun () -> if i mod 2 = 0 then failwith "boom")
+  done;
+  Thread_pool.shutdown pool;
+  let st = Thread_pool.stats pool in
+  Alcotest.(check int) "every job ran" 10 st.Thread_pool.executed;
+  Alcotest.(check int) "failures counted" 5 st.Thread_pool.failed;
+  Alcotest.(check int) "hook saw each failure" 5 (Atomic.get hooked)
+
+let test_thread_pool_try_submit () =
+  let pool = Thread_pool.create ~capacity:1 ~workers:1 () in
+  let gate = Atomic.make false in
+  (* occupy the single worker... *)
+  Thread_pool.submit pool (fun () ->
+      while not (Atomic.get gate) do
+        Domain.cpu_relax ()
+      done);
+  (* ...fill the queue behind it... *)
+  Thread_pool.submit pool (fun () -> ());
+  (* ...so the next offer must be refused, not blocked on *)
+  Alcotest.(check bool) "full queue refuses" false
+    (Thread_pool.try_submit pool (fun () -> ()));
+  Atomic.set gate true;
+  Thread_pool.shutdown pool;
+  let st = Thread_pool.stats pool in
+  Alcotest.(check int) "rejection counted" 1 st.Thread_pool.rejected;
+  Alcotest.(check int) "accepted jobs ran" 2 st.Thread_pool.executed;
+  Alcotest.(check int) "no failures" 0 st.Thread_pool.failed;
+  match Thread_pool.try_submit pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "try_submit after shutdown should raise"
+
 (* --- server end-to-end --- *)
 
 let test_server_end_to_end () =
@@ -315,5 +354,9 @@ let suite =
     Alcotest.test_case "resp invalid" `Quick test_resp_invalid;
     Alcotest.test_case "resp encode replies" `Quick test_resp_encode_replies;
     Alcotest.test_case "thread pool" `Slow test_thread_pool;
+    Alcotest.test_case "thread pool error accounting" `Slow
+      test_thread_pool_errors;
+    Alcotest.test_case "thread pool try_submit sheds load" `Slow
+      test_thread_pool_try_submit;
     Alcotest.test_case "server end-to-end" `Slow test_server_end_to_end;
   ]

@@ -16,6 +16,7 @@ let () =
       ("observability", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
+      ("chaos", Test_chaos.suite);
       ("hot-path", Test_hotpath.suite);
       ("misc", Test_misc.suite);
       ("memsize", Test_memsize.suite);

@@ -201,9 +201,14 @@ let test_log_replay_oracle () =
   S.run sched;
   NR.Unsafe.sync nr;
   let fresh = Nr_seqds.Skiplist_dict.create () in
+  let entries, wrapped = NR.Unsafe.log_entries nr in
+  Alcotest.(check int) "log did not wrap" 0 wrapped;
   List.iter
-    (fun op -> ignore (Nr_seqds.Skiplist_dict.execute fresh op))
-    (NR.Unsafe.log_entries nr);
+    (fun op ->
+      match op with
+      | Some op -> ignore (Nr_seqds.Skiplist_dict.execute fresh op)
+      | None -> Alcotest.fail "poisoned entry in legacy mode")
+    entries;
   let expected = Nr_seqds.Skiplist_dict.to_list fresh in
   for node = 0 to NR.num_replicas nr - 1 do
     Alcotest.(check (list (pair int int)))

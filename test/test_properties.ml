@@ -47,6 +47,7 @@ let config_gen =
         separate_replica_lock;
         parallel_replica_update;
         distributed_rwlock;
+        liveness = None;
       })
 
 let print_config c = Format.asprintf "%a" Nr_core.Config.pp c
