@@ -1,0 +1,70 @@
+(** Concurrent-history recorder.
+
+    A history is the checker's view of one simulated run: for every
+    data-structure operation, which thread invoked it, at what virtual
+    time, what it returned and when.  The recorder wraps the concurrent
+    executor, reading the scheduler's virtual clock on either side of the
+    call — the same clock every obs span carries, so recorded intervals
+    line up exactly with a Chrome trace of the run — and emits "check"
+    spans through {!Nr_obs.Sink} when a trace is installed.
+
+    An operation whose thread dies mid-call (fault injection) never
+    completes: its event keeps [res = None] and [ret = max_int].  The
+    checker treats such {e pending} operations as free to linearize
+    anywhere after their invocation or to drop entirely, exactly the
+    leeway a crashed caller leaves a real implementation. *)
+
+type ('op, 'res) event = {
+  tid : int;
+  op : 'op;
+  inv : int;  (** virtual invocation time *)
+  mutable res : 'res option;  (** [None] while pending (thread died) *)
+  mutable ret : int;  (** virtual response time; [max_int] while pending *)
+}
+
+type ('op, 'res) t = {
+  mutable evs : ('op, 'res) event array;
+  mutable n : int;
+}
+
+let create () = { evs = [||]; n = 0 }
+
+(* The simulator is single-OS-thread, so a plain growable array suffices
+   even though many simulated threads record interleaved. *)
+let push t ev =
+  if t.n = Array.length t.evs then begin
+    let cap = max 64 (2 * Array.length t.evs) in
+    let evs = Array.make cap ev in
+    Array.blit t.evs 0 evs 0 t.n;
+    t.evs <- evs
+  end;
+  t.evs.(t.n) <- ev;
+  t.n <- t.n + 1
+
+let record t ~tid op (exec : 'op -> 'res) : 'res =
+  let ev = { tid; op; inv = Nr_sim.Sched.now (); res = None; ret = max_int } in
+  push t ev;
+  if Nr_obs.Sink.tracing () then
+    Nr_obs.Sink.span_begin ~tid ~node:(Nr_sim.Sched.self_node ()) ~cat:"check"
+      "op";
+  let r = exec op in
+  ev.res <- Some r;
+  ev.ret <- Nr_sim.Sched.now ();
+  if Nr_obs.Sink.tracing () then
+    Nr_obs.Sink.span_end ~tid ~node:(Nr_sim.Sched.self_node ()) ~cat:"check"
+      ~arg:Nr_obs.Sink.no_arg "op";
+  r
+
+let length t = t.n
+let events t = Array.sub t.evs 0 t.n
+let pending t = Array.fold_left (fun acc e -> if e.res = None then acc + 1 else acc) 0 (events t)
+
+let pp_event pp_op pp_res ppf e =
+  match e.res with
+  | Some r ->
+      Format.fprintf ppf "[%d..%d] t%d %a -> %a" e.inv e.ret e.tid pp_op e.op
+        pp_res r
+  | None -> Format.fprintf ppf "[%d.. ) t%d %a -> (pending)" e.inv e.tid pp_op e.op
+
+let pp pp_op pp_res ppf evs =
+  Array.iter (fun e -> Format.fprintf ppf "%a@." (pp_event pp_op pp_res) e) evs

@@ -1,0 +1,171 @@
+(** Sequential specifications for the linearizability checker.
+
+    A spec is the abstract sequential object a concurrent history is
+    checked against.  [step_any] returns {e every} legal sequential
+    behavior of an operation from a state — usually a singleton, but a
+    priority queue with duplicate minimal keys may return any of them, and
+    admitting all keeps the checker sound (a violation is only reported
+    when {e no} sequential behavior matches).  States must be small,
+    immutable values: the checker memoizes on them. *)
+
+module type S = sig
+  type state
+  type op
+  type result
+
+  val init : unit -> state
+
+  val step_any : state -> op -> (result * state) list
+  (** All legal sequential outcomes of [op] in [state].  Never empty. *)
+
+  val equal : state -> state -> bool
+  val fingerprint : state -> int
+  (** Cheap hash consistent with [equal] — a memo-table pre-filter, so
+      collisions cost time, never soundness. *)
+
+  val pp_op : Format.formatter -> op -> unit
+  val pp_result : Format.formatter -> result -> unit
+end
+
+module Fp = Nr_seqds.Fp_util
+
+(** LIFO stack: state is the stack, top first. *)
+module Stack :
+  S
+    with type op = Nr_seqds.Stack_ops.op
+     and type result = Nr_seqds.Stack_ops.result = struct
+  module O = Nr_seqds.Stack_ops
+
+  type state = int list
+  type op = O.op
+  type result = O.result
+
+  let init () = []
+
+  let step_any st : op -> (result * state) list = function
+    | O.Push v -> [ (O.Pushed, v :: st) ]
+    | O.Pop -> (
+        match st with
+        | [] -> [ (O.Popped None, []) ]
+        | v :: tl -> [ (O.Popped (Some v), tl) ])
+
+  let equal = ( = )
+  let fingerprint st = Fp.fp_list Fun.id Fp.fp_empty st
+  let pp_op = O.pp_op
+  let pp_result = O.pp_result
+end
+
+(** FIFO queue: state is the queue, front first. *)
+module Queue :
+  S
+    with type op = Nr_seqds.Queue_ops.op
+     and type result = Nr_seqds.Queue_ops.result = struct
+  module O = Nr_seqds.Queue_ops
+
+  type state = int list
+  type op = O.op
+  type result = O.result
+
+  let init () = []
+
+  let step_any st : op -> (result * state) list = function
+    | O.Enqueue v -> [ (O.Enqueued, st @ [ v ]) ]
+    | O.Dequeue -> (
+        match st with
+        | [] -> [ (O.Dequeued None, []) ]
+        | v :: tl -> [ (O.Dequeued (Some v), tl) ])
+    | O.Front -> (
+        match st with
+        | [] -> [ (O.Fronted None, []) ]
+        | v :: _ -> [ (O.Fronted (Some v), st) ])
+
+  let equal = ( = )
+  let fingerprint st = Fp.fp_list Fun.id Fp.fp_empty st
+  let pp_op = O.pp_op
+  let pp_result = O.pp_result
+end
+
+(** One key of a dictionary: insert-if-absent semantics matching
+    {!Nr_seqds.Skiplist_dict}.  Dict histories are checked per key —
+    linearizability is local (Herlihy & Wing), and each dict operation
+    touches exactly one key, so the keys are independent objects. *)
+module Dict_key :
+  S
+    with type op = Nr_seqds.Dict_ops.op
+     and type result = Nr_seqds.Dict_ops.result = struct
+  module O = Nr_seqds.Dict_ops
+
+  type state = int option  (** the key's binding *)
+
+  type op = O.op
+  type result = O.result
+
+  let init () = None
+
+  let step_any st : op -> (result * state) list = function
+    | O.Insert (_, v) -> (
+        match st with
+        | None -> [ (O.Added true, Some v) ]
+        | Some _ -> [ (O.Added false, st) ])
+    | O.Remove _ -> (
+        match st with
+        | Some v -> [ (O.Removed (Some v), None) ]
+        | None -> [ (O.Removed None, None) ])
+    | O.Lookup _ -> [ (O.Found st, st) ]
+
+  let equal = ( = )
+  let fingerprint st = Fp.fp_option Fun.id Fp.fp_empty st
+  let pp_op = O.pp_op
+  let pp_result = O.pp_result
+end
+
+(** Priority queue as a multiset of (key, value) pairs, duplicates
+    allowed, matching {!Nr_seqds.Pairing_pq} ([Inserted true] always).
+    [deleteMin]/[findMin] may surface {e any} pair holding the minimal
+    key — the heap's tie order is a hidden implementation detail no
+    client can rely on, so the spec admits every choice. *)
+module Pq :
+  S with type op = Nr_seqds.Pq_ops.op and type result = Nr_seqds.Pq_ops.result =
+struct
+  module O = Nr_seqds.Pq_ops
+
+  type state = (int * int) list  (** sorted: canonical multiset form *)
+
+  type op = O.op
+  type result = O.result
+
+  let init () = []
+
+  let rec insert_sorted p = function
+    | [] -> [ p ]
+    | q :: tl -> if p <= q then p :: q :: tl else q :: insert_sorted p tl
+
+  let rec remove_one p = function
+    | [] -> []
+    | q :: tl -> if p = q then tl else q :: remove_one p tl
+
+  (* distinct pairs carrying the minimal key *)
+  let mins = function
+    | [] -> []
+    | (k0, _) :: _ as st ->
+        List.sort_uniq compare (List.filter (fun (k, _) -> k = k0) st)
+
+  let step_any st : op -> (result * state) list = function
+    | O.Insert (k, v) -> [ (O.Inserted true, insert_sorted (k, v) st) ]
+    | O.Delete_min -> (
+        match mins st with
+        | [] -> [ (O.Removed None, []) ]
+        | ms -> List.map (fun p -> (O.Removed (Some p), remove_one p st)) ms)
+    | O.Find_min -> (
+        match mins st with
+        | [] -> [ (O.Min None, []) ]
+        | ms -> List.map (fun p -> (O.Min (Some p), st)) ms)
+
+  let equal = ( = )
+
+  let fingerprint st =
+    Fp.fp_list (fun (k, v) -> Fp.fp_combine k v) Fp.fp_empty st
+
+  let pp_op = O.pp_op
+  let pp_result = O.pp_result
+end

@@ -1,0 +1,144 @@
+(** Wing–Gong / WGL linearizability checker.
+
+    Decides whether a recorded concurrent history has a linearization:
+    a total order of its operations that (1) respects real time — an
+    operation that returned before another was invoked comes first —
+    and (2) is a legal sequential execution of the {!Spec}.
+
+    The search is the classic Wing–Gong recursion with Lowe's
+    memoization: pick any {e minimal} operation (one invoked before
+    every remaining operation's response), apply it to the spec state,
+    recurse on the rest; a (linearized-set, state) pair that failed once
+    is pruned when reached again by a different order.  Minimality uses
+    strict comparison, so operations whose intervals merely touch count
+    as concurrent and may go either way — the checker never reports a
+    violation that some real-time-consistent order explains.
+
+    Pending operations (thread died mid-call) may be linearized — with
+    any result the spec allows, since nobody observed one — or left out
+    entirely; only completed operations are required to appear. *)
+
+module Make (S : Spec.S) = struct
+  type event = (S.op, S.result) History.event
+
+  type verdict =
+    | Linearizable
+    | Violation of event array  (** the failing subhistory, minimized *)
+    | Budget_exhausted  (** search truncated; nothing proven *)
+
+  exception Out_of_budget
+
+  (* One DFS over the partial orders of [evs].  [budget] bounds visited
+     search nodes so a pathological history degrades to an explicit
+     "don't know" instead of hanging CI. *)
+  let search ~budget (evs : event array) =
+    let n = Array.length evs in
+    if n = 0 then true
+    else begin
+      let linearized = Bytes.make n '\000' in
+      let remaining_completed =
+        ref
+          (Array.fold_left
+             (fun acc e -> if e.History.res <> None then acc + 1 else acc)
+             0 evs)
+      in
+      (* key: exact linearized-set bitmap; value: states already explored
+         from that set, fingerprint first as a cheap pre-filter *)
+      let memo : (string, (int * S.state) list) Hashtbl.t =
+        Hashtbl.create 4096
+      in
+      let visited = ref 0 in
+      let rec dfs state =
+        !remaining_completed = 0
+        || begin
+             incr visited;
+             if !visited > budget then raise Out_of_budget;
+             let key = Bytes.to_string linearized in
+             let fp = S.fingerprint state in
+             let seen = try Hashtbl.find memo key with Not_found -> [] in
+             if List.exists (fun (f, st) -> f = fp && S.equal st state) seen
+             then false
+             else begin
+               Hashtbl.replace memo key ((fp, state) :: seen);
+               (* an op is minimal iff no remaining op returned before it
+                  was invoked: inv <= min ret over remaining (pending ops
+                  carry ret = max_int, so they never constrain anyone) *)
+               let min_ret = ref max_int in
+               for j = 0 to n - 1 do
+                 if Bytes.get linearized j = '\000' then
+                   if evs.(j).History.ret < !min_ret then
+                     min_ret := evs.(j).History.ret
+               done;
+               let ok = ref false in
+               let i = ref 0 in
+               while (not !ok) && !i < n do
+                 let e = evs.(!i) in
+                 if Bytes.get linearized !i = '\000' && e.History.inv <= !min_ret
+                 then begin
+                   let branches = S.step_any state e.History.op in
+                   let branches =
+                     match e.History.res with
+                     | Some r -> List.filter (fun (r', _) -> r' = r) branches
+                     | None -> branches (* pending: any outcome is fine *)
+                   in
+                   if branches <> [] then begin
+                     Bytes.set linearized !i '\001';
+                     let completed = e.History.res <> None in
+                     if completed then decr remaining_completed;
+                     List.iter
+                       (fun (_, st') -> if not !ok then ok := dfs st')
+                       branches;
+                     Bytes.set linearized !i '\000';
+                     if completed then incr remaining_completed
+                   end
+                 end;
+                 incr i
+               done;
+               !ok
+             end
+           end
+      in
+      dfs (S.init ())
+    end
+
+  (* Greedy 1-minimal shrink: drop any event whose removal preserves the
+     violation.  Sub-checks that blow the budget conservatively keep the
+     event (treating "don't know" as "needed"). *)
+  let minimize ~budget evs =
+    let keep = Array.make (Array.length evs) true in
+    let current () =
+      let out = ref [] in
+      Array.iteri (fun i e -> if keep.(i) then out := e :: !out) evs;
+      Array.of_list (List.rev !out)
+    in
+    Array.iteri
+      (fun i _ ->
+        keep.(i) <- false;
+        let still_violating =
+          match search ~budget (current ()) with
+          | false -> true
+          | true -> false
+          | exception Out_of_budget -> false
+        in
+        if not still_violating then keep.(i) <- true)
+      evs;
+    current ()
+
+  let check ?(budget = 2_000_000) (evs : event array) =
+    (* deterministic event order: the recorder's order depends only on
+       the (topology, seed, plan, salt) tuple, but sorting by interval
+       makes counterexample prints read chronologically *)
+    let evs = Array.copy evs in
+    Array.stable_sort
+      (fun a b ->
+        compare
+          (a.History.inv, a.History.ret, a.History.tid)
+          (b.History.inv, b.History.ret, b.History.tid))
+      evs;
+    match search ~budget evs with
+    | true -> Linearizable
+    | false -> Violation (minimize ~budget evs)
+    | exception Out_of_budget -> Budget_exhausted
+
+  let pp_history ppf evs = History.pp S.pp_op S.pp_result ppf evs
+end

@@ -16,6 +16,15 @@ type liveness = {
           laggard replica remotely instead of spinning *)
 }
 
+(** Seeded correctness bugs for checker validation: each mutation disables
+    one protocol step that linearizability depends on, so a checker that
+    cannot flag the mutated build is not looking hard enough. *)
+type mutation =
+  | Stale_reads
+      (** skip the [completedTail] freshness wait on the read path: a
+          reader may consult a replica that has not yet applied updates
+          that completed before the read was issued *)
+
 type t = {
   log_size : int;  (** shared log capacity in entries (paper uses 1M) *)
   min_batch : int;
@@ -50,6 +59,10 @@ type t = {
           wait) — meant for runs under fault injection.  [None] keeps the
           legacy protocol on charge sequences byte-identical to a build
           without the feature. *)
+  mutation : mutation option;
+      (** [Some _] plants the named bug — exists only so the checker can
+          prove it flags a broken build; [None] (the default) is correct
+          NR. *)
 }
 
 let default =
@@ -64,6 +77,7 @@ let default =
     parallel_replica_update = true;
     distributed_rwlock = true;
     liveness = None;
+    mutation = None;
   }
 
 let robust =
@@ -105,4 +119,7 @@ let pp ppf t =
       | Some l ->
           Format.fprintf ppf " liveness=%d/%d/%d" l.slot_patience
             l.hole_patience l.full_patience)
-    t.liveness
+    t.liveness;
+  match t.mutation with
+  | None -> ()
+  | Some Stale_reads -> Format.fprintf ppf " MUTATION=stale_reads"

@@ -865,7 +865,13 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   let execute_read t ns my_idx op =
     ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
     let read_tail =
-      if t.cfg.read_optimization then Log.completed t.log else Log.tail t.log
+      match t.cfg.mutation with
+      | Some Config.Stale_reads ->
+          (* seeded bug: pretend the replica is always fresh enough *)
+          0
+      | None ->
+          if t.cfg.read_optimization then Log.completed t.log
+          else Log.tail t.log
     in
     while Log.local_tail t.log ns.node < read_tail do
       (* If a combiner is active it will refresh the replica; otherwise we
@@ -896,7 +902,13 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   let execute_read_h t ns my_idx op (lv : Config.liveness) =
     ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
     let read_tail =
-      if t.cfg.read_optimization then Log.completed t.log else Log.tail t.log
+      match t.cfg.mutation with
+      | Some Config.Stale_reads ->
+          (* seeded bug: pretend the replica is always fresh enough *)
+          0
+      | None ->
+          if t.cfg.read_optimization then Log.completed t.log
+          else Log.tail t.log
     in
     let b = Backoff.create () in
     let rec wait rounds last_gen =

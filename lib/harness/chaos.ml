@@ -196,6 +196,14 @@ module Pq_chaos = Make (struct
     Buffer.contents b
 end)
 
+module Queue_chaos = Make (struct
+  include Nr_seqds.Queue_ds
+
+  let dump t =
+    String.concat ";"
+      (List.map string_of_int (Nr_seqds.Seq_queue.to_list t))
+end)
+
 (* Seeded op generators matching the benchmark workloads. *)
 
 let dict_op key_space rng : Nr_seqds.Dict_ops.op =
@@ -204,6 +212,12 @@ let dict_op key_space rng : Nr_seqds.Dict_ops.op =
   | 0 -> Nr_seqds.Dict_ops.Insert (k, k)
   | 1 -> Nr_seqds.Dict_ops.Remove k
   | _ -> Nr_seqds.Dict_ops.Lookup k
+
+let queue_op key_space rng : Nr_seqds.Queue_ops.op =
+  match Nr_workload.Prng.below rng 3 with
+  | 0 -> Nr_seqds.Queue_ops.Enqueue (Nr_workload.Prng.below rng key_space)
+  | 1 -> Nr_seqds.Queue_ops.Dequeue
+  | _ -> Nr_seqds.Queue_ops.Front
 
 let pq_op key_space rng : Nr_seqds.Pq_ops.op =
   match Nr_workload.Prng.below rng 3 with

@@ -82,13 +82,16 @@ let set_on_error t f = t.on_error <- f
 
 let submit t job =
   Mutex.lock t.mutex;
+  (* [closed] must be re-checked after every wake-up: a producer parked on
+     a full queue can otherwise outsleep [shutdown] and enqueue a job into
+     the closed pool, where it is silently dropped once the workers exit *)
+  while (not t.closed) && Queue.length t.queue >= t.capacity do
+    Condition.wait t.nonfull t.mutex
+  done;
   if t.closed then begin
     Mutex.unlock t.mutex;
     invalid_arg "Thread_pool.submit: pool is closed"
   end;
-  while Queue.length t.queue >= t.capacity do
-    Condition.wait t.nonfull t.mutex
-  done;
   Queue.push job t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
@@ -122,5 +125,8 @@ let shutdown t =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.nonempty;
+  (* producers blocked in [submit] on a full queue must fail fast rather
+     than wait for draining workers to happen to signal them *)
+  Condition.broadcast t.nonfull;
   Mutex.unlock t.mutex;
   Array.iter Domain.join t.workers

@@ -18,7 +18,9 @@ val create :
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a job; blocks while the queue is full.  Raises
-    [Invalid_argument] after {!shutdown}. *)
+    [Invalid_argument] after {!shutdown} — including when the shutdown
+    happens while the caller is blocked waiting for queue space: the job
+    is refused, never silently enqueued into the closed pool. *)
 
 val try_submit : t -> (unit -> unit) -> bool
 (** Non-blocking [submit]: [false] (and a bump of the rejected counter)
@@ -33,4 +35,5 @@ val stats : t -> stats
 (** Exact snapshot of the pool counters. *)
 
 val shutdown : t -> unit
-(** Close the queue, drain remaining jobs and join the workers. *)
+(** Close the queue, drain remaining jobs and join the workers.  Producers
+    blocked in {!submit} are woken and fail fast. *)

@@ -25,3 +25,23 @@ let spine_promotion key =
 
 (* A pairing-heap remove_min pairs O(log n) children amortized. *)
 let pairing_merge_lines len = max 1 (ilog2 (len + 2))
+
+(* {2 State fingerprints}
+
+   Order-sensitive integer hash-combining for the linearizability
+   checker's memo table: specs fold their abstract state through
+   [fp_combine] to get a cheap pre-filter key (exact comparison still
+   backs it, so collisions cost time, not soundness). *)
+
+let fp_empty = 0x27D4EB2F
+
+let fp_combine h x =
+  let h = (h lxor x) * 0x9E3779B1 in
+  let h = (h lxor (h lsr 29)) * 0x485095C7 in
+  (h lxor (h lsr 32)) land max_int
+
+let fp_list fp h l = List.fold_left (fun h x -> fp_combine h (fp x)) h l
+
+let fp_option fp h = function
+  | None -> fp_combine h 0x5851F42D
+  | Some x -> fp_combine h (fp x)

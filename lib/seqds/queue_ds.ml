@@ -1,0 +1,34 @@
+(** FIFO queue as a black-box sequential structure.  Enqueues and
+    dequeues hit opposite ends, so the contended lines are the two list
+    heads rather than a single top-of-stack line. *)
+
+type t = int Seq_queue.t
+type op = Queue_ops.op
+type result = Queue_ops.result
+
+let create () = Seq_queue.create ()
+
+let execute (t : t) : op -> result = function
+  | Queue_ops.Enqueue v ->
+      Seq_queue.enqueue t v;
+      Queue_ops.Enqueued
+  | Queue_ops.Dequeue -> Queue_ops.Dequeued (Seq_queue.dequeue t)
+  | Queue_ops.Front -> Queue_ops.Fronted (Seq_queue.peek t)
+
+let is_read_only = Queue_ops.is_read_only
+
+let footprint (t : t) : op -> Nr_runtime.Footprint.t = function
+  | Queue_ops.Enqueue _ ->
+      (* tail-end line of the back list *)
+      Nr_runtime.Footprint.v
+        ~key:(Seq_queue.length t / 8)
+        ~reads:1 ~writes:1 ~hot_write:true ()
+  | Queue_ops.Dequeue ->
+      (* front line; an occasional reversal walks the whole back list, but
+         that cost is amortized into the constant here *)
+      Nr_runtime.Footprint.v ~key:0 ~reads:1 ~writes:1 ~hot_write:true ()
+  | Queue_ops.Front -> Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+
+let lines (t : t) = max 64 (Seq_queue.length t)
+let pp_op = Queue_ops.pp_op
+let length = Seq_queue.length

@@ -1,0 +1,20 @@
+(** FIFO queue operation vocabulary: enqueue / dequeue / front.  [Front]
+    is read-only so queue workloads exercise the read path of every
+    engine, unlike the all-update stack vocabulary. *)
+
+type op = Enqueue of int | Dequeue | Front
+type result = Enqueued | Dequeued of int option | Fronted of int option
+
+let is_read_only = function Front -> true | Enqueue _ | Dequeue -> false
+
+let pp_op ppf = function
+  | Enqueue v -> Format.fprintf ppf "enq(%d)" v
+  | Dequeue -> Format.pp_print_string ppf "deq()"
+  | Front -> Format.pp_print_string ppf "front()"
+
+let pp_result ppf = function
+  | Enqueued -> Format.pp_print_string ppf "enqueued"
+  | Dequeued (Some v) -> Format.fprintf ppf "dequeued:%d" v
+  | Dequeued None -> Format.pp_print_string ppf "dequeued:empty"
+  | Fronted (Some v) -> Format.fprintf ppf "front:%d" v
+  | Fronted None -> Format.pp_print_string ppf "front:empty"

@@ -4,25 +4,43 @@ type 'a t = {
   mutable heap : 'a event array;
   mutable size : int;
   mutable next_seq : int;
+  salt : int;
+      (* xor'd into [seq] before tie comparisons: 0 is the identity (pure
+         FIFO among simultaneous events); a non-zero salt deterministically
+         reorders same-time events within aligned blocks of
+         [2^ceil(log2 salt)] insertions — the schedule explorer's bounded
+         reorder *)
+  dummy : 'a event;
+      (* filler for vacated and never-yet-used slots, so the heap array
+         retains no reference to popped events (their payloads are often
+         closures over live state) *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+(* The dummy's payload is [()] smuggled past the type checker: it is only
+   ever stored in slots at index >= size, which no operation reads. *)
+let make_dummy () = { time = min_int; seq = min_int; payload = Obj.obj (Obj.repr ()) }
+
+let create ?(salt = 0) () =
+  { heap = [||]; size = 0; next_seq = 0; salt; dummy = make_dummy () }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t a b =
+  a.time < b.time || (a.time = b.time && a.seq lxor t.salt < b.seq lxor t.salt)
 
 let grow t =
   let cap = max 16 (2 * Array.length t.heap) in
-  let heap = Array.make cap t.heap.(0) in
+  (* dummy filler: duplicating a live event reference here would retain it
+     past its pop *)
+  let heap = Array.make cap t.dummy in
   Array.blit t.heap 0 heap 0 t.size;
   t.heap <- heap
 
 let add t ~time payload =
   let ev = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then
-    if t.size = 0 then t.heap <- Array.make 16 ev else grow t;
+  if t.size = Array.length t.heap then grow t;
   (* sift up *)
   let i = ref t.size in
   t.size <- t.size + 1;
@@ -30,15 +48,16 @@ let add t ~time payload =
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before ev t.heap.(parent) then (
+    if before t ev t.heap.(parent) then (
       t.heap.(!i) <- t.heap.(parent);
       t.heap.(parent) <- ev;
       i := parent)
     else continue := false
   done
 
-let pop t =
-  if t.size = 0 then invalid_arg "Eventq.pop: empty";
+(* Shared removal: extract the root, re-seat the last element, and clear
+   the vacated slot [t.size] so the popped event becomes unreachable. *)
+let remove_top t =
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   if t.size > 0 then (
@@ -50,8 +69,8 @@ let pop t =
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if l < t.size && before t t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t t.heap.(r) t.heap.(!smallest) then smallest := r;
       if !smallest <> !i then (
         let tmp = t.heap.(!i) in
         t.heap.(!i) <- t.heap.(!smallest);
@@ -59,34 +78,20 @@ let pop t =
         i := !smallest)
       else continue := false
     done);
+  t.heap.(t.size) <- t.dummy;
+  top
+
+let pop t =
+  if t.size = 0 then invalid_arg "Eventq.pop: empty";
+  let top = remove_top t in
   (top.time, top.payload)
 
 let min_time t = if t.size = 0 then None else Some t.heap.(0).time
 
-(* {2 Non-allocating variants for the scheduler's per-event loop} *)
+(* {2 Non-allocating variants for per-event loops} *)
 
 let min_time_or t default = if t.size = 0 then default else t.heap.(0).time
 
 let pop_payload t =
   if t.size = 0 then invalid_arg "Eventq.pop: empty";
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  if t.size > 0 then (
-    let last = t.heap.(t.size) in
-    t.heap.(0) <- last;
-    (* sift down *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-      if !smallest <> !i then (
-        let tmp = t.heap.(!i) in
-        t.heap.(!i) <- t.heap.(!smallest);
-        t.heap.(!smallest) <- tmp;
-        i := !smallest)
-      else continue := false
-    done);
-  top.payload
+  (remove_top t).payload

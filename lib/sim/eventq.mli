@@ -4,7 +4,14 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?salt:int -> unit -> 'a t
+(** [salt] perturbs the tie-break among same-time events: 0 (the default)
+    is pure FIFO; a non-zero salt xors the insertion sequence before
+    comparing, deterministically reordering simultaneous events within
+    aligned blocks of [2^ceil(log2 salt)] insertions.  The schedule
+    explorer sweeps salts to enumerate distinct interleavings; ordering
+    across different times is unaffected. *)
+
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 val add : 'a t -> time:int -> 'a -> unit

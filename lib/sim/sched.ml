@@ -34,6 +34,11 @@ type t = {
   mutable evs : event array;  (** heap payloads, same slot as their key *)
   mutable hsize : int;
   mutable hseq : int;
+  mutable salt : int;
+      (** xor'd into [kseq] in tie comparisons; 0 (the default) keeps pure
+          FIFO order among same-time events, a non-zero salt
+          deterministically reorders them — the schedule explorer's
+          bounded-reorder knob *)
   mutable start_floor : int;
       (** 0 while spawned-but-unstarted threads remain (they are due at
           virtual time 0, so running threads must suspend as if those
@@ -73,6 +78,7 @@ let create ?(costs = Costs.default) topo =
     evs = [||];
     hsize = 0;
     hseq = 0;
+    salt = 0;
     start_floor = max_int;
     pending = [];
     active = false;
@@ -94,6 +100,11 @@ let set_fault_plan t = function
             armed = Fault_plan.arm plan ~max_threads;
             core_until = Array.make max_threads 0;
           }
+
+let set_tie_break t ~salt =
+  if t.hsize > 0 then
+    invalid_arg "Sched.set_tie_break: event heap is not empty";
+  t.salt <- salt
 
 let fault_stats t =
   match t.faults with
@@ -130,7 +141,7 @@ let heap_add t ~time th k =
   if t.hsize = Array.length t.evs then heap_grow t ev;
   let seq = t.hseq in
   t.hseq <- seq + 1;
-  let kt = t.ktime and ks = t.kseq and evs = t.evs in
+  let kt = t.ktime and ks = t.kseq and evs = t.evs and salt = t.salt in
   (* sift the hole up *)
   let i = ref t.hsize in
   t.hsize <- !i + 1;
@@ -138,7 +149,8 @@ let heap_add t ~time th k =
   while !continue_ && !i > 0 do
     let p = (!i - 1) / 2 in
     let pt = Array.unsafe_get kt p in
-    if time < pt || (time = pt && seq < Array.unsafe_get ks p) then begin
+    if time < pt || (time = pt && seq lxor salt < Array.unsafe_get ks p lxor salt)
+    then begin
       Array.unsafe_set kt !i pt;
       Array.unsafe_set ks !i (Array.unsafe_get ks p);
       Array.unsafe_set evs !i (Array.unsafe_get evs p);
@@ -155,7 +167,7 @@ let heap_pop t =
   let n = t.hsize - 1 in
   t.hsize <- n;
   if n > 0 then begin
-    let kt = t.ktime and ks = t.kseq and evs = t.evs in
+    let kt = t.ktime and ks = t.kseq and evs = t.evs and salt = t.salt in
     (* re-insert the last entry at the root, sifting the hole down *)
     let time = Array.unsafe_get kt n and seq = Array.unsafe_get ks n in
     let last = Array.unsafe_get evs n in
@@ -170,14 +182,19 @@ let heap_pop t =
         let c =
           if r < n then begin
             let lt = Array.unsafe_get kt l and rt = Array.unsafe_get kt r in
-            if rt < lt || (rt = lt && Array.unsafe_get ks r < Array.unsafe_get ks l)
+            if
+              rt < lt
+              || rt = lt
+                 && Array.unsafe_get ks r lxor salt
+                    < Array.unsafe_get ks l lxor salt
             then r
             else l
           end
           else l
         in
         let ct = Array.unsafe_get kt c in
-        if ct < time || (ct = time && Array.unsafe_get ks c < seq) then begin
+        if ct < time || (ct = time && Array.unsafe_get ks c lxor salt < seq lxor salt)
+        then begin
           Array.unsafe_set kt !i ct;
           Array.unsafe_set ks !i (Array.unsafe_get ks c);
           Array.unsafe_set evs !i (Array.unsafe_get evs c);

@@ -28,6 +28,16 @@ val run : t -> unit
     counts as completed: its continuation is dropped at its next effect
     point and never resumed. *)
 
+val set_tie_break : t -> salt:int -> unit
+(** Perturb the scheduling order of simultaneous events: the insertion
+    sequence is xor'd with [salt] in every tie comparison, so a non-zero
+    salt deterministically reorders same-time events within aligned blocks
+    of insertions while salt [0] (the default) keeps pure FIFO order —
+    byte-identical to the unsalted scheduler.  The schedule explorer sweeps
+    salts to enumerate distinct interleavings from one seed.  Must be
+    called before any thread is queued (the event heap must be empty);
+    raises [Invalid_argument] otherwise. *)
+
 val set_fault_plan : t -> Fault_plan.t option -> unit
 (** Arm (or with [None] disarm) a fault-injection plan.  Must be called
     before {!run}.  With no plan armed every effect point keeps its

@@ -1,0 +1,280 @@
+(* Linearizability checker tests: WGL verdicts on handcrafted histories,
+   schedule-explorer sweeps over every substrate × engine, and the
+   mutation-catch guarantee — a seeded NR bug must produce a violation
+   with a byte-identical replay. *)
+
+module H = Nr_check.History
+module Spec = Nr_check.Spec
+module E = Nr_check.Explore
+module So = Nr_seqds.Stack_ops
+module Do = Nr_seqds.Dict_ops
+module Po = Nr_seqds.Pq_ops
+
+let ev tid op inv ret res = { H.tid; op; inv; res; ret }
+let pending tid op inv = { H.tid; op; inv; res = None; ret = max_int }
+
+module Stack_check = Nr_check.Wgl.Make (Spec.Stack)
+module Queue_check = Nr_check.Wgl.Make (Spec.Queue)
+module Dict_check = Nr_check.Wgl.Make (Spec.Dict_key)
+module Pq_check = Nr_check.Wgl.Make (Spec.Pq)
+
+let stack_verdict evs = Stack_check.check (Array.of_list evs)
+
+let is_lin = function Stack_check.Linearizable -> true | _ -> false
+
+(* --- WGL on handcrafted histories --- *)
+
+let test_wgl_concurrent_ok () =
+  (* pop overlaps push(1): popping 1 is explained by push-first order *)
+  let h =
+    [
+      ev 0 (So.Push 1) 0 10 (Some So.Pushed);
+      ev 1 So.Pop 5 15 (Some (So.Popped (Some 1)));
+    ]
+  in
+  Alcotest.(check bool) "overlapping ok" true (is_lin (stack_verdict h))
+
+let test_wgl_real_time_violation () =
+  (* the pop RETURNED before push(1) was even invoked: no legal order *)
+  let h =
+    [
+      ev 1 So.Pop 0 5 (Some (So.Popped (Some 1)));
+      ev 0 (So.Push 1) 10 20 (Some So.Pushed);
+    ]
+  in
+  match stack_verdict h with
+  | Stack_check.Violation m ->
+      (* the minimizer drops the push: a pop returning 1 with no push
+         anywhere is already inexplicable on its own *)
+      Alcotest.(check int) "shrunk to the lone pop" 1 (Array.length m)
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_wgl_duplicate_pop_violation () =
+  (* one push, two non-overlapping pops both claiming its value *)
+  let h =
+    [
+      ev 0 (So.Push 1) 0 5 (Some So.Pushed);
+      ev 1 So.Pop 10 15 (Some (So.Popped (Some 1)));
+      ev 2 So.Pop 20 25 (Some (So.Popped (Some 1)));
+    ]
+  in
+  (match stack_verdict h with
+  | Stack_check.Violation m ->
+      (* the first pop is droppable: pop->Some 1 then pop->Some 1 again
+         is already inexplicable with a single push *)
+      Alcotest.(check bool) "minimized" true (Array.length m <= 3)
+  | _ -> Alcotest.fail "expected a violation");
+  (* same history with distinct pop results is fine *)
+  let ok =
+    [
+      ev 0 (So.Push 1) 0 5 (Some So.Pushed);
+      ev 1 So.Pop 10 15 (Some (So.Popped (Some 1)));
+      ev 2 So.Pop 20 25 (Some (So.Popped None));
+    ]
+  in
+  Alcotest.(check bool) "distinct results ok" true (is_lin (stack_verdict ok))
+
+let test_wgl_pending_linearized () =
+  (* the push never returned (thread died), yet its effect is visible:
+     the checker must be willing to linearize the pending op *)
+  let h =
+    [
+      pending 0 (So.Push 7) 0;
+      ev 1 So.Pop 100 110 (Some (So.Popped (Some 7)));
+    ]
+  in
+  Alcotest.(check bool) "pending effect visible" true (is_lin (stack_verdict h))
+
+let test_wgl_pending_dropped () =
+  (* ...and equally willing to drop it entirely *)
+  let h =
+    [
+      pending 0 (So.Push 7) 0;
+      ev 1 So.Pop 100 110 (Some (So.Popped None));
+    ]
+  in
+  Alcotest.(check bool) "pending effect absent" true (is_lin (stack_verdict h))
+
+let test_wgl_queue_fifo () =
+  let module Qo = Nr_seqds.Queue_ops in
+  let lin evs =
+    match Queue_check.check (Array.of_list evs) with
+    | Queue_check.Linearizable -> true
+    | _ -> false
+  in
+  (* sequential enq 1, enq 2: dequeue must respect FIFO *)
+  let base v1 =
+    [
+      ev 0 (Qo.Enqueue 1) 0 5 (Some Qo.Enqueued);
+      ev 0 (Qo.Enqueue 2) 10 15 (Some Qo.Enqueued);
+      ev 1 Qo.Dequeue 20 25 (Some (Qo.Dequeued (Some v1)));
+    ]
+  in
+  Alcotest.(check bool) "fifo ok" true (lin (base 1));
+  Alcotest.(check bool) "lifo rejected" false (lin (base 2))
+
+let test_wgl_dict_stale_read () =
+  let lin evs =
+    match Dict_check.check (Array.of_list evs) with
+    | Dict_check.Linearizable -> true
+    | _ -> false
+  in
+  let h =
+    [
+      ev 0 (Do.Insert (1, 1)) 0 5 (Some (Do.Added true));
+      ev 1 (Do.Lookup 1) 10 15 (Some (Do.Found None));
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false (lin h);
+  let ok =
+    [
+      ev 0 (Do.Insert (1, 1)) 0 5 (Some (Do.Added true));
+      ev 1 (Do.Lookup 1) 10 15 (Some (Do.Found (Some 1)));
+    ]
+  in
+  Alcotest.(check bool) "fresh read ok" true (lin ok)
+
+let test_wgl_pq_min_ties () =
+  let lin evs =
+    match Pq_check.check (Array.of_list evs) with
+    | Pq_check.Linearizable -> true
+    | _ -> false
+  in
+  (* two pairs share the minimal key: either may come out first *)
+  let h last =
+    [
+      ev 0 (Po.Insert (1, 10)) 0 5 (Some (Po.Inserted true));
+      ev 0 (Po.Insert (1, 20)) 10 15 (Some (Po.Inserted true));
+      ev 1 Po.Delete_min 20 25 (Some (Po.Removed (Some (1, 20))));
+      ev 1 Po.Delete_min 30 35 (Some (Po.Removed (Some (1, last))));
+    ]
+  in
+  Alcotest.(check bool) "either tie order ok" true (lin (h 10));
+  Alcotest.(check bool) "but not a duplicate" false (lin (h 20))
+
+(* --- explorer sweeps (quick scale) --- *)
+
+let quick_sweep (sweep : ?budget:int -> topo:string -> threads:int ->
+    seeds:int list -> salts:int list -> plans:string list ->
+    ops_per_thread:int -> key_space:int -> engines:E.engine list ->
+    mutation:bool -> unit -> E.sweep_result) ~engines ~plans ~ops () =
+  sweep ~budget:2_000_000 ~topo:"tiny" ~threads:4 ~seeds:[ 1; 2 ]
+    ~salts:[ 0; 21 ] ~plans ~ops_per_thread:ops ~key_space:4 ~engines
+    ~mutation:false ()
+
+let check_clean name (sr : E.sweep_result) =
+  (match sr.E.counterexample with
+  | Some cx -> Alcotest.failf "%s: %s" name (E.replay_command cx)
+  | None -> ());
+  Alcotest.(check bool) (name ^ ": ran") true (sr.E.checked > 0)
+
+let test_explore_black_box () =
+  let engines = [ E.Nr; E.Nr_robust; E.Fc; E.Fcplus; E.Rwl; E.Sl ] in
+  let plans = [ "none"; "jitter:1"; "stall:1"; "preempt:1" ] in
+  check_clean "stack"
+    (quick_sweep E.Run_stack.sweep ~engines ~plans ~ops:5 ());
+  check_clean "queue"
+    (quick_sweep E.Run_queue.sweep ~engines ~plans ~ops:5 ());
+  check_clean "dict" (quick_sweep E.Run_dict.sweep ~engines ~plans ~ops:5 ());
+  check_clean "pq" (quick_sweep E.Run_pq.sweep ~engines ~plans ~ops:5 ())
+
+let test_explore_lock_free () =
+  let plans = [ "none"; "jitter:1"; "preempt:1" ] in
+  check_clean "stack lf/na"
+    (quick_sweep E.Run_stack.sweep ~engines:[ E.Lf; E.Na ] ~plans ~ops:5 ());
+  check_clean "dict lf"
+    (quick_sweep E.Run_dict.sweep ~engines:[ E.Lf ] ~plans ~ops:5 ());
+  (* substrates without a lock-free baseline are skipped, not failed *)
+  let sr = quick_sweep E.Run_queue.sweep ~engines:[ E.Lf ] ~plans ~ops:5 () in
+  Alcotest.(check int) "queue has no LF baseline" 0 sr.E.checked
+
+let test_explore_robust_faults () =
+  (* steals and deaths actually fire, and histories stay linearizable *)
+  let sweep ~plans =
+    E.Run_dict.sweep ~budget:2_000_000 ~topo:"tiny" ~threads:4
+      ~seeds:[ 1; 2; 3; 4; 5 ] ~salts:[ 0; 21 ] ~plans ~ops_per_thread:25
+      ~key_space:4 ~engines:[ E.Nr_robust ] ~mutation:false ()
+  in
+  let sr = sweep ~plans:[ "steal:1"; "death:1" ] in
+  check_clean "robust under steal/death plans" sr;
+  Alcotest.(check bool) "deaths injected" true (sr.E.kills > 0);
+  Alcotest.(check bool) "steals or kills exercised" true
+    (sr.E.steals + sr.E.kills > 0)
+
+let mutation_sweep () =
+  E.Run_dict.sweep ~budget:2_000_000 ~topo:"tiny" ~threads:4
+    ~seeds:[ 1; 2; 3; 4; 5 ] ~salts:[ 0; 21; 1365 ]
+    ~plans:[ "none"; "jitter:1"; "stall:1" ] ~ops_per_thread:6 ~key_space:4
+    ~engines:[ E.Nr ] ~mutation:true ()
+
+let test_mutation_caught () =
+  match (mutation_sweep ()).E.counterexample with
+  | None ->
+      Alcotest.fail "stale-reads mutation survived the lincheck sweep"
+  | Some cx ->
+      Alcotest.(check string) "on the dict substrate" "dict" cx.E.substrate;
+      (* the counterexample replays byte-identically from its tuple *)
+      let replayed =
+        E.Run_dict.check_one ~budget:2_000_000 ~topo:cx.E.topo
+          ~threads:cx.E.threads ~seed:cx.E.seed ~salt:cx.E.salt ~plan:cx.E.plan
+          ~ops_per_thread:cx.E.ops_per_thread ~key_space:cx.E.key_space
+          ~engine:E.Nr ~mutation:true ()
+      in
+      (match replayed with
+      | Some cx' ->
+          Alcotest.(check string) "identical minimal history" cx.E.history
+            cx'.E.history
+      | None -> Alcotest.fail "counterexample did not replay");
+      (* and the same tuple without the mutation is clean *)
+      let clean =
+        E.Run_dict.check_one ~budget:2_000_000 ~topo:cx.E.topo
+          ~threads:cx.E.threads ~seed:cx.E.seed ~salt:cx.E.salt ~plan:cx.E.plan
+          ~ops_per_thread:cx.E.ops_per_thread ~key_space:cx.E.key_space
+          ~engine:E.Nr ~mutation:false ()
+      in
+      Alcotest.(check bool) "unmutated build is linearizable" true
+        (clean = None)
+
+let test_salt_changes_schedule () =
+  (* different salts must be able to produce different interleavings.
+     NR under the empty plan is the right probe: combiner handoffs wake
+     several waiters at the same simulated instant, so the tie-break
+     actually has ties to reorder (a serialized SL run has none). *)
+  let hist salt =
+    match
+      E.Run_stack.run_once ~topo:"tiny" ~threads:4 ~seed:1 ~salt ~plan:"none"
+        ~ops_per_thread:5 ~key_space:4 ~engine:E.Nr ~mutation:false ()
+    with
+    | Some (evs, _) ->
+        Array.map (fun e -> (e.H.tid, e.H.inv, e.H.ret)) evs
+    | None -> Alcotest.fail "NR must exist"
+  in
+  let h0 = hist 0 and h0' = hist 0 and h1 = hist 21 in
+  Alcotest.(check bool) "salt 0 deterministic" true (h0 = h0');
+  Alcotest.(check bool) "salt 21 deterministic" true (h1 = hist 21);
+  Alcotest.(check bool) "salt perturbs the schedule" true (h0 <> h1)
+
+let suite =
+  [
+    Alcotest.test_case "wgl: concurrent ops ok" `Quick test_wgl_concurrent_ok;
+    Alcotest.test_case "wgl: real-time violation" `Quick
+      test_wgl_real_time_violation;
+    Alcotest.test_case "wgl: duplicate pop" `Quick
+      test_wgl_duplicate_pop_violation;
+    Alcotest.test_case "wgl: pending linearized" `Quick
+      test_wgl_pending_linearized;
+    Alcotest.test_case "wgl: pending dropped" `Quick test_wgl_pending_dropped;
+    Alcotest.test_case "wgl: queue fifo" `Quick test_wgl_queue_fifo;
+    Alcotest.test_case "wgl: dict stale read" `Quick test_wgl_dict_stale_read;
+    Alcotest.test_case "wgl: pq min ties" `Quick test_wgl_pq_min_ties;
+    Alcotest.test_case "explore: black-box engines" `Slow
+      test_explore_black_box;
+    Alcotest.test_case "explore: lock-free baselines" `Quick
+      test_explore_lock_free;
+    Alcotest.test_case "explore: robust under steals/deaths" `Slow
+      test_explore_robust_faults;
+    Alcotest.test_case "mutation caught with replayable cx" `Slow
+      test_mutation_caught;
+    Alcotest.test_case "salt perturbs schedules deterministically" `Quick
+      test_salt_changes_schedule;
+  ]

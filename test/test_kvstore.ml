@@ -295,6 +295,39 @@ let test_thread_pool_try_submit () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "try_submit after shutdown should raise"
 
+let test_thread_pool_submit_shutdown_race () =
+  let pool = Thread_pool.create ~capacity:1 ~workers:1 () in
+  let gate = Atomic.make false in
+  let leaked = Atomic.make false in
+  (* occupy the single worker... *)
+  Thread_pool.submit pool (fun () ->
+      while not (Atomic.get gate) do
+        Domain.cpu_relax ()
+      done);
+  (* ...and fill the capacity-1 queue behind it, so the producer below
+     parks in [Condition.wait nonfull] with no worker able to drain *)
+  Thread_pool.submit pool (fun () -> ());
+  let refused = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        match Thread_pool.submit pool (fun () -> Atomic.set leaked true) with
+        | () -> ()
+        | exception Invalid_argument _ -> Atomic.set refused true)
+  in
+  (* let the producer reach the wait; then close the pool while the
+     queue is still full — the broadcast must wake it into a refusal,
+     never into enqueueing the job into the closed pool *)
+  Thread.delay 0.05;
+  let closer = Domain.spawn (fun () -> Thread_pool.shutdown pool) in
+  Domain.join producer;
+  Atomic.set gate true;
+  Domain.join closer;
+  Alcotest.(check bool) "blocked producer refused at shutdown" true
+    (Atomic.get refused);
+  let st = Thread_pool.stats pool in
+  Alcotest.(check int) "only the accepted jobs ran" 2 st.Thread_pool.executed;
+  Alcotest.(check bool) "refused job never ran" false (Atomic.get leaked)
+
 (* --- server end-to-end --- *)
 
 let test_server_end_to_end () =
@@ -358,5 +391,7 @@ let suite =
       test_thread_pool_errors;
     Alcotest.test_case "thread pool try_submit sheds load" `Slow
       test_thread_pool_try_submit;
+    Alcotest.test_case "thread pool submit/shutdown race" `Slow
+      test_thread_pool_submit_shutdown_race;
     Alcotest.test_case "server end-to-end" `Slow test_server_end_to_end;
   ]

@@ -17,6 +17,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("chaos", Test_chaos.suite);
+      ("check", Test_check.suite);
       ("hot-path", Test_hotpath.suite);
       ("misc", Test_misc.suite);
       ("memsize", Test_memsize.suite);

@@ -48,6 +48,7 @@ let config_gen =
         parallel_replica_update;
         distributed_rwlock;
         liveness = None;
+        mutation = None;
       })
 
 let print_config c = Format.asprintf "%a" Nr_core.Config.pp c

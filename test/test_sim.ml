@@ -44,6 +44,45 @@ let test_eventq_empty_pop () =
   Alcotest.check_raises "pop empty" (Invalid_argument "Eventq.pop: empty")
     (fun () -> ignore (Nr_sim.Eventq.pop (q : unit Nr_sim.Eventq.t)))
 
+(* Popped payloads must become unreachable: the heap used to keep the
+   vacated slot (and [grow]'s filler) pointing at popped events,
+   retaining their payload closures for the queue's whole lifetime. *)
+let test_eventq_no_leak () =
+  let q = Nr_sim.Eventq.create () in
+  let finalised = ref 0 in
+  for i = 1 to 32 do
+    let payload = ref i in
+    Gc.finalise (fun _ -> incr finalised) payload;
+    Nr_sim.Eventq.add q ~time:i payload
+  done;
+  for _ = 1 to 32 do
+    ignore (Nr_sim.Eventq.pop_payload q)
+  done;
+  (* [q] itself stays live: only the pops may release the payloads *)
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "popped payloads collected" 32 !finalised;
+  Alcotest.(check bool) "queue still usable" true (Nr_sim.Eventq.is_empty q);
+  Nr_sim.Eventq.add q ~time:1 (ref 0);
+  Alcotest.(check int) "length" 1 (Nr_sim.Eventq.length q)
+
+(* A non-zero salt reorders same-time events deterministically (xor of
+   the insertion sequence); times still pop in nondecreasing order and
+   salt 0 stays byte-identical FIFO. *)
+let test_eventq_salt () =
+  let q = Nr_sim.Eventq.create ~salt:3 () in
+  for i = 0 to 7 do
+    Nr_sim.Eventq.add q ~time:7 i
+  done;
+  let order = List.init 8 (fun _ -> snd (Nr_sim.Eventq.pop q)) in
+  Alcotest.(check (list int)) "xor-permuted ties" [ 3; 2; 1; 0; 7; 6; 5; 4 ]
+    order;
+  (* distinct times are unaffected by the salt *)
+  let q = Nr_sim.Eventq.create ~salt:12345 () in
+  List.iter (fun t -> Nr_sim.Eventq.add q ~time:t t) [ 5; 1; 3; 2; 4 ];
+  let times = List.init 5 (fun _ -> fst (Nr_sim.Eventq.pop q)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] times
+
 (* --- topology --- *)
 
 let test_topology_placement () =
@@ -238,6 +277,9 @@ let suite =
     Alcotest.test_case "eventq fifo ties" `Quick test_eventq_fifo_ties;
     QCheck_alcotest.to_alcotest eventq_sorted_test;
     Alcotest.test_case "eventq empty pop" `Quick test_eventq_empty_pop;
+    Alcotest.test_case "eventq popped payloads unreachable" `Quick
+      test_eventq_no_leak;
+    Alcotest.test_case "eventq tie-break salt" `Quick test_eventq_salt;
     Alcotest.test_case "topology placement" `Quick test_topology_placement;
     Alcotest.test_case "topology amd" `Quick test_topology_amd;
     Alcotest.test_case "mem cold read" `Quick test_mem_cold_read_local;
