@@ -121,6 +121,51 @@ let run_sweep scale =
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   (wall_ms, points)
 
+(* --- sharded update-heavy point ------------------------------------ *)
+
+(* The sharding PR's headline claim, pinned: 100%-update uniform KV at the
+   two-node thread count, plain NR vs S in {1,4}.  S=1 must match plain
+   NR's op count exactly (passthrough), and S=4's throughput jumping means
+   the per-shard logs are really independent. *)
+
+type shard_point = {
+  label : string;
+  sp_threads : int;
+  sp_total_ops : int;
+  sp_ops_per_us : float;
+}
+
+let run_shard_sweep scale =
+  let params = params_of scale in
+  let threads = 56 in
+  let t0 = Unix.gettimeofday () in
+  let run ~label setup =
+    let r =
+      Driver.run_sim ~topo:params.Params.topo ~threads
+        ~warmup_us:params.Params.warmup_us ~measure_us:params.Params.measure_us
+        setup
+    in
+    {
+      label;
+      sp_threads = threads;
+      sp_total_ops = r.Driver.total_ops;
+      sp_ops_per_us = r.Driver.ops_per_us;
+    }
+  in
+  let points =
+    run ~label:"NR"
+      (Exp_shard.setup_plain params ~multi_pct:0 ~update_pct:100 ~threads)
+    :: List.map
+         (fun shards ->
+           run
+             ~label:(Printf.sprintf "S=%d" shards)
+             (Exp_shard.setup_sharded params ~shards ~multi_pct:0
+                ~update_pct:100 ~threads))
+         [ 1; 4 ]
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (wall_ms, points)
+
 (* --- domains micro-benchmarks ------------------------------------- *)
 
 (* A counter whose operations carry no payload: the words/op measured on
@@ -220,11 +265,11 @@ let read_file path =
     Some s)
   else None
 
-let emit ~out ~scale ~wall_ms ~points ~micros =
+let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points ~micros =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"nr-regress/1\",\n";
+  add "  \"schema\": \"nr-regress/2\",\n";
   add "  \"scale\": %S,\n" scale.scale_name;
   add "  \"sim_sweep\": {\n";
   add
@@ -241,6 +286,22 @@ let emit ~out ~scale ~wall_ms ~points ~micros =
         p.update_pct p.threads p.total_ops p.ops_per_us p.remote_transfers
         (if i = List.length points - 1 then "" else ","))
     points;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"shard_sweep\": {\n";
+  add
+    "    \"workload\": \"100%% updates, uniform KV, Intel preset, plain NR \
+     vs sharded S in {1,4}\",\n";
+  add "    \"wall_ms\": %.1f,\n" shard_wall_ms;
+  add "    \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"series\": %S, \"threads\": %d, \"total_ops\": %d, \
+         \"ops_per_us\": %.4f}%s\n"
+        p.label p.sp_threads p.sp_total_ops p.sp_ops_per_us
+        (if i = List.length shard_points - 1 then "" else ","))
+    shard_points;
   add "    ]\n";
   add "  },\n";
   add "  \"domains_micro\": [\n";
@@ -280,11 +341,18 @@ let () =
       Format.printf "  upd=%3d%% threads=%3d  %8.4f ops/us  (%d ops)@."
         p.update_pct p.threads p.ops_per_us p.total_ops)
     points;
+  let shard_wall_ms, shard_points = run_shard_sweep scale in
+  Format.printf "shard sweep: %.1f ms wall@." shard_wall_ms;
+  List.iter
+    (fun p ->
+      Format.printf "  %-5s threads=%3d  %8.4f ops/us  (%d ops)@." p.label
+        p.sp_threads p.sp_ops_per_us p.sp_total_ops)
+    shard_points;
   let micros = run_micros scale in
   List.iter
     (fun m ->
       Format.printf "  %-22s %8.1f ns/op  %8.2f minor words/op@." m.name
         m.ns_per_op m.minor_words_per_op)
     micros;
-  emit ~out ~scale ~wall_ms ~points ~micros;
+  emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points ~micros;
   Format.printf "wrote %s@." out

@@ -11,36 +11,61 @@
 
 open Cmdliner
 
-let serve port workers slowlog_capacity slowlog_threshold_us =
+let serve port workers shards slowlog_capacity slowlog_threshold_us =
   let topo = Nr_sim.Topology.tiny in
   let module R = (val Nr_runtime.Runtime_domains.make topo) in
-  let module Db = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
-  let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
-  (* worker threads carry runtime identities round-robin over the topology *)
+  (* worker threads carry runtime identities round-robin over the topology;
+     register lazily: pool workers are domains created by the server *)
   let next_tid = Atomic.make 0 in
+  let register () =
+    try ignore (R.tid ())
+    with Invalid_argument _ ->
+      Nr_runtime.Runtime_domains.register
+        ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ())
+  in
+  let execute, descr, dump_shards =
+    if shards <= 1 then begin
+      let module Db = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
+      let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
+      ( Db.execute db,
+        Printf.sprintf "NR over %d replicas" (Db.num_replicas db),
+        fun _ -> () )
+    end
+    else begin
+      let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
+      let db =
+        Sh.create
+          ~cfg:{ Nr_core.Config.default with shards }
+          ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+          ()
+      in
+      ( Sh.execute db,
+        Printf.sprintf "%d NR shards x %d replicas" shards (R.num_nodes ()),
+        fun ppf ->
+          Format.fprintf ppf "shard ops: %a@." Nr_shard.Shard_stats.pp
+            (Sh.stats db) )
+    end
+  in
   let exec cmd =
-    (* register lazily: pool workers are domains created by the server *)
-    (try ignore (R.tid ())
-     with Invalid_argument _ ->
-       Nr_runtime.Runtime_domains.register
-         ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ()));
-    Db.execute db cmd
+    register ();
+    execute cmd
   in
   let obs =
     Nr_kvstore.Kv_obs.create ~slowlog_capacity
       ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
   in
   let server = Nr_kvstore.Server.create ~obs ~port ~workers exec in
-  Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, NR over %d replicas)\n%!"
+  Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, %s)\n%!"
     (Nr_kvstore.Server.port server)
-    workers (Db.num_replicas db);
-  (* dump latency histograms + slowlog on SIGINT before exiting *)
+    workers descr;
+  (* dump latency histograms + slowlog (+ shard counters) on SIGINT *)
   (try
      Sys.set_signal Sys.sigint
        (Sys.Signal_handle
           (fun _ ->
             Format.eprintf "@.# kv-server observability@.%a@."
               Nr_kvstore.Kv_obs.pp obs;
+            dump_shards Format.err_formatter;
             exit 0))
    with Invalid_argument _ -> ());
   Nr_kvstore.Server.serve server
@@ -51,6 +76,15 @@ let () =
   in
   let workers =
     Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"Worker threads.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards"; "s" ] ~docv:"S"
+          ~doc:
+            "Hash-partition the key space across $(docv) independent NR \
+             instances (1 = plain NR).  Multi-key commands (MGET/MSET/\
+             DBSIZE/FLUSHALL) go through the cross-shard coordinator.")
   in
   let slowlog_capacity =
     Arg.(
@@ -68,6 +102,7 @@ let () =
     Cmd.v
       (Cmd.info "kv-server" ~doc:"NR-backed RESP key-value server")
       Term.(
-        const serve $ port $ workers $ slowlog_capacity $ slowlog_threshold_us)
+        const serve $ port $ workers $ shards $ slowlog_capacity
+        $ slowlog_threshold_us)
   in
   exit (Cmd.eval cmd)

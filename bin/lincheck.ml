@@ -38,7 +38,7 @@ let substrates_term =
     value
     & opt strings_conv E.all_substrates
     & info [ "d"; "substrates" ] ~docv:"DS"
-        ~doc:"Substrates to check: stack, queue, dict, pq.")
+        ~doc:"Substrates to check: stack, queue, dict, pq, kv.")
 
 let engines_conv =
   let parse s =
@@ -63,7 +63,7 @@ let engines_term =
     value
     & opt engines_conv E.all_engines
     & info [ "e"; "engines" ] ~docv:"ENGINES"
-        ~doc:"Engines: NR, NR-robust, FC, FC+, RWL, SL, LF, NA.")
+        ~doc:"Engines: NR, NR-robust, NR-shard, FC, FC+, RWL, SL, LF, NA.")
 
 let topo_term =
   Arg.(
@@ -94,6 +94,15 @@ let mutation_term =
         ~doc:
           "Plant the stale-reads bug in NR (skip the completedTail \
            freshness wait) — the sweep must then flag a violation.")
+
+let bypass_term =
+  Arg.(
+    value & flag
+    & info [ "mutate-router-bypass" ]
+        ~doc:
+          "Plant the router-bypass bug in sharded NR (single-key reads \
+           consult the wrong shard) — the NR-shard sweep must then flag a \
+           violation.")
 
 let budget_term =
   Arg.(
@@ -184,14 +193,31 @@ let runner_of_substrate = function
             E.Run_pq.check_one ~budget ~topo ~threads ~seed ~salt ~plan
               ~ops_per_thread ~key_space ~engine ~mutation ());
       }
+  | "kv" ->
+      {
+        sweep =
+          (fun ~budget ~topo ~threads ~seeds ~salts ~plans ~ops_per_thread
+               ~key_space ~engines ~mutation ->
+            E.Run_kv.sweep ~budget ~topo ~threads ~seeds ~salts ~plans
+              ~ops_per_thread ~key_space ~engines ~mutation ());
+        check_one =
+          (fun ~budget ~topo ~threads ~seed ~salt ~plan ~ops_per_thread
+               ~key_space ~engine ~mutation ->
+            E.Run_kv.check_one ~budget ~topo ~threads ~seed ~salt ~plan
+              ~ops_per_thread ~key_space ~engine ~mutation ());
+      }
   | s ->
-      Printf.eprintf "lincheck: unknown substrate %S (stack|queue|dict|pq)\n" s;
+      Printf.eprintf
+        "lincheck: unknown substrate %S (stack|queue|dict|pq|kv)\n" s;
       exit 2
 
 (* -- sweep -- *)
 
 let sweep_run substrates engines topo threads ops keys seeds salts plans
-    mutation expect_violation budget =
+    stale bypass expect_violation budget =
+  (* one mutation switch downstream: each engine plants its own seeded
+     bug (NR-shard the router bypass, the NR engines the stale read) *)
+  let mutation = stale || bypass in
   let t0 = Unix.gettimeofday () in
   let total = ref 0 and steals = ref 0 and kills = ref 0 in
   let cx = ref None in
@@ -262,12 +288,13 @@ let sweep_cmd =
     Term.(
       const sweep_run $ substrates_term $ engines_term $ topo_term
       $ threads_term $ ops_term $ keys_term $ seeds $ salts $ plans
-      $ mutation_term $ expect $ budget_term)
+      $ mutation_term $ bypass_term $ expect $ budget_term)
 
 (* -- replay -- *)
 
-let replay_run substrate engines topo threads ops keys seed salt plan mutation
-    budget =
+let replay_run substrate engines topo threads ops keys seed salt plan stale
+    bypass budget =
+  let mutation = stale || bypass in
   let r = runner_of_substrate substrate in
   let engine =
     match engines with
@@ -311,7 +338,7 @@ let replay_cmd =
     Term.(
       const replay_run $ substrate $ engines_term $ topo_term $ threads_term
       $ ops_term $ keys_term $ seed $ salt $ plan $ mutation_term
-      $ budget_term)
+      $ bypass_term $ budget_term)
 
 let () =
   let doc = "linearizability checking on the deterministic simulator" in

@@ -16,13 +16,14 @@ module Method = Nr_harness.Method
 
 (* {2 Engines} *)
 
-type engine = Nr | Nr_robust | Fc | Fcplus | Rwl | Sl | Lf | Na
+type engine = Nr | Nr_robust | Sharded | Fc | Fcplus | Rwl | Sl | Lf | Na
 
-let all_engines = [ Nr; Nr_robust; Fc; Fcplus; Rwl; Sl; Lf; Na ]
+let all_engines = [ Nr; Nr_robust; Sharded; Fc; Fcplus; Rwl; Sl; Lf; Na ]
 
 let engine_name = function
   | Nr -> "NR"
   | Nr_robust -> "NR-robust"
+  | Sharded -> "NR-shard"
   | Fc -> "FC"
   | Fcplus -> "FC+"
   | Rwl -> "RWL"
@@ -94,6 +95,13 @@ let plan_allows ~spec engine =
   | ("steal" | "death") :: _ -> engine = Nr_robust
   | _ -> true
 
+(* The flag each engine's seeded mutation answers to in a replay
+   invocation: sharded builds plant the router bypass, plain NR builds
+   the stale read. *)
+let mutation_flag = function
+  | "NR-shard" -> " --mutate-router-bypass"
+  | _ -> " --mutate-stale-reads"
+
 let topo_of_name = function
   | "tiny" -> T.tiny
   | "amd" -> T.amd
@@ -122,7 +130,7 @@ let replay_command cx =
      --plan %s --ops %d --keys %d%s"
     cx.substrate cx.engine cx.topo cx.threads cx.seed cx.salt cx.plan
     cx.ops_per_thread cx.key_space
-    (if cx.mutation then " --mutate-stale-reads" else "")
+    (if cx.mutation then mutation_flag cx.engine else "")
 
 let pp_cx ppf cx =
   Format.fprintf ppf
@@ -161,6 +169,17 @@ module type SUBSTRATE = sig
     (Nr_runtime.Runtime_intf.t -> threads:int -> Seq.op -> Seq.result) option
   (** Builders for the structure-specific engines ([Lf]/[Na]);
       [None] = this substrate has no such baseline. *)
+
+  val sharded :
+    (Nr_runtime.Runtime_intf.t ->
+    threads:int ->
+    mutation:bool ->
+    Seq.op ->
+    Seq.result)
+    option
+  (** Builder for the [Sharded] engine ({!Nr_shard.Sharded} over this
+      substrate); [mutation] plants {!Nr_core.Config.Router_bypass}.
+      [None] = the substrate's keys cannot be hash-partitioned. *)
 end
 
 module Run (Sub : SUBSTRATE) = struct
@@ -168,7 +187,7 @@ module Run (Sub : SUBSTRATE) = struct
   module Checker = Wgl.Make (Sub.Spec)
 
   let build engine rt ~threads ~mutation =
-    let mutation =
+    let nr_mutation =
       if mutation then Some Nr_core.Config.Stale_reads else None
     in
     match engine with
@@ -176,15 +195,19 @@ module Run (Sub : SUBSTRATE) = struct
         match Sub.special engine with
         | Some f -> Some (f rt ~threads)
         | None -> None)
+    | Sharded -> (
+        match Sub.sharded with
+        | Some f -> Some (f rt ~threads ~mutation)
+        | None -> None)
     | Nr ->
         Some
           (W.build rt Method.NR
-             ~cfg:{ Nr_core.Config.default with mutation }
+             ~cfg:{ Nr_core.Config.default with mutation = nr_mutation }
              ~threads ~factory:Sub.factory ())
     | Nr_robust ->
         Some
           (W.build rt Method.NR
-             ~cfg:{ Nr_core.Config.robust with mutation }
+             ~cfg:{ Nr_core.Config.robust with mutation = nr_mutation }
              ~threads ~factory:Sub.factory ())
     | Fc -> Some (W.build rt Method.FC ~threads ~factory:Sub.factory ())
     | Fcplus ->
@@ -192,7 +215,10 @@ module Run (Sub : SUBSTRATE) = struct
     | Rwl -> Some (W.build rt Method.RWL ~threads ~factory:Sub.factory ())
     | Sl -> Some (W.build rt Method.SL ~threads ~factory:Sub.factory ())
 
-  let supports engine = engine <> Lf && engine <> Na || Sub.special engine <> None
+  let supports = function
+    | Lf | Na as e -> Sub.special e <> None
+    | Sharded -> Sub.sharded <> None
+    | _ -> true
 
   (* Execute one run point and record its history.  Returns [None] when
      the engine does not exist for this substrate.  [run_stats] proves a
@@ -387,6 +413,8 @@ module Stack_sub = struct
                 Nr_seqds.Stack_ops.Pushed
             | Nr_seqds.Stack_ops.Pop -> Nr_seqds.Stack_ops.Popped (M.pop t))
     | _ -> None
+
+  let sharded = None
 end
 
 module Queue_sub = struct
@@ -398,7 +426,16 @@ module Queue_sub = struct
   let gen_op ~key_space rng = Nr_harness.Chaos.queue_op key_space rng
   let partition (_ : Seq.op) = 0
   let special (_ : engine) = None
+  let sharded = None
 end
+
+(* A generic sharded builder: S=4, router-bypass when [mutation]. *)
+let shard_cfg ~mutation =
+  {
+    Nr_core.Config.default with
+    shards = 4;
+    mutation = (if mutation then Some Nr_core.Config.Router_bypass else None);
+  }
 
 module Dict_sub = struct
   module Seq = Nr_seqds.Skiplist_dict
@@ -430,6 +467,37 @@ module Dict_sub = struct
             | Nr_seqds.Dict_ops.Lookup k ->
                 Nr_seqds.Dict_ops.Found (M.get t k))
     | _ -> None
+
+  (* Every dict op touches one int key: shard on its decimal form.  No
+     cross-shard ops, so split/merge are unreachable. *)
+  module Shardable = struct
+    include Nr_seqds.Skiplist_dict
+
+    let route : op -> Nr_shard.Sharded.route = function
+      | Nr_seqds.Dict_ops.Insert (k, _)
+      | Nr_seqds.Dict_ops.Remove k
+      | Nr_seqds.Dict_ops.Lookup k ->
+          Nr_shard.Sharded.Single (string_of_int k)
+
+    let split _ ~shards:_ ~shard_of:_ =
+      invalid_arg "dict has no cross-shard operations"
+
+    let merge _ ~shards:_ ~shard_of:_ _ =
+      invalid_arg "dict has no cross-shard operations"
+  end
+
+  let sharded =
+    Some
+      (fun rt ~threads:_ ~mutation ->
+        let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+        let module Sh = Nr_shard.Sharded.Make (R) (Shardable) in
+        let t =
+          Sh.create ~cfg:(shard_cfg ~mutation)
+            ~factory:(fun ~shard:_ ~shard_of:_ () ->
+              Nr_seqds.Skiplist_dict.create ())
+            ()
+        in
+        Sh.execute t)
 end
 
 module Pq_sub = struct
@@ -441,11 +509,53 @@ module Pq_sub = struct
   let gen_op ~key_space rng = Nr_harness.Chaos.pq_op key_space rng
   let partition (_ : Seq.op) = 0
   let special (_ : engine) = None
+  let sharded = None
+end
+
+(* The KV store over GET/SET/DEL plus the multi-key MGET/MSET — the
+   substrate that exercises the cross-shard coordinator.  Checked against
+   the whole-map spec with no partitioning: multi-key ops couple keys, so
+   per-key composition does not apply. *)
+module Kv_sub = struct
+  module Seq = Nr_kvstore.Store
+  module Spec = Spec.Kv
+  module C = Nr_kvstore.Command
+
+  let name = "kv"
+  let factory () = Nr_kvstore.Store.create ()
+
+  let gen_op ~key_space rng : Seq.op =
+    let key () =
+      Nr_workload.String_keys.key (Nr_workload.Prng.below rng key_space)
+    in
+    let value () = string_of_int (Nr_workload.Prng.below rng 4) in
+    match Nr_workload.Prng.below rng 100 with
+    | r when r < 30 -> C.Get (key ())
+    | r when r < 55 -> C.Set (key (), value ())
+    | r when r < 65 -> C.Del (key ())
+    | r when r < 85 -> C.Mget [ key (); key () ]
+    | _ -> C.Mset [ (key (), value ()); (key (), value ()) ]
+
+  let partition (_ : Seq.op) = 0
+  let special (_ : engine) = None
+
+  let sharded =
+    Some
+      (fun rt ~threads:_ ~mutation ->
+        let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+        let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
+        let t =
+          Sh.create ~cfg:(shard_cfg ~mutation)
+            ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+            ()
+        in
+        Sh.execute t)
 end
 
 module Run_stack = Run (Stack_sub)
 module Run_queue = Run (Queue_sub)
 module Run_dict = Run (Dict_sub)
 module Run_pq = Run (Pq_sub)
+module Run_kv = Run (Kv_sub)
 
-let all_substrates = [ "stack"; "queue"; "dict"; "pq" ]
+let all_substrates = [ "stack"; "queue"; "dict"; "pq"; "kv" ]

@@ -119,6 +119,64 @@ module Dict_key :
   let pp_result = O.pp_result
 end
 
+(** String-keyed KV map over the {!Nr_kvstore.Command} GET / SET / DEL /
+    MGET / MSET vocabulary — the spec the sharded engine's cross-shard
+    histories are checked against ({e whole-map}, partition-free: MGET
+    and MSET couple keys, so per-key composition does not apply).
+    MSET binds left to right, later bindings of a repeated key winning,
+    matching {!Nr_kvstore.Store}. *)
+module Kv :
+  S
+    with type op = Nr_kvstore.Command.t
+     and type result = Nr_kvstore.Command.reply = struct
+  module C = Nr_kvstore.Command
+
+  type state = (string * string) list  (** sorted by key: canonical form *)
+
+  type op = C.t
+  type result = C.reply
+
+  let init () = []
+
+  let rec set st k v =
+    match st with
+    | [] -> [ (k, v) ]
+    | ((k', _) as b) :: tl ->
+        if k < k' then (k, v) :: st
+        else if k = k' then (k, v) :: tl
+        else b :: set tl k v
+
+  let get st k =
+    match List.assoc_opt k st with Some v -> C.Bulk v | None -> C.Nil
+
+  let step_any st : op -> (result * state) list = function
+    | C.Get k -> [ (get st k, st) ]
+    | C.Set (k, v) -> [ (C.Ok_reply, set st k v) ]
+    | C.Del k -> (
+        match List.assoc_opt k st with
+        | Some _ -> [ (C.Int 1, List.remove_assoc k st) ]
+        | None -> [ (C.Int 0, st) ])
+    | C.Exists k ->
+        [ (C.Int (if List.mem_assoc k st then 1 else 0), st) ]
+    | C.Mget ks -> [ (C.Array (List.map (get st) ks), st) ]
+    | C.Mset ps ->
+        [ (C.Ok_reply, List.fold_left (fun st (k, v) -> set st k v) st ps) ]
+    | op ->
+        invalid_arg
+          (Format.asprintf "Spec.Kv: %a outside the checked vocabulary" C.pp
+             op)
+
+  let equal = ( = )
+
+  let fingerprint st =
+    Fp.fp_list
+      (fun (k, v) -> Fp.fp_combine (Hashtbl.hash k) (Hashtbl.hash v))
+      Fp.fp_empty st
+
+  let pp_op = C.pp
+  let pp_result = C.pp_reply
+end
+
 (** Priority queue as a multiset of (key, value) pairs, duplicates
     allowed, matching {!Nr_seqds.Pairing_pq} ([Inserted true] always).
     [deleteMin]/[findMin] may surface {e any} pair holding the minimal

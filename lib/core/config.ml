@@ -24,6 +24,11 @@ type mutation =
       (** skip the [completedTail] freshness wait on the read path: a
           reader may consult a replica that has not yet applied updates
           that completed before the read was issued *)
+  | Router_bypass
+      (** sharded NR only: route single-key read-only operations to the
+          wrong shard, so a read consults a replica that never saw the
+          key's updates.  Plain NR ignores it (a single instance has no
+          router to bypass). *)
 
 type t = {
   log_size : int;  (** shared log capacity in entries (paper uses 1M) *)
@@ -53,6 +58,14 @@ type t = {
   distributed_rwlock : bool;
       (** #5: use the distributed readers-writer lock of §5.5.  When
           disabled, use a centralized reader-count lock. *)
+  shards : int;
+      (** number of independent NR instances the key space is
+          hash-partitioned across ({!Nr_shard}); 1 = plain NR, a single
+          log.  Plain [Node_replication] ignores the field — it describes
+          the sharded wrapper built around it. *)
+  router_seed : int;
+      (** seed of the sharded router's key hash: determines the
+          key-to-shard mapping, deterministically. *)
   liveness : liveness option;
       (** [Some _] arms the hardened combiner protocol (stealable combiner
           lock, slot-timeout handoff, hole poisoning, bounded log-full
@@ -76,6 +89,8 @@ let default =
     separate_replica_lock = true;
     parallel_replica_update = true;
     distributed_rwlock = true;
+    shards = 1;
+    router_seed = 0x5EED;
     liveness = None;
     mutation = None;
   }
@@ -94,6 +109,7 @@ let validate t =
     invalid_arg "Config: min_batch_retries must be >= 0";
   if t.replay_window < 1 then
     invalid_arg "Config: replay_window must be >= 1";
+  if t.shards < 1 then invalid_arg "Config: shards must be >= 1";
   match t.liveness with
   | None -> ()
   | Some l ->
@@ -111,9 +127,12 @@ let validate t =
 let pp ppf t =
   Format.fprintf ppf
     "log_size=%d min_batch=%d fc=%b read_opt=%b sep_lock=%b par_update=%b \
-     dist_rw=%b%a"
+     dist_rw=%b%t%a"
     t.log_size t.min_batch t.flat_combining t.read_optimization
     t.separate_replica_lock t.parallel_replica_update t.distributed_rwlock
+    (fun ppf ->
+      if t.shards <> 1 then
+        Format.fprintf ppf " shards=%d router_seed=%#x" t.shards t.router_seed)
     (fun ppf -> function
       | None -> ()
       | Some l ->
@@ -123,3 +142,4 @@ let pp ppf t =
   match t.mutation with
   | None -> ()
   | Some Stale_reads -> Format.fprintf ppf " MUTATION=stale_reads"
+  | Some Router_bypass -> Format.fprintf ppf " MUTATION=router_bypass"

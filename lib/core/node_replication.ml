@@ -869,7 +869,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       | Some Config.Stale_reads ->
           (* seeded bug: pretend the replica is always fresh enough *)
           0
-      | None ->
+      | Some Config.Router_bypass | None ->
           if t.cfg.read_optimization then Log.completed t.log
           else Log.tail t.log
     in
@@ -906,7 +906,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       | Some Config.Stale_reads ->
           (* seeded bug: pretend the replica is always fresh enough *)
           0
-      | None ->
+      | Some Config.Router_bypass | None ->
           if t.cfg.read_optimization then Log.completed t.log
           else Log.tail t.log
     in

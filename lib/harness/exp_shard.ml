@@ -1,0 +1,148 @@
+(** Sharded-NR experiments (no paper counterpart — the sharding PR):
+    shard count × thread count × update ratio on both topology presets,
+    plus a cross-shard operation-mix sweep.
+
+    The paper concedes (§8.3) that NR's single shared log is the
+    bottleneck under update-heavy load; these figures show the
+    hash-partitioned wrapper ({!Nr_shard}) lifting that ceiling — S
+    independent logs give the combiners S times the append bandwidth —
+    while S=1 stays op-count-identical to plain NR (the passthrough has
+    nothing to coordinate). *)
+
+module W = Families.Wrap (Nr_kvstore.Store)
+
+let value = "1"
+
+(* Uniform string keyspace, prepopulated.  The sharded factory receives
+   the router's own mapping and fills each shard's replicas with exactly
+   the keys that will ever route there; [shard_of] = const 0 reproduces
+   the identical whole-space store for the plain-NR baseline. *)
+let factory (params : Params.t) ~shard ~shard_of () =
+  let t = Nr_kvstore.Store.create () in
+  for i = 0 to params.Params.population - 1 do
+    let k = Nr_workload.String_keys.key i in
+    if shard_of k = shard then
+      ignore (Nr_kvstore.Store.execute t (Nr_kvstore.Command.Set (k, "0")))
+  done;
+  t
+
+let plain_factory params () = factory params ~shard:0 ~shard_of:(fun _ -> 0) ()
+
+(* GET/SET point ops on uniform keys; [multi_pct]% of operations are
+   two-key MGET/MSET pairs instead, exercising the cross-shard
+   coordinator. *)
+let body (params : Params.t) ~pool ~update_pct ~multi_pct ~exec rt ~tid =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let n = Array.length pool in
+  let rng =
+    Nr_workload.Prng.create ~seed:(params.Params.seed + (tid * 7919) + 1)
+  in
+  fun () ->
+    R.work 40;
+    let k = pool.(Nr_workload.Prng.below rng n) in
+    if multi_pct > 0 && Nr_workload.Prng.below rng 100 < multi_pct then begin
+      let k2 = pool.(Nr_workload.Prng.below rng n) in
+      if Nr_workload.Prng.below rng 100 < update_pct then
+        ignore (exec (Nr_kvstore.Command.Mset [ (k, value); (k2, value) ]))
+      else ignore (exec (Nr_kvstore.Command.Mget [ k; k2 ]))
+    end
+    else if Nr_workload.Prng.below rng 100 < update_pct then
+      ignore (exec (Nr_kvstore.Command.Set (k, value)))
+    else ignore (exec (Nr_kvstore.Command.Get k))
+
+let setup_sharded (params : Params.t) ~shards ?(multi_pct = 0) ~update_pct
+    ~threads:_ rt =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
+  let cfg = { Nr_core.Config.default with shards } in
+  let t =
+    Sh.create ~cfg
+      ~factory:(fun ~shard ~shard_of () -> factory params ~shard ~shard_of ())
+      ()
+  in
+  let pool = Nr_workload.String_keys.pool params.Params.population in
+  body params ~pool ~update_pct ~multi_pct ~exec:(Sh.execute t) rt
+
+let setup_plain (params : Params.t) ?(multi_pct = 0) ~update_pct ~threads rt =
+  let exec =
+    W.build rt Method.NR ~threads ~factory:(plain_factory params) ()
+  in
+  let pool = Nr_workload.String_keys.pool params.Params.population in
+  body params ~pool ~update_pct ~multi_pct ~exec rt
+
+let shard_counts = [ 1; 4; 8 ]
+
+let scaling_figure (params : Params.t) ~id ~update_pct =
+  let series =
+    Sweep.threads_series params ~label:"NR" ~setup:(fun ~threads rt ->
+        setup_plain params ~update_pct ~threads rt)
+    :: List.map
+         (fun shards ->
+           Sweep.threads_series params
+             ~label:(Printf.sprintf "NR-shard S=%d" shards)
+             ~setup:(fun ~threads rt ->
+               setup_sharded params ~shards ~update_pct ~threads rt))
+         shard_counts
+  in
+  {
+    Table.id;
+    title =
+      Printf.sprintf "sharded NR, uniform GET/SET, %d%% updates (%s)"
+        update_pct params.Params.topo.Nr_sim.Topology.name;
+    x_label = "threads";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf
+          "%d uniform string keys, hash-partitioned; S=1 is the \
+           passthrough (op-count-identical to plain NR)"
+          params.Params.population;
+      ];
+  }
+
+(* Cross-shard mix: how much two-key MGET/MSET traffic the coordinator
+   sustains before its shard-ordered write locks dominate. *)
+let multi_axis = [ 0; 1; 5; 20 ]
+
+let mix_figure (params : Params.t) =
+  let threads = min 56 (Params.max_threads params) in
+  let update_pct = 100 in
+  let series =
+    List.map
+      (fun (label, setup) ->
+        Sweep.axis_series params ~label ~axis:multi_axis ~threads
+          ~setup:(fun ~x rt -> setup ~multi_pct:x rt))
+      [
+        ( "NR",
+          fun ~multi_pct rt ->
+            setup_plain params ~multi_pct ~update_pct ~threads rt );
+        ( "NR-shard S=4",
+          fun ~multi_pct rt ->
+            setup_sharded params ~shards:4 ~multi_pct ~update_pct ~threads rt
+        );
+      ]
+  in
+  {
+    Table.id = "shard-mix";
+    title = "cross-shard MGET/MSET mix vs throughput";
+    x_label = "multi-key %";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf
+          "100%% updates, %d threads; multi-key ops are two-key pairs \
+           write-locking their shards in canonical order"
+          threads;
+      ];
+  }
+
+let figures params =
+  [
+    scaling_figure params ~id:"shard-a" ~update_pct:100;
+    scaling_figure params ~id:"shard-b" ~update_pct:10;
+    scaling_figure (Params.amd params) ~id:"shard-c" ~update_pct:100;
+    scaling_figure (Params.amd params) ~id:"shard-d" ~update_pct:10;
+    mix_figure params;
+  ]

@@ -76,6 +76,11 @@ let groups =
       description = "fault injection: stall length vs throughput/p99";
       run = (fun p -> print_figures (Exp_faults.figures p));
     };
+    {
+      id = "shard";
+      description = "sharded NR: shard count x threads x update ratio";
+      run = (fun p -> print_figures (Exp_shard.figures p));
+    };
   ]
 
 let ids () = List.map (fun g -> g.id) groups

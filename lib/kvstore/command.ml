@@ -22,6 +22,9 @@ type t =
   | Zcard of string
   | Zrange of string * int * int
   | Zrem of string * int
+  | Mget of string list  (** multi-key GET; one reply slot per key, in order *)
+  | Mset of (string * string) list
+      (** multi-key SET, atomic; later bindings of a repeated key win *)
   | Dbsize
   | Flushall
   | Slowlog_get
@@ -39,10 +42,10 @@ type reply =
 
 let is_read_only = function
   | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
-  | Dbsize | Slowlog_get | Slowlog_len ->
+  | Mget _ | Dbsize | Slowlog_get | Slowlog_len ->
       true
   | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
-  | Flushall | Slowlog_reset ->
+  | Mset _ | Flushall | Slowlog_reset ->
       false
 
 (** Commands answered by the serving layer itself (observability), never
@@ -66,6 +69,10 @@ let pp ppf = function
   | Zcard k -> Format.fprintf ppf "ZCARD %s" k
   | Zrange (k, a, b) -> Format.fprintf ppf "ZRANGE %s %d %d" k a b
   | Zrem (k, m) -> Format.fprintf ppf "ZREM %s %d" k m
+  | Mget ks -> Format.fprintf ppf "MGET %s" (String.concat " " ks)
+  | Mset ps ->
+      Format.fprintf ppf "MSET %s"
+        (String.concat " " (List.concat_map (fun (k, v) -> [ k; v ]) ps))
   | Dbsize -> Format.pp_print_string ppf "DBSIZE"
   | Flushall -> Format.pp_print_string ppf "FLUSHALL"
   | Slowlog_get -> Format.pp_print_string ppf "SLOWLOG GET"
@@ -126,6 +133,21 @@ let of_strings tokens =
   | [ "zrem"; _; _ ], [ _; k; m ] ->
       let* m = int m in
       Ok (Zrem (k, m))
+  | "mget" :: _, _ :: keys ->
+      if keys = [] then Error "wrong number of arguments for 'mget' command"
+      else Ok (Mget keys)
+  | "mset" :: _, _ :: kvs ->
+      let rec pairs = function
+        | [] -> Ok []
+        | [ _ ] -> Error "wrong number of arguments for 'mset' command"
+        | k :: v :: rest ->
+            let* tl = pairs rest in
+            Ok ((k, v) :: tl)
+      in
+      if kvs = [] then Error "wrong number of arguments for 'mset' command"
+      else
+        let* ps = pairs kvs in
+        Ok (Mset ps)
   | [ "dbsize" ], _ -> Ok Dbsize
   | [ "flushall" ], _ -> Ok Flushall
   | [ "slowlog"; "get" ], _ -> Ok Slowlog_get
@@ -133,3 +155,29 @@ let of_strings tokens =
   | [ "slowlog"; "len" ], _ -> Ok Slowlog_len
   | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
   | [], _ -> Error "empty command"
+
+(** Inverse of {!of_strings} (up to command-name case): the token list a
+    client would send.  [of_strings (to_strings c) = Ok c] for every
+    command — the RESP round-trip property tests lean on this. *)
+let to_strings = function
+  | Ping -> [ "PING" ]
+  | Get k -> [ "GET"; k ]
+  | Set (k, v) -> [ "SET"; k; v ]
+  | Del k -> [ "DEL"; k ]
+  | Exists k -> [ "EXISTS"; k ]
+  | Incr k -> [ "INCR"; k ]
+  | Incrby (k, n) -> [ "INCRBY"; k; string_of_int n ]
+  | Zadd (k, s, m) -> [ "ZADD"; k; string_of_int s; string_of_int m ]
+  | Zincrby (k, d, m) -> [ "ZINCRBY"; k; string_of_int d; string_of_int m ]
+  | Zrank (k, m) -> [ "ZRANK"; k; string_of_int m ]
+  | Zscore (k, m) -> [ "ZSCORE"; k; string_of_int m ]
+  | Zcard k -> [ "ZCARD"; k ]
+  | Zrange (k, a, b) -> [ "ZRANGE"; k; string_of_int a; string_of_int b ]
+  | Zrem (k, m) -> [ "ZREM"; k; string_of_int m ]
+  | Mget ks -> "MGET" :: ks
+  | Mset ps -> "MSET" :: List.concat_map (fun (k, v) -> [ k; v ]) ps
+  | Dbsize -> [ "DBSIZE" ]
+  | Flushall -> [ "FLUSHALL" ]
+  | Slowlog_get -> [ "SLOWLOG"; "GET" ]
+  | Slowlog_reset -> [ "SLOWLOG"; "RESET" ]
+  | Slowlog_len -> [ "SLOWLOG"; "LEN" ]

@@ -88,6 +88,85 @@ let rec encode_reply (r : Command.reply) : string =
       Printf.sprintf "*%d%s%s" (List.length rs) crlf
         (String.concat "" (List.map encode_reply rs))
 
+type reply_result =
+  | RParsed of Command.reply * int  (** reply, bytes consumed *)
+  | RIncomplete
+  | RInvalid of string
+
+(** Decode one reply starting at [pos] — the inverse of {!encode_reply}.
+    [+OK]/[+PONG] map back to their dedicated constructors and [-ERR m]
+    back to [Err m], so [parse_reply (encode_reply r) = RParsed (r, _)]
+    for every reply the store produces (the round-trip property). *)
+let parse_reply ?(pos = 0) (s : string) : reply_result =
+  let n = String.length s in
+  (* absolute cursor in, [Ok (reply, absolute cursor after)] out *)
+  let rec one cursor =
+    if cursor >= n then Error `Incomplete
+    else
+      match s.[cursor] with
+      | '+' | '-' | ':' -> (
+          match find_crlf s (cursor + 1) with
+          | None -> Error `Incomplete
+          | Some e -> (
+              let body = String.sub s (cursor + 1) (e - cursor - 1) in
+              let fin = e + 2 in
+              match s.[cursor] with
+              | '+' -> (
+                  match body with
+                  | "OK" -> Ok (Command.Ok_reply, fin)
+                  | "PONG" -> Ok (Command.Pong, fin)
+                  | _ -> Error (`Invalid "protocol error: unknown status"))
+              | '-' ->
+                  let m =
+                    if String.length body >= 4 && String.sub body 0 4 = "ERR "
+                    then String.sub body 4 (String.length body - 4)
+                    else body
+                  in
+                  Ok (Command.Err m, fin)
+              | _ -> (
+                  match int_of_string_opt body with
+                  | Some v -> Ok (Command.Int v, fin)
+                  | None -> Error (`Invalid "protocol error: bad integer"))))
+      | '$' -> (
+          match find_crlf s (cursor + 1) with
+          | None -> Error `Incomplete
+          | Some e -> (
+              match parse_int s ~start:(cursor + 1) ~stop:e with
+              | Error m -> Error (`Invalid m)
+              | Ok -1 -> Ok (Command.Nil, e + 2)
+              | Ok len when len < 0 ->
+                  Error (`Invalid "protocol error: negative bulk length")
+              | Ok len ->
+                  let body = e + 2 in
+                  if body + len + 2 > n then Error `Incomplete
+                  else if s.[body + len] <> '\r' || s.[body + len + 1] <> '\n'
+                  then Error (`Invalid "protocol error: bad bulk terminator")
+                  else Ok (Command.Bulk (String.sub s body len), body + len + 2)
+              ))
+      | '*' -> (
+          match find_crlf s (cursor + 1) with
+          | None -> Error `Incomplete
+          | Some e -> (
+              match parse_int s ~start:(cursor + 1) ~stop:e with
+              | Error m -> Error (`Invalid m)
+              | Ok count when count < 0 ->
+                  Error (`Invalid "protocol error: negative array")
+              | Ok count ->
+                  let rec items k cursor acc =
+                    if k = 0 then Ok (Command.Array (List.rev acc), cursor)
+                    else
+                      match one cursor with
+                      | Ok (r, cursor) -> items (k - 1) cursor (r :: acc)
+                      | Error _ as err -> err
+                  in
+                  items count (e + 2) []))
+      | _ -> Error (`Invalid "protocol error: unexpected reply type")
+  in
+  match one pos with
+  | Ok (r, fin) -> RParsed (r, fin - pos)
+  | Error `Incomplete -> RIncomplete
+  | Error (`Invalid m) -> RInvalid m
+
 let encode_request tokens =
   Printf.sprintf "*%d%s%s" (List.length tokens) crlf
     (String.concat ""

@@ -105,6 +105,18 @@ let rec execute t (cmd : op) : result =
                (Zset.range z ~start:a ~stop:b)))
   | Zrem (k, m) ->
       with_zset k (fun z -> Int (if Zset.remove z m then 1 else 0))
+  | Mget ks ->
+      (* like Redis: a wrong-typed key yields nil, never an error *)
+      Array
+        (List.map
+           (fun k ->
+             match Nr_seqds.Hashtable.find t.keyspace k with
+             | Some (Str s) -> Bulk s
+             | Some (Zset _) | None -> Nil)
+           ks)
+  | Mset ps ->
+      List.iter (fun (k, v) -> Nr_seqds.Hashtable.set t.keyspace k (Str v)) ps;
+      Ok_reply
   | Dbsize -> Int (dbsize t)
   | Slowlog_get | Slowlog_reset | Slowlog_len ->
       (* answered by the serving layer; a store reached directly (tests,
@@ -152,6 +164,14 @@ let footprint t (cmd : op) =
         ()
   | Zrem (k, m) ->
       Nr_runtime.Footprint.v ~key:(fpkey k m) ~reads:(2 + path k) ~writes:4 ()
+  | Mget ks ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash ks)
+        ~reads:(2 * List.length ks)
+        ()
+  | Mset ps ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash ps)
+        ~reads:(2 * List.length ps)
+        ~writes:(List.length ps) ()
   | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len ->
       Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
   | Flushall ->

@@ -1,0 +1,82 @@
+(** The KV store as a shardable structure: routes for every command in
+    {!Nr_kvstore.Command}, and split/merge for the four cross-shard ones
+    (MGET / MSET / DBSIZE / FLUSHALL).
+
+    Key-less commands (PING, SLOWLOG introspection reached directly)
+    route as [Single ""] — any fixed key gives them a deterministic home
+    shard without the coordinator. *)
+
+module C = Nr_kvstore.Command
+include Nr_kvstore.Store
+
+let route : op -> Sharded.route = function
+  | C.Ping | C.Slowlog_get | C.Slowlog_reset | C.Slowlog_len ->
+      Sharded.Single ""
+  | C.Get k
+  | C.Set (k, _)
+  | C.Del k
+  | C.Exists k
+  | C.Incr k
+  | C.Incrby (k, _)
+  | C.Zadd (k, _, _)
+  | C.Zincrby (k, _, _)
+  | C.Zrank (k, _)
+  | C.Zscore (k, _)
+  | C.Zcard k
+  | C.Zrange (k, _, _)
+  | C.Zrem (k, _) ->
+      Sharded.Single k
+  | C.Mget _ | C.Mset _ | C.Dbsize | C.Flushall -> Sharded.Cross
+
+(* Bucket [items] by shard of [key_of item], preserving relative order
+   within a shard (MSET's later-wins semantics depends on it), ascending
+   shard order, empty shards dropped. *)
+let bucket ~shards ~shard_of ~key_of items =
+  let qs = Array.make shards [] in
+  List.iter (fun it -> qs.(shard_of (key_of it)) <- it :: qs.(shard_of (key_of it))) items;
+  List.concat
+    (List.init shards (fun i ->
+         match qs.(i) with [] -> [] | l -> [ (i, List.rev l) ]))
+
+let split op ~shards ~shard_of =
+  match op with
+  | C.Dbsize -> List.init shards (fun i -> (i, C.Dbsize))
+  | C.Flushall -> List.init shards (fun i -> (i, C.Flushall))
+  | C.Mget ks ->
+      List.map
+        (fun (i, ks) -> (i, C.Mget ks))
+        (bucket ~shards ~shard_of ~key_of:Fun.id ks)
+  | C.Mset ps ->
+      List.map
+        (fun (i, ps) -> (i, C.Mset ps))
+        (bucket ~shards ~shard_of ~key_of:fst ps)
+  | _ -> invalid_arg "Kv_shard.split: not a cross-shard command"
+
+let merge op ~shards ~shard_of results =
+  match op with
+  | C.Dbsize ->
+      C.Int
+        (List.fold_left
+           (fun acc (_, r) -> match r with C.Int n -> acc + n | _ -> acc)
+           0 results)
+  | C.Flushall | C.Mset _ -> C.Ok_reply
+  | C.Mget ks ->
+      (* each shard answered its keys in the order [split] sent them,
+         i.e. original order restricted to the shard: replay the original
+         key list, draining each shard's reply queue *)
+      let qs = Array.make shards [] in
+      List.iter
+        (fun (i, r) ->
+          match r with C.Array items -> qs.(i) <- items | _ -> ())
+        results;
+      C.Array
+        (List.map
+           (fun k ->
+             let i = shard_of k in
+             match qs.(i) with
+             | r :: tl ->
+                 qs.(i) <- tl;
+                 r
+             | [] -> C.Nil)
+           ks)
+  | _ -> invalid_arg "Kv_shard.merge: not a cross-shard command"

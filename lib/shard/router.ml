@@ -1,0 +1,49 @@
+(** Deterministic key-to-shard router.
+
+    The hash is FNV-1a over the key bytes folded through a splitmix-style
+    finalizer salted with the seed: pure OCaml computation, so routing
+    costs zero virtual time on the simulator, and seeded, so the mapping
+    is a function of [(seed, key)] alone — identical across runs,
+    processes and machines, which is what lets a shard's replicas be
+    prepopulated with exactly the keys the router will ever send there.
+
+    [read_shard_of] exists for the checker: with the bypass mutation
+    armed it misroutes {e single-key read-only} operations one shard
+    over, the seeded bug a linearizability sweep must catch.  Updates
+    (and all cross-shard ops) stay correctly routed, so the bug
+    manifests precisely as reads consulting a shard that never saw the
+    key — stale or missing values, never a torn write. *)
+
+type t = {
+  shards : int;
+  seed : int;
+  bypass : bool;  (** mutation: misroute single-key reads *)
+}
+
+let create ?(bypass = false) ~shards ~seed () =
+  if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  { shards; seed; bypass }
+
+let shards t = t.shards
+let seed t = t.seed
+let bypass t = t.bypass
+
+let fnv_prime = 0x0100_0193
+let fnv_offset = 0xCBF2_9CE4
+
+let hash ~seed key =
+  let h = ref (fnv_offset lxor (seed * 0x9E37_79B1)) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime land max_int)
+    key;
+  (* splitmix-style avalanche so low bits are usable for [mod shards] *)
+  let z = !h in
+  let z = (z lxor (z lsr 30)) * 0xBF58_476D land max_int in
+  let z = (z lxor (z lsr 27)) * 0x94D0_49BB land max_int in
+  z lxor (z lsr 31)
+
+let shard_of t key = hash ~seed:t.seed key mod t.shards
+
+let read_shard_of t key =
+  let s = shard_of t key in
+  if t.bypass && t.shards > 1 then (s + 1) mod t.shards else s

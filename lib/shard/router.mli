@@ -1,0 +1,27 @@
+(** Deterministic, seeded key-to-shard router (pure computation: routing
+    charges no virtual time on the simulator). *)
+
+type t
+
+val create : ?bypass:bool -> shards:int -> seed:int -> unit -> t
+(** A router over [shards] shards.  [seed] fixes the key hash, hence the
+    whole key-to-shard mapping.  [bypass] arms the seeded router-bypass
+    bug ({!Nr_core.Config.Router_bypass}): {!read_shard_of} then misroutes
+    every single-key read one shard over.
+
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+val seed : t -> int
+val bypass : t -> bool
+
+val hash : seed:int -> string -> int
+(** The raw non-negative key hash: FNV-1a folded through a seeded
+    splitmix-style finalizer.  Stable across runs by construction. *)
+
+val shard_of : t -> string -> int
+(** Home shard of a key — where its updates always go. *)
+
+val read_shard_of : t -> string -> int
+(** Shard a single-key {e read} consults: equal to {!shard_of} unless the
+    bypass mutation is armed (and [shards > 1]). *)

@@ -1,0 +1,66 @@
+(** Per-shard operation counters for the sharded wrapper.
+
+    Same racy-counter caveat as {!Nr_core.Stats}: plain mutable fields,
+    exact on the single-OS-thread simulator, reporting-only on domains. *)
+
+type t = {
+  single_ops : int array;  (** single-key ops routed to each shard *)
+  mutable cross_ops : int;  (** cross-shard (multi-key) operations *)
+  mutable cross_subops : int;  (** per-shard sub-operations they split into *)
+  mutable cross_locks : int;  (** shard write-locks taken by cross ops *)
+}
+
+let create ~shards () =
+  {
+    single_ops = Array.make shards 0;
+    cross_ops = 0;
+    cross_subops = 0;
+    cross_locks = 0;
+  }
+
+let shards t = Array.length t.single_ops
+
+let record_single t shard =
+  t.single_ops.(shard) <- t.single_ops.(shard) + 1
+
+let record_cross t ~subops ~locks =
+  t.cross_ops <- t.cross_ops + 1;
+  t.cross_subops <- t.cross_subops + subops;
+  t.cross_locks <- t.cross_locks + locks
+
+let total_single t = Array.fold_left ( + ) 0 t.single_ops
+
+(** Max/min per-shard load ratio — 1.0 is a perfectly balanced router.
+    0 when some shard saw no ops at all (reported as 0, not an error,
+    so short runs stay printable). *)
+let balance t =
+  let mx = Array.fold_left max 0 t.single_ops in
+  let mn = Array.fold_left min max_int t.single_ops in
+  if mn = 0 then 0.0 else float_of_int mx /. float_of_int mn
+
+let pp ppf t =
+  Format.fprintf ppf "single=[%s] cross=%d subops=%d locks=%d"
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int t.single_ops)))
+    t.cross_ops t.cross_subops t.cross_locks
+
+let register_metrics reg ?(prefix = "shard") t =
+  Array.iteri
+    (fun i _ ->
+      Nr_obs.Metrics.counter reg
+        ~name:(Printf.sprintf "%s%d_single_ops" prefix i)
+        ~help:"single-key operations routed to this shard"
+        (fun () -> t.single_ops.(i)))
+    t.single_ops;
+  Nr_obs.Metrics.counter reg ~name:(prefix ^ "_cross_ops")
+    ~help:"cross-shard operations"
+    (fun () -> t.cross_ops);
+  Nr_obs.Metrics.counter reg ~name:(prefix ^ "_cross_subops")
+    ~help:"per-shard sub-operations of cross-shard operations"
+    (fun () -> t.cross_subops);
+  Nr_obs.Metrics.counter reg ~name:(prefix ^ "_cross_locks")
+    ~help:"shard write-locks taken by cross-shard operations"
+    (fun () -> t.cross_locks);
+  Nr_obs.Metrics.gauge reg ~name:(prefix ^ "_balance")
+    ~help:"max/min per-shard single-op load (1.0 = balanced)"
+    (fun () -> balance t)

@@ -1,0 +1,11 @@
+(** The canonical string key space of the KV workloads: key [i] is
+    ["k<i>"].  One shared definition so benchmark bodies, shard-balance
+    tests and the checker's generators all draw from the same space (the
+    sharded router's key-to-shard mapping is a function of these exact
+    bytes). *)
+
+let key i = "k" ^ string_of_int i
+
+let pool n = Array.init n key
+(** Precomputed pool for hot loops: index with a sampled rank instead of
+    allocating a fresh key string per operation. *)

@@ -235,6 +235,38 @@ let test_mutation_caught () =
       Alcotest.(check bool) "unmutated build is linearizable" true
         (clean = None)
 
+(* --- sharded engine --------------------------------------------------- *)
+
+let test_explore_sharded () =
+  let plans = [ "none"; "stall:1" ] in
+  (* kv exercises the cross-shard coordinator (MGET/MSET in its op mix);
+     dict exercises single-key routing over a partitioned integer space *)
+  check_clean "kv sharded"
+    (quick_sweep E.Run_kv.sweep ~engines:[ E.Sharded ] ~plans ~ops:5 ());
+  check_clean "dict sharded"
+    (quick_sweep E.Run_dict.sweep ~engines:[ E.Sharded ] ~plans ~ops:5 ());
+  (* substrates without a sharded wrapper are skipped, not failed *)
+  let sr = quick_sweep E.Run_stack.sweep ~engines:[ E.Sharded ] ~plans ~ops:5 () in
+  Alcotest.(check int) "stack has no sharded wrapper" 0 sr.E.checked
+
+let test_router_bypass_caught () =
+  let sr =
+    E.Run_kv.sweep ~budget:2_000_000 ~topo:"tiny" ~threads:4
+      ~seeds:[ 1; 2; 3; 4; 5 ] ~salts:[ 0; 21 ] ~plans:[ "none"; "stall:1" ]
+      ~ops_per_thread:6 ~key_space:4 ~engines:[ E.Sharded ] ~mutation:true ()
+  in
+  match sr.E.counterexample with
+  | None -> Alcotest.fail "router-bypass mutation survived the lincheck sweep"
+  | Some cx ->
+      Alcotest.(check string) "on the kv substrate" "kv" cx.E.substrate;
+      let clean =
+        E.Run_kv.check_one ~budget:2_000_000 ~topo:cx.E.topo
+          ~threads:cx.E.threads ~seed:cx.E.seed ~salt:cx.E.salt ~plan:cx.E.plan
+          ~ops_per_thread:cx.E.ops_per_thread ~key_space:cx.E.key_space
+          ~engine:E.Sharded ~mutation:false ()
+      in
+      Alcotest.(check bool) "honest router is linearizable" true (clean = None)
+
 let test_salt_changes_schedule () =
   (* different salts must be able to produce different interleavings.
      NR under the empty plan is the right probe: combiner handoffs wake
@@ -275,6 +307,10 @@ let suite =
       test_explore_robust_faults;
     Alcotest.test_case "mutation caught with replayable cx" `Slow
       test_mutation_caught;
+    Alcotest.test_case "explore: sharded engine over kv and dict" `Slow
+      test_explore_sharded;
+    Alcotest.test_case "router bypass caught on kv" `Slow
+      test_router_bypass_caught;
     Alcotest.test_case "salt perturbs schedules deterministically" `Quick
       test_salt_changes_schedule;
   ]

@@ -153,6 +153,59 @@ let test_store_dbsize_flush () =
   ignore (Store.execute s Command.Flushall);
   Alcotest.(check bool) "flushed" true (Store.execute s Command.Dbsize = Command.Int 0)
 
+let test_store_multikey () =
+  let s = Store.create () in
+  Alcotest.(check bool)
+    "mset" true
+    (Store.execute s (Command.Mset [ ("a", "1"); ("b", "2"); ("a", "3") ])
+    = Command.Ok_reply);
+  Alcotest.(check bool)
+    "later binding of a repeated key wins" true
+    (Store.execute s (Command.Get "a") = Command.Bulk "3");
+  ignore (Store.execute s (Command.Zadd ("z", 1, 1)));
+  Alcotest.(check bool)
+    "mget: hits in order, absent and wrongtype are Nil" true
+    (Store.execute s (Command.Mget [ "b"; "nope"; "z"; "a" ])
+    = Command.Array [ Command.Bulk "2"; Command.Nil; Command.Nil; Command.Bulk "3" ]);
+  Alcotest.(check bool)
+    "mget is read-only / mset is not" true
+    (Command.is_read_only (Command.Mget [ "a" ])
+    && not (Command.is_read_only (Command.Mset [ ("a", "1") ])));
+  Alcotest.(check bool)
+    "empty MGET is a parse error" true
+    (match Command.of_strings [ "MGET" ] with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool)
+    "odd MSET arity is a parse error" true
+    (match Command.of_strings [ "MSET"; "a"; "1"; "b" ] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_parse_reply () =
+  let roundtrip r =
+    match Resp.parse_reply (Resp.encode_reply r) with
+    | Resp.RParsed (r', n) ->
+        r = r' && n = String.length (Resp.encode_reply r)
+    | _ -> false
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "reply roundtrips" true (roundtrip r))
+    [
+      Command.Ok_reply;
+      Command.Pong;
+      Command.Int (-42);
+      Command.Bulk "with\r\nbinary\x00bytes";
+      Command.Nil;
+      Command.Err "wrong number of arguments";
+      Command.Array [ Command.Bulk "1"; Command.Nil; Command.Int 7 ];
+      Command.Array [];
+    ];
+  Alcotest.(check bool)
+    "truncated reply is incomplete" true
+    (Resp.parse_reply "$5\r\nhel" = Resp.RIncomplete);
+  Alcotest.(check bool)
+    "junk is invalid" true
+    (match Resp.parse_reply "?what" with Resp.RInvalid _ -> true | _ -> false)
+
 let test_store_determinism () =
   (* identical command sequences produce identical replicas, including
      zset skip lists — required for NR *)
@@ -378,6 +431,8 @@ let suite =
     Alcotest.test_case "store zsets" `Quick test_store_zsets;
     Alcotest.test_case "store wrongtype" `Quick test_store_wrongtype;
     Alcotest.test_case "store dbsize/flush" `Quick test_store_dbsize_flush;
+    Alcotest.test_case "store multi-key mget/mset" `Quick test_store_multikey;
+    Alcotest.test_case "resp reply decoder" `Quick test_parse_reply;
     Alcotest.test_case "store determinism" `Quick test_store_determinism;
     Alcotest.test_case "command parse" `Quick test_command_parse;
     Alcotest.test_case "resp roundtrip" `Quick test_resp_roundtrip;

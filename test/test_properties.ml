@@ -47,6 +47,8 @@ let config_gen =
         separate_replica_lock;
         parallel_replica_update;
         distributed_rwlock;
+        shards = 1;
+        router_seed = 0x5EED;
         liveness = None;
         mutation = None;
       })
@@ -179,6 +181,134 @@ let zipf_head_mass =
       done;
       !mass > 0.5)
 
+let zipf_mass_sums_to_one =
+  QCheck.Test.make ~count:20 ~name:"zipf pmf sums to ~1"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 10 3000) (oneofl [ 0.5; 0.99; 1.5 ]))
+       ~print:(fun (n, th) -> Printf.sprintf "n=%d theta=%g" n th))
+    (fun (n, theta) ->
+      let z = Nr_workload.Zipf.create ~theta ~n () in
+      let mass = ref 0.0 in
+      for k = 0 to n - 1 do
+        mass := !mass +. Nr_workload.Zipf.pmf z k
+      done;
+      Float.abs (!mass -. 1.0) < 1e-9)
+
+let key_dist_in_range =
+  QCheck.Test.make ~count:100 ~name:"key_dist samples stay in [0, n)"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 2000) bool (int_bound 1000))
+       ~print:(fun (n, zipfian, seed) ->
+         Printf.sprintf "n=%d zipf=%b seed=%d" n zipfian seed))
+    (fun (n, zipfian, seed) ->
+      let d =
+        if zipfian then Nr_workload.Key_dist.zipf ~n ()
+        else Nr_workload.Key_dist.uniform n
+      in
+      let rng = Nr_workload.Prng.create ~seed in
+      Nr_workload.Key_dist.space d = n
+      && List.for_all
+           (fun _ ->
+             let k = Nr_workload.Key_dist.sample d rng in
+             k >= 0 && k < n)
+           (List.init 200 Fun.id))
+
+(* --- router hash: pure function of (seed, key) --- *)
+
+let router_hash_stable =
+  QCheck.Test.make ~count:300 ~name:"router hash stable and in shard range"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_bound 0xFFFF)
+           (string_size (int_bound 32))
+           (int_range 1 16))
+       ~print:(fun (seed, k, s) ->
+         Printf.sprintf "seed=%d key=%S shards=%d" seed k s))
+    (fun (seed, key, shards) ->
+      let h = Nr_shard.Router.hash ~seed key in
+      let r = Nr_shard.Router.create ~shards ~seed () in
+      let r' = Nr_shard.Router.create ~shards ~seed () in
+      h = Nr_shard.Router.hash ~seed key
+      && h >= 0
+      && Nr_shard.Router.shard_of r key = Nr_shard.Router.shard_of r' key
+      && Nr_shard.Router.shard_of r key >= 0
+      && Nr_shard.Router.shard_of r key < shards)
+
+(* --- RESP replies and commands decode back to themselves --- *)
+
+let reply_gen =
+  QCheck.Gen.(
+    let module C = Nr_kvstore.Command in
+    (* Err text travels on a CRLF-terminated line, so keep it line-safe;
+       Bulk is length-prefixed and may carry anything. *)
+    let line = string_size ~gen:(char_range 'a' 'z') (int_bound 12) in
+    let scalar =
+      frequency
+        [
+          (1, return C.Ok_reply);
+          (1, return C.Pong);
+          (2, map (fun n -> C.Int n) int);
+          (3, map (fun s -> C.Bulk s) (string_size (int_bound 16)));
+          (2, return C.Nil);
+          (1, map (fun s -> C.Err s) line);
+        ]
+    in
+    frequency
+      [
+        (4, scalar);
+        (1, map (fun rs -> C.Array rs) (list_size (int_bound 4) scalar));
+      ])
+
+let reply_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"resp reply roundtrip"
+    (QCheck.make reply_gen ~print:(fun r ->
+         String.escaped (Nr_kvstore.Resp.encode_reply r)))
+    (fun r ->
+      let s = Nr_kvstore.Resp.encode_reply r in
+      match Nr_kvstore.Resp.parse_reply s with
+      | Nr_kvstore.Resp.RParsed (r', consumed) ->
+          r = r' && consumed = String.length s
+      | _ -> false)
+
+let command_gen =
+  QCheck.Gen.(
+    let module C = Nr_kvstore.Command in
+    let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let value = string_size (int_bound 12) in
+    oneof
+      [
+        return C.Ping;
+        map (fun k -> C.Get k) key;
+        map2 (fun k v -> C.Set (k, v)) key value;
+        map (fun k -> C.Del k) key;
+        map (fun k -> C.Exists k) key;
+        map (fun k -> C.Incr k) key;
+        map2 (fun k n -> C.Incrby (k, n)) key int;
+        map3 (fun k s m -> C.Zadd (k, s, m)) key int int;
+        map3 (fun k d m -> C.Zincrby (k, d, m)) key int int;
+        map2 (fun k m -> C.Zrank (k, m)) key int;
+        map2 (fun k m -> C.Zscore (k, m)) key int;
+        map (fun k -> C.Zcard k) key;
+        map3 (fun k a b -> C.Zrange (k, a, b)) key int int;
+        map2 (fun k m -> C.Zrem (k, m)) key int;
+        map (fun ks -> C.Mget ks) (list_size (int_range 1 5) key);
+        map
+          (fun ps -> C.Mset ps)
+          (list_size (int_range 1 5) (pair key value));
+        return C.Dbsize;
+        return C.Flushall;
+        return C.Slowlog_get;
+        return C.Slowlog_reset;
+        return C.Slowlog_len;
+      ])
+
+let command_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"command to_strings/of_strings roundtrip"
+    (QCheck.make command_gen ~print:(fun c ->
+         String.concat " " (Nr_kvstore.Command.to_strings c)))
+    (fun c ->
+      Nr_kvstore.Command.of_strings (Nr_kvstore.Command.to_strings c) = Ok c)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -189,4 +319,9 @@ let suite =
       resp_roundtrip;
       mem_invariants;
       zipf_head_mass;
+      zipf_mass_sums_to_one;
+      key_dist_in_range;
+      router_hash_stable;
+      reply_roundtrip;
+      command_roundtrip;
     ]

@@ -1,0 +1,309 @@
+(* Sharded NR: router determinism and balance, the S=1 passthrough
+   identity, S>=4 update-heavy speedup, cross-shard atomicity, and the
+   pure route/split/merge plumbing against a single plain store. *)
+
+open Nr_shard
+
+(* --- router -------------------------------------------------------- *)
+
+(* Golden values pin the hash across refactors: a silent change to the
+   key-to-shard mapping would invalidate every recorded sharded figure. *)
+let test_router_golden () =
+  let check k expect =
+    Alcotest.(check int)
+      (Printf.sprintf "hash %S" k)
+      expect
+      (Router.hash ~seed:0x5EED k)
+  in
+  check "k0" 0x2a3e9c8509f0b478;
+  check "k1" 0x04dbe50376c9bd71;
+  check "alpha" 0x35a707c438227a27;
+  check "" 0x292e8655197cbbe1;
+  Alcotest.(check int)
+    "seed changes the mapping" 0x3acdd6cf129e6925
+    (Router.hash ~seed:7 "k0");
+  Alcotest.(check bool)
+    "hash is non-negative" true
+    (List.for_all
+       (fun k -> Router.hash ~seed:0x5EED k >= 0)
+       [ "k0"; ""; "\xff\xff\xff\xff\xff\xff\xff\xff" ])
+
+let test_router_deterministic () =
+  let r1 = Router.create ~shards:8 ~seed:0x5EED () in
+  let r2 = Router.create ~shards:8 ~seed:0x5EED () in
+  for i = 0 to 999 do
+    let k = Nr_workload.String_keys.key i in
+    Alcotest.(check int) k (Router.shard_of r1 k) (Router.shard_of r2 k)
+  done;
+  Alcotest.check_raises "shards < 1 rejected"
+    (Invalid_argument "Router.create: shards must be >= 1") (fun () ->
+      ignore (Router.create ~shards:0 ~seed:1 ()))
+
+let test_router_balance () =
+  List.iter
+    (fun shards ->
+      let r = Router.create ~shards ~seed:0x5EED () in
+      let counts = Array.make shards 0 in
+      let n = 4096 in
+      for i = 0 to n - 1 do
+        let s = Router.shard_of r (Nr_workload.String_keys.key i) in
+        counts.(s) <- counts.(s) + 1
+      done;
+      let fair = n / shards in
+      Array.iteri
+        (fun s c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d/%d within 2x of fair share (%d vs %d)" s
+               shards c fair)
+            true
+            (c > fair / 2 && c < fair * 2))
+        counts)
+    [ 2; 3; 4; 8 ]
+
+let test_router_bypass () =
+  let r = Router.create ~bypass:true ~shards:4 ~seed:0x5EED () in
+  let honest = Router.create ~shards:4 ~seed:0x5EED () in
+  for i = 0 to 99 do
+    let k = Nr_workload.String_keys.key i in
+    Alcotest.(check int)
+      "updates still routed home" (Router.shard_of honest k)
+      (Router.shard_of r k);
+    Alcotest.(check int)
+      "reads misrouted one shard over"
+      ((Router.shard_of r k + 1) mod 4)
+      (Router.read_shard_of r k)
+  done;
+  let one = Router.create ~bypass:true ~shards:1 ~seed:0x5EED () in
+  Alcotest.(check int) "bypass is inert at S=1" 0 (Router.read_shard_of one "k")
+
+(* --- pure route/split/merge vs a single plain store ----------------- *)
+
+(* Drive random command sequences through S plain stores using only the
+   router plus [Kv_shard]'s route/split/merge — exactly the coordinator's
+   data path, minus locks — and compare every reply against one plain
+   store.  Any disagreement means the partitioning plumbing (not the
+   concurrency control) is wrong. *)
+let exec_sharded stores router cmd =
+  let module C = Nr_kvstore.Command in
+  match Kv_shard.route cmd with
+  | Sharded.Single k ->
+      Nr_kvstore.Store.execute stores.(Router.shard_of router k) cmd
+  | Sharded.Cross ->
+      let shards = Array.length stores in
+      let shard_of = Router.shard_of router in
+      let subs = Kv_shard.split cmd ~shards ~shard_of in
+      let results =
+        List.map (fun (i, sub) -> (i, Nr_kvstore.Store.execute stores.(i) sub)) subs
+      in
+      Kv_shard.merge cmd ~shards ~shard_of results
+
+let cmd_gen =
+  QCheck.Gen.(
+    let key = map Nr_workload.String_keys.key (int_bound 15) in
+    let value = map string_of_int (int_bound 9) in
+    let module C = Nr_kvstore.Command in
+    frequency
+      [
+        (3, map (fun k -> C.Get k) key);
+        (3, map2 (fun k v -> C.Set (k, v)) key value);
+        (2, map (fun k -> C.Del k) key);
+        (1, map (fun k -> C.Exists k) key);
+        (1, map (fun k -> C.Incr k) key);
+        (2, map (fun ks -> C.Mget ks) (list_size (int_range 1 4) key));
+        ( 2,
+          map
+            (fun ps -> C.Mset ps)
+            (list_size (int_range 1 4) (pair key value)) );
+        (1, return C.Dbsize);
+        (1, return C.Flushall);
+      ])
+
+let seq_equivalence =
+  QCheck.Test.make ~count:200
+    ~name:"sharded route/split/merge agrees with one plain store"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 40) cmd_gen)
+       ~print:(fun cmds ->
+         String.concat "; "
+           (List.map (Format.asprintf "%a" Nr_kvstore.Command.pp) cmds)))
+    (fun cmds ->
+      let router = Router.create ~shards:4 ~seed:0x5EED () in
+      let stores = Array.init 4 (fun _ -> Nr_kvstore.Store.create ()) in
+      let plain = Nr_kvstore.Store.create () in
+      List.for_all
+        (fun cmd ->
+          exec_sharded stores router cmd = Nr_kvstore.Store.execute plain cmd)
+        cmds)
+
+(* --- simulator: passthrough identity and speedup -------------------- *)
+
+open Nr_harness
+
+let params population =
+  {
+    Params.topo = Nr_sim.Topology.intel;
+    threads = [];
+    warmup_us = 2.0;
+    measure_us = 12.0;
+    population;
+    seed = 0xA5A5;
+    latency = false;
+  }
+
+let run_kv_point ~threads setup =
+  let p = params 512 in
+  Driver.run_sim ~topo:p.Params.topo ~threads ~warmup_us:p.Params.warmup_us
+    ~measure_us:p.Params.measure_us (setup p)
+
+let check_points_identical msg (a : Driver.result) (b : Driver.result) =
+  Alcotest.(check int)
+    (msg ^ ": total ops") a.Driver.total_ops b.Driver.total_ops;
+  Alcotest.(check int)
+    (msg ^ ": remote transfers") a.Driver.remote_transfers
+    b.Driver.remote_transfers;
+  Alcotest.(check bool)
+    (msg ^ ": throughput bit-identical")
+    true
+    (Int64.bits_of_float a.Driver.ops_per_us
+    = Int64.bits_of_float b.Driver.ops_per_us)
+
+(* S=1 has no locks and no coordinator: the charge sequence must be the
+   one plain NR produces, op for op. *)
+let test_single_shard_identity () =
+  let threads = 14 in
+  check_points_identical "S=1 vs plain NR"
+    (run_kv_point ~threads (fun p ->
+         Exp_shard.setup_plain p ~multi_pct:0 ~update_pct:100 ~threads))
+    (run_kv_point ~threads (fun p ->
+         Exp_shard.setup_sharded p ~shards:1 ~multi_pct:0 ~update_pct:100
+           ~threads))
+
+(* The acceptance bar from the sharding PR: at full Intel thread count,
+   100% updates, S>=4 must at least double plain NR — and stay
+   deterministic, same as every other simulator figure. *)
+let test_speedup_and_determinism () =
+  let threads = 112 in
+  let sharded () =
+    run_kv_point ~threads (fun p ->
+        Exp_shard.setup_sharded p ~shards:4 ~multi_pct:0 ~update_pct:100
+          ~threads)
+  in
+  let plain =
+    run_kv_point ~threads (fun p ->
+        Exp_shard.setup_plain p ~multi_pct:0 ~update_pct:100 ~threads)
+  in
+  let s4 = sharded () in
+  Alcotest.(check bool)
+    (Printf.sprintf "S=4 at least 2x plain NR (%.2f vs %.2f ops/us)"
+       s4.Driver.ops_per_us plain.Driver.ops_per_us)
+    true
+    (s4.Driver.ops_per_us >= 2.0 *. plain.Driver.ops_per_us);
+  check_points_identical "S=4 rerun" s4 (sharded ())
+
+(* --- simulator: cross-shard atomicity ------------------------------- *)
+
+(* Writers MSET the same fresh value onto two keys homed on different
+   shards; readers MGET the pair.  Under the coordinator's two-lock
+   window every read must see equal halves — a torn pair would mean the
+   linearization point leaked outside the locks. *)
+let test_cross_shard_atomicity () =
+  let torn = ref 0 in
+  let reads = ref 0 in
+  let setup rt =
+    let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+    let module Sh = Sharded.Make (R) (Kv_shard) in
+    let t =
+      Sh.create
+        ~cfg:{ Nr_core.Config.default with shards = 4 }
+        ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+        ()
+    in
+    let router = Sh.router t in
+    let k1 = "pair-a" in
+    let k2 =
+      (* probe for a key homed on a different shard than [k1] *)
+      let rec find i =
+        let k = "pair-b" ^ string_of_int i in
+        if Router.shard_of router k <> Router.shard_of router k1 then k
+        else find (i + 1)
+      in
+      find 0
+    in
+    let next = ref 0 in
+    fun ~tid ->
+      if tid land 1 = 0 then fun () ->
+        (* single OS thread under the simulator: the counter is safe *)
+        incr next;
+        let v = string_of_int !next in
+        ignore (Sh.execute t (Nr_kvstore.Command.Mset [ (k1, v); (k2, v) ]))
+      else fun () ->
+        match Sh.execute t (Nr_kvstore.Command.Mget [ k1; k2 ]) with
+        | Nr_kvstore.Command.Array [ a; b ] ->
+            incr reads;
+            if a <> b then incr torn
+        | _ -> incr torn
+  in
+  ignore
+    (Driver.run_sim ~topo:Nr_sim.Topology.intel ~threads:8 ~warmup_us:2.0
+       ~measure_us:30.0 setup);
+  Alcotest.(check bool) "readers actually ran" true (!reads > 0);
+  Alcotest.(check int) "no torn MSET pairs observed" 0 !torn
+
+(* --- domains: whole-keyspace commands and shard stats ---------------- *)
+
+let test_dbsize_flushall_across_shards () =
+  let module R =
+    (val Nr_runtime.Runtime_domains.make Nr_sim.Topology.tiny)
+  in
+  let module Sh = Sharded.Make (R) (Kv_shard) in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads:1 (fun _ ->
+      let t =
+        Sh.create
+          ~cfg:{ Nr_core.Config.default with shards = 4 }
+          ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+          ()
+      in
+      let module C = Nr_kvstore.Command in
+      let n = 64 in
+      let bindings =
+        List.init n (fun i -> (Nr_workload.String_keys.key i, string_of_int i))
+      in
+      Alcotest.(check bool) "mset ok" true (Sh.execute t (C.Mset bindings) = C.Ok_reply);
+      Alcotest.(check bool)
+        "dbsize sums the shards" true
+        (Sh.execute t C.Dbsize = C.Int n);
+      (* every shard holds a strict subset: no shard double-counts *)
+      let st = Sh.stats t in
+      Alcotest.(check int) "two cross ops so far" 2 st.Shard_stats.cross_ops;
+      Alcotest.(check bool) "keys spread over >1 shard" true
+        (Sh.execute t (C.Del (Nr_workload.String_keys.key 0)) = C.Int 1
+        && Sh.execute t C.Dbsize = C.Int (n - 1));
+      Alcotest.(check bool)
+        "mget replays the key order" true
+        (Sh.execute t (C.Mget [ "k3"; "absent"; "k1" ])
+        = C.Array [ C.Bulk "3"; C.Nil; C.Bulk "1" ]);
+      Alcotest.(check bool) "flushall ok" true (Sh.execute t C.Flushall = C.Ok_reply);
+      Alcotest.(check bool) "empty after flushall" true
+        (Sh.execute t C.Dbsize = C.Int 0);
+      Alcotest.(check bool)
+        "single-key ops were recorded per shard" true
+        (Shard_stats.total_single st > 0))
+
+let suite =
+  [
+    Alcotest.test_case "router golden hashes" `Quick test_router_golden;
+    Alcotest.test_case "router deterministic across instances" `Quick
+      test_router_deterministic;
+    Alcotest.test_case "router balances uniform keys" `Quick
+      test_router_balance;
+    Alcotest.test_case "bypass misroutes reads only" `Quick test_router_bypass;
+    QCheck_alcotest.to_alcotest seq_equivalence;
+    Alcotest.test_case "S=1 is op-count-identical to plain NR" `Quick
+      test_single_shard_identity;
+    Alcotest.test_case "S=4 doubles update-heavy throughput, deterministic"
+      `Quick test_speedup_and_determinism;
+    Alcotest.test_case "cross-shard MSET/MGET pairs never tear" `Quick
+      test_cross_shard_atomicity;
+    Alcotest.test_case "DBSIZE/FLUSHALL span all shards" `Quick
+      test_dbsize_flushall_across_shards;
+  ]
