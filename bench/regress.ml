@@ -166,6 +166,68 @@ let run_shard_sweep scale =
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   (wall_ms, points)
 
+(* --- durability sweep ---------------------------------------------- *)
+
+(* The persistence layer priced hermetically: a fixed mixed op stream
+   logged through the persister over the in-memory Sim_fs (no real IO, no
+   temp files), one point per fsync policy.  [fsyncs] is fully
+   deterministic — any drift means the group-commit semantics moved — and
+   [ops_per_us] tracks the CPU cost of framing + CRC + shadow replay. *)
+
+type durable_point = {
+  dp_policy : string;
+  dp_ops : int;
+  dp_fsyncs : int;
+  dp_ops_per_us : float;
+}
+
+let durable_policies =
+  [
+    Nr_persist.Aof.Always;
+    Nr_persist.Aof.Every_n 8;
+    Nr_persist.Aof.Every_n 64;
+    Nr_persist.Aof.Never;
+  ]
+
+let run_durable_sweep scale =
+  let n = max 1_000 (scale.micro_iters / 4) in
+  let op i =
+    if i mod 4 = 0 then
+      Nr_kvstore.Command.Zadd ("z" ^ string_of_int (i mod 64), i mod 1000, i)
+    else Nr_kvstore.Command.Set ("k" ^ string_of_int (i mod 512), string_of_int i)
+  in
+  let t0 = Unix.gettimeofday () in
+  let points =
+    List.map
+      (fun policy ->
+        let sim = Nr_persist.Sim_fs.create () in
+        let fs = Nr_persist.Sim_fs.fs sim in
+        (* virtual clock: one ms per append keeps every-ms policies
+           deterministic too, should the axis ever grow one *)
+        let clock = ref 0 in
+        let now_ms () = !clock in
+        match Nr_persist.Persister.create fs ~policy ~now_ms () with
+        | Error e -> failwith e
+        | Ok (p, _) ->
+            let t0 = Unix.gettimeofday () in
+            for i = 0 to n - 1 do
+              incr clock;
+              Nr_persist.Persister.observe p [ Some (op i) ]
+            done;
+            let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+            let fsyncs = Nr_persist.Persister.fsyncs p in
+            Nr_persist.Persister.close p;
+            {
+              dp_policy = Format.asprintf "%a" Nr_persist.Aof.pp_policy policy;
+              dp_ops = n;
+              dp_fsyncs = fsyncs;
+              dp_ops_per_us = float_of_int n /. dt_us;
+            })
+      durable_policies
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (wall_ms, points)
+
 (* --- domains micro-benchmarks ------------------------------------- *)
 
 (* A counter whose operations carry no payload: the words/op measured on
@@ -265,11 +327,12 @@ let read_file path =
     Some s)
   else None
 
-let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points ~micros =
+let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points
+    ~durable_wall_ms ~durable_points ~micros =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"nr-regress/2\",\n";
+  add "  \"schema\": \"nr-regress/3\",\n";
   add "  \"scale\": %S,\n" scale.scale_name;
   add "  \"sim_sweep\": {\n";
   add
@@ -302,6 +365,22 @@ let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points ~micros =
         p.label p.sp_threads p.sp_total_ops p.sp_ops_per_us
         (if i = List.length shard_points - 1 then "" else ","))
     shard_points;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"durable_sweep\": {\n";
+  add
+    "    \"workload\": \"mixed SET/ZADD stream through the persister over \
+     Sim_fs, one point per fsync policy\",\n";
+  add "    \"wall_ms\": %.1f,\n" durable_wall_ms;
+  add "    \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"policy\": %S, \"ops\": %d, \"fsyncs\": %d, \"ops_per_us\": \
+         %.4f}%s\n"
+        p.dp_policy p.dp_ops p.dp_fsyncs p.dp_ops_per_us
+        (if i = List.length durable_points - 1 then "" else ","))
+    durable_points;
   add "    ]\n";
   add "  },\n";
   add "  \"domains_micro\": [\n";
@@ -348,11 +427,19 @@ let () =
       Format.printf "  %-5s threads=%3d  %8.4f ops/us  (%d ops)@." p.label
         p.sp_threads p.sp_ops_per_us p.sp_total_ops)
     shard_points;
+  let durable_wall_ms, durable_points = run_durable_sweep scale in
+  Format.printf "durable sweep: %.1f ms wall@." durable_wall_ms;
+  List.iter
+    (fun p ->
+      Format.printf "  %-12s %8.4f ops/us  (%d ops, %d fsyncs)@." p.dp_policy
+        p.dp_ops_per_us p.dp_ops p.dp_fsyncs)
+    durable_points;
   let micros = run_micros scale in
   List.iter
     (fun m ->
       Format.printf "  %-22s %8.1f ns/op  %8.2f minor words/op@." m.name
         m.ns_per_op m.minor_words_per_op)
     micros;
-  emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points ~micros;
+  emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points
+    ~durable_wall_ms ~durable_points ~micros;
   Format.printf "wrote %s@." out

@@ -1,8 +1,11 @@
 (* kv-server: a RESP-speaking in-memory store whose data structures are made
    concurrent by Node Replication — the paper's Redis experiment as a
-   runnable server (sections 7-8.3).
+   runnable server (sections 7-8.3) — with an optional durability layer:
+   the NR shared log doubles as a persistence and replication log.
 
      dune exec bin/kv_server.exe -- --port 6380 --workers 4
+     dune exec bin/kv_server.exe -- --aof /var/tmp/kv --fsync every-n:32
+     dune exec bin/kv_server.exe -- --port 6381 --follower-of 127.0.0.1:6380
 
    Then, from any Redis client:
      redis-cli -p 6380 ZADD board 10 1
@@ -11,7 +14,31 @@
 
 open Cmdliner
 
-let serve port workers shards slowlog_capacity slowlog_threshold_us =
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
+    fsync snapshot_every follower_of failover_after poll_ms =
+  let policy =
+    match Nr_persist.Aof.policy_of_string fsync with
+    | Ok p -> p
+    | Error e -> fail "%s" e
+  in
+  let follower =
+    match follower_of with
+    | None -> None
+    | Some hp -> (
+        match String.rindex_opt hp ':' with
+        | Some i -> (
+            let host = String.sub hp 0 i in
+            match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+            | Some p -> Some (host, p)
+            | None -> fail "--follower-of: bad port in %S" hp)
+        | None -> fail "--follower-of expects HOST:PORT, got %S" hp)
+  in
+  if aof_dir <> None && shards > 1 then
+    fail "--aof requires --shards 1: the durability log tails a single NR log";
+  if aof_dir <> None && follower <> None then
+    fail "--aof and --follower-of are mutually exclusive";
   let topo = Nr_sim.Topology.tiny in
   let module R = (val Nr_runtime.Runtime_domains.make topo) in
   (* worker threads carry runtime identities round-robin over the topology;
@@ -23,13 +50,96 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us =
       Nr_runtime.Runtime_domains.register
         ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ())
   in
-  let execute, descr, dump_shards =
+  let execute, special, on_close, descr, dump_shards =
     if shards <= 1 then begin
       let module Db = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
-      let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
-      ( Db.execute db,
-        Printf.sprintf "NR over %d replicas" (Db.num_replicas db),
-        fun _ -> () )
+      match aof_dir with
+      | None ->
+          let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
+          ( Db.execute db,
+            None,
+            (fun () -> ()),
+            Printf.sprintf "NR over %d replicas" (Db.num_replicas db),
+            fun _ -> () )
+      | Some dir ->
+          (* leader with durability: recover, seed every replica with the
+             recovered image, then tail the log into the persister *)
+          let fs = Nr_persist.Vfs.real ~root:dir in
+          let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.) in
+          let p, recovery =
+            match
+              Nr_persist.Persister.create fs ~policy ~now_ms ?snapshot_every ()
+            with
+            | Ok pr -> pr
+            | Error e -> fail "recovery failed: %s" e
+          in
+          let seed = Nr_persist.Persister.dump p in
+          let db =
+            Db.create (fun () ->
+                let s = Nr_kvstore.Store.create () in
+                (match Nr_kvstore.Store.load s seed with
+                | Ok () -> ()
+                | Error e -> fail "recovery failed: %s" e);
+                s)
+          in
+          Printf.printf
+            "recovered to position %d (snapshot %s, %d ops replayed%s)\n%!"
+            (Nr_persist.Persister.cursor p)
+            (match recovery.Nr_persist.Persister.snapshot_upto with
+            | Some u -> Printf.sprintf "up to %d" u
+            | None -> "none")
+            recovery.Nr_persist.Persister.replayed
+            (if recovery.Nr_persist.Persister.torn then ", torn tail discarded"
+             else "");
+          (* serialize log tapping + persister access; the tap runs after
+             the update executed (completed covers it) and before the reply
+             is sent, so an [always] policy means every ack is durable *)
+          let m = Mutex.create () in
+          let tap_from = ref 0 in
+          let drain_log db =
+            match Db.Unsafe.log_tap db ~from:!tap_from with
+            | Ok ops ->
+                tap_from := !tap_from + List.length ops;
+                Nr_persist.Persister.observe p ops
+            | Error oldest ->
+                (* a tap runs after every update, so lagging a full lap is
+                   a bug, not an operational state *)
+                failwith
+                  (Printf.sprintf
+                     "persistence overrun: cursor %d, log recycled below %d"
+                     !tap_from oldest)
+          in
+          let exec cmd =
+            let reply = Db.execute db cmd in
+            if not (Nr_kvstore.Command.is_read_only cmd) then begin
+              Mutex.lock m;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock m)
+                (fun () -> drain_log db)
+            end;
+            reply
+          in
+          let special cmd =
+            match cmd with
+            | Nr_kvstore.Command.Sync | Nr_kvstore.Command.Psync _ ->
+                Mutex.lock m;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock m)
+                  (fun () -> Nr_persist.Persister.handle_sync p cmd)
+            | _ -> None
+          in
+          let on_close () =
+            Mutex.lock m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock m)
+              (fun () -> Nr_persist.Persister.close p)
+          in
+          ( exec,
+            Some special,
+            on_close,
+            Printf.sprintf "NR over %d replicas, aof=%s fsync=%s"
+              (Db.num_replicas db) dir fsync,
+            fun _ -> () )
     end
     else begin
       let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
@@ -40,35 +150,101 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us =
           ()
       in
       ( Sh.execute db,
+        None,
+        (fun () -> ()),
         Printf.sprintf "%d NR shards x %d replicas" shards (R.num_nodes ()),
         fun ppf ->
           Format.fprintf ppf "shard ops: %a@." Nr_shard.Shard_stats.pp
             (Sh.stats db) )
     end
   in
-  let exec cmd =
+  let exec_registered cmd =
     register ();
     execute cmd
   in
+  (* follower mode: replicate from the leader, refuse client writes until
+     promoted (leader unreachable for --failover-after consecutive polls) *)
+  let writable = Atomic.make (follower = None) in
+  let exec cmd =
+    if
+      (not (Atomic.get writable))
+      && not (Nr_kvstore.Command.is_read_only cmd)
+    then Nr_kvstore.Command.Err "READONLY replica; writes go to the leader"
+    else exec_registered cmd
+  in
+  (match follower with
+  | None -> ()
+  | Some (host, leader_port) ->
+      ignore
+        (Thread.create
+           (fun () ->
+             let offset = ref 0 in
+             let fails = ref 0 in
+             let conn = ref None in
+             let rec loop () =
+               if Atomic.get writable then ()
+               else begin
+                 (match !conn with
+                 | None -> (
+                     match Nr_persist.Replication.connect ~host ~port:leader_port with
+                     | Ok c ->
+                         conn := Some c;
+                         fails := 0
+                     | Error _ -> incr fails)
+                 | Some c -> (
+                     match
+                       Nr_persist.Replication.poll c ~exec:exec_registered
+                         ~offset:!offset
+                     with
+                     | Ok off ->
+                         offset := off;
+                         fails := 0
+                     | Error _ ->
+                         Nr_persist.Replication.close c;
+                         conn := None;
+                         incr fails));
+                 if failover_after > 0 && !fails >= failover_after then begin
+                   Printf.eprintf
+                     "leader unreachable (%d consecutive failures): promoting \
+                      to writable at offset %d\n\
+                      %!"
+                     !fails !offset;
+                   Atomic.set writable true
+                 end
+                 else begin
+                   Thread.delay (float_of_int poll_ms /. 1000.);
+                   loop ()
+                 end
+               end
+             in
+             loop ())
+           ()))
+  |> ignore;
   let obs =
     Nr_kvstore.Kv_obs.create ~slowlog_capacity
       ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
   in
-  let server = Nr_kvstore.Server.create ~obs ~port ~workers exec in
-  Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, %s)\n%!"
+  let server = Nr_kvstore.Server.create ~obs ?special ~port ~workers exec in
+  Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, %s%s)\n%!"
     (Nr_kvstore.Server.port server)
-    workers descr;
-  (* dump latency histograms + slowlog (+ shard counters) on SIGINT *)
+    workers descr
+    (match follower with
+    | Some (h, p) -> Printf.sprintf ", follower of %s:%d" h p
+    | None -> "");
+  (* dump latency histograms + slowlog (+ shard counters) on SIGINT; flush
+     the AOF so a clean stop loses nothing even under fsync=never *)
   (try
      Sys.set_signal Sys.sigint
        (Sys.Signal_handle
           (fun _ ->
+            on_close ();
             Format.eprintf "@.# kv-server observability@.%a@."
               Nr_kvstore.Kv_obs.pp obs;
             dump_shards Format.err_formatter;
             exit 0))
    with Invalid_argument _ -> ());
-  Nr_kvstore.Server.serve server
+  Nr_kvstore.Server.serve server;
+  on_close ()
 
 let () =
   let port =
@@ -98,11 +274,58 @@ let () =
       & info [ "slowlog-threshold-us" ] ~docv:"US"
           ~doc:"Only commands at least this slow enter the slowlog.")
   in
+  let aof_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "aof" ] ~docv:"DIR"
+          ~doc:
+            "Persist to an append-only file under $(docv) (created if \
+             missing) and recover from it on start.  Requires --shards 1.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "every-n:32"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "AOF group-fsync policy: $(b,always), $(b,every-n:N), \
+             $(b,every-ms:MS) or $(b,never).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the store and compact the AOF every $(docv) logged \
+             operations (default: never).")
+  in
+  let follower_of =
+    Arg.(
+      value & opt (some string) None
+      & info [ "follower-of" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run as a read-only replica of the given leader, catching up \
+             via PSYNC log shipping.")
+  in
+  let failover_after =
+    Arg.(
+      value & opt int 0
+      & info [ "failover-after" ] ~docv:"K"
+          ~doc:
+            "Promote a follower to writable after $(docv) consecutive \
+             failed polls of the leader (0 = never promote).")
+  in
+  let poll_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "poll-interval-ms" ] ~docv:"MS"
+          ~doc:"Follower replication poll interval.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "kv-server" ~doc:"NR-backed RESP key-value server")
       Term.(
         const serve $ port $ workers $ shards $ slowlog_capacity
-        $ slowlog_threshold_us)
+        $ slowlog_threshold_us $ aof_dir $ fsync $ snapshot_every $ follower_of
+        $ failover_after $ poll_ms)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,65 @@
+(** Durability checker: after a crash and recovery, did the store come
+    back as {e some} prefix of the logged history that contains every
+    acknowledged-durable write?
+
+    The contract under test ({!Nr_persist.Persister}):
+    - the recovered state must equal a sequential replay of log positions
+      [[0, recovered_seq)] — no reordering, no partial application of an
+      op (the frame CRC makes a torn op disappear entirely);
+    - [recovered_seq] must be at least the durable watermark at the
+      moment of the crash — an op whose fsync returned (and was therefore
+      acked durable to a client) may never be lost.  Ops {e above} the
+      watermark may legitimately vanish: they were never promised.
+
+    Comparison is on {!Nr_kvstore.Store.dump} bytes, which canonicalize
+    the state (sorted keys, logical content only), so "equal dumps" is
+    exactly "observably equal stores". *)
+
+module Store = Nr_kvstore.Store
+
+type verdict =
+  | Durable
+  | Lost_acked of { acked : int; recovered_seq : int }
+      (** recovery lost writes below the durable watermark *)
+  | Divergent of { recovered_seq : int; expect : string; got : string }
+      (** recovered state is not the replay of its claimed prefix *)
+
+let pp ppf = function
+  | Durable -> Format.pp_print_string ppf "durable"
+  | Lost_acked { acked; recovered_seq } ->
+      Format.fprintf ppf "lost acked writes: durable watermark %d, recovered %d"
+        acked recovered_seq
+  | Divergent { recovered_seq; expect; got } ->
+      Format.fprintf ppf
+        "divergent at prefix %d:@ expect %d bytes %S@ got %d bytes %S"
+        recovered_seq (String.length expect)
+        (if String.length expect > 120 then String.sub expect 0 120 else expect)
+        (String.length got)
+        (if String.length got > 120 then String.sub got 0 120 else got)
+
+let is_durable = function Durable -> true | _ -> false
+
+(** Replay [logged] positions [[0, upto)] through a fresh sequential
+    store — the oracle state for that prefix.  [None] entries are
+    poisoned log slots: they occupy a position but change nothing. *)
+let oracle ~logged ~upto =
+  let store = Store.create () in
+  List.iteri
+    (fun i op ->
+      if i < upto then
+        match op with
+        | Some cmd -> ignore (Store.execute store cmd)
+        | None -> ())
+    logged;
+  store
+
+(** [check ~logged ~acked ~recovered_seq ~recovered_dump]: [logged] is
+    the full op sequence the leader ever logged (position [i] = log
+    position [i]); [acked] the durable watermark when the crash hit;
+    [recovered_seq]/[recovered_dump] what recovery reported. *)
+let check ~logged ~acked ~recovered_seq ~recovered_dump =
+  if recovered_seq < acked then Lost_acked { acked; recovered_seq }
+  else
+    let expect = Store.dump (oracle ~logged ~upto:recovered_seq) in
+    if String.equal expect recovered_dump then Durable
+    else Divergent { recovered_seq; expect; got = recovered_dump }

@@ -1080,6 +1080,14 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
                 (replay_h t ns ~upto:(Log.completed t.log) ~patience:(-1)))
         t.node_states
 
+    (* Read the resident ops in [lo, hi), oldest first; [None] marks a
+       poisoned (or concurrently recycled) entry. *)
+    let read_ops t lo hi =
+      List.init (hi - lo) (fun k ->
+          match Log.get t.log (lo + k) with
+          | Some e -> Some e.Log.op
+          | None -> None)
+
     (* The still-resident completed suffix of the log, oldest first, with
        an explicit count of entries already recycled out from under it.
        [None] elements are poisoned entries (hardened mode; never
@@ -1089,10 +1097,23 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         match upto with Some u -> u | None -> Log.completed t.log
       in
       let wrapped = max 0 (upto - Log.size t.log) in
-      ( List.init (upto - wrapped) (fun k ->
-            match Log.get t.log (wrapped + k) with
-            | Some e -> Some e.Log.op
-            | None -> None),
-        wrapped )
+      (read_ops t wrapped upto, wrapped)
+
+    (* Monotonic cursor over the completed prefix: the shared tap the AOF
+       writer and the follower shipper advance instead of re-scanning from
+       the head.  The lap check brackets the read — entries the appenders
+       recycled mid-read would surface as [None], so the tail is re-read
+       afterwards and the whole batch rejected if the cursor was overrun. *)
+    let log_tap ?upto t ~from =
+      let upto =
+        match upto with Some u -> u | None -> Log.completed t.log
+      in
+      let oldest = max 0 (Log.tail t.log - Log.size t.log) in
+      if from < oldest then Error oldest
+      else begin
+        let ops = read_ops t from upto in
+        let oldest' = max 0 (Log.tail t.log - Log.size t.log) in
+        if from < oldest' then Error oldest' else Ok ops
+      end
   end
 end

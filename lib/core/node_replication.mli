@@ -71,5 +71,26 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) : sig
         wraps).  A [None] element is a poisoned or unresolved entry —
         skipped identically by every replica; only possible in liveness
         mode. *)
+
+    val log_tap : ?upto:int -> t -> from:int -> (Seq.op option list, int) result
+    (** Monotonic cursor over the completed prefix — the change-feed API
+        shared by the AOF writer and follower log shipping.  [Ok ops] are
+        the operations at log positions [[from, upto)] (default [upto]:
+        the completed prefix), oldest first; the caller's next cursor is
+        [from + List.length ops].  [None] elements are poisoned entries,
+        exactly as in {!log_entries}.
+
+        {b Wrap/lap semantics.}  The log is a ring of [Config.log_size]
+        entries: position [i] lives in slot [i mod size] and is recycled
+        once the tail passes [i + size].  A tap that lags the appenders by
+        more than one lap therefore finds its entries gone; such calls
+        return [Error oldest], where [oldest] is the lowest position still
+        resident — the tapper must resynchronize (e.g. snapshot the
+        structure) and restart from a cursor [>= oldest].  The lap check
+        brackets the read, so a batch the appenders overran mid-read is
+        rejected rather than silently returned with recycled holes.
+        Unlike the rest of this module, [log_tap] is safe concurrently
+        with in-flight operations: it only reads entries below the
+        completed prefix, which are immutable until recycled. *)
   end
 end

@@ -1,0 +1,156 @@
+(** Durability experiments (no paper counterpart — persistence PR).
+
+    Panel (a) prices the group-commit knob: logging a fixed op stream
+    through the persister over real files, sweeping the fsync batch size
+    (x = 1 is [always]; the largest x approximates [never] over the run).
+    Group fsync is where a durable NR server buys its throughput back —
+    each fsync is orders of magnitude costlier than an append, so
+    batching N acks per fsync trades a bounded window of unacked-durable
+    writes for N-fold fewer barriers.
+
+    Panel (b) prices recovery: replaying an AOF of x ops back into a
+    store, with and without a snapshot covering most of the prefix.
+    Snapshot + suffix replay is the compaction argument in one figure —
+    recovery work tracks the {e suffix} length, not history length. *)
+
+module Command = Nr_kvstore.Command
+
+let batch_axis = [ 1; 8; 32; 128; 1024 ]
+let log_len = 20_000
+let recovery_axis = [ 2_000; 10_000; 50_000 ]
+
+(* A mixed SET/ZADD stream over a bounded keyspace, deterministic. *)
+let op i =
+  if i mod 4 = 0 then Command.Zadd ("z" ^ string_of_int (i mod 64), i mod 1000, i)
+  else Command.Set ("k" ^ string_of_int (i mod 512), string_of_int i)
+
+let fresh_dir () =
+  let f = Filename.temp_file "nr_durable" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let cleanup dir =
+  (try Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.)
+
+let with_persister ?snapshot_every ~policy f =
+  let dir = fresh_dir () in
+  let fs = Nr_persist.Vfs.real ~root:dir in
+  let r =
+    match Nr_persist.Persister.create fs ~policy ~now_ms ?snapshot_every () with
+    | Ok (p, _) ->
+        let r = f dir fs p in
+        Nr_persist.Persister.close p;
+        r
+    | Error e -> failwith e
+  in
+  cleanup dir;
+  r
+
+(* ops/us logging [log_len] ops under the given fsync batch size *)
+let log_throughput ~batch ~snapshot_every =
+  let policy =
+    if batch = 1 then Nr_persist.Aof.Always else Nr_persist.Aof.Every_n batch
+  in
+  with_persister ?snapshot_every ~policy (fun _ _ p ->
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to log_len - 1 do
+        Nr_persist.Persister.observe p [ Some (op i) ]
+      done;
+      Nr_persist.Persister.sync p;
+      let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      float_of_int log_len /. dt_us)
+
+(* recovery wall-time in ms for an [n]-op history *)
+let recovery_ms ~n ~snapshot_every =
+  let dir = fresh_dir () in
+  let fs = Nr_persist.Vfs.real ~root:dir in
+  (match
+     Nr_persist.Persister.create fs ~policy:(Nr_persist.Aof.Every_n 256) ~now_ms
+       ?snapshot_every ()
+   with
+  | Ok (p, _) ->
+      for i = 0 to n - 1 do
+        Nr_persist.Persister.observe p [ Some (op i) ]
+      done;
+      Nr_persist.Persister.close p
+  | Error e -> failwith e);
+  let t0 = Unix.gettimeofday () in
+  (match Nr_persist.Persister.create fs ~policy:Nr_persist.Aof.Never ~now_ms ()
+   with
+  | Ok (p, _) -> Nr_persist.Persister.close p
+  | Error e -> failwith e);
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  cleanup dir;
+  ms
+
+let fsync_figure (_ : Params.t) =
+  let series =
+    [
+      {
+        Table.label = "aof";
+        points =
+          List.map
+            (fun b -> Table.pt b (log_throughput ~batch:b ~snapshot_every:None))
+            batch_axis;
+      };
+      {
+        Table.label = "aof+snap";
+        points =
+          List.map
+            (fun b ->
+              Table.pt b
+                (log_throughput ~batch:b ~snapshot_every:(Some 4096)))
+            batch_axis;
+      };
+    ]
+  in
+  {
+    Table.id = "durable-a";
+    title = "fsync batch size vs logged-op throughput (real files)";
+    x_label = "acks/fsync";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf "%d mixed SET/ZADD ops per point; x=1 is fsync=always"
+          log_len;
+        "aof+snap also snapshots + compacts every 4096 ops";
+      ];
+  }
+
+let recovery_figure (_ : Params.t) =
+  let series =
+    [
+      {
+        Table.label = "aof-only";
+        points =
+          List.map
+            (fun n -> Table.pt n (recovery_ms ~n ~snapshot_every:None))
+            recovery_axis;
+      };
+      {
+        Table.label = "snap+suffix";
+        points =
+          List.map
+            (fun n ->
+              Table.pt n (recovery_ms ~n ~snapshot_every:(Some 4096)))
+            recovery_axis;
+      };
+    ]
+  in
+  {
+    Table.id = "durable-b";
+    title = "recovery time vs history length";
+    x_label = "ops logged";
+    y_label = "ms";
+    series;
+    notes =
+      [ "snap+suffix recovers from the latest snapshot plus the AOF suffix" ];
+  }
+
+let figures params = [ fsync_figure params; recovery_figure params ]

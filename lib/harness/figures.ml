@@ -81,6 +81,11 @@ let groups =
       description = "sharded NR: shard count x threads x update ratio";
       run = (fun p -> print_figures (Exp_shard.figures p));
     };
+    {
+      id = "durable";
+      description = "durability: fsync batching and recovery cost";
+      run = (fun p -> print_figures (Exp_durable.figures p));
+    };
   ]
 
 let ids () = List.map (fun g -> g.id) groups

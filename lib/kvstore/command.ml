@@ -30,6 +30,10 @@ type t =
   | Slowlog_get
   | Slowlog_reset
   | Slowlog_len
+  | Sync  (** full resynchronization: snapshot stream + replication offset *)
+  | Psync of int
+      (** partial resync from a replication offset; the leader answers
+          with a CONTINUE frame batch or demotes to a full resync *)
 
 type reply =
   | Ok_reply
@@ -42,16 +46,16 @@ type reply =
 
 let is_read_only = function
   | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
-  | Mget _ | Dbsize | Slowlog_get | Slowlog_len ->
+  | Mget _ | Dbsize | Slowlog_get | Slowlog_len | Sync | Psync _ ->
       true
   | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
   | Mset _ | Flushall | Slowlog_reset ->
       false
 
-(** Commands answered by the serving layer itself (observability), never
-    routed through the replicated store. *)
+(** Commands answered by the serving layer itself (observability,
+    replication), never routed through the replicated store. *)
 let is_server_local = function
-  | Slowlog_get | Slowlog_reset | Slowlog_len -> true
+  | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ -> true
   | _ -> false
 
 let pp ppf = function
@@ -78,6 +82,8 @@ let pp ppf = function
   | Slowlog_get -> Format.pp_print_string ppf "SLOWLOG GET"
   | Slowlog_reset -> Format.pp_print_string ppf "SLOWLOG RESET"
   | Slowlog_len -> Format.pp_print_string ppf "SLOWLOG LEN"
+  | Sync -> Format.pp_print_string ppf "SYNC"
+  | Psync off -> Format.fprintf ppf "PSYNC %d" off
 
 let rec pp_reply ppf = function
   | Ok_reply -> Format.pp_print_string ppf "OK"
@@ -153,6 +159,10 @@ let of_strings tokens =
   | [ "slowlog"; "get" ], _ -> Ok Slowlog_get
   | [ "slowlog"; "reset" ], _ -> Ok Slowlog_reset
   | [ "slowlog"; "len" ], _ -> Ok Slowlog_len
+  | [ "sync" ], _ -> Ok Sync
+  | [ "psync"; _ ], [ _; off ] ->
+      let* off = int off in
+      Ok (Psync off)
   | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
   | [], _ -> Error "empty command"
 
@@ -181,3 +191,5 @@ let to_strings = function
   | Slowlog_get -> [ "SLOWLOG"; "GET" ]
   | Slowlog_reset -> [ "SLOWLOG"; "RESET" ]
   | Slowlog_len -> [ "SLOWLOG"; "LEN" ]
+  | Sync -> [ "SYNC" ]
+  | Psync off -> [ "PSYNC"; string_of_int off ]

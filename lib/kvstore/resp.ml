@@ -76,17 +76,41 @@ let parse_request ?(pos = 0) (s : string) : parse_result =
         else Parsed (tokens, e + 2 - pos)
   end
 
-let rec encode_reply (r : Command.reply) : string =
+(** Streaming reply encoder: appends to [buf] without intermediate
+    strings, so megabyte-sized binary-safe bulk payloads (snapshot
+    streams, shipped log frame batches) cost one buffer grow instead of
+    the O(n^2) concatenation the naive nested encoder would pay.  Bulk
+    strings are length-prefixed, never scanned — any byte value,
+    including CR, LF and NUL, passes through verbatim. *)
+let rec encode_reply_buf buf (r : Command.reply) : unit =
   match r with
-  | Command.Ok_reply -> "+OK" ^ crlf
-  | Command.Pong -> "+PONG" ^ crlf
-  | Command.Int n -> Printf.sprintf ":%d%s" n crlf
-  | Command.Bulk s -> Printf.sprintf "$%d%s%s%s" (String.length s) crlf s crlf
-  | Command.Nil -> "$-1" ^ crlf
-  | Command.Err e -> Printf.sprintf "-ERR %s%s" e crlf
+  | Command.Ok_reply -> Buffer.add_string buf "+OK\r\n"
+  | Command.Pong -> Buffer.add_string buf "+PONG\r\n"
+  | Command.Int n ->
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_string buf crlf
+  | Command.Bulk s ->
+      Buffer.add_char buf '$';
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_string buf crlf;
+      Buffer.add_string buf s;
+      Buffer.add_string buf crlf
+  | Command.Nil -> Buffer.add_string buf "$-1\r\n"
+  | Command.Err e ->
+      Buffer.add_string buf "-ERR ";
+      Buffer.add_string buf e;
+      Buffer.add_string buf crlf
   | Command.Array rs ->
-      Printf.sprintf "*%d%s%s" (List.length rs) crlf
-        (String.concat "" (List.map encode_reply rs))
+      Buffer.add_char buf '*';
+      Buffer.add_string buf (string_of_int (List.length rs));
+      Buffer.add_string buf crlf;
+      List.iter (encode_reply_buf buf) rs
+
+let encode_reply (r : Command.reply) : string =
+  let buf = Buffer.create 64 in
+  encode_reply_buf buf r;
+  Buffer.contents buf
 
 type reply_result =
   | RParsed of Command.reply * int  (** reply, bytes consumed *)

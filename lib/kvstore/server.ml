@@ -1,7 +1,9 @@
 (** A small RESP-speaking TCP front end.  Connections are handed to the
     worker pool; every parsed command goes through a caller-supplied
     executor, so the same server runs over an NR-wrapped store, a
-    lock-wrapped store, or a bare one (single worker).
+    lock-wrapped store, or a bare one (single worker).  Server-local
+    commands (replication SYNC/PSYNC, observability) can be intercepted by
+    an optional [special] handler before they reach the executor.
 
     The paper bypasses the RPC layer when measuring (§8.3) — this server
     exists for the runnable example, not for the benchmarks. *)
@@ -10,72 +12,150 @@ type t = {
   sock : Unix.file_descr;
   pool : Thread_pool.t;
   exec : Command.t -> Command.reply;
+  special : (Command.t -> Command.reply option) option;
   obs : Kv_obs.t option;
   mutable stop : bool;
+  (* connection registry for shutdown: long-lived handlers (a follower's
+     replication link stays open for the server's whole life) block in
+     [Unix.read]; joining the pool without first breaking those reads
+     deadlocks shutdown.  [conns] tracks every live client socket and
+     [inflight] counts replies mid-write, so shutdown can drain the
+     writes, then shut the sockets down to unblock the reads. *)
+  conns_mutex : Mutex.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  mutable inflight : int;
 }
 
 (* SLOWLOG and friends are answered here, not by the replicated store;
    everything else is timed around the executor when observability is on. *)
 let run_command t cmd =
-  match t.obs with
-  | None -> t.exec cmd
-  | Some obs -> (
-      match cmd with
-      | Command.Slowlog_get -> Kv_obs.slowlog_reply obs
-      | Command.Slowlog_len ->
-          Command.Int (Nr_obs.Slowlog.length (Kv_obs.slowlog obs))
-      | Command.Slowlog_reset ->
-          Nr_obs.Slowlog.reset (Kv_obs.slowlog obs);
-          Command.Ok_reply
-      | cmd ->
-          let t0 = Nr_obs.Clock.now_ns () in
-          let reply = t.exec cmd in
-          Kv_obs.observe obs cmd ~duration_ns:(Nr_obs.Clock.elapsed_ns ~since:t0);
-          reply)
+  match
+    match t.special with Some f -> f cmd | None -> None
+  with
+  | Some reply -> reply
+  | None -> (
+      match t.obs with
+      | None -> t.exec cmd
+      | Some obs -> (
+          match cmd with
+          | Command.Slowlog_get -> Kv_obs.slowlog_reply obs
+          | Command.Slowlog_len ->
+              Command.Int (Nr_obs.Slowlog.length (Kv_obs.slowlog obs))
+          | Command.Slowlog_reset ->
+              Nr_obs.Slowlog.reset (Kv_obs.slowlog obs);
+              Command.Ok_reply
+          | cmd ->
+              let t0 = Nr_obs.Clock.now_ns () in
+              let reply = t.exec cmd in
+              Kv_obs.observe obs cmd
+                ~duration_ns:(Nr_obs.Clock.elapsed_ns ~since:t0);
+              reply))
 
-let handle_connection t client =
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 4096 in
-  let rec serve () =
-    (* parse as many complete requests as the buffer holds *)
-    let rec drain () =
-      let data = Buffer.contents buf in
-      match Resp.parse_request data with
-      | Resp.Parsed (tokens, consumed) ->
-          let reply =
-            match Command.of_strings tokens with
-            | Ok cmd -> run_command t cmd
-            | Error e -> Command.Err e
-          in
-          let rest = String.sub data consumed (String.length data - consumed) in
-          Buffer.clear buf;
-          Buffer.add_string buf rest;
-          let out = Bytes.of_string (Resp.encode_reply reply) in
-          let _ = Unix.write client out 0 (Bytes.length out) in
-          drain ()
-      | Resp.Incomplete -> true
-      | Resp.Invalid e ->
-          let out = Bytes.of_string (Resp.encode_reply (Command.Err e)) in
-          let _ = Unix.write client out 0 (Bytes.length out) in
-          false
-    in
-    if drain () then begin
-      let n = Unix.read client chunk 0 (Bytes.length chunk) in
-      if n > 0 then begin
-        Buffer.add_subbytes buf chunk 0 n;
-        serve ()
-      end
+(* Replies can be far larger than one [Unix.write] accepts (snapshot
+   streams, shipped frame batches): loop until every byte is out. *)
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      if n > 0 then go (off + n)
     end
   in
-  (try serve () with Unix.Unix_error _ | End_of_file -> ());
-  try Unix.close client with Unix.Unix_error _ -> ()
+  go 0
 
-let create ?obs ~port ~workers exec =
+let register_conn t client =
+  Mutex.lock t.conns_mutex;
+  let accepted = not t.stop in
+  if accepted then Hashtbl.replace t.conns client ();
+  Mutex.unlock t.conns_mutex;
+  accepted
+
+let deregister_conn t client =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns client;
+  Mutex.unlock t.conns_mutex
+
+(* Bracket a reply write so shutdown can wait for in-flight replies —
+   a streaming reply is never cut off mid-frame by closing the socket
+   under it. *)
+let send_reply t client reply =
+  Mutex.lock t.conns_mutex;
+  t.inflight <- t.inflight + 1;
+  Mutex.unlock t.conns_mutex;
+  let finally () =
+    Mutex.lock t.conns_mutex;
+    t.inflight <- t.inflight - 1;
+    Mutex.unlock t.conns_mutex
+  in
+  match
+    let buf = Buffer.create 64 in
+    Resp.encode_reply_buf buf reply;
+    write_all client (Buffer.to_bytes buf)
+  with
+  | () -> finally ()
+  | exception e ->
+      finally ();
+      raise e
+
+let handle_connection t client =
+  if not (register_conn t client) then begin
+    try Unix.close client with Unix.Unix_error _ -> ()
+  end
+  else begin
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec serve () =
+      (* parse as many complete requests as the buffer holds *)
+      let rec drain () =
+        let data = Buffer.contents buf in
+        match Resp.parse_request data with
+        | Resp.Parsed (tokens, consumed) ->
+            let reply =
+              match Command.of_strings tokens with
+              | Ok cmd -> run_command t cmd
+              | Error e -> Command.Err e
+            in
+            let rest =
+              String.sub data consumed (String.length data - consumed)
+            in
+            Buffer.clear buf;
+            Buffer.add_string buf rest;
+            send_reply t client reply;
+            drain ()
+        | Resp.Incomplete -> true
+        | Resp.Invalid e ->
+            send_reply t client (Command.Err e);
+            false
+      in
+      if drain () then begin
+        let n = Unix.read client chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          serve ()
+        end
+      end
+    in
+    (try serve () with Unix.Unix_error _ | End_of_file -> ());
+    deregister_conn t client;
+    try Unix.close client with Unix.Unix_error _ -> ()
+  end
+
+let create ?obs ?special ~port ~workers exec =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen sock 64;
-  { sock; pool = Thread_pool.create ~workers (); exec; obs; stop = false }
+  {
+    sock;
+    pool = Thread_pool.create ~workers ();
+    exec;
+    special;
+    obs;
+    stop = false;
+    conns_mutex = Mutex.create ();
+    conns = Hashtbl.create 16;
+    inflight = 0;
+  }
 
 let obs t = t.obs
 let pool_stats t = Thread_pool.stats t.pool
@@ -111,7 +191,9 @@ let serve t =
 
 let shutdown t =
   let p = try Some (port t) with Invalid_argument _ -> None in
+  Mutex.lock t.conns_mutex;
   t.stop <- true;
+  Mutex.unlock t.conns_mutex;
   (* closing a listening socket does not reliably wake a blocked accept();
      poke it with a throwaway connection first *)
   (match p with
@@ -124,4 +206,28 @@ let shutdown t =
       with Unix.Unix_error _ -> ())
   | None -> ());
   (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (* drain in-flight replies (bounded wait: a reply stuck on a dead peer
+     must not wedge shutdown), then break every lingering connection's
+     blocked read so its handler can exit — otherwise joining the pool
+     deadlocks behind a follower's long-lived replication link *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec wait_drained () =
+    Mutex.lock t.conns_mutex;
+    let busy = t.inflight > 0 in
+    if busy && Unix.gettimeofday () < deadline then begin
+      Mutex.unlock t.conns_mutex;
+      Thread.yield ();
+      wait_drained ()
+    end
+    else begin
+      (* still holding the mutex: no new reply can begin (stop is set and
+         registration is refused), so the sweep below is complete *)
+      Hashtbl.iter
+        (fun fd () ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns;
+      Mutex.unlock t.conns_mutex
+    end
+  in
+  wait_drained ();
   Thread_pool.shutdown t.pool

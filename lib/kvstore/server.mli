@@ -6,14 +6,24 @@
 type t
 
 val create :
-  ?obs:Kv_obs.t -> port:int -> workers:int -> (Command.t -> Command.reply) -> t
+  ?obs:Kv_obs.t ->
+  ?special:(Command.t -> Command.reply option) ->
+  port:int ->
+  workers:int ->
+  (Command.t -> Command.reply) ->
+  t
 (** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the worker
     pool.  Does not start accepting; call {!serve}.
 
     With [obs], every executed command is timed into the observability
     state and the SLOWLOG GET/RESET/LEN commands are answered by the
     server itself (they never reach the store).  Without it, SLOWLOG
-    commands fall through to the executor. *)
+    commands fall through to the executor.
+
+    [special] runs before everything else on each parsed command; a
+    [Some reply] answers the command at the serving layer (replication
+    SYNC/PSYNC, custom introspection), [None] falls through to the
+    normal path.  It is called from worker threads concurrently. *)
 
 val obs : t -> Kv_obs.t option
 
@@ -29,4 +39,8 @@ val serve : t -> unit
 (** Accept loop; returns after {!shutdown} is called from another thread. *)
 
 val shutdown : t -> unit
-(** Stop accepting, close the listening socket and join the workers. *)
+(** Stop accepting, close the listening socket, drain in-flight replies
+    (bounded wait), break any lingering connections' blocked reads and
+    join the workers.  Safe with long-lived client connections — e.g. a
+    follower's replication link — which previously deadlocked the join
+    behind their blocked [read]. *)

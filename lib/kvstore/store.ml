@@ -122,6 +122,8 @@ let rec execute t (cmd : op) : result =
       (* answered by the serving layer; a store reached directly (tests,
          bare executors) reports the misrouting instead of crashing *)
       Err "SLOWLOG is handled by the server"
+  | Sync | Psync _ ->
+      Err "SYNC is handled by the server"
   | Flushall ->
       let keys =
         Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace []
@@ -172,11 +174,74 @@ let footprint t (cmd : op) =
       Nr_runtime.Footprint.v ~key:(Hashtbl.hash ps)
         ~reads:(2 * List.length ps)
         ~writes:(List.length ps) ()
-  | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len ->
+  | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ ->
       Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
   | Flushall ->
       Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize t) ~writes:(dbsize t)
         ~hot_write:true ()
+
+(* {2 Snapshot codec} — the store serialized as the command stream that
+   rebuilds it: one RESP-encoded SET per string key, one ZADD per sorted-set
+   member, keys in lexicographic order so the bytes depend only on the
+   logical content (never on hash-table iteration order).  This is the
+   payload of durability snapshots and of replication full resyncs; being
+   plain RESP requests, [load] is just the ordinary parse + execute path. *)
+
+let dump t =
+  let buf = Buffer.create 256 in
+  let keys =
+    List.sort compare
+      (Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace [])
+  in
+  List.iter
+    (fun k ->
+      match Nr_seqds.Hashtable.find t.keyspace k with
+      | Some (Str v) -> Buffer.add_string buf (Resp.encode_request [ "SET"; k; v ])
+      | Some (Zset z) ->
+          List.iter
+            (fun (m, s) ->
+              Buffer.add_string buf
+                (Resp.encode_request
+                   [ "ZADD"; k; string_of_int s; string_of_int m ]))
+            (Zset.to_list z)
+      | None -> ())
+    keys;
+  Buffer.contents buf
+
+(** Replay a {!dump} stream into [t] (which need not be empty: replication
+    full resyncs flush first, recovery starts from a fresh store). *)
+let load t s =
+  let n = String.length s in
+  let rec go pos =
+    if pos >= n then Ok ()
+    else
+      match Resp.parse_request ~pos s with
+      | Resp.Parsed (tokens, consumed) -> (
+          match Command.of_strings tokens with
+          | Ok cmd ->
+              ignore (execute t cmd);
+              go (pos + consumed)
+          | Error e -> Error (Printf.sprintf "snapshot stream: %s" e))
+      | Resp.Incomplete -> Error "snapshot stream: truncated"
+      | Resp.Invalid e -> Error (Printf.sprintf "snapshot stream: %s" e)
+  in
+  go 0
+
+(** Logical fingerprint (FNV-1a over {!dump}): equal iff the stores hold
+    the same keys, values and sorted sets — independent of the physical
+    layout, so a replica rebuilt by replaying a shipped log fingerprints
+    identically to the original. *)
+let fingerprint t =
+  let s = dump t in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
 
 let lines t =
   let zset_lines =

@@ -1,0 +1,224 @@
+(** The append-only file: framed, checksummed operations streamed off the
+    NR shared log's completed prefix, with group fsync.
+
+    File layout: one {!Frame.Header} frame carrying the {e base} — the log
+    position of the first op frame — followed by 'O' (op) and 'N'
+    (poisoned no-op) frames at consecutive positions.  The durability
+    watermark ([durable_seq]) advances only when an fsync returns: entries
+    in [[base, durable_seq)] survive any crash, entries above ride the
+    page cache and may be lost or torn (the CRC catches the tear on
+    recovery).
+
+    Fsync batching is the classic group-commit knob:
+    - [Always]: fsync after every append — every reply is durable;
+    - [Every_n n]: fsync once per [n] appends;
+    - [Every_ms m]: fsync when [m] milliseconds passed since the last;
+    - [Never]: leave it to snapshots and clean shutdown. *)
+
+type fsync_policy = Always | Every_n of int | Every_ms of int | Never
+
+let pp_policy ppf = function
+  | Always -> Format.pp_print_string ppf "always"
+  | Every_n n -> Format.fprintf ppf "every-n:%d" n
+  | Every_ms m -> Format.fprintf ppf "every-ms:%d" m
+  | Never -> Format.pp_print_string ppf "never"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Ok Always
+  | "never" | "no" -> Ok Never
+  | s -> (
+      let num prefix =
+        let p = String.length prefix in
+        if String.length s > p && String.sub s 0 p = prefix then
+          int_of_string_opt (String.sub s p (String.length s - p))
+        else None
+      in
+      match (num "every-n:", num "every-ms:") with
+      | Some n, _ when n > 0 -> Ok (Every_n n)
+      | _, Some m when m > 0 -> Ok (Every_ms m)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad fsync policy %S (always|every-n:N|every-ms:MS|never)" s))
+
+type t = {
+  fs : Vfs.t;
+  name : string;
+  policy : fsync_policy;
+  now_ms : unit -> int;
+  mutable file : Vfs.file;
+  mutable base : int;
+  mutable next_seq : int;  (** position the next appended op will take *)
+  mutable durable_seq : int;  (** positions below this are fsynced *)
+  mutable unsynced : int;
+  mutable last_sync_ms : int;
+  mutable fsyncs : int;  (** fsync calls issued, for benches *)
+}
+
+let base t = t.base
+let next_seq t = t.next_seq
+let durable_seq t = t.durable_seq
+let fsyncs t = t.fsyncs
+
+let sync t =
+  if t.unsynced > 0 || t.durable_seq < t.next_seq then begin
+    t.file.Vfs.fsync ();
+    t.fsyncs <- t.fsyncs + 1;
+    t.durable_seq <- t.next_seq;
+    t.unsynced <- 0;
+    t.last_sync_ms <- t.now_ms ()
+  end
+
+let maybe_sync t =
+  match t.policy with
+  | Always -> sync t
+  | Every_n n -> if t.unsynced >= n then sync t
+  | Every_ms m -> if t.now_ms () - t.last_sync_ms >= m then sync t
+  | Never -> ()
+
+(** Append one operation payload at the next position; applies the fsync
+    policy.  A [None] payload appends a no-op frame, keeping positions
+    aligned with a log that contains poisoned entries. *)
+let append t payload =
+  let frame =
+    match payload with
+    | Some p -> Frame.encode ~kind:Frame.Op ~seq:t.next_seq p
+    | None -> Frame.encode ~kind:Frame.Noop ~seq:t.next_seq ""
+  in
+  t.file.Vfs.append frame;
+  t.next_seq <- t.next_seq + 1;
+  t.unsynced <- t.unsynced + 1;
+  maybe_sync t
+
+(** What a scan of the AOF bytes recovered. *)
+type scanned = {
+  s_base : int;
+  s_entries : string option list;
+      (** payloads at positions [s_base + i]; [None] = no-op frame *)
+  s_valid_len : int;
+  s_torn : bool;
+}
+
+(** Scan AOF bytes into the intact, position-contiguous prefix.  A torn
+    tail (crash mid-write) and any out-of-sequence garbage after it are
+    discarded; a file without a valid header is reported as an error. *)
+let scan_bytes bytes =
+  let { Frame.frames; valid_len; torn } = Frame.scan bytes in
+  match frames with
+  | (Frame.Header, base, fmt) :: rest when fmt = Frame.aof_format ->
+      (* keep the longest prefix at consecutive positions; anything else
+         is treated as a tear at that point *)
+      let rec take acc expected consumed_len = function
+        | (Frame.Op, seq, payload) :: tl when seq = expected ->
+            take (Some payload :: acc) (expected + 1)
+              (consumed_len
+              + Frame.header_bytes + String.length payload)
+              tl
+        | (Frame.Noop, seq, _) :: tl when seq = expected ->
+            take (None :: acc) (expected + 1)
+              (consumed_len + Frame.header_bytes)
+              tl
+        | [] -> (List.rev acc, consumed_len, torn)
+        | _ :: _ -> (List.rev acc, consumed_len, true)
+      in
+      let header_len = Frame.header_bytes + String.length fmt in
+      let entries, consumed, torn = take [] base header_len rest in
+      ignore valid_len;
+      Ok { s_base = base; s_entries = entries; s_valid_len = consumed; s_torn = torn }
+  | [] when bytes = "" && not torn ->
+      Error `Empty
+  | _ -> Error `Bad_header
+
+(** Open (or create) the AOF under [fs], recovering its intact contents.
+    A torn tail is truncated away — the file is atomically rewritten to
+    its valid prefix before appends resume, so a recovered tear can never
+    shadow later appends.  [start] gives the base for a fresh file. *)
+let open_ fs ~name ~policy ~now_ms ~start =
+  let fresh base =
+    let header = Frame.encode ~kind:Frame.Header ~seq:base Frame.aof_format in
+    fs.Vfs.write_atomic name header;
+    let file = fs.Vfs.open_append name in
+    ( {
+        fs;
+        name;
+        policy;
+        now_ms;
+        file;
+        base;
+        next_seq = base;
+        durable_seq = base;
+        unsynced = 0;
+        last_sync_ms = now_ms ();
+        fsyncs = 0;
+      },
+      { s_base = base; s_entries = []; s_valid_len = 0; s_torn = false } )
+  in
+  match fs.Vfs.read_file name with
+  | None -> Ok (fresh start)
+  | Some bytes -> (
+      match scan_bytes bytes with
+      | Error `Empty -> Ok (fresh start)
+      | Error `Bad_header -> Error "aof: invalid header"
+      | Ok sc ->
+          if sc.s_torn || sc.s_valid_len < String.length bytes then
+            (* truncate the tear before appending over it *)
+            fs.Vfs.write_atomic name (String.sub bytes 0 sc.s_valid_len);
+          let file = fs.Vfs.open_append name in
+          let next = sc.s_base + List.length sc.s_entries in
+          Ok
+            ( {
+                fs;
+                name;
+                policy;
+                now_ms;
+                file;
+                base = sc.s_base;
+                next_seq = next;
+                durable_seq = next;
+                unsynced = 0;
+                last_sync_ms = now_ms ();
+                fsyncs = 0;
+              },
+              sc ))
+
+(** Atomically replace the AOF with a fresh one based at [base] —
+    compaction after a snapshot covering everything below [base]. *)
+let rotate t ~base =
+  t.file.Vfs.close ();
+  let header = Frame.encode ~kind:Frame.Header ~seq:base Frame.aof_format in
+  t.fs.Vfs.write_atomic t.name header;
+  t.file <- t.fs.Vfs.open_append t.name;
+  t.base <- base;
+  t.next_seq <- base;
+  t.durable_seq <- base;
+  t.unsynced <- 0;
+  t.last_sync_ms <- t.now_ms ()
+
+let close t =
+  sync t;
+  t.file.Vfs.close ()
+
+(** Re-read the on-disk (process view) frames in [[from, next_seq)] —
+    the leader side of PSYNC catch-up reads shipped entries back off its
+    own AOF rather than keeping a second in-memory copy. *)
+let read_frames t ~from =
+  if from < t.base then Error t.base
+  else
+    match t.fs.Vfs.read_file t.name with
+    | None -> Error t.base
+    | Some bytes -> (
+        match scan_bytes bytes with
+        | Error _ -> Error t.base
+        | Ok sc ->
+            let buf = Buffer.create 256 in
+            List.iteri
+              (fun i payload ->
+                let seq = sc.s_base + i in
+                if seq >= from then
+                  Buffer.add_string buf
+                    (match payload with
+                    | Some p -> Frame.encode ~kind:Frame.Op ~seq p
+                    | None -> Frame.encode ~kind:Frame.Noop ~seq ""))
+              sc.s_entries;
+            Ok (Buffer.contents buf))

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+    checksum of the append-only file.  Pure OCaml, table-driven; values
+    fit in 32 bits of a native [int]. *)
+
+val digest : string -> int
+(** CRC of the whole string ([digest "123456789" = 0xCBF43926]). *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Extend a running CRC with a substring; [update 0 s ~pos:0
+    ~len:(String.length s) = digest s]. *)

@@ -1,0 +1,207 @@
+(** The durability engine: tails the NR shared log's completed prefix
+    into an append-only file, maintains a {e shadow replica} for exact
+    snapshots, recovers after a crash, and serves the leader side of
+    log-shipping replication.
+
+    {2 Shadow replica}
+
+    Snapshots must be bound to an exact log position, but an NR replica
+    can never be dumped at one — combiners on other nodes advance it
+    concurrently.  Instead the persister replays every tapped op into its
+    own private sequential {!Nr_kvstore.Store}.  The shadow is exactly
+    the state after positions [[0, cursor)], so dumping it {e is} a
+    consistent cut, with no quiescing of the concurrent instance.  This
+    is NR's black-box property paying for itself a second time: the same
+    op stream that builds per-node replicas builds the durable one.
+
+    {2 Crash-safe compaction}
+
+    [snapshot_now] orders: dump shadow at [cursor] → [write_atomic] the
+    snapshot (covers everything below [cursor], hence every entry in the
+    AOF) → replace the AOF with a fresh one based at [cursor].  A crash
+    at any interleaving leaves either the old pair intact or the new
+    snapshot with the old (wholly covered, merely redundant) AOF.
+
+    {2 Recovery invariant}
+
+    [create] rebuilds: load snapshot (if any) into a fresh shadow, replay
+    the AOF suffix above it, discard the torn tail by checksum, and
+    rewrite the file so the tear can never shadow later appends.  The
+    recovered state equals a sequential replay of positions
+    [[0, cursor)] — the property the crash-recovery qcheck sweep checks
+    against the oracle.
+
+    The persister is not thread-safe: callers serialise [observe],
+    [handle_sync] and [snapshot_now] externally (the server wraps them in
+    one mutex). *)
+
+module Store = Nr_kvstore.Store
+module Command = Nr_kvstore.Command
+module Resp = Nr_kvstore.Resp
+
+type t = {
+  fs : Vfs.t;
+  aof : Aof.t;
+  shadow : Store.t;
+  snapshot_every : int option;
+  mutable since_snapshot : int;
+}
+
+let aof_file = "aof"
+
+(** Serialised form of one log entry: the command re-encoded as a RESP
+    request — the same bytes a client would send, so replay is the
+    ordinary parse + execute path and the stream is client-debuggable. *)
+let encode_op cmd = Resp.encode_request (Command.to_strings cmd)
+
+let decode_op payload =
+  match Resp.parse_request payload with
+  | Resp.Parsed (tokens, _) -> Command.of_strings tokens
+  | Resp.Incomplete -> Error "op payload: truncated"
+  | Resp.Invalid e -> Error ("op payload: " ^ e)
+
+let apply_payload shadow payload =
+  match decode_op payload with
+  | Ok cmd ->
+      ignore (Store.execute shadow cmd);
+      Ok ()
+  | Error e -> Error e
+
+(** What recovery found, for logs and tests. *)
+type recovery = {
+  snapshot_upto : int option;  (** covered prefix of the loaded snapshot *)
+  replayed : int;  (** AOF entries applied on top of it *)
+  torn : bool;  (** a torn AOF tail was discarded *)
+}
+
+let create fs ~policy ~now_ms ?snapshot_every () =
+  let ( let* ) = Result.bind in
+  let* snap = Snapshot.load fs in
+  let shadow = Store.create () in
+  let* shadow_seq =
+    match snap with
+    | None -> Ok 0
+    | Some (upto, dump) ->
+        let* () = Store.load shadow dump in
+        Ok upto
+  in
+  let* aof, scanned =
+    Aof.open_ fs ~name:aof_file ~policy ~now_ms ~start:shadow_seq
+  in
+  if Aof.base aof > shadow_seq then
+    Error
+      (Printf.sprintf
+         "recovery: aof starts at %d but snapshot only covers %d (gap)"
+         (Aof.base aof) shadow_seq)
+  else begin
+    (* replay the suffix above the snapshot; entries below are redundant *)
+    let replayed = ref 0 in
+    let* () =
+      List.fold_left
+        (fun acc (i, payload) ->
+          let* () = acc in
+          let seq = scanned.Aof.s_base + i in
+          match payload with
+          | Some p when seq >= shadow_seq ->
+              incr replayed;
+              apply_payload shadow p
+          | _ -> Ok ())
+        (Ok ())
+        (List.mapi (fun i p -> (i, p)) scanned.Aof.s_entries)
+    in
+    let aof_end = Aof.next_seq aof in
+    (* a crash after the snapshot turned durable but before compaction
+       synced nothing new can leave the AOF ending below the snapshot:
+       re-base it so appends resume exactly at the recovered position *)
+    if aof_end < shadow_seq then Aof.rotate aof ~base:shadow_seq;
+    let t = { fs; aof; shadow; snapshot_every; since_snapshot = 0 } in
+    Ok
+      ( t,
+        {
+          snapshot_upto = Option.map fst snap;
+          replayed = !replayed;
+          torn = scanned.Aof.s_torn;
+        } )
+  end
+
+(** Next log position the persister expects — tap the NR log from here. *)
+let cursor t = Aof.next_seq t.aof
+
+(** Positions below this survive any crash (fsynced or snapshot-covered). *)
+let durable_seq t = Aof.durable_seq t.aof
+
+let shadow t = t.shadow
+
+(** First position still held by the AOF; everything below is covered by
+    the snapshot only.  Moves forward at each compaction. *)
+let aof_base t = Aof.base t.aof
+
+let dump t = Store.dump t.shadow
+let fingerprint t = Store.fingerprint t.shadow
+let fsyncs t = Aof.fsyncs t.aof
+
+(** Snapshot the shadow at [cursor] and compact the AOF (see module doc
+    for the crash-ordering argument). *)
+let snapshot_now t =
+  let upto = cursor t in
+  Aof.sync t.aof;
+  Snapshot.write t.fs ~upto (Store.dump t.shadow);
+  Aof.rotate t.aof ~base:upto;
+  t.since_snapshot <- 0
+
+let maybe_snapshot t =
+  match t.snapshot_every with
+  | Some n when t.since_snapshot >= n -> snapshot_now t
+  | _ -> ()
+
+(** Absorb ops tapped from the log at exactly [cursor t]: append each to
+    the AOF (poisoned [None] entries become no-op frames, keeping
+    positions aligned), replay it into the shadow, then apply the fsync
+    policy and the snapshot cadence. *)
+let observe t ops =
+  List.iter
+    (fun op ->
+      let payload = Option.map encode_op op in
+      Aof.append t.aof payload;
+      (match op with
+      | Some cmd -> ignore (Store.execute t.shadow cmd)
+      | None -> ());
+      t.since_snapshot <- t.since_snapshot + 1)
+    ops;
+  maybe_snapshot t
+
+(** Force everything appended so far durable (clean shutdown, or an
+    [always]-policy barrier). *)
+let sync t = Aof.sync t.aof
+
+let close t = Aof.close t.aof
+
+(** Leader side of replication.  [SYNC] always sends a full image;
+    [PSYNC off] continues with framed entries from [off] when the AOF
+    still holds them, else falls back to a full resync:
+    {ul
+    {- [Array [Bulk "CONTINUE"; Int off; Bulk frames]] — apply the
+       frames, next offset is [off + count];}
+    {- [Array [Bulk "FULLRESYNC"; Int upto; Bulk dump]] — replace local
+       state with the dump, next offset is [upto].}} *)
+let handle_sync t cmd =
+  let full () =
+    Command.Array
+      [
+        Command.Bulk "FULLRESYNC";
+        Command.Int (cursor t);
+        Command.Bulk (Store.dump t.shadow);
+      ]
+  in
+  match cmd with
+  | Command.Sync -> Some (full ())
+  | Command.Psync from -> (
+      if from > cursor t then Some (full ())
+      else
+        match Aof.read_frames t.aof ~from with
+        | Ok frames ->
+            Some
+              (Command.Array
+                 [ Command.Bulk "CONTINUE"; Command.Int from; Command.Bulk frames ])
+        | Error _ -> Some (full ()))
+  | _ -> None

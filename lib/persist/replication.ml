@@ -1,0 +1,153 @@
+(** Follower side of log-shipping replication.
+
+    A follower keeps one long-lived connection to the leader and polls
+    [PSYNC <offset>].  The leader ({!Persister.handle_sync}) answers
+    either [CONTINUE] — a batch of checksummed frames from that offset,
+    the very bytes its AOF holds — or [FULLRESYNC] — a complete store
+    dump when the offset was compacted away.  {!apply} folds either reply
+    into the follower's local state through an [exec] function, so the
+    local state can be a plain {!Nr_kvstore.Store} (tests) or a full NR
+    instance (the server): replication is just another client of the
+    black box.
+
+    Offsets are NR log positions.  After [CONTINUE] the new offset is one
+    past the last frame applied; after [FULLRESYNC] it is the dump's
+    covered prefix.  Applying is idempotent at the batch level only —
+    frames below the current offset are skipped, so a retried poll never
+    double-applies. *)
+
+module Store = Nr_kvstore.Store
+module Command = Nr_kvstore.Command
+module Resp = Nr_kvstore.Resp
+
+(** Fold one leader reply into local state.  [exec] receives every
+    replayed update; returns the new replication offset. *)
+let apply ~exec ~offset (reply : Command.reply) =
+  let ( let* ) = Result.bind in
+  let exec_payload payload =
+    match Resp.parse_request payload with
+    | Resp.Parsed (tokens, _) -> (
+        match Command.of_strings tokens with
+        | Ok cmd ->
+            ignore (exec cmd);
+            Ok ()
+        | Error e -> Error ("replication: bad op: " ^ e))
+    | Resp.Incomplete | Resp.Invalid _ ->
+        Error "replication: torn op payload"
+  in
+  match reply with
+  | Command.Array [ Command.Bulk "CONTINUE"; Command.Int from; Command.Bulk frames ]
+    ->
+      if from > offset then
+        Error
+          (Printf.sprintf "replication: leader skipped ahead (%d > %d)" from
+             offset)
+      else
+        let { Frame.frames = fs; torn; _ } = Frame.scan frames in
+        if torn then Error "replication: torn frame batch"
+        else
+          List.fold_left
+            (fun acc (kind, seq, payload) ->
+              let* off = acc in
+              if seq <> off then
+                if seq < off then Ok off (* already applied; skip *)
+                else Error (Printf.sprintf "replication: gap at %d" seq)
+              else
+                match kind with
+                | Frame.Op ->
+                    let* () = exec_payload payload in
+                    Ok (off + 1)
+                | Frame.Noop -> Ok (off + 1)
+                | Frame.Header | Frame.Snapshot ->
+                    Error "replication: unexpected frame kind")
+            (Ok offset) fs
+  | Command.Array [ Command.Bulk "FULLRESYNC"; Command.Int upto; Command.Bulk dump ]
+    ->
+      ignore (exec Command.Flushall);
+      let n = String.length dump in
+      let rec go pos =
+        if pos >= n then Ok upto
+        else
+          match Resp.parse_request ~pos dump with
+          | Resp.Parsed (tokens, consumed) -> (
+              match Command.of_strings tokens with
+              | Ok cmd ->
+                  ignore (exec cmd);
+                  go (pos + consumed)
+              | Error e -> Error ("replication: bad dump entry: " ^ e))
+          | Resp.Incomplete | Resp.Invalid _ ->
+              Error "replication: torn full-resync dump"
+      in
+      go 0
+  | Command.Err e -> Error ("replication: leader error: " ^ e)
+  | _ -> Error "replication: unrecognized sync reply"
+
+(** {2 Transport} — a blocking RESP client over one connection. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable buf : Buffer.t;  (** bytes read but not yet parsed *)
+}
+
+let connect ~host ~port =
+  match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE SOCK_STREAM ]
+  with
+  | [] -> Error (Printf.sprintf "replication: cannot resolve %s:%d" host port)
+  | ai :: _ -> (
+      let fd = Unix.socket ai.ai_family ai.ai_socktype ai.ai_protocol in
+      match Unix.connect fd ai.ai_addr with
+      | () -> Ok { fd; buf = Buffer.create 4096 }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "replication: connect %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(** Send one command and block for its reply.  Buffered: reply bytes
+    beyond the first reply are kept for the next call. *)
+let request conn cmd =
+  match write_all conn.fd (Resp.encode_request (Command.to_strings cmd)) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("replication: send: " ^ Unix.error_message e)
+  | () ->
+      let chunk = Bytes.create 65536 in
+      let rec loop () =
+        match Resp.parse_reply (Buffer.contents conn.buf) with
+        | Resp.RParsed (reply, consumed) ->
+            let rest =
+              let s = Buffer.contents conn.buf in
+              String.sub s consumed (String.length s - consumed)
+            in
+            Buffer.clear conn.buf;
+            Buffer.add_string conn.buf rest;
+            Ok reply
+        | Resp.RInvalid e -> Error ("replication: bad reply: " ^ e)
+        | Resp.RIncomplete -> (
+            match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Error "replication: leader closed connection"
+            | n ->
+                Buffer.add_subbytes conn.buf chunk 0 n;
+                loop ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Error ("replication: recv: " ^ Unix.error_message e))
+      in
+      loop ()
+
+(** One poll round: [PSYNC offset] over an existing connection, folding
+    the reply into [exec].  Returns the new offset. *)
+let poll conn ~exec ~offset =
+  match request conn (Command.Psync offset) with
+  | Ok reply -> apply ~exec ~offset reply
+  | Error _ as e -> e

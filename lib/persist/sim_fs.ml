@@ -1,0 +1,136 @@
+(** In-memory file system with an explicit durability model and
+    deterministic crash injection — the substrate the crash-recovery
+    qcheck sweep runs on.
+
+    Every file carries two regions: [durable] (bytes an fsync committed)
+    and [pending] (appended but unsynced).  [read_file] returns both —
+    the process view — while a crash keeps [durable] plus a {e seeded
+    prefix} of [pending]: the page cache may have flushed any amount of
+    the unsynced tail, including a torn half-frame, which is exactly the
+    corruption the frame CRCs must catch.
+
+    Crash points are injected via {!Nr_sim.Fault_plan}: every mutating
+    operation (append, fsync, atomic write, remove) is one effect point,
+    numbered from 1, and the plan's kill machinery ([kills_at] with
+    tid 0, or probabilistic [kill_prob]) decides where the process dies.
+    This buys the same seeded determinism as the scheduler's fault
+    injection: a plan replays byte-identically, so every counterexample
+    is a fixed regression test.
+
+    - kill at an {b append} ("mid-write"): the bytes reach [pending]
+      first, so any prefix of them may survive;
+    - kill at an {b fsync} ("mid-fsync"): a prefix of [pending] is
+      committed, the rest lost — the fsync never returns, so the writer
+      must not have acked;
+    - kill at a {b write_atomic} ("mid-snapshot"): the replace is
+      all-or-nothing — the old content survives intact;
+    - kill at a {b remove} ("mid-truncate"): a seeded coin decides
+      whether the unlink hit the disk. *)
+
+exception Crashed
+
+type sfile = { mutable durable : string; mutable pending : Buffer.t }
+
+type t = {
+  files : (string, sfile) Hashtbl.t;
+  mutable armed : Nr_sim.Fault_plan.armed option;
+  rng : Nr_workload.Prng.t;  (** torn-tail lengths and unlink coins *)
+  mutable io : int;  (** effect points so far *)
+  mutable crashed : bool;
+}
+
+let create ?plan () =
+  let plan = Option.value plan ~default:Nr_sim.Fault_plan.none in
+  {
+    files = Hashtbl.create 8;
+    armed =
+      (if plan = Nr_sim.Fault_plan.none then None
+       else Some (Nr_sim.Fault_plan.arm plan ~max_threads:1));
+    rng = Nr_workload.Prng.create ~seed:(plan.Nr_sim.Fault_plan.seed lxor 0x5EED);
+    io = 0;
+    crashed = false;
+  }
+
+let io_points t = t.io
+
+let file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+      let f = { durable = ""; pending = Buffer.create 64 } in
+      Hashtbl.replace t.files name f;
+      f
+
+(* Freeze the crash image: per file, the durable bytes plus a seeded
+   prefix of the unsynced tail. *)
+let crash t =
+  t.crashed <- true;
+  Hashtbl.iter
+    (fun _ f ->
+      let pend = Buffer.contents f.pending in
+      let kept = Nr_workload.Prng.below t.rng (String.length pend + 1) in
+      f.durable <- f.durable ^ String.sub pend 0 kept;
+      Buffer.clear f.pending)
+    t.files;
+  raise Crashed
+
+(* One effect point; dies here if the armed plan says so. *)
+let tick t =
+  if t.crashed then raise Crashed;
+  t.io <- t.io + 1;
+  match t.armed with
+  | None -> ()
+  | Some armed -> (
+      match
+        Nr_sim.Fault_plan.decide armed ~tid:0 ~now:t.io Nr_sim.Fault_plan.Work
+      with
+      | Nr_sim.Fault_plan.Die -> crash t
+      | _ -> ())
+
+(** Reboot after a {!Crashed}: what survived is now the files' content and
+    the fault plan is disarmed, so recovery code runs over the crash image
+    without further injection. *)
+let reboot t =
+  t.crashed <- false;
+  t.armed <- None
+
+let fs t : Vfs.t =
+  {
+    open_append =
+      (fun name ->
+        let f = file t name in
+        {
+          Vfs.append =
+            (fun s ->
+              Buffer.add_string f.pending s;
+              tick t);
+          fsync =
+            (fun () ->
+              tick t;
+              f.durable <- f.durable ^ Buffer.contents f.pending;
+              Buffer.clear f.pending);
+          close = (fun () -> ());
+        });
+    read_file =
+      (fun name ->
+        match Hashtbl.find_opt t.files name with
+        | Some f -> Some (f.durable ^ Buffer.contents f.pending)
+        | None -> None);
+    write_atomic =
+      (fun name content ->
+        tick t;
+        let f = file t name in
+        f.durable <- content;
+        Buffer.clear f.pending);
+    remove =
+      (fun name ->
+        (* decide survival before the kill check so the coin stream does
+           not depend on whether this point crashes *)
+        let gone = Nr_workload.Prng.below t.rng 2 = 0 in
+        match tick t with
+        | () -> Hashtbl.remove t.files name
+        | exception Crashed ->
+            if gone then Hashtbl.remove t.files name;
+            raise Crashed);
+    exists = (fun name -> Hashtbl.mem t.files name);
+  }

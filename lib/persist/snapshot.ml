@@ -1,0 +1,36 @@
+(** Point-in-time snapshots: a {!Nr_kvstore.Store.dump} bound to an exact
+    log position, written as a single checksummed frame via
+    [write_atomic] — so a snapshot is always either the complete new
+    image or the untouched previous one, never a half-written mix.
+
+    The frame's [seq] is the {e covered prefix}: replaying the dump
+    reproduces the effect of every log position below it.  Payload is the
+    format tag, a newline, then the dump bytes. *)
+
+let file = "snapshot"
+
+let write fs ~upto dump =
+  let payload = Frame.snapshot_format ^ "\n" ^ dump in
+  fs.Vfs.write_atomic file (Frame.encode ~kind:Frame.Snapshot ~seq:upto payload)
+
+(** [load fs] returns [Ok (Some (upto, dump))], [Ok None] when no snapshot
+    exists, or [Error _] on a corrupt file (CRC failure, wrong frame kind
+    or format tag).  A torn snapshot is a hard error rather than silently
+    ignored: [write_atomic] promises all-or-nothing, so a tear here means
+    the storage broke its contract. *)
+let load fs =
+  match fs.Vfs.read_file file with
+  | None -> Ok None
+  | Some bytes -> (
+      match Frame.decode bytes ~pos:0 with
+      | Frame.Entry { kind = Frame.Snapshot; seq; payload; next }
+        when next = String.length bytes -> (
+          match String.index_opt payload '\n' with
+          | Some i when String.sub payload 0 i = Frame.snapshot_format ->
+              let dump =
+                String.sub payload (i + 1) (String.length payload - i - 1)
+              in
+              Ok (Some (seq, dump))
+          | _ -> Error "snapshot: unknown format tag")
+      | Frame.Entry _ -> Error "snapshot: trailing garbage or wrong frame kind"
+      | Frame.End | Frame.Torn -> Error "snapshot: corrupt frame")

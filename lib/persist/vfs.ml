@@ -1,0 +1,95 @@
+(** Storage abstraction for the durability layer: the handful of
+    file-system operations the AOF writer, snapshotter and recovery need,
+    as a record of closures so the same code runs over real files
+    ({!real}) and over the crash-injecting in-memory model
+    ({!Sim_fs.fs}).
+
+    Durability contract:
+    - [file.append] buffers at the OS (or model) level; bytes are only
+      guaranteed to survive a crash after [file.fsync] returns.
+    - [write_atomic] replaces a file all-or-nothing and durably (real
+      backend: write temp, fsync, rename over).
+    - [read_file] sees every appended byte, synced or not — it reads the
+      {e process} view, not the crash view. *)
+
+type file = {
+  append : string -> unit;
+  fsync : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  open_append : string -> file;  (** create if missing, append at end *)
+  read_file : string -> string option;  (** whole file; [None] if missing *)
+  write_atomic : string -> string -> unit;  (** durable all-or-nothing replace *)
+  remove : string -> unit;  (** no-op if missing *)
+  exists : string -> bool;
+}
+
+(** Real files under [root] (created if missing).  Appends go through
+    [Unix.write] directly — unbuffered, so [read_file] observes them
+    immediately — and [fsync] maps to the system call. *)
+let real ~root =
+  if not (Sys.file_exists root) then Unix.mkdir root 0o755;
+  let path name = Filename.concat root name in
+  let fsync_dir () =
+    (* persist the rename itself where the OS requires it; best-effort *)
+    match Unix.openfile root [ Unix.O_RDONLY ] 0 with
+    | fd ->
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  {
+    open_append =
+      (fun name ->
+        let fd =
+          Unix.openfile (path name)
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+            0o644
+        in
+        {
+          append =
+            (fun s ->
+              let b = Bytes.unsafe_of_string s in
+              let len = Bytes.length b in
+              let rec go off =
+                if off < len then
+                  let n = Unix.write fd b off (len - off) in
+                  go (off + n)
+              in
+              go 0);
+          fsync = (fun () -> Unix.fsync fd);
+          close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+        });
+    read_file =
+      (fun name ->
+        match open_in_bin (path name) with
+        | ic ->
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Some s
+        | exception Sys_error _ -> None);
+    write_atomic =
+      (fun name content ->
+        let tmp = path (name ^ ".tmp") in
+        let fd =
+          Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let b = Bytes.unsafe_of_string content in
+        let len = Bytes.length b in
+        let rec go off =
+          if off < len then
+            let n = Unix.write fd b off (len - off) in
+            go (off + n)
+        in
+        go 0;
+        Unix.fsync fd;
+        Unix.close fd;
+        Unix.rename tmp (path name);
+        fsync_dir ());
+    remove =
+      (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
+    exists = (fun name -> Sys.file_exists (path name));
+  }

@@ -10,7 +10,10 @@ module C = Nr_kvstore.Command
 include Nr_kvstore.Store
 
 let route : op -> Sharded.route = function
-  | C.Ping | C.Slowlog_get | C.Slowlog_reset | C.Slowlog_len ->
+  | C.Ping | C.Slowlog_get | C.Slowlog_reset | C.Slowlog_len
+  | C.Sync | C.Psync _ ->
+      (* replication handshakes are answered at the serving layer; routing
+         them to a fixed shard just yields the store's polite refusal *)
       Sharded.Single ""
   | C.Get k
   | C.Set (k, _)

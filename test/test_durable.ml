@@ -1,0 +1,644 @@
+(* Durability subsystem tests: frame codec, AOF group fsync, snapshots,
+   crash recovery against the sequential oracle, the log-tap cursor, and
+   log-shipping replication.
+
+   The crash tests run over Sim_fs — the in-memory file system with an
+   explicit durable/pending split and Fault_plan-driven kill points — so
+   every "power failure" is a deterministic, replayable schedule. *)
+
+open Nr_persist
+module C = Nr_kvstore.Command
+module Store = Nr_kvstore.Store
+module S = Nr_sim.Sched
+module T = Nr_sim.Topology
+
+let zero_ms () = 0
+
+(* --- crc32 --- *)
+
+let test_crc32_kat () =
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int) "check string" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.digest "");
+  let s = "the quick brown fox" in
+  Alcotest.(check int)
+    "incremental = one-shot"
+    (Crc32.digest s)
+    (Crc32.update (Crc32.update 0 s ~pos:0 ~len:9) s ~pos:9
+       ~len:(String.length s - 9))
+
+(* --- frame codec --- *)
+
+let test_frame_roundtrip () =
+  let payload = "SET k \x00\xff\r\nv" in
+  let b = Frame.encode ~kind:Frame.Op ~seq:42 payload in
+  (match Frame.decode b ~pos:0 with
+  | Frame.Entry { kind = Frame.Op; seq = 42; payload = p; next } ->
+      Alcotest.(check string) "payload" payload p;
+      Alcotest.(check int) "next" (String.length b) next
+  | _ -> Alcotest.fail "decode");
+  (* every strict prefix is torn, never a bogus entry *)
+  for cut = 1 to String.length b - 1 do
+    match Frame.decode (String.sub b 0 cut) ~pos:0 with
+    | Frame.Torn -> ()
+    | Frame.End -> Alcotest.failf "prefix %d decoded as end" cut
+    | Frame.Entry _ -> Alcotest.failf "prefix %d decoded as entry" cut
+  done;
+  (* flipping any byte fails the CRC (or the magic/kind checks) *)
+  List.iter
+    (fun i ->
+      let m = Bytes.of_string b in
+      Bytes.set m i (Char.chr (Char.code (Bytes.get m i) lxor 0x40));
+      match Frame.decode (Bytes.to_string m) ~pos:0 with
+      | Frame.Torn -> ()
+      | _ -> Alcotest.failf "corruption at byte %d not caught" i)
+    [ 0; 1; 2; 11; 14; 18; String.length b - 1 ]
+
+let frame_qcheck =
+  QCheck.Test.make ~count:200 ~name:"frame encode/decode roundtrip"
+    QCheck.(pair (string_of_size Gen.(int_bound 200)) (int_bound 1_000_000))
+    (fun (payload, seq) ->
+      let b = Frame.encode ~kind:Frame.Op ~seq payload in
+      match Frame.decode b ~pos:0 with
+      | Frame.Entry { kind = _; seq = seq'; payload = payload'; next } ->
+          payload' = payload && seq' = seq && next = String.length b
+      | _ -> false)
+
+let test_frame_scan_torn_golden () =
+  (* hand-built torn tail: two intact frames then half of a third *)
+  let f1 = Frame.encode ~kind:Frame.Op ~seq:0 "a" in
+  let f2 = Frame.encode ~kind:Frame.Noop ~seq:1 "" in
+  let f3 = Frame.encode ~kind:Frame.Op ~seq:2 "ccc" in
+  let torn_file = f1 ^ f2 ^ String.sub f3 0 (String.length f3 - 2) in
+  let sc = Frame.scan torn_file in
+  Alcotest.(check bool) "torn" true sc.Frame.torn;
+  Alcotest.(check int) "two intact frames" 2 (List.length sc.Frame.frames);
+  Alcotest.(check int)
+    "valid prefix length"
+    (String.length (f1 ^ f2))
+    sc.Frame.valid_len;
+  let clean = Frame.scan (f1 ^ f2 ^ f3) in
+  Alcotest.(check bool) "clean file not torn" false clean.Frame.torn;
+  Alcotest.(check int) "three frames" 3 (List.length clean.Frame.frames)
+
+(* --- sim_fs durability model --- *)
+
+let test_sim_fs_crash_keeps_durable () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let f = fs.Vfs.open_append "f" in
+  f.Vfs.append "synced";
+  f.Vfs.fsync ();
+  f.Vfs.append "pending";
+  (* process view sees everything... *)
+  Alcotest.(check (option string)) "process view" (Some "syncedpending")
+    (fs.Vfs.read_file "f");
+  (try Sim_fs.crash sim with Sim_fs.Crashed -> ());
+  Sim_fs.reboot sim;
+  (* ...the crash view keeps the synced bytes plus a prefix of the rest *)
+  match fs.Vfs.read_file "f" with
+  | Some s ->
+      Alcotest.(check bool) "durable prefix survives" true
+        (String.length s >= 6 && String.sub s 0 6 = "synced");
+      Alcotest.(check bool) "nothing beyond what was written" true
+        (s = String.sub "syncedpending" 0 (String.length s))
+  | None -> Alcotest.fail "file vanished"
+
+(* --- aof --- *)
+
+let fresh_aof ?(policy = Aof.Never) ?now_ms () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  match
+    Aof.open_ fs ~name:"aof" ~policy
+      ~now_ms:(Option.value now_ms ~default:zero_ms)
+      ~start:0
+  with
+  | Ok (a, _) -> (sim, fs, a)
+  | Error e -> Alcotest.failf "open: %s" e
+
+let test_aof_append_reopen () =
+  let _, fs, a = fresh_aof () in
+  Aof.append a (Some "one");
+  Aof.append a None;
+  Aof.append a (Some "three");
+  Aof.sync a;
+  Aof.close a;
+  match Aof.open_ fs ~name:"aof" ~policy:Aof.Never ~now_ms:zero_ms ~start:0 with
+  | Ok (a2, sc) ->
+      Alcotest.(check int) "next_seq" 3 (Aof.next_seq a2);
+      Alcotest.(check bool) "not torn" false sc.Aof.s_torn;
+      Alcotest.(check (list (option string)))
+        "entries"
+        [ Some "one"; None; Some "three" ]
+        sc.Aof.s_entries
+  | Error e -> Alcotest.failf "reopen: %s" e
+
+let test_aof_fsync_policies () =
+  (* always: every append acked durable *)
+  let _, _, a = fresh_aof ~policy:Aof.Always () in
+  Aof.append a (Some "x");
+  Alcotest.(check int) "always durable" 1 (Aof.durable_seq a);
+  (* every-n: the watermark advances in batches *)
+  let _, _, b = fresh_aof ~policy:(Aof.Every_n 3) () in
+  Aof.append b (Some "1");
+  Aof.append b (Some "2");
+  Alcotest.(check int) "below batch" 0 (Aof.durable_seq b);
+  Aof.append b (Some "3");
+  Alcotest.(check int) "batch flushed" 3 (Aof.durable_seq b);
+  Alcotest.(check int) "one fsync" 1 (Aof.fsyncs b);
+  (* every-ms: injected clock decides *)
+  let clock = ref 0 in
+  let _, _, c = fresh_aof ~policy:(Aof.Every_ms 10) ~now_ms:(fun () -> !clock) () in
+  Aof.append c (Some "1");
+  Alcotest.(check int) "clock still" 0 (Aof.durable_seq c);
+  clock := 11;
+  Aof.append c (Some "2");
+  Alcotest.(check int) "clock expired" 2 (Aof.durable_seq c);
+  (* never: only explicit sync *)
+  let _, _, d = fresh_aof ~policy:Aof.Never () in
+  Aof.append d (Some "1");
+  Alcotest.(check int) "never" 0 (Aof.durable_seq d);
+  Aof.sync d;
+  Alcotest.(check int) "explicit" 1 (Aof.durable_seq d)
+
+let test_aof_torn_tail_truncated_before_append () =
+  (* crash mid-append leaves a torn tail; reopening must rewrite the file
+     so the tear never corrupts later appends *)
+  let plan = { Nr_sim.Fault_plan.none with seed = 7; kills_at = [ (0, 3) ] } in
+  let sim = Sim_fs.create ~plan () in
+  let fs = Sim_fs.fs sim in
+  (match Aof.open_ fs ~name:"aof" ~policy:Aof.Never ~now_ms:zero_ms ~start:0 with
+  | Ok (a, _) -> (
+      try
+        Aof.append a (Some "aaaa");
+        Aof.append a (Some "bbbb");
+        Alcotest.fail "second append should crash"
+      with Sim_fs.Crashed -> ())
+  | Error e -> Alcotest.failf "open: %s" e);
+  Sim_fs.reboot sim;
+  match Aof.open_ fs ~name:"aof" ~policy:Aof.Never ~now_ms:zero_ms ~start:0 with
+  | Ok (a2, sc) ->
+      let survivors = List.length sc.Aof.s_entries in
+      Alcotest.(check bool) "at most both appends" true (survivors <= 2);
+      (* appending after recovery must yield a cleanly scannable file *)
+      Aof.append a2 (Some "cccc");
+      Aof.sync a2;
+      (match fs.Vfs.read_file "aof" with
+      | Some bytes -> (
+          match Aof.scan_bytes bytes with
+          | Ok sc2 ->
+              Alcotest.(check bool) "clean after recovery append" false
+                sc2.Aof.s_torn;
+              Alcotest.(check int)
+                "recovered + new entry" (survivors + 1)
+                (List.length sc2.Aof.s_entries)
+          | Error _ -> Alcotest.fail "rescan failed")
+      | None -> Alcotest.fail "aof missing")
+  | Error e -> Alcotest.failf "reopen: %s" e
+
+(* --- snapshot --- *)
+
+let test_snapshot_roundtrip () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  Alcotest.(check bool) "no snapshot yet" true (Snapshot.load fs = Ok None);
+  let store = Store.create () in
+  ignore (Store.execute store (C.Set ("k", "binary\r\n\x00v")));
+  ignore (Store.execute store (C.Zadd ("z", 5, 7)));
+  let dump = Store.dump store in
+  Snapshot.write fs ~upto:17 dump;
+  (match Snapshot.load fs with
+  | Ok (Some (upto, d)) ->
+      Alcotest.(check int) "covered prefix" 17 upto;
+      let loaded = Store.create () in
+      (match Store.load loaded d with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "load: %s" e);
+      Alcotest.(check bool) "logical equality" true
+        (Store.fingerprint loaded = Store.fingerprint store)
+  | Ok None -> Alcotest.fail "snapshot missing"
+  | Error e -> Alcotest.failf "load: %s" e);
+  (* corruption is a hard error, not a silent fresh start *)
+  (match fs.Vfs.read_file Snapshot.file with
+  | Some bytes ->
+      let m = Bytes.of_string bytes in
+      Bytes.set m (Bytes.length m - 1) '\x00';
+      fs.Vfs.write_atomic Snapshot.file (Bytes.to_string m);
+      Alcotest.(check bool) "corrupt snapshot rejected" true
+        (match Snapshot.load fs with Error _ -> true | Ok _ -> false)
+  | None -> Alcotest.fail "snapshot file missing")
+
+(* --- persister: logging, recovery, compaction --- *)
+
+let update_cmds =
+  [
+    C.Set ("a", "1");
+    C.Zadd ("z", 10, 1);
+    C.Incr "n";
+    C.Set ("b", "two");
+    C.Zincrby ("z", -3, 1);
+    C.Del "a";
+    C.Mset [ ("c", "3"); ("d", "4") ];
+    C.Zadd ("z", 7, 2);
+    C.Incrby ("n", 41);
+    C.Zrem ("z", 1);
+  ]
+
+let oracle_fingerprint cmds =
+  let s = Store.create () in
+  List.iter
+    (fun c -> match c with Some c -> ignore (Store.execute s c) | None -> ())
+    cmds;
+  Store.fingerprint s
+
+let create_persister ?snapshot_every ?(policy = Aof.Every_n 2) fs =
+  match Persister.create fs ~policy ~now_ms:zero_ms ?snapshot_every () with
+  | Ok pr -> pr
+  | Error e -> Alcotest.failf "persister create: %s" e
+
+let test_persister_log_and_recover () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, r0 = create_persister fs in
+  Alcotest.(check int) "fresh cursor" 0 (Persister.cursor p);
+  Alcotest.(check bool) "fresh recovery empty" true
+    (r0.Persister.snapshot_upto = None && r0.Persister.replayed = 0);
+  let logged = List.map Option.some update_cmds @ [ None ] in
+  Persister.observe p logged;
+  Alcotest.(check int) "cursor advanced" (List.length logged)
+    (Persister.cursor p);
+  Alcotest.(check bool) "shadow tracks oracle" true
+    (Persister.fingerprint p = oracle_fingerprint logged);
+  Persister.close p;
+  (* clean restart: everything back, via AOF replay alone *)
+  let p2, r = create_persister fs in
+  Alcotest.(check int) "recovered cursor" (List.length logged)
+    (Persister.cursor p2);
+  Alcotest.(check int) "replayed all ops" (List.length update_cmds)
+    r.Persister.replayed;
+  Alcotest.(check bool) "recovered state" true
+    (Persister.fingerprint p2 = oracle_fingerprint logged)
+
+let test_persister_snapshot_compaction () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~snapshot_every:4 fs in
+  let logged = List.map Option.some update_cmds in
+  Persister.observe p logged;
+  (* 10 ops at cadence 4: at least two rotations happened *)
+  Alcotest.(check bool) "aof was compacted" true (Persister.aof_base p > 0);
+  Persister.close p;
+  let p2, r = create_persister fs in
+  Alcotest.(check bool) "snapshot participated in recovery" true
+    (r.Persister.snapshot_upto <> None);
+  Alcotest.(check bool) "replay shorter than history" true
+    (r.Persister.replayed < List.length logged);
+  Alcotest.(check int) "cursor preserved" (List.length logged)
+    (Persister.cursor p2);
+  Alcotest.(check bool) "state preserved" true
+    (Persister.fingerprint p2 = oracle_fingerprint logged)
+
+(* --- crash-recovery sweep: every kill point, qcheck over schedules --- *)
+
+let update_cmd_gen =
+  QCheck.Gen.(
+    let key = string_size ~gen:(char_range 'a' 'e') (return 1) in
+    frequency
+      [
+        (4, map2 (fun k v -> Some (C.Set (k, v))) key small_string);
+        (2, map (fun k -> Some (C.Incr k)) key);
+        (3, map3 (fun k s m -> Some (C.Zadd (k, s, m))) key small_nat small_nat);
+        (2, map3 (fun k d m -> Some (C.Zincrby (k, d, m))) key small_nat small_nat);
+        (1, map (fun k -> Some (C.Del k)) key);
+        (1, return (Some C.Flushall));
+        (1, return None (* poisoned log slot *));
+      ])
+
+let crash_case_gen =
+  QCheck.Gen.(
+    let* cmds = list_size (int_range 5 40) update_cmd_gen in
+    let* kill = int_range 1 80 in
+    let* seed = int_bound 10_000 in
+    let* policy =
+      oneofl [ Aof.Always; Aof.Every_n 3; Aof.Every_ms 5; Aof.Never ]
+    in
+    let* snapshot_every = oneofl [ None; Some 3; Some 7 ] in
+    return (cmds, kill, seed, policy, snapshot_every))
+
+let print_crash_case (cmds, kill, seed, policy, snap) =
+  Format.asprintf "%d cmds, kill@%d, seed %d, %a, snap %s" (List.length cmds)
+    kill seed Aof.pp_policy policy
+    (match snap with None -> "never" | Some n -> string_of_int n)
+
+(* One crash schedule: log commands into a persister over a Sim_fs armed
+   to die at the [kill]-th IO point, then recover and check the Durable
+   spec — no acked write lost, recovered state = oracle replay of the
+   recovered prefix. *)
+let run_crash_case (cmds, kill, seed, policy, snapshot_every) =
+  let plan = { Nr_sim.Fault_plan.none with seed; kills_at = [ (0, kill) ] } in
+  let sim = Sim_fs.create ~plan () in
+  let fs = Sim_fs.fs sim in
+  let clock = ref 0 in
+  let now_ms () = !clock in
+  let acked = ref 0 in
+  (* the kill point may hit anywhere, including the initial header write
+     inside create itself — any Crashed is a legitimate schedule *)
+  (try
+     match Persister.create fs ~policy ~now_ms ?snapshot_every () with
+     | Error e -> QCheck.Test.fail_reportf "create: %s" e
+     | Ok (p, _) ->
+         List.iter
+           (fun op ->
+             incr clock;
+             Persister.observe p [ op ];
+             acked := Persister.durable_seq p)
+           cmds;
+         Persister.sync p;
+         acked := Persister.durable_seq p
+   with Sim_fs.Crashed -> ());
+  Sim_fs.reboot sim;
+  (* recovery runs over the crash image with injection disarmed *)
+  match Persister.create fs ~policy:Aof.Never ~now_ms () with
+  | Error e -> QCheck.Test.fail_reportf "recovery refused: %s" e
+  | Ok (p2, _) ->
+      let verdict =
+        Nr_check.Durable.check ~logged:cmds ~acked:!acked
+          ~recovered_seq:(Persister.cursor p2)
+          ~recovered_dump:(Persister.dump p2)
+      in
+      if not (Nr_check.Durable.is_durable verdict) then
+        QCheck.Test.fail_reportf "%a" Nr_check.Durable.pp verdict;
+      true
+
+let crash_recovery_sweep =
+  QCheck.Test.make ~count:300 ~name:"crash recovery meets the durable spec"
+    (QCheck.make crash_case_gen ~print:print_crash_case)
+    run_crash_case
+
+let test_crash_recovery_golden () =
+  (* one pinned schedule, useful as a fast regression before the sweep *)
+  let cmds = List.map Option.some update_cmds in
+  List.iter
+    (fun kill ->
+      ignore (run_crash_case (cmds, kill, 0xD15C, Aof.Every_n 2, Some 4)))
+    [ 1; 2; 3; 5; 8; 13; 21 ]
+
+(* --- log tap: the NR log as a change feed --- *)
+
+let test_log_tap_matches_log_entries () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Store) in
+  let nr = NR.create (fun () -> Store.create ()) in
+  let tapped = ref [] in
+  let cursor = ref 0 in
+  for tid = 0 to 3 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to 25 do
+          ignore
+            (NR.execute nr (C.Set (Printf.sprintf "k%d-%d" tid i, "v")));
+          (* tap incrementally from whatever thread ran last *)
+          if tid = 0 then
+            match NR.Unsafe.log_tap nr ~from:!cursor with
+            | Ok ops ->
+                tapped := !tapped @ ops;
+                cursor := !cursor + List.length ops
+            | Error _ -> Alcotest.fail "tap overrun on small run"
+        done)
+  done;
+  S.run sched;
+  (* final drain *)
+  (match NR.Unsafe.log_tap nr ~from:!cursor with
+  | Ok ops ->
+      tapped := !tapped @ ops;
+      cursor := !cursor + List.length ops
+  | Error _ -> Alcotest.fail "tap overrun at drain");
+  let entries, wrapped = NR.Unsafe.log_entries nr in
+  Alcotest.(check int) "nothing recycled" 0 wrapped;
+  Alcotest.(check int) "tap covered the completed prefix" (NR.completed nr)
+    !cursor;
+  Alcotest.(check bool) "incremental taps = full suffix" true (!tapped = entries)
+
+let test_log_tap_lap_detection () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Store) in
+  let cfg = { Nr_core.Config.default with log_size = 32 } in
+  let nr = NR.create ~cfg (fun () -> Store.create ()) in
+  for tid = 0 to 3 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to 40 do
+          ignore (NR.execute nr (C.Set (Printf.sprintf "k%d-%d" tid i, "v")))
+        done)
+  done;
+  S.run sched;
+  (* 160 ops through a 32-slot ring: position 0 is long recycled *)
+  match NR.Unsafe.log_tap nr ~from:0 with
+  | Error oldest ->
+      Alcotest.(check bool) "oldest within the ring" true
+        (oldest > 0 && oldest >= NR.log_tail nr - 32);
+      (* a cursor at the reported oldest works *)
+      (match NR.Unsafe.log_tap nr ~from:oldest with
+      | Ok ops ->
+          Alcotest.(check int) "resync tap reaches completed"
+            (NR.completed nr) (oldest + List.length ops)
+      | Error _ -> Alcotest.fail "tap from oldest failed")
+  | Ok _ -> Alcotest.fail "lapped cursor must be rejected"
+
+(* --- NR + persister end-to-end on the simulator --- *)
+
+let test_nr_persister_integration () =
+  let sched = S.create T.tiny in
+  let module R = (val Nr_runtime.Runtime_sim.make sched) in
+  let module NR = Nr_core.Node_replication.Make (R) (Store) in
+  let nr = NR.create (fun () -> Store.create ()) in
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~snapshot_every:16 fs in
+  let cursor = ref 0 in
+  let drain () =
+    match NR.Unsafe.log_tap nr ~from:!cursor with
+    | Ok ops ->
+        cursor := !cursor + List.length ops;
+        Persister.observe p ops
+    | Error _ -> Alcotest.fail "tap overrun"
+  in
+  for tid = 0 to 3 do
+    S.spawn sched ~tid (fun () ->
+        for i = 1 to 30 do
+          ignore
+            (NR.execute nr
+               (C.Zadd ("board", (tid * 31) + i, (tid * 1000) + i)));
+          drain ()
+        done)
+  done;
+  S.run sched;
+  drain ();
+  (* the persister's shadow replayed the same log the replicas did *)
+  NR.Unsafe.sync nr;
+  Alcotest.(check bool) "shadow = replica 0" true
+    (Store.fingerprint (NR.Unsafe.replica nr 0) = Persister.fingerprint p);
+  (* and survives a restart *)
+  Persister.close p;
+  let p2, _ = create_persister fs in
+  Alcotest.(check bool) "recovered = replica 0" true
+    (Store.fingerprint (NR.Unsafe.replica nr 0) = Persister.fingerprint p2)
+
+(* --- replication: follower catch-up --- *)
+
+let exec_on store cmd = Store.execute store cmd
+
+let test_follower_continue_and_fullresync () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~snapshot_every:6 fs in
+  let follower = Store.create () in
+  let offset = ref 0 in
+  let psync () =
+    match Persister.handle_sync p (C.Psync !offset) with
+    | Some reply -> (
+        match Replication.apply ~exec:(exec_on follower) ~offset:!offset reply with
+        | Ok off -> offset := off
+        | Error e -> Alcotest.failf "apply: %s" e)
+    | None -> Alcotest.fail "handle_sync ignored PSYNC"
+  in
+  (* batch 1: partial resync from 0 over an uncompacted AOF *)
+  Persister.observe p (List.map Option.some (List.filteri (fun i _ -> i < 4) update_cmds));
+  psync ();
+  Alcotest.(check int) "offset caught up" (Persister.cursor p) !offset;
+  Alcotest.(check bool) "follower = leader" true
+    (Store.fingerprint follower = Persister.fingerprint p);
+  (* batch 2: more ops, incremental catch-up applies only the suffix *)
+  Persister.observe p (List.map Option.some update_cmds);
+  psync ();
+  Alcotest.(check bool) "follower tracked the suffix" true
+    (Store.fingerprint follower = Persister.fingerprint p);
+  (* compaction moved the AOF base past a stale cursor: full resync *)
+  let stale = Store.create () in
+  ignore (Store.execute stale (C.Set ("junk", "junk")));
+  (match Persister.handle_sync p (C.Psync 0) with
+  | Some reply -> (
+      (match reply with
+      | C.Array (C.Bulk "FULLRESYNC" :: _) -> ()
+      | _ -> Alcotest.fail "stale cursor should demote to full resync");
+      match Replication.apply ~exec:(exec_on stale) ~offset:0 reply with
+      | Ok off ->
+          Alcotest.(check int) "resync offset" (Persister.cursor p) off;
+          Alcotest.(check bool) "stale follower converged (junk flushed)" true
+            (Store.fingerprint stale = Persister.fingerprint p)
+      | Error e -> Alcotest.failf "full resync apply: %s" e)
+  | None -> Alcotest.fail "handle_sync ignored PSYNC");
+  (* SYNC is always a full image *)
+  match Persister.handle_sync p C.Sync with
+  | Some (C.Array (C.Bulk "FULLRESYNC" :: _)) -> ()
+  | _ -> Alcotest.fail "SYNC should full-resync"
+
+(* --- real files: the Unix vfs backend --- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nr_durable_test" "" in
+  Sys.remove dir;
+  let r = f dir in
+  (try
+     Array.iter
+       (fun file -> Sys.remove (Filename.concat dir file))
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  r
+
+let test_real_vfs_roundtrip () =
+  with_temp_dir (fun dir ->
+      let logged = List.map Option.some update_cmds in
+      (let fs = Vfs.real ~root:dir in
+       let p, _ = create_persister ~snapshot_every:4 ~policy:Aof.Always fs in
+       Persister.observe p logged;
+       Persister.close p);
+      (* a brand-new vfs over the same directory recovers everything *)
+      let fs = Vfs.real ~root:dir in
+      let p2, r = create_persister fs in
+      Alcotest.(check int) "cursor" (List.length logged) (Persister.cursor p2);
+      Alcotest.(check bool) "snapshot used" true (r.Persister.snapshot_upto <> None);
+      Alcotest.(check bool) "state" true
+        (Persister.fingerprint p2 = oracle_fingerprint logged))
+
+(* --- leader/follower over real TCP, long-lived connection shutdown --- *)
+
+let test_tcp_leader_follower () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~policy:Aof.Always fs in
+  let store = Store.create () in
+  let m = Mutex.create () in
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  let exec cmd =
+    locked (fun () ->
+        let r = Store.execute store cmd in
+        if not (C.is_read_only cmd) then Persister.observe p [ Some cmd ];
+        r)
+  in
+  let special cmd =
+    match cmd with
+    | C.Sync | C.Psync _ -> locked (fun () -> Persister.handle_sync p cmd)
+    | _ -> None
+  in
+  let server = Nr_kvstore.Server.create ~special ~port:0 ~workers:2 exec in
+  let port = Nr_kvstore.Server.port server in
+  let accept_domain = Domain.spawn (fun () -> Nr_kvstore.Server.serve server) in
+  (* a writing client *)
+  List.iter (fun cmd -> ignore (exec cmd)) (List.filteri (fun i _ -> i < 6) update_cmds);
+  (* the follower connects and catches up over the wire *)
+  (match Replication.connect ~host:"127.0.0.1" ~port with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok conn ->
+      let follower = Store.create () in
+      (match Replication.poll conn ~exec:(exec_on follower) ~offset:0 with
+      | Ok off ->
+          Alcotest.(check int) "offset" (locked (fun () -> Persister.cursor p)) off;
+          Alcotest.(check bool) "fingerprints equal over TCP" true
+            (Store.fingerprint follower
+            = locked (fun () -> Persister.fingerprint p))
+      | Error e -> Alcotest.failf "poll: %s" e);
+      (* regression: shut the server down while this replication
+         connection is still open and parked in a blocking read on the
+         server side — the drain must break it, not deadlock the join *)
+      Nr_kvstore.Server.shutdown server;
+      Domain.join accept_domain;
+      Replication.close conn)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 known answers" `Quick test_crc32_kat;
+    Alcotest.test_case "frame roundtrip + corruption" `Quick test_frame_roundtrip;
+    QCheck_alcotest.to_alcotest frame_qcheck;
+    Alcotest.test_case "frame scan torn golden" `Quick test_frame_scan_torn_golden;
+    Alcotest.test_case "sim_fs crash keeps durable prefix" `Quick
+      test_sim_fs_crash_keeps_durable;
+    Alcotest.test_case "aof append/reopen" `Quick test_aof_append_reopen;
+    Alcotest.test_case "aof fsync policies" `Quick test_aof_fsync_policies;
+    Alcotest.test_case "aof torn tail truncated" `Quick
+      test_aof_torn_tail_truncated_before_append;
+    Alcotest.test_case "snapshot roundtrip + corruption" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "persister log + recover" `Quick
+      test_persister_log_and_recover;
+    Alcotest.test_case "persister snapshot compaction" `Quick
+      test_persister_snapshot_compaction;
+    Alcotest.test_case "crash recovery golden kills" `Quick
+      test_crash_recovery_golden;
+    QCheck_alcotest.to_alcotest crash_recovery_sweep;
+    Alcotest.test_case "log tap matches log entries" `Quick
+      test_log_tap_matches_log_entries;
+    Alcotest.test_case "log tap lap detection" `Quick test_log_tap_lap_detection;
+    Alcotest.test_case "nr + persister integration" `Quick
+      test_nr_persister_integration;
+    Alcotest.test_case "follower continue + fullresync" `Quick
+      test_follower_continue_and_fullresync;
+    Alcotest.test_case "real vfs roundtrip" `Quick test_real_vfs_roundtrip;
+    Alcotest.test_case "tcp leader/follower + shutdown drain" `Slow
+      test_tcp_leader_follower;
+  ]

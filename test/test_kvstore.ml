@@ -247,6 +247,26 @@ let test_command_parse () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-integer score accepted"
 
+let test_sync_psync () =
+  let ok c tokens =
+    match Command.of_strings tokens with
+    | Ok c' when c = c' -> ()
+    | Ok _ -> Alcotest.failf "parsed wrong command from %s" (String.concat " " tokens)
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  ok Command.Sync [ "SYNC" ];
+  ok (Command.Psync 42) [ "psync"; "42" ];
+  Alcotest.(check (list string)) "psync prints" [ "PSYNC"; "42" ]
+    (Command.to_strings (Command.Psync 42));
+  (* read-only: replication handshakes never enter the NR log *)
+  Alcotest.(check bool) "read-only" true
+    (Command.is_read_only Command.Sync && Command.is_read_only (Command.Psync 0));
+  (* a store that receives one (no serving layer) refuses politely *)
+  let s = Store.create () in
+  match Store.execute s Command.Sync with
+  | Command.Err _ -> ()
+  | _ -> Alcotest.fail "store should refuse SYNC"
+
 (* --- RESP --- *)
 
 let test_resp_roundtrip () =
@@ -418,6 +438,36 @@ let test_server_end_to_end () =
   Server.shutdown server;
   Domain.join accept_domain
 
+(* Regression: shutdown with a connection still open.  A follower's
+   replication link stays connected for the server's whole life, so its
+   handler sits in a blocking read; shutdown must break that read and
+   join the pool instead of deadlocking behind it. *)
+let test_server_shutdown_with_open_connection () =
+  let exec _ = Command.Pong in
+  let server = Server.create ~port:0 ~workers:2 exec in
+  let port = Server.port server in
+  let accept_domain = Domain.spawn (fun () -> Server.serve server) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* prove the handler picked us up, then leave the connection idle *)
+  let out = Bytes.of_string (Resp.encode_request [ "PING" ]) in
+  ignore (Unix.write sock out 0 (Bytes.length out));
+  let buf = Bytes.create 64 in
+  ignore (Unix.read sock buf 0 64);
+  let t0 = Unix.gettimeofday () in
+  Server.shutdown server;
+  Domain.join accept_domain;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "shutdown returned promptly (%.1fs)" dt)
+    true (dt < 10.0);
+  (* the server side closed on us; our end now reads EOF or a reset *)
+  (match Unix.read sock buf 0 64 with
+  | 0 -> ()
+  | _ -> Alcotest.fail "connection should be closed after shutdown"
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+  Unix.close sock
+
 let suite =
   [
     Alcotest.test_case "zset add/score" `Quick test_zset_add_score;
@@ -432,6 +482,7 @@ let suite =
     Alcotest.test_case "store wrongtype" `Quick test_store_wrongtype;
     Alcotest.test_case "store dbsize/flush" `Quick test_store_dbsize_flush;
     Alcotest.test_case "store multi-key mget/mset" `Quick test_store_multikey;
+    Alcotest.test_case "sync/psync commands" `Quick test_sync_psync;
     Alcotest.test_case "resp reply decoder" `Quick test_parse_reply;
     Alcotest.test_case "store determinism" `Quick test_store_determinism;
     Alcotest.test_case "command parse" `Quick test_command_parse;
@@ -449,4 +500,6 @@ let suite =
     Alcotest.test_case "thread pool submit/shutdown race" `Slow
       test_thread_pool_submit_shutdown_race;
     Alcotest.test_case "server end-to-end" `Slow test_server_end_to_end;
+    Alcotest.test_case "server shutdown with open connection" `Slow
+      test_server_shutdown_with_open_connection;
   ]

@@ -18,6 +18,7 @@ let () =
       ("properties", Test_properties.suite);
       ("chaos", Test_chaos.suite);
       ("check", Test_check.suite);
+      ("durable", Test_durable.suite);
       ("shard", Test_shard.suite);
       ("hot-path", Test_hotpath.suite);
       ("misc", Test_misc.suite);

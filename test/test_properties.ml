@@ -270,6 +270,25 @@ let reply_roundtrip =
           r = r' && consumed = String.length s
       | _ -> false)
 
+(* Replication ships whole store images inside one bulk ([FULLRESYNC]
+   dumps, [CONTINUE] frame batches), so the reply encoder must stay
+   binary-safe and linear well past ordinary reply sizes. *)
+let big_bulk_roundtrip =
+  QCheck.Test.make ~count:12 ~name:"resp bulk binary-safe at snapshot sizes"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = oneofl [ 1 lsl 10; 1 lsl 16; 1 lsl 20 ] in
+         string_size (return n))
+       ~print:(fun s -> Printf.sprintf "<%d bytes>" (String.length s)))
+    (fun s ->
+      let module C = Nr_kvstore.Command in
+      let r = C.Array [ C.Bulk "CONTINUE"; C.Int 7; C.Bulk s ] in
+      let wire = Nr_kvstore.Resp.encode_reply r in
+      match Nr_kvstore.Resp.parse_reply wire with
+      | Nr_kvstore.Resp.RParsed (r', consumed) ->
+          r = r' && consumed = String.length wire
+      | _ -> false)
+
 let command_gen =
   QCheck.Gen.(
     let module C = Nr_kvstore.Command in
@@ -278,6 +297,8 @@ let command_gen =
     oneof
       [
         return C.Ping;
+        return C.Sync;
+        map (fun n -> C.Psync n) int;
         map (fun k -> C.Get k) key;
         map2 (fun k v -> C.Set (k, v)) key value;
         map (fun k -> C.Del k) key;
@@ -323,5 +344,6 @@ let suite =
       key_dist_in_range;
       router_hash_stable;
       reply_roundtrip;
+      big_bulk_roundtrip;
       command_roundtrip;
     ]
