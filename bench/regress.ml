@@ -121,6 +121,70 @@ let run_sweep scale =
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   (wall_ms, points)
 
+(* --- optimistic-read sweep ----------------------------------------- *)
+
+(* The CNA/optimistic-read PR's headline claim, pinned: the fig5a-style
+   pure-read workload with the seqlock read path on must beat the same
+   workload with it off at every multi-threaded point (readers skip the
+   rwlock slot acquire/release), and cna+opt must not regress it. *)
+
+type read_point = {
+  rp_label : string;
+  rp_threads : int;
+  rp_total_ops : int;
+  rp_ops_per_us : float;
+}
+
+let read_cfgs =
+  [
+    ("opt-off", Nr_core.Config.default);
+    ( "opt-on",
+      {
+        Nr_core.Config.default with
+        optimistic_reads = true;
+        read_patience = Some 4;
+      } );
+    ( "cna+opt",
+      {
+        Nr_core.Config.default with
+        optimistic_reads = true;
+        read_patience = Some 4;
+        cna_lock = true;
+      } );
+  ]
+
+let run_read_sweep scale =
+  let params = params_of scale in
+  let t0 = Unix.gettimeofday () in
+  let points =
+    List.concat_map
+      (fun (label, cfg) ->
+        List.map
+          (fun threads ->
+            let setup rt =
+              let exec =
+                Exp_pq.Sl_exp.W.build rt Method.NR ~cfg ~threads
+                  ~factory:(Exp_pq.Sl_exp.factory params) ()
+              in
+              Exp_pq.Sl_exp.body params ~update_pct:0 ~e:0 ~exec rt
+            in
+            let r =
+              Driver.run_sim ~topo:params.Params.topo ~threads
+                ~warmup_us:params.Params.warmup_us
+                ~measure_us:params.Params.measure_us setup
+            in
+            {
+              rp_label = label;
+              rp_threads = threads;
+              rp_total_ops = r.Driver.total_ops;
+              rp_ops_per_us = r.Driver.ops_per_us;
+            })
+          [ 28; 56 ])
+      read_cfgs
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (wall_ms, points)
+
 (* --- sharded update-heavy point ------------------------------------ *)
 
 (* The sharding PR's headline claim, pinned: 100%-update uniform KV at the
@@ -327,12 +391,12 @@ let read_file path =
     Some s)
   else None
 
-let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points
-    ~durable_wall_ms ~durable_points ~micros =
+let emit ~out ~scale ~wall_ms ~points ~read_wall_ms ~read_points
+    ~shard_wall_ms ~shard_points ~durable_wall_ms ~durable_points ~micros =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"nr-regress/3\",\n";
+  add "  \"schema\": \"nr-regress/4\",\n";
   add "  \"scale\": %S,\n" scale.scale_name;
   add "  \"sim_sweep\": {\n";
   add
@@ -349,6 +413,22 @@ let emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points
         p.update_pct p.threads p.total_ops p.ops_per_us p.remote_transfers
         (if i = List.length points - 1 then "" else ","))
     points;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"read_sweep\": {\n";
+  add
+    "    \"workload\": \"fig5a-style skip-list PQ, 0%% updates, Intel \
+     preset, seqlock read path off/on and with the CNA lock\",\n";
+  add "    \"wall_ms\": %.1f,\n" read_wall_ms;
+  add "    \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"series\": %S, \"threads\": %d, \"total_ops\": %d, \
+         \"ops_per_us\": %.4f}%s\n"
+        p.rp_label p.rp_threads p.rp_total_ops p.rp_ops_per_us
+        (if i = List.length read_points - 1 then "" else ","))
+    read_points;
   add "    ]\n";
   add "  },\n";
   add "  \"shard_sweep\": {\n";
@@ -420,6 +500,13 @@ let () =
       Format.printf "  upd=%3d%% threads=%3d  %8.4f ops/us  (%d ops)@."
         p.update_pct p.threads p.ops_per_us p.total_ops)
     points;
+  let read_wall_ms, read_points = run_read_sweep scale in
+  Format.printf "read sweep: %.1f ms wall@." read_wall_ms;
+  List.iter
+    (fun p ->
+      Format.printf "  %-8s threads=%3d  %8.4f ops/us  (%d ops)@." p.rp_label
+        p.rp_threads p.rp_ops_per_us p.rp_total_ops)
+    read_points;
   let shard_wall_ms, shard_points = run_shard_sweep scale in
   Format.printf "shard sweep: %.1f ms wall@." shard_wall_ms;
   List.iter
@@ -440,6 +527,6 @@ let () =
       Format.printf "  %-22s %8.1f ns/op  %8.2f minor words/op@." m.name
         m.ns_per_op m.minor_words_per_op)
     micros;
-  emit ~out ~scale ~wall_ms ~points ~shard_wall_ms ~shard_points
-    ~durable_wall_ms ~durable_points ~micros;
+  emit ~out ~scale ~wall_ms ~points ~read_wall_ms ~read_points ~shard_wall_ms
+    ~shard_points ~durable_wall_ms ~durable_points ~micros;
   Format.printf "wrote %s@." out

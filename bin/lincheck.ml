@@ -63,7 +63,9 @@ let engines_term =
     value
     & opt engines_conv E.all_engines
     & info [ "e"; "engines" ] ~docv:"ENGINES"
-        ~doc:"Engines: NR, NR-robust, NR-shard, FC, FC+, RWL, SL, LF, NA.")
+        ~doc:
+          "Engines: NR, NR-cna, NR-robust, NR-robust-opt, NR-shard, FC, \
+           FC+, RWL, SL, LF, NA.")
 
 let topo_term =
   Arg.(
@@ -103,6 +105,15 @@ let bypass_term =
           "Plant the router-bypass bug in sharded NR (single-key reads \
            consult the wrong shard) — the NR-shard sweep must then flag a \
            violation.")
+
+let skip_validate_term =
+  Arg.(
+    value & flag
+    & info [ "mutate-skip-read-validate" ]
+        ~doc:
+          "Plant the skip-read-validate bug in the optimistic-read engines \
+           (readers omit the post-read seqlock stamp check) — the \
+           NR-cna/NR-robust-opt sweep must then flag a violation.")
 
 let budget_term =
   Arg.(
@@ -214,10 +225,11 @@ let runner_of_substrate = function
 (* -- sweep -- *)
 
 let sweep_run substrates engines topo threads ops keys seeds salts plans
-    stale bypass expect_violation budget =
+    stale bypass skip_validate expect_violation budget =
   (* one mutation switch downstream: each engine plants its own seeded
-     bug (NR-shard the router bypass, the NR engines the stale read) *)
-  let mutation = stale || bypass in
+     bug (NR-shard the router bypass, NR-cna/NR-robust-opt the skipped
+     read validation, the plain NR engines the stale read) *)
+  let mutation = stale || bypass || skip_validate in
   let t0 = Unix.gettimeofday () in
   let total = ref 0 and steals = ref 0 and kills = ref 0 in
   let cx = ref None in
@@ -275,7 +287,7 @@ let sweep_cmd =
       & info [ "plans" ] ~docv:"PLANS"
           ~doc:
             "Fault-plan specs: none, jitter:S, stall:S, preempt:S, steal:S, \
-             death:S (steal/death apply to NR-robust only).")
+             death:S (steal/death apply to the robust engines only).")
   in
   let expect =
     Arg.(
@@ -288,13 +300,14 @@ let sweep_cmd =
     Term.(
       const sweep_run $ substrates_term $ engines_term $ topo_term
       $ threads_term $ ops_term $ keys_term $ seeds $ salts $ plans
-      $ mutation_term $ bypass_term $ expect $ budget_term)
+      $ mutation_term $ bypass_term $ skip_validate_term $ expect
+      $ budget_term)
 
 (* -- replay -- *)
 
 let replay_run substrate engines topo threads ops keys seed salt plan stale
-    bypass budget =
-  let mutation = stale || bypass in
+    bypass skip_validate budget =
+  let mutation = stale || bypass || skip_validate in
   let r = runner_of_substrate substrate in
   let engine =
     match engines with
@@ -338,7 +351,7 @@ let replay_cmd =
     Term.(
       const replay_run $ substrate $ engines_term $ topo_term $ threads_term
       $ ops_term $ keys_term $ seed $ salt $ plan $ mutation_term
-      $ bypass_term $ budget_term)
+      $ bypass_term $ skip_validate_term $ budget_term)
 
 let () =
   let doc = "linearizability checking on the deterministic simulator" in

@@ -16,13 +16,27 @@ module Method = Nr_harness.Method
 
 (* {2 Engines} *)
 
-type engine = Nr | Nr_robust | Sharded | Fc | Fcplus | Rwl | Sl | Lf | Na
+type engine =
+  | Nr
+  | Nr_cna  (** NR + CNA combiner lock + optimistic seqlock reads *)
+  | Nr_robust
+  | Nr_robust_opt  (** hardened NR + CNA writer lock + optimistic reads *)
+  | Sharded
+  | Fc
+  | Fcplus
+  | Rwl
+  | Sl
+  | Lf
+  | Na
 
-let all_engines = [ Nr; Nr_robust; Sharded; Fc; Fcplus; Rwl; Sl; Lf; Na ]
+let all_engines =
+  [ Nr; Nr_cna; Nr_robust; Nr_robust_opt; Sharded; Fc; Fcplus; Rwl; Sl; Lf; Na ]
 
 let engine_name = function
   | Nr -> "NR"
+  | Nr_cna -> "NR-cna"
   | Nr_robust -> "NR-robust"
+  | Nr_robust_opt -> "NR-robust-opt"
   | Sharded -> "NR-shard"
   | Fc -> "FC"
   | Fcplus -> "FC+"
@@ -61,6 +75,18 @@ let plan_of_spec ~spec : FP.t option =
                   preempt_prob = 0.002;
                   preempt_cycles = 20_000;
                 }
+          | "storm" ->
+              (* dense short preemptions: many narrow suspension windows,
+                 the family that flushes out single-charge race windows
+                 (e.g. a seqlock validation skipped between an unlocked
+                 read and its freshness check) *)
+              Some
+                {
+                  FP.none with
+                  seed;
+                  preempt_prob = 0.05;
+                  preempt_cycles = 5_000;
+                }
           | "stall" ->
               Some
                 { FP.none with seed; stall_prob = 0.002; stall_cycles = 50_000 }
@@ -92,14 +118,15 @@ let plan_of_spec ~spec : FP.t option =
    which proves nothing about linearizability and wastes the budget. *)
 let plan_allows ~spec engine =
   match String.split_on_char ':' spec with
-  | ("steal" | "death") :: _ -> engine = Nr_robust
+  | ("steal" | "death") :: _ -> engine = Nr_robust || engine = Nr_robust_opt
   | _ -> true
 
 (* The flag each engine's seeded mutation answers to in a replay
-   invocation: sharded builds plant the router bypass, plain NR builds
-   the stale read. *)
+   invocation: sharded builds plant the router bypass, optimistic-read
+   builds skip the seqlock validation, plain NR builds the stale read. *)
 let mutation_flag = function
   | "NR-shard" -> " --mutate-router-bypass"
+  | "NR-cna" | "NR-robust-opt" -> " --mutate-skip-read-validate"
   | _ -> " --mutate-stale-reads"
 
 let topo_of_name = function
@@ -186,6 +213,19 @@ module Run (Sub : SUBSTRATE) = struct
   module W = Nr_harness.Families.Wrap (Sub.Seq)
   module Checker = Wgl.Make (Sub.Spec)
 
+  (* The optimistic-read engine variants: CNA combiner/writer lock plus
+     the seqlock read path, patience low so retries exhaust quickly under
+     exploration and the fallback path gets exercised too. *)
+  let opt_cfg base ~mutation =
+    {
+      base with
+      Nr_core.Config.cna_lock = true;
+      optimistic_reads = true;
+      read_patience = Some 4;
+      mutation =
+        (if mutation then Some Nr_core.Config.Skip_read_validate else None);
+    }
+
   let build engine rt ~threads ~mutation =
     let nr_mutation =
       if mutation then Some Nr_core.Config.Stale_reads else None
@@ -204,10 +244,20 @@ module Run (Sub : SUBSTRATE) = struct
           (W.build rt Method.NR
              ~cfg:{ Nr_core.Config.default with mutation = nr_mutation }
              ~threads ~factory:Sub.factory ())
+    | Nr_cna ->
+        Some
+          (W.build rt Method.NR
+             ~cfg:(opt_cfg Nr_core.Config.default ~mutation)
+             ~threads ~factory:Sub.factory ())
     | Nr_robust ->
         Some
           (W.build rt Method.NR
              ~cfg:{ Nr_core.Config.robust with mutation = nr_mutation }
+             ~threads ~factory:Sub.factory ())
+    | Nr_robust_opt ->
+        Some
+          (W.build rt Method.NR
+             ~cfg:(opt_cfg Nr_core.Config.robust ~mutation)
              ~threads ~factory:Sub.factory ())
     | Fc -> Some (W.build rt Method.FC ~threads ~factory:Sub.factory ())
     | Fcplus ->

@@ -29,6 +29,13 @@ type mutation =
           wrong shard, so a read consults a replica that never saw the
           key's updates.  Plain NR ignores it (a single instance has no
           router to bypass). *)
+  | Skip_read_validate
+      (** optimistic readers skip the post-read stamp check: a read whose
+          unlocked replica access raced a combiner's replay can return a
+          value computed on the stale pre-replay replica while the
+          deferred freshness check (which runs {e after} the access)
+          passes against the freshly advanced local tail.  Requires
+          [optimistic_reads]. *)
 
 type t = {
   log_size : int;  (** shared log capacity in entries (paper uses 1M) *)
@@ -66,6 +73,36 @@ type t = {
   router_seed : int;
       (** seed of the sharded router's key hash: determines the
           key-to-shard mapping, deterministically. *)
+  cna_lock : bool;
+      (** serialize writers through a Compact NUMA-Aware queue lock
+          (Dice & Kogan): waiters are partitioned into a main queue and a
+          secondary queue of remote-node waiters, and the holder prefers
+          handing off to a waiter on its own node, splicing the secondary
+          queue back after [cna_threshold] consecutive local handoffs so
+          remote waiters cannot starve.  Replaces the combiner-lock
+          spinlock (legacy mode only — the hardened protocol needs the
+          stealable lock's generations) and always serializes the
+          distributed rwlock's writer side.  Off = the legacy locks,
+          charge sequences byte-identical. *)
+  cna_threshold : int;
+      (** consecutive intra-node handoffs a CNA lock performs before it
+          splices the secondary (remote) queue back into the main queue —
+          the fairness bound on remote-waiter bypassing *)
+  optimistic_reads : bool;
+      (** seqlock read path: readers sample a per-replica version stamp,
+          run the operation on the replica {e without} taking a reader
+          slot, then validate freshness + stamp equality after the fact,
+          falling back to the rwlock slot path after bounded retries.
+          Requires [separate_replica_lock] (the stamp brackets the writer
+          lock).  Off = the slot path only, charge sequences
+          byte-identical. *)
+  read_patience : int option;
+      (** [Some cap] arms truncated exponential backoff (max exponent
+          [cap]) in the distributed rwlock's reader spin loops and bounds
+          the optimistic-read retry count by [cap]; [None] keeps the
+          legacy exact-spin loops (byte-identical) and the default
+          optimistic retry bound.  Shared so one knob tunes both ends of
+          the read path's patience. *)
   liveness : liveness option;
       (** [Some _] arms the hardened combiner protocol (stealable combiner
           lock, slot-timeout handoff, hole poisoning, bounded log-full
@@ -91,6 +128,10 @@ let default =
     distributed_rwlock = true;
     shards = 1;
     router_seed = 0x5EED;
+    cna_lock = false;
+    cna_threshold = 8;
+    optimistic_reads = false;
+    read_patience = None;
     liveness = None;
     mutation = None;
   }
@@ -110,6 +151,20 @@ let validate t =
   if t.replay_window < 1 then
     invalid_arg "Config: replay_window must be >= 1";
   if t.shards < 1 then invalid_arg "Config: shards must be >= 1";
+  if t.cna_threshold < 1 then
+    invalid_arg "Config: cna_threshold must be >= 1";
+  (match t.read_patience with
+  | Some p when p < 1 -> invalid_arg "Config: read_patience must be >= 1"
+  | _ -> ());
+  (* The stamp brackets the replica writer lock; with the combiner lock
+     doubling as the replica lock there is no writer section to bracket
+     (a combiner mutates the replica without ever calling acquire_write),
+     so an "optimistic" read could validate against an even stamp while a
+     combine is mid-batch. *)
+  if t.optimistic_reads && not t.separate_replica_lock then
+    invalid_arg "Config: optimistic_reads requires separate_replica_lock";
+  if t.mutation = Some Skip_read_validate && not t.optimistic_reads then
+    invalid_arg "Config: Skip_read_validate requires optimistic_reads";
   match t.liveness with
   | None -> ()
   | Some l ->
@@ -127,12 +182,18 @@ let validate t =
 let pp ppf t =
   Format.fprintf ppf
     "log_size=%d min_batch=%d fc=%b read_opt=%b sep_lock=%b par_update=%b \
-     dist_rw=%b%t%a"
+     dist_rw=%b%t%t%a"
     t.log_size t.min_batch t.flat_combining t.read_optimization
     t.separate_replica_lock t.parallel_replica_update t.distributed_rwlock
     (fun ppf ->
       if t.shards <> 1 then
         Format.fprintf ppf " shards=%d router_seed=%#x" t.shards t.router_seed)
+    (fun ppf ->
+      if t.cna_lock then Format.fprintf ppf " cna=%d" t.cna_threshold;
+      if t.optimistic_reads then Format.fprintf ppf " opt_reads";
+      match t.read_patience with
+      | Some p -> Format.fprintf ppf " patience=%d" p
+      | None -> ())
     (fun ppf -> function
       | None -> ()
       | Some l ->
@@ -143,3 +204,5 @@ let pp ppf t =
   | None -> ()
   | Some Stale_reads -> Format.fprintf ppf " MUTATION=stale_reads"
   | Some Router_bypass -> Format.fprintf ppf " MUTATION=router_bypass"
+  | Some Skip_read_validate ->
+      Format.fprintf ppf " MUTATION=skip_read_validate"

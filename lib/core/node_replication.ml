@@ -16,6 +16,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
   module Backoff = Nr_sync.Backoff.Make (R)
   module Rw_dist = Nr_sync.Rwlock_dist.Make (R)
   module Rw_simple = Nr_sync.Rwlock_simple.Make (R)
+  module Cna = Nr_sync.Cna_lock.Make (R)
   module Log = Log.Make (R)
 
   type rwlock = Dist of Rw_dist.t | Simple of Rw_simple.t
@@ -44,6 +45,16 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     replica : Seq.t;
     reg : R.region;
     combiner_lock : Spin.t;
+    cna : Cna.t option;
+        (** [Some _] replaces the combiner spinlock with a CNA queue lock
+            ([cfg.cna_lock], legacy mode only — the hardened protocol
+            needs the stealable lock's generations); [combiner_lock] is
+            then never touched *)
+    stamp : int R.cell;
+        (** per-replica seqlock version ([cfg.optimistic_reads]): odd
+            while a writer-lock section is open, bumped on both edges so
+            an optimistic reader can validate that the replica did not
+            change across its unlocked access *)
     rw : rwlock;
     slots : slot array;
     stats : Stats.t;
@@ -97,38 +108,89 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
      writer-side operations below become no-ops for a thread that already
      holds the combiner lock. *)
 
+  (* Combiner-lock dispatch: [cfg.cna_lock] (legacy mode) swaps the
+     spinlock for a CNA queue lock; the match on the option field is pure
+     OCaml, so with [cna = None] every charge sequence is identical to
+     the direct [Spin] calls. *)
+  let clock_try ns =
+    match ns.cna with
+    | None -> Spin.try_lock ns.combiner_lock <> 0
+    | Some l -> Cna.try_lock l
+
+  let clock_locked ns =
+    match ns.cna with
+    | None -> Spin.locked ns.combiner_lock
+    | Some l -> Cna.locked l
+
+  let clock_lock ns =
+    match ns.cna with
+    | None -> ignore (Spin.lock ns.combiner_lock)
+    | Some l -> Cna.lock l
+
+  let clock_unlock ns =
+    match ns.cna with
+    | None -> Spin.unlock_quiet ns.combiner_lock
+    | Some l -> Cna.unlock l
+
   (* [combiner] says whether the caller already holds [ns]'s combiner
      lock: without the separate replica lock (#3 disabled), the combiner
      lock IS the replica lock, so a caller that does not hold it yet must
      take it here (reader-side refreshes, no-flat-combining updaters, the
      dedicated combiner). *)
   let acquire_write t ns ~combiner =
-    if t.cfg.separate_replica_lock then
-      match ns.rw with
-      | Dist l -> Rw_dist.write_lock l
-      | Simple l -> Rw_simple.write_lock l
-    else if not combiner then ignore (Spin.lock ns.combiner_lock)
+    (if t.cfg.separate_replica_lock then
+       match ns.rw with
+       | Dist l -> Rw_dist.write_lock l
+       | Simple l -> Rw_simple.write_lock l
+     else if not combiner then clock_lock ns);
+    (* seqlock open edge: every replica mutation path — combines,
+       refreshes, recoveries, steals — funnels through this writer lock,
+       so bumping here covers them all.  The holder is the stamp's sole
+       writer, making the peek free. *)
+    if t.cfg.optimistic_reads then R.write ns.stamp (R.peek ns.stamp + 1)
 
   let release_write t ns ~combiner =
+    (* seqlock close edge, before the lock drops *)
+    if t.cfg.optimistic_reads then R.write ns.stamp (R.peek ns.stamp + 1);
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.write_unlock l
       | Simple l -> Rw_simple.write_unlock l
-    else if not combiner then Spin.unlock_quiet ns.combiner_lock
+    else if not combiner then clock_unlock ns
 
   let acquire_read t ns slot_idx =
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.read_lock l slot_idx
       | Simple l -> Rw_simple.read_lock l
-    else ignore (Spin.lock ns.combiner_lock)
+    else clock_lock ns
 
   let release_read t ns slot_idx =
     if t.cfg.separate_replica_lock then
       match ns.rw with
       | Dist l -> Rw_dist.read_unlock l slot_idx
       | Simple l -> Rw_simple.read_unlock l
-    else Spin.unlock_quiet ns.combiner_lock
+    else clock_unlock ns
+
+  (* Fold the handoff-locality counters of every CNA lock a node owns
+     (combiner lock and/or rwlock writer side) into a stats record — the
+     locks count locally so the hot path never touches [Stats]. *)
+  let merge_cna_stats acc ns =
+    let add (s : Nr_sync.Cna_lock.snapshot) =
+      acc.Stats.cna_local_handoffs <-
+        acc.Stats.cna_local_handoffs + s.Nr_sync.Cna_lock.local_handoffs;
+      acc.Stats.cna_remote_handoffs <-
+        acc.Stats.cna_remote_handoffs + s.Nr_sync.Cna_lock.remote_handoffs;
+      acc.Stats.cna_splices <-
+        acc.Stats.cna_splices + s.Nr_sync.Cna_lock.splices
+    in
+    (match ns.cna with Some l -> add (Cna.snapshot l) | None -> ());
+    match ns.rw with
+    | Dist l -> (
+        match Rw_dist.writer_cna_snapshot l with
+        | Some s -> add s
+        | None -> ())
+    | Simple _ -> ()
 
   (* {2 Executing operations on a replica} *)
 
@@ -221,12 +283,12 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         if
           other.node <> ns.node
           && Log.local_tail t.log other.node < target
-          && Spin.try_lock other.combiner_lock <> 0
+          && clock_try other
         then begin
           acquire_write t other ~combiner:true;
           ignore (replay t other ~upto:target ~wait_holes:false);
           release_write t other ~combiner:true;
-          Spin.unlock_quiet other.combiner_lock
+          clock_unlock other
         end)
       t.node_states;
     if Nr_obs.Sink.tracing () then
@@ -257,9 +319,20 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
         replica;
         reg = R.region ~home:node ~lines:(max 1 (Seq.lines replica)) ();
         combiner_lock = Spin.create ~home:node ();
+        cna =
+          (if
+             cfg.cna_lock
+             && match cfg.liveness with None -> true | Some _ -> false
+           then Some (Cna.create ~home:node ~threshold:cfg.cna_threshold ())
+           else None);
+        stamp = R.cell ~home:node 0;
         rw =
           (if cfg.distributed_rwlock then
-             Dist (Rw_dist.create ~home:node ~readers:spn ())
+             Dist
+               (Rw_dist.create ~home:node ~readers:spn
+                  ?writer_cna:
+                    (if cfg.cna_lock then Some cfg.cna_threshold else None)
+                  ?patience:cfg.read_patience ())
            else Simple (Rw_simple.create ~home:node ()));
         slots;
         stats = Stats.create ();
@@ -287,7 +360,11 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
       t.node_states;
     Stats.register_collector (fun () ->
         let acc = Stats.create () in
-        Array.iter (fun ns -> Stats.add acc ns.stats) t.node_states;
+        Array.iter
+          (fun ns ->
+            Stats.add acc ns.stats;
+            merge_cna_stats acc ns)
+          t.node_states;
         acc);
     t
 
@@ -385,7 +462,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     if Nr_obs.Sink.tracing () then
       Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:ns.node ~cat:"nr" ~arg:n
         "combine";
-    Spin.unlock_quiet ns.combiner_lock;
+    clock_unlock ns;
     match own with
     | Some r -> r
     | None ->
@@ -395,11 +472,11 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   let rec wait_or_combine t ns my_idx =
     let slot = ns.slots.(my_idx) in
-    if Spin.try_lock ns.combiner_lock <> 0 then
+    if clock_try ns then
       match R.read slot.response with
       | Some r ->
           (* a previous combiner served us just before we got the lock *)
-          Spin.unlock_quiet ns.combiner_lock;
+          clock_unlock ns;
           r
       | None -> combine t ns my_idx
     else slot_wait t ns my_idx slot
@@ -410,7 +487,7 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     match R.read slot.response with
     | Some r -> r
     | None ->
-        if Spin.locked ns.combiner_lock then begin
+        if clock_locked ns then begin
           R.yield ();
           slot_wait t ns my_idx slot
         end
@@ -862,21 +939,24 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   (* {2 Read-only operations (§5.3, §5.4)} *)
 
-  let execute_read t ns my_idx op =
-    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
-    let read_tail =
-      match t.cfg.mutation with
-      | Some Config.Stale_reads ->
-          (* seeded bug: pretend the replica is always fresh enough *)
-          0
-      | Some Config.Router_bypass | None ->
-          if t.cfg.read_optimization then Log.completed t.log
-          else Log.tail t.log
-    in
+  (* The log position a read must observe: [completed] with the read
+     optimization (#2), the raw tail without it.  The stale-reads
+     mutation pretends the replica is always fresh enough. *)
+  let read_target t =
+    match t.cfg.mutation with
+    | Some Config.Stale_reads -> 0
+    | Some Config.Router_bypass | Some Config.Skip_read_validate | None ->
+        if t.cfg.read_optimization then Log.completed t.log
+        else Log.tail t.log
+
+  (* The slot path body, shared by the legacy entry point and the
+     optimistic path's fallback (which has already counted the read). *)
+  let execute_read_slow t ns my_idx op =
+    let read_tail = read_target t in
     while Log.local_tail t.log ns.node < read_tail do
       (* If a combiner is active it will refresh the replica; otherwise we
          take the writer lock and refresh it ourselves. *)
-      if Spin.locked ns.combiner_lock then R.yield ()
+      if clock_locked ns then R.yield ()
       else begin
         ns.stats.Stats.reader_refreshes <- ns.stats.Stats.reader_refreshes + 1;
         if Nr_obs.Sink.tracing () then
@@ -893,23 +973,18 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     release_read t ns my_idx;
     r
 
+  let execute_read t ns my_idx op =
+    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
+    execute_read_slow t ns my_idx op
+
   (* Hardened read: like [execute_read], but the refresh wait tracks the
      combiner-lock tenure — a tenure that stays unchanged across
      [slot_patience] backoff rounds while the replica lags is presumed
      stuck, stolen, and its batch recovered; and self-refreshes poison
      holes after [hole_patience], so a lone surviving reader still gets a
      fresh replica when every writer on the node is dead. *)
-  let execute_read_h t ns my_idx op (lv : Config.liveness) =
-    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
-    let read_tail =
-      match t.cfg.mutation with
-      | Some Config.Stale_reads ->
-          (* seeded bug: pretend the replica is always fresh enough *)
-          0
-      | Some Config.Router_bypass | None ->
-          if t.cfg.read_optimization then Log.completed t.log
-          else Log.tail t.log
-    in
+  let execute_read_slow_h t ns my_idx op (lv : Config.liveness) =
+    let read_tail = read_target t in
     let b = Backoff.create () in
     let rec wait rounds last_gen =
       if Log.local_tail t.log ns.node < read_tail then begin
@@ -959,6 +1034,91 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     release_read t ns my_idx;
     r
 
+  let execute_read_h t ns my_idx op lv =
+    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
+    execute_read_slow_h t ns my_idx op lv
+
+  (* {2 Optimistic local reads (seqlock fast path)}
+
+     With [Config.optimistic_reads] a read first tries to run against the
+     local replica {e without} acquiring a reader slot, validated by the
+     per-replica seqlock stamp:
+
+     - read the stamp [s1]; an odd value means a writer section is open,
+       so back off and retry;
+     - run the read-only operation directly on the replica (no lock);
+     - check freshness: the replica's [local_tail] must have reached the
+       read's target position.  This check deliberately happens {e after}
+       the unlocked read — sound because of the next step;
+     - re-read the stamp: if it still equals [s1], no writer section
+       opened anywhere in the span, so the replica (and [local_tail],
+       which only moves inside writer sections) were constant across it,
+       and the freshness observed mid-span vouches for the very state the
+       read saw.  A changed stamp invalidates the attempt: retry.
+
+     Stale replica (freshness fails on a quiet replica) or exhausted
+     retries fall back to the slot path, which refreshes as usual.  The
+     retry budget is [Config.read_patience] when set — the same knob that
+     caps the rwlock reader backoff — else [default_opt_retries].
+
+     The [Skip_read_validate] mutation omits the final stamp re-check,
+     re-introducing the torn-read window this protocol exists to close;
+     [bin/lincheck] demonstrates the resulting violations. *)
+
+  let default_opt_retries = 3
+
+  let rec opt_attempt t ns op ~read_tail ~skip_validate retries_left =
+    let s1 = R.read ns.stamp in
+    if s1 land 1 = 1 && not skip_validate then
+      opt_retry t ns op ~read_tail ~skip_validate retries_left
+    else
+      let r = apply ns op in
+      if Log.local_tail t.log ns.node < read_tail then
+        (* Replica genuinely stale (or torn): let the slot path refresh. *)
+        None
+      else if skip_validate || R.read ns.stamp = s1 then begin
+        ns.stats.Stats.opt_reads <- ns.stats.Stats.opt_reads + 1;
+        Some r
+      end
+      else opt_retry t ns op ~read_tail ~skip_validate retries_left
+
+  and opt_retry t ns op ~read_tail ~skip_validate retries_left =
+    if retries_left <= 0 then None
+    else begin
+      ns.stats.Stats.opt_retries <- ns.stats.Stats.opt_retries + 1;
+      R.yield ();
+      opt_attempt t ns op ~read_tail ~skip_validate (retries_left - 1)
+    end
+
+  let opt_config t =
+    let skip_validate = t.cfg.mutation = Some Config.Skip_read_validate in
+    let retries =
+      match t.cfg.read_patience with
+      | Some p -> p
+      | None -> default_opt_retries
+    in
+    (skip_validate, retries)
+
+  let execute_read_opt t ns my_idx op =
+    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
+    let read_tail = read_target t in
+    let skip_validate, retries = opt_config t in
+    match opt_attempt t ns op ~read_tail ~skip_validate retries with
+    | Some r -> r
+    | None ->
+        ns.stats.Stats.opt_fallbacks <- ns.stats.Stats.opt_fallbacks + 1;
+        execute_read_slow t ns my_idx op
+
+  let execute_read_opt_h t ns my_idx op lv =
+    ns.stats.Stats.reads <- ns.stats.Stats.reads + 1;
+    let read_tail = read_target t in
+    let skip_validate, retries = opt_config t in
+    match opt_attempt t ns op ~read_tail ~skip_validate retries with
+    | Some r -> r
+    | None ->
+        ns.stats.Stats.opt_fallbacks <- ns.stats.Stats.opt_fallbacks + 1;
+        execute_read_slow_h t ns my_idx op lv
+
   (* {2 The concurrent entry point (paper's ExecuteConcurrent)} *)
 
   let execute t op =
@@ -967,12 +1127,16 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
     let my_idx = R.tid () mod R.threads_per_node () in
     match t.cfg.liveness with
     | None ->
-        if Seq.is_read_only op then execute_read t ns my_idx op
+        if Seq.is_read_only op then
+          if t.cfg.optimistic_reads then execute_read_opt t ns my_idx op
+          else execute_read t ns my_idx op
         else if t.cfg.flat_combining then execute_update t ns my_idx op
         else execute_update_nofc t ns my_idx op
     | Some lv ->
         (* [Config.validate] guarantees flat combining in liveness mode *)
-        if Seq.is_read_only op then execute_read_h t ns my_idx op lv
+        if Seq.is_read_only op then
+          if t.cfg.optimistic_reads then execute_read_opt_h t ns my_idx op lv
+          else execute_read_h t ns my_idx op lv
         else execute_update_h t ns my_idx op lv
 
   (* {2 Dedicated combiner support (§4, optional optimization)}
@@ -1014,7 +1178,11 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Seq : Ds_intf.S) = struct
 
   let stats t =
     let acc = Stats.create () in
-    Array.iter (fun ns -> Stats.add acc ns.stats) t.node_states;
+    Array.iter
+      (fun ns ->
+        Stats.add acc ns.stats;
+        merge_cna_stats acc ns)
+      t.node_states;
     acc
 
   (** Quiescent-only introspection, for tests and memory accounting. *)

@@ -26,6 +26,19 @@ type t = {
   mutable remote_refreshes : int;
       (** laggard replicas refreshed remotely during a bounded
           log-full wait *)
+  mutable opt_reads : int;
+      (** reads served optimistically (no reader-slot acquire) *)
+  mutable opt_retries : int;
+      (** optimistic attempts invalidated by a concurrent stamp bump *)
+  mutable opt_fallbacks : int;
+      (** reads that gave up on the optimistic path (stale replica or
+          retries exhausted) and took the rwlock slot path *)
+  mutable cna_local_handoffs : int;
+      (** CNA lock grants to a waiter on the holder's node *)
+  mutable cna_remote_handoffs : int;
+      (** CNA lock grants to a waiter on another node *)
+  mutable cna_splices : int;
+      (** CNA fairness events: secondary queue spliced/promoted *)
 }
 
 val create : unit -> t

@@ -1,0 +1,124 @@
+(** CNA lock + optimistic-read experiments (no paper counterpart —
+    NUMA-aware locking PR).
+
+    Panel (a) prices the seqlock read path where it should pay: a pure
+    read workload, where optimistic readers skip the rwlock slot
+    acquire/release entirely and the curve should sit strictly above
+    stock NR.  Panel (b) stresses writer serialization at 100% updates
+    with flat combining disabled — every thread queues on the combiner
+    lock per operation, so the CNA lock's intra-node handoff preference
+    is the difference between bouncing the lock word across sockets and
+    draining a node's waiters back-to-back.  Panel (c) sweeps the CNA
+    fairness threshold on that same workload: 1 degenerates to strict
+    FIFO (pure MCS behaviour), large values maximize locality at the
+    price of remote-waiter latency. *)
+
+let e = 0
+
+let cfg_opt =
+  {
+    Nr_core.Config.default with
+    optimistic_reads = true;
+    read_patience = Some 4;
+  }
+
+let cfg_cna_opt = { cfg_opt with Nr_core.Config.cna_lock = true }
+let cfg_nofc = { Nr_core.Config.default with flat_combining = false }
+let cfg_cna_nofc = { cfg_nofc with Nr_core.Config.cna_lock = true }
+
+let setup_upd params m cfg ~update_pct ~threads rt =
+  let exec =
+    Exp_pq.Sl_exp.W.build rt m ~cfg ~threads
+      ~factory:(Exp_pq.Sl_exp.factory params) ()
+  in
+  Exp_pq.Sl_exp.body params ~update_pct ~e ~exec rt
+
+let read_ceiling_figure (params : Params.t) =
+  let series =
+    List.map
+      (fun (label, cfg) ->
+        Sweep.threads_series params ~label ~setup:(fun ~threads rt ->
+            setup_upd params Method.NR cfg ~update_pct:0 ~threads rt))
+      [
+        ("NR", Nr_core.Config.default);
+        ("NR-opt", cfg_opt);
+        ("NR-cna-opt", cfg_cna_opt);
+      ]
+  in
+  {
+    Table.id = "cna-a";
+    title = "pure-read ceiling: optimistic seqlock reads vs slot path";
+    x_label = "threads";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf "0%% updates, e=%d, %d initial items" e
+          params.Params.population;
+        "NR-opt = optimistic_reads + read_patience=4; NR-cna-opt adds \
+         cna_lock";
+      ];
+  }
+
+let contended_update_figure (params : Params.t) =
+  let series =
+    List.map
+      (fun (label, cfg) ->
+        Sweep.threads_series params ~label ~setup:(fun ~threads rt ->
+            setup_upd params Method.NR cfg ~update_pct:100 ~threads rt))
+      [
+        ("NR", Nr_core.Config.default);
+        ("NR-cna", { Nr_core.Config.default with cna_lock = true });
+        ("NR-nofc", cfg_nofc);
+        ("NR-cna-nofc", cfg_cna_nofc);
+      ]
+  in
+  {
+    Table.id = "cna-b";
+    title = "contended updates: CNA combiner-lock handoff locality";
+    x_label = "threads";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf "100%% updates, e=%d, %d initial items" e
+          params.Params.population;
+        "nofc variants disable flat combining so every thread queues on \
+         the combiner lock — the regime where handoff locality matters";
+      ];
+  }
+
+let threshold_axis = [ 1; 2; 4; 8; 16; 32 ]
+
+let threshold_figure (params : Params.t) =
+  let threads = Params.max_threads params in
+  let series =
+    [
+      Sweep.axis_series params ~label:"NR-cna-nofc" ~axis:threshold_axis
+        ~threads ~setup:(fun ~x rt ->
+          setup_upd params Method.NR
+            { cfg_cna_nofc with Nr_core.Config.cna_threshold = x }
+            ~update_pct:100 ~threads rt);
+    ]
+  in
+  {
+    Table.id = "cna-c";
+    title = "CNA fairness threshold: local handoffs before secondary splice";
+    x_label = "cna_threshold";
+    y_label = "ops/us";
+    series;
+    notes =
+      [
+        Printf.sprintf "100%% updates, e=%d, %d threads, flat combining off"
+          e threads;
+        "threshold 1 ~ strict FIFO (MCS); larger = more intra-node \
+         handoffs per splice";
+      ];
+  }
+
+let figures params =
+  [
+    read_ceiling_figure params;
+    contended_update_figure params;
+    threshold_figure params;
+  ]

@@ -77,6 +77,11 @@ let groups =
       run = (fun p -> print_figures (Exp_faults.figures p));
     };
     {
+      id = "cna";
+      description = "CNA lock + optimistic reads: read ceiling, handoff, threshold";
+      run = (fun p -> print_figures (Exp_cna.figures p));
+    };
+    {
       id = "shard";
       description = "sharded NR: shard count x threads x update ratio";
       run = (fun p -> print_figures (Exp_shard.figures p));

@@ -12,7 +12,14 @@ module Make (R : Nr_runtime.Runtime_intf.S) : sig
   val create : ?max_exp:int -> unit -> t
   (** Fresh backoff state starting at one yield per {!once}.  [max_exp]
       (default 6) caps the doubling, so the longest sleep is
-      [2 ^ max_exp] yields. *)
+      [2 ^ max_exp] yields.
+
+      Callers that expose the cap as a tuning knob should share one
+      number across the loops that race each other: the read path feeds
+      {!Nr_core.Config.t.read_patience} both to {!Rwlock_dist}'s reader
+      spins (as this cap) and to the optimistic-read retry bound, so a
+      single patience value governs how long a reader pushes before
+      conceding to writers. *)
 
   val reset : t -> unit
   (** Return to the initial (shortest) delay — call after a successful

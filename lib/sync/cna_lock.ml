@@ -1,0 +1,233 @@
+(** Compact NUMA-Aware queue lock (after Dice & Kogan, "Compact NUMA-aware
+    Locks").
+
+    An MCS-style queue lock whose holder partitions the waiters behind it
+    into a {e main} queue and a {e secondary} queue of waiters on other
+    NUMA nodes.  On release the holder scans the main queue for the first
+    waiter on its own node, moves the remote prefix to the secondary
+    queue, and hands the lock to that local waiter — so in steady state
+    the lock (and the data it protects) stays resident on one node's
+    cache, which is exactly what the simulator's remote-transfer charges
+    reward.  A bounded fairness threshold splices the secondary queue
+    back in front of the main queue after [threshold] consecutive
+    intra-node handoffs, so remote waiters are bypassed only a bounded
+    number of times.
+
+    Queue nodes are preallocated one per thread and homed on the thread's
+    node: a waiter spins on its own node-local cell (the MCS property),
+    and the runtime has no atomic exchange, so the tail swap is a CAS
+    loop.  The secondary-queue head/tail and the handoff counter are
+    plain holder-only fields — they are only read and written between
+    acquiring the lock and granting it away, and the grant (the write to
+    the successor's spin cell) publishes them. *)
+
+(* Handoff-locality counters, outside the functor so every instantiation
+   (combiner locks, rwlock writer sides) shares one snapshot type. *)
+type snapshot = {
+  local_handoffs : int;  (** grants to a waiter on the holder's node *)
+  remote_handoffs : int;  (** grants to a waiter on another node *)
+  splices : int;
+      (** fairness events: secondary queue spliced back (threshold hit)
+          or promoted to main (main queue empty) *)
+}
+
+let empty_snapshot = { local_handoffs = 0; remote_handoffs = 0; splices = 0 }
+
+let add_snapshot a b =
+  {
+    local_handoffs = a.local_handoffs + b.local_handoffs;
+    remote_handoffs = a.remote_handoffs + b.remote_handoffs;
+    splices = a.splices + b.splices;
+  }
+
+module Make (R : Nr_runtime.Runtime_intf.S) = struct
+  (* Queue-node and tail cells encode a thread as [tid + 1]; 0 = none. *)
+  type qnode = {
+    next : int R.cell;  (** successor in the chain, 0 = none *)
+    spin : int R.cell;  (** 0 = wait, 1 = granted; node-local *)
+    qnode_node : int;  (** NUMA node of the owning thread *)
+  }
+
+  type t = {
+    tail : int R.cell;  (** 0 = free, else the last waiter *)
+    qnodes : qnode array;  (** indexed by tid *)
+    threshold : int;
+    (* Holder-only state: written between acquire and grant, published to
+       the next holder by the grant itself. *)
+    mutable sec_head : int;
+    mutable sec_tail : int;
+    mutable passes : int;  (** local handoffs since the last splice *)
+    (* Reporting-only counters (plain, racy on domains like Stats). *)
+    mutable local_handoffs : int;
+    mutable remote_handoffs : int;
+    mutable splices : int;
+  }
+
+  let create ?home ~threshold () =
+    if threshold < 1 then invalid_arg "Cna_lock.create: threshold must be >= 1";
+    {
+      tail = R.cell ?home 0;
+      qnodes =
+        Array.init (R.max_threads ()) (fun tid ->
+            let node = R.node_of tid in
+            {
+              next = R.cell ~home:node 0;
+              spin = R.cell ~home:node 0;
+              qnode_node = node;
+            });
+      threshold;
+      sec_head = 0;
+      sec_tail = 0;
+      passes = 0;
+      local_handoffs = 0;
+      remote_handoffs = 0;
+      splices = 0;
+    }
+
+  let snapshot t =
+    {
+      local_handoffs = t.local_handoffs;
+      remote_handoffs = t.remote_handoffs;
+      splices = t.splices;
+    }
+
+  let locked t = R.read t.tail <> 0
+
+  (* No atomic exchange in the runtime: emulate the MCS tail swap. *)
+  let rec swap_tail t me =
+    let prev = R.read t.tail in
+    if R.cas t.tail prev me then prev else swap_tail t me
+
+  let lock t =
+    let me = R.tid () + 1 in
+    let q = t.qnodes.(me - 1) in
+    R.write q.next 0;
+    R.write q.spin 0;
+    let prev = swap_tail t me in
+    if prev <> 0 then begin
+      R.write t.qnodes.(prev - 1).next me;
+      (* spin on our own node-local cell — the MCS property; no backoff
+         needed because nobody else ever touches this line *)
+      while R.read q.spin = 0 do
+        R.yield ()
+      done
+    end
+  (* [prev = 0]: the lock was free.  Free implies the secondary queue is
+     empty (a holder never releases while it is nonempty), so the
+     inherited holder-only fields are already in their reset state. *)
+
+  let try_lock t =
+    if R.read t.tail <> 0 then false
+    else begin
+      let me = R.tid () + 1 in
+      R.write t.qnodes.(me - 1).next 0;
+      R.cas t.tail 0 me
+    end
+
+  (* Grant the lock to waiter [h]: counters first (plain), then the
+     publishing write to its spin cell. *)
+  let grant t ~my_node h =
+    let g = t.qnodes.(h - 1) in
+    if g.qnode_node = my_node then
+      t.local_handoffs <- t.local_handoffs + 1
+    else t.remote_handoffs <- t.remote_handoffs + 1;
+    if Nr_obs.Sink.tracing () then
+      Nr_obs.Sink.instant ~tid:(R.tid ()) ~node:my_node ~cat:"cna"
+        ~arg:(if g.qnode_node = my_node then 1 else 0)
+        "handoff";
+    R.write g.spin 1
+
+  (* A successor is enqueuing (it swapped the tail but has not linked our
+     [next] yet): wait for the link. *)
+  let rec wait_next q =
+    let s = R.read q.next in
+    if s <> 0 then s
+    else begin
+      R.yield ();
+      wait_next q
+    end
+
+  (* Move the chain segment [first .. last] (linked via [next]) onto the
+     tail of the secondary queue; [last]'s next is cut. *)
+  let push_secondary t first last =
+    if t.sec_head = 0 then t.sec_head <- first
+    else R.write t.qnodes.(t.sec_tail - 1).next first;
+    t.sec_tail <- last;
+    R.write t.qnodes.(last - 1).next 0
+
+  (* Scan the arrived main chain from [cur] for the first waiter on
+     [my_node]; remote waiters ahead of it move to the secondary queue.
+     When every arrived waiter is remote, hand off to the chain head
+     (leaving the secondary for the next local holder to splice). *)
+  let rec find_local t ~my_node head prev cur =
+    let qn = t.qnodes.(cur - 1) in
+    if qn.qnode_node = my_node then begin
+      if prev <> 0 then push_secondary t head prev;
+      t.passes <- t.passes + 1;
+      grant t ~my_node cur
+    end
+    else
+      let nx = R.read qn.next in
+      if nx = 0 then begin
+        (* no local waiter arrived: remote handoff, reset the streak *)
+        t.passes <- 0;
+        grant t ~my_node head
+      end
+      else find_local t ~my_node head cur nx
+
+  (* Splice the secondary queue in front of successor [succ] and grant
+     its head — the fairness path. *)
+  let splice_secondary t ~my_node succ =
+    R.write t.qnodes.(t.sec_tail - 1).next succ;
+    let h = t.sec_head in
+    t.sec_head <- 0;
+    t.sec_tail <- 0;
+    t.passes <- 0;
+    t.splices <- t.splices + 1;
+    grant t ~my_node h
+
+  let unlock t =
+    let me = R.tid () + 1 in
+    let my_node = t.qnodes.(me - 1).qnode_node in
+    let q = t.qnodes.(me - 1) in
+    let succ = R.read q.next in
+    if succ = 0 then begin
+      if t.sec_head = 0 then begin
+        if not (R.cas t.tail me 0) then
+          (* a successor is mid-enqueue: link up and dispatch below *)
+          let succ = wait_next q in
+          if t.passes >= t.threshold && t.sec_head <> 0 then
+            splice_secondary t ~my_node succ
+          else find_local t ~my_node succ 0 succ
+      end
+      else begin
+        (* main queue drained but remote waiters are parked: promote the
+           secondary queue to main (its chain is already linked and its
+           tail's next is cut) and grant its head *)
+        let h = t.sec_head and st = t.sec_tail in
+        if R.cas t.tail me st then begin
+          t.sec_head <- 0;
+          t.sec_tail <- 0;
+          t.passes <- 0;
+          t.splices <- t.splices + 1;
+          grant t ~my_node h
+        end
+        else begin
+          let succ = wait_next q in
+          (* a waiter arrived meanwhile: append it behind the promoted
+             secondary chain instead of swapping queues *)
+          R.write t.qnodes.(st - 1).next succ;
+          t.sec_head <- 0;
+          t.sec_tail <- 0;
+          t.passes <- 0;
+          t.splices <- t.splices + 1;
+          (* the promoted chain replaces the main queue; the tail cell
+             already points at the true last waiter *)
+          grant t ~my_node h
+        end
+      end
+    end
+    else if t.passes >= t.threshold && t.sec_head <> 0 then
+      splice_secondary t ~my_node succ
+    else find_local t ~my_node succ 0 succ
+end

@@ -1,0 +1,67 @@
+(** Compact NUMA-Aware queue lock (after Dice & Kogan, "Compact NUMA-aware
+    Locks").
+
+    An MCS-style queue lock that prefers handing off to a waiter on the
+    holder's own NUMA node: on release the main queue is scanned for the
+    first same-node waiter and the remote prefix is parked on a secondary
+    queue, which a bounded fairness threshold splices back in front of
+    the main queue after [threshold] consecutive intra-node handoffs.
+    Keeping consecutive holders on one node keeps the lock word and the
+    protected data in that node's cache — under the simulator's cost
+    model, local handoffs avoid the remote-transfer charges an MCS/TTAS
+    handoff to another node would pay.
+
+    Waiters spin on preallocated per-thread queue nodes homed on their
+    own NUMA node (the MCS property: no shared spin line).  Acquisition
+    costs one tail swap (a CAS loop — the runtime has no exchange);
+    uncontended release is one CAS.  This lock has no generation
+    counter and cannot be stolen — the hardened (liveness) NR protocol
+    keeps its stealable combiner lock and applies CNA only to the
+    rwlock writer side. *)
+
+(** Handoff-locality counters shared by every instantiation, so NR can
+    merge combiner-lock and rwlock-writer snapshots into one report. *)
+type snapshot = {
+  local_handoffs : int;  (** grants to a waiter on the holder's node *)
+  remote_handoffs : int;  (** grants to a waiter on another node *)
+  splices : int;
+      (** fairness events: secondary queue spliced back (threshold hit)
+          or promoted to main (main queue drained) *)
+}
+
+val empty_snapshot : snapshot
+val add_snapshot : snapshot -> snapshot -> snapshot
+
+module Make (R : Nr_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?home:int -> threshold:int -> unit -> t
+  (** A lock whose queue nodes cover every runtime thread ([R.max_threads]),
+      each homed on its thread's node.  [home] places the tail word.
+      [threshold] bounds consecutive intra-node handoffs before the
+      secondary (remote) queue is spliced back — the fairness knob.
+
+      @raise Invalid_argument if [threshold < 1]. *)
+
+  val lock : t -> unit
+  (** Enqueue and spin on this thread's own node-local cell until
+      granted. *)
+
+  val try_lock : t -> bool
+  (** One attempt: succeeds iff the lock was free and the tail CAS won.
+      Never enqueues. *)
+
+  val unlock : t -> unit
+  (** Hand off NUMA-aware: prefer the first same-node main-queue waiter
+      (parking the remote prefix), splice the secondary queue back after
+      [threshold] consecutive local handoffs, promote it when the main
+      queue drains, or free the lock when nobody waits.  Must be called
+      by the holding thread. *)
+
+  val locked : t -> bool
+  (** Whether any thread holds or waits for the lock (one charged read). *)
+
+  val snapshot : t -> snapshot
+  (** Current handoff-locality counters (plain reads; exact under the
+      simulator, racy-but-indicative on domains). *)
+end

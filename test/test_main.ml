@@ -21,6 +21,7 @@ let () =
       ("durable", Test_durable.suite);
       ("shard", Test_shard.suite);
       ("hot-path", Test_hotpath.suite);
+      ("read-path", Test_readpath.suite);
       ("misc", Test_misc.suite);
       ("memsize", Test_memsize.suite);
       ("stress", Test_stress.suite);

@@ -51,6 +51,10 @@ let config_gen =
         router_seed = 0x5EED;
         liveness = None;
         mutation = None;
+        cna_lock = false;
+        cna_threshold = 8;
+        optimistic_reads = false;
+        read_patience = None;
       })
 
 let print_config c = Format.asprintf "%a" Nr_core.Config.pp c
