@@ -6,39 +6,64 @@
      dune exec bin/kv_server.exe -- --port 6380 --workers 4
      dune exec bin/kv_server.exe -- --aof /var/tmp/kv --fsync every-n:32
      dune exec bin/kv_server.exe -- --port 6381 --follower-of 127.0.0.1:6380
+     # chained follower with its own AOF, serving PSYNC to its children:
+     dune exec bin/kv_server.exe -- --port 6382 --aof /var/tmp/kv2 \
+         --follower-of 127.0.0.1:6381,127.0.0.1:6380
 
    Then, from any Redis client:
      redis-cli -p 6380 ZADD board 10 1
-     redis-cli -p 6380 ZRANK board 1
+     redis-cli -p 6380 WAIT 1 200       # block until 1 follower acked
      redis-cli -p 6380 SLOWLOG GET      # slowest commands, Redis-style *)
 
 open Cmdliner
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
+(* What a serving mode (plain / persistent leader / chained follower /
+   sharded) plugs into the generic server + replication-loop scaffolding. *)
+type serving = {
+  execute : Nr_kvstore.Command.t -> Nr_kvstore.Command.reply;
+      (** client-facing execution (the READONLY gate wraps this) *)
+  special : (Nr_kvstore.Command.t -> Nr_kvstore.Command.reply option) option;
+  on_close : unit -> unit;
+  descr : string;
+  dump_stats : Format.formatter -> unit;
+  repl_exec : Nr_kvstore.Command.t -> Nr_kvstore.Command.reply;
+      (** how the follower loop applies a replicated op *)
+  repl_on_op : (Nr_kvstore.Command.t option -> unit) option;
+      (** per-frame persister feed (AOF-keeping follower) *)
+  repl_on_full :
+    (upto:int -> dump:string -> (unit, string) result) option;
+      (** full-resync rebase of the local persistent state *)
+  repl_strict : bool;  (** refuse offset-regressing full resyncs *)
+  own_ack : unit -> int;  (** watermark to REPLACK upstream *)
+  pending_acks : unit -> (string * int) list;
+      (** children's acks to forward up the chain *)
+  on_promote : unit -> unit;  (** leader duties on failover promotion *)
+}
+
 let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
-    fsync snapshot_every follower_of failover_after poll_ms =
+    fsync snapshot_every follower_of failover_after poll_ms connect_timeout_ms
+    read_timeout_ms =
+  let module C = Nr_kvstore.Command in
+  let module Repl = Nr_persist.Replication in
   let policy =
     match Nr_persist.Aof.policy_of_string fsync with
     | Ok p -> p
     | Error e -> fail "%s" e
   in
-  let follower =
+  let endpoints =
     match follower_of with
     | None -> None
-    | Some hp -> (
-        match String.rindex_opt hp ':' with
-        | Some i -> (
-            let host = String.sub hp 0 i in
-            match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
-            | Some p -> Some (host, p)
-            | None -> fail "--follower-of: bad port in %S" hp)
-        | None -> fail "--follower-of expects HOST:PORT, got %S" hp)
+    | Some s -> (
+        match Repl.endpoints_of_string s with
+        | Ok eps -> Some eps
+        | Error e -> fail "--follower-of: %s" e)
   in
   if aof_dir <> None && shards > 1 then
     fail "--aof requires --shards 1: the durability log tails a single NR log";
-  if aof_dir <> None && follower <> None then
-    fail "--aof and --follower-of are mutually exclusive";
+  if endpoints <> None && shards > 1 then
+    fail "--follower-of requires --shards 1";
   let topo = Nr_sim.Topology.tiny in
   let module R = (val Nr_runtime.Runtime_domains.make topo) in
   (* worker threads carry runtime identities round-robin over the topology;
@@ -50,29 +75,65 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
       Nr_runtime.Runtime_domains.register
         ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ())
   in
-  let execute, special, on_close, descr, dump_shards =
+  let writable = Atomic.make (endpoints = None) in
+  (* the session is created before connecting: it owns the candidate
+     endpoint list and the reconnect backoff, and its current target is
+     the best known leader address (shown in READONLY rejections) *)
+  let session =
+    Option.map
+      (fun eps ->
+        Repl.make_session ~connect_timeout_ms ~read_timeout_ms ~endpoints:eps
+          ~offset:0 ())
+      endpoints
+  in
+  let serving =
     if shards <= 1 then begin
       let module Db = Nr_core.Node_replication.Make (R) (Nr_kvstore.Store) in
+      let plain () =
+        let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
+        let exec cmd =
+          register ();
+          Db.execute db cmd
+        in
+        {
+          execute = exec;
+          special = None;
+          on_close = (fun () -> ());
+          descr = Printf.sprintf "NR over %d replicas" (Db.num_replicas db);
+          dump_stats = (fun _ -> ());
+          repl_exec = exec;
+          repl_on_op = None;
+          repl_on_full = None;
+          repl_strict = false;
+          own_ack =
+            (fun () ->
+              match session with Some s -> Repl.offset s | None -> 0);
+          pending_acks = (fun () -> []);
+          on_promote = (fun () -> ());
+        }
+      in
       match aof_dir with
-      | None ->
-          let db = Db.create (fun () -> Nr_kvstore.Store.create ()) in
-          ( Db.execute db,
-            None,
-            (fun () -> ()),
-            Printf.sprintf "NR over %d replicas" (Db.num_replicas db),
-            fun _ -> () )
+      | None -> plain ()
       | Some dir ->
-          (* leader with durability: recover, seed every replica with the
-             recovered image, then tail the log into the persister *)
+          (* persistent node (leader, or chained follower serving its own
+             children): recover, seed every replica with the recovered
+             image, then tail either the local NR log (leader) or the
+             upstream replication stream (follower) into the persister *)
           let fs = Nr_persist.Vfs.real ~root:dir in
           let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.) in
+          let background = snapshot_every <> None in
           let p, recovery =
             match
-              Nr_persist.Persister.create fs ~policy ~now_ms ?snapshot_every ()
+              Nr_persist.Persister.create fs ~policy ~now_ms ?snapshot_every
+                ~background ()
             with
             | Ok pr -> pr
             | Error e -> fail "recovery failed: %s" e
           in
+          (* a follower resumes PSYNC exactly where its AOF ends *)
+          (match session with
+          | Some s -> Repl.set_offset s (Nr_persist.Persister.cursor p)
+          | None -> ());
           let seed = Nr_persist.Persister.dump p in
           let db =
             Db.create (fun () ->
@@ -89,14 +150,20 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
             | Some u -> Printf.sprintf "up to %d" u
             | None -> "none")
             recovery.Nr_persist.Persister.replayed
-            (if recovery.Nr_persist.Persister.torn then ", torn tail discarded"
+            (if recovery.Nr_persist.Persister.torn then
+               ", torn tail discarded"
              else "");
           (* serialize log tapping + persister access; the tap runs after
              the update executed (completed covers it) and before the reply
              is sent, so an [always] policy means every ack is durable *)
           let m = Mutex.create () in
+          let locked f =
+            Mutex.lock m;
+            Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+          in
+          let hub = Nr_persist.Repl_hub.create () in
           let tap_from = ref 0 in
-          let drain_log db =
+          let drain_log () =
             match Db.Unsafe.log_tap db ~from:!tap_from with
             | Ok ops ->
                 tap_from := !tap_from + List.length ops;
@@ -109,37 +176,113 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
                      "persistence overrun: cursor %d, log recycled below %d"
                      !tap_from oldest)
           in
+          let exec_registered cmd =
+            register ();
+            Db.execute db cmd
+          in
           let exec cmd =
-            let reply = Db.execute db cmd in
-            if not (Nr_kvstore.Command.is_read_only cmd) then begin
-              Mutex.lock m;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock m)
-                (fun () -> drain_log db)
-            end;
+            let reply = exec_registered cmd in
+            (* only a leader taps its own log: a follower's updates arrive
+               through the replication stream and are persisted by
+               [repl_on_op] at the leader's global coordinates *)
+            if Atomic.get writable && not (C.is_read_only cmd) then
+              locked drain_log;
             reply
           in
+          (* acks from this node's own followers, queued for forwarding up
+             the chain by the replication thread (it owns the upstream
+             connection; server workers must not touch it) *)
+          let ack_fwd = Queue.create () in
+          let ack_m = Mutex.create () in
           let special cmd =
             match cmd with
-            | Nr_kvstore.Command.Sync | Nr_kvstore.Command.Psync _ ->
-                Mutex.lock m;
-                Fun.protect
-                  ~finally:(fun () -> Mutex.unlock m)
-                  (fun () -> Nr_persist.Persister.handle_sync p cmd)
+            | C.Sync | C.Psync _ ->
+                locked (fun () -> Nr_persist.Persister.handle_sync p cmd)
+            | C.Wait (n, timeout_ms) ->
+                (* target = everything this node has persisted so far,
+                   which covers every write the asking client saw acked *)
+                let target =
+                  locked (fun () -> Nr_persist.Persister.cursor p)
+                in
+                Some
+                  (C.Int
+                     (Nr_persist.Repl_hub.wait hub ~seq:target ~n ~timeout_ms))
+            | C.Replack (id, seq) ->
+                Nr_persist.Repl_hub.ack hub ~id ~seq;
+                if not (Atomic.get writable) then begin
+                  Mutex.lock ack_m;
+                  Queue.push (id, seq) ack_fwd;
+                  Mutex.unlock ack_m
+                end;
+                Some C.Ok_reply
             | _ -> None
           in
-          let on_close () =
-            Mutex.lock m;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock m)
-              (fun () -> Nr_persist.Persister.close p)
+          let pending_acks () =
+            Mutex.lock ack_m;
+            let acks = List.of_seq (Queue.to_seq ack_fwd) in
+            Queue.clear ack_fwd;
+            Mutex.unlock ack_m;
+            acks
           in
-          ( exec,
-            Some special,
-            on_close,
-            Printf.sprintf "NR over %d replicas, aof=%s fsync=%s"
-              (Db.num_replicas db) dir fsync,
-            fun _ -> () )
+          (* background compaction: the slow snapshot write runs OFF the
+             persistence mutex, so client writes keep committing during a
+             rewrite; only the bracketing cut/rotate steps lock *)
+          if background then
+            ignore
+              (Thread.create
+                 (fun () ->
+                   while true do
+                     (if Atomic.get writable then
+                        let due =
+                          locked (fun () ->
+                              Nr_persist.Persister.compaction_due p)
+                        in
+                        if due then begin
+                          let upto, dump =
+                            locked (fun () ->
+                                Nr_persist.Persister.compaction_begin p)
+                          in
+                          Nr_persist.Persister.compaction_write p ~upto ~dump;
+                          locked (fun () ->
+                              Nr_persist.Persister.compaction_finish p ~upto)
+                        end);
+                     Thread.delay 0.02
+                   done)
+                 ());
+          {
+            execute = exec;
+            special = Some special;
+            on_close = (fun () -> locked (fun () -> Nr_persist.Persister.close p));
+            descr =
+              Printf.sprintf "NR over %d replicas, aof=%s fsync=%s%s"
+                (Db.num_replicas db) dir fsync
+                (if background then
+                   Printf.sprintf " snapshot-every=%d (background)"
+                     (Option.value snapshot_every ~default:0)
+                 else "");
+            dump_stats = (fun _ -> ());
+            repl_exec = exec_registered;
+            repl_on_op =
+              Some
+                (fun op ->
+                  locked (fun () -> Nr_persist.Persister.observe p [ op ]));
+            repl_on_full =
+              Some
+                (fun ~upto ~dump ->
+                  locked (fun () ->
+                      Nr_persist.Persister.reset_to p ~upto ~dump));
+            (* a durable follower must never regress: a lagging parent's
+               FULLRESYNC is refused and the session rotates endpoints *)
+            repl_strict = true;
+            own_ack =
+              (fun () -> locked (fun () -> Nr_persist.Persister.durable_seq p));
+            pending_acks;
+            on_promote =
+              (fun () ->
+                (* from now on client writes land in the local NR log;
+                   skip everything already persisted via the stream *)
+                locked (fun () -> tap_from := Db.completed db));
+          }
     end
     else begin
       let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
@@ -149,102 +292,131 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
           ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
           ()
       in
-      ( Sh.execute db,
-        None,
-        (fun () -> ()),
-        Printf.sprintf "%d NR shards x %d replicas" shards (R.num_nodes ()),
-        fun ppf ->
-          Format.fprintf ppf "shard ops: %a@." Nr_shard.Shard_stats.pp
-            (Sh.stats db) )
+      let exec cmd =
+        register ();
+        Sh.execute db cmd
+      in
+      {
+        execute = exec;
+        special = None;
+        on_close = (fun () -> ());
+        descr =
+          Printf.sprintf "%d NR shards x %d replicas" shards (R.num_nodes ());
+        dump_stats =
+          (fun ppf ->
+            Format.fprintf ppf "shard ops: %a@." Nr_shard.Shard_stats.pp
+              (Sh.stats db));
+        repl_exec = exec;
+        repl_on_op = None;
+        repl_on_full = None;
+        repl_strict = false;
+        own_ack =
+          (fun () -> match session with Some s -> Repl.offset s | None -> 0);
+        pending_acks = (fun () -> []);
+        on_promote = (fun () -> ());
+      }
     end
   in
-  let exec_registered cmd =
-    register ();
-    execute cmd
-  in
   (* follower mode: replicate from the leader, refuse client writes until
-     promoted (leader unreachable for --failover-after consecutive polls) *)
-  let writable = Atomic.make (follower = None) in
+     promoted — pointing the client at the best-known leader address *)
   let exec cmd =
-    if
-      (not (Atomic.get writable))
-      && not (Nr_kvstore.Command.is_read_only cmd)
-    then Nr_kvstore.Command.Err "READONLY replica; writes go to the leader"
-    else exec_registered cmd
+    if (not (Atomic.get writable)) && not (C.is_read_only cmd) then
+      match session with
+      | Some s ->
+          let ep = Repl.leader s in
+          C.Err
+            (Printf.sprintf "READONLY leader %s:%d" ep.Repl.host ep.Repl.port)
+      | None -> C.Err "READONLY replica; writes go to the leader"
+    else serving.execute cmd
   in
-  (match follower with
-  | None -> ()
-  | Some (host, leader_port) ->
-      ignore
-        (Thread.create
-           (fun () ->
-             let offset = ref 0 in
-             let fails = ref 0 in
-             let conn = ref None in
-             let rec loop () =
-               if Atomic.get writable then ()
-               else begin
-                 (match !conn with
-                 | None -> (
-                     match Nr_persist.Replication.connect ~host ~port:leader_port with
-                     | Ok c ->
-                         conn := Some c;
-                         fails := 0
-                     | Error _ -> incr fails)
-                 | Some c -> (
-                     match
-                       Nr_persist.Replication.poll c ~exec:exec_registered
-                         ~offset:!offset
-                     with
-                     | Ok off ->
-                         offset := off;
-                         fails := 0
-                     | Error _ ->
-                         Nr_persist.Replication.close c;
-                         conn := None;
-                         incr fails));
-                 if failover_after > 0 && !fails >= failover_after then begin
-                   Printf.eprintf
-                     "leader unreachable (%d consecutive failures): promoting \
-                      to writable at offset %d\n\
-                      %!"
-                     !fails !offset;
-                   Atomic.set writable true
-                 end
-                 else begin
-                   Thread.delay (float_of_int poll_ms /. 1000.);
-                   loop ()
-                 end
-               end
-             in
-             loop ())
-           ()))
-  |> ignore;
   let obs =
     Nr_kvstore.Kv_obs.create ~slowlog_capacity
       ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
   in
-  let server = Nr_kvstore.Server.create ~obs ?special ~port ~workers exec in
+  let server =
+    Nr_kvstore.Server.create ~obs ?special:serving.special ~port ~workers exec
+  in
+  (* the replication loop starts after the server bound its port: the
+     REPLACK identity includes it, so watermarks survive leader-side
+     reconnects of the same follower *)
+  (match session with
+  | None -> ()
+  | Some s ->
+      let my_id =
+        Printf.sprintf "%d@%d" (Unix.getpid ()) (Nr_kvstore.Server.port server)
+      in
+      ignore
+        (Thread.create
+           (fun () ->
+             let rec loop () =
+               if Atomic.get writable then ()
+               else begin
+                 (match
+                    Repl.step ?on_op:serving.repl_on_op
+                      ?on_full:serving.repl_on_full
+                      ~strict:serving.repl_strict s ~exec:serving.repl_exec
+                  with
+                 | Repl.Applied _ ->
+                     (* report our durable watermark upstream, then relay
+                        our own followers' acks — hop-by-hop propagation *)
+                     ignore (Repl.ack s ~id:my_id ~seq:(serving.own_ack ()));
+                     List.iter
+                       (fun (id, seq) -> ignore (Repl.ack s ~id ~seq))
+                       (serving.pending_acks ());
+                     Thread.delay (float_of_int poll_ms /. 1000.)
+                 | Repl.Retry_after (delay_ms, msg) ->
+                     if
+                       failover_after > 0
+                       && Repl.consecutive_failures s >= failover_after
+                     then begin
+                       Printf.eprintf
+                         "leader unreachable (%d consecutive failures, last: \
+                          %s): promoting to writable at offset %d\n\
+                          %!"
+                         (Repl.consecutive_failures s)
+                         msg (Repl.offset s);
+                       serving.on_promote ();
+                       Atomic.set writable true
+                     end
+                     else Thread.delay (float_of_int delay_ms /. 1000.));
+                 loop ()
+               end
+             in
+             loop ())
+           ()));
   Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, %s%s)\n%!"
     (Nr_kvstore.Server.port server)
-    workers descr
-    (match follower with
-    | Some (h, p) -> Printf.sprintf ", follower of %s:%d" h p
-    | None -> "");
-  (* dump latency histograms + slowlog (+ shard counters) on SIGINT; flush
-     the AOF so a clean stop loses nothing even under fsync=never *)
+    workers serving.descr
+    (match endpoints with
+    | Some (ep :: _) -> Printf.sprintf ", follower of %s:%d" ep.Repl.host ep.Repl.port
+    | _ -> "");
+  let dump_repl_stats ppf =
+    match session with
+    | Some s ->
+        Format.fprintf ppf
+          "repl: polls %d, errors %d, consecutive failures %d, total \
+           failures %d, offset %d@."
+          (Repl.polls s) (Repl.errors s)
+          (Repl.consecutive_failures s)
+          (Repl.total_failures s) (Repl.offset s)
+    | None -> ()
+  in
+  (* dump latency histograms + slowlog (+ shard counters + repl stats) on
+     SIGINT; flush the AOF so a clean stop loses nothing even under
+     fsync=never *)
   (try
      Sys.set_signal Sys.sigint
        (Sys.Signal_handle
           (fun _ ->
-            on_close ();
+            serving.on_close ();
             Format.eprintf "@.# kv-server observability@.%a@."
               Nr_kvstore.Kv_obs.pp obs;
-            dump_shards Format.err_formatter;
+            serving.dump_stats Format.err_formatter;
+            dump_repl_stats Format.err_formatter;
             exit 0))
    with Invalid_argument _ -> ());
   Nr_kvstore.Server.serve server;
-  on_close ()
+  serving.on_close ()
 
 let () =
   let port =
@@ -280,7 +452,10 @@ let () =
       & info [ "aof" ] ~docv:"DIR"
           ~doc:
             "Persist to an append-only file under $(docv) (created if \
-             missing) and recover from it on start.  Requires --shards 1.")
+             missing) and recover from it on start.  Requires --shards 1.  \
+             Composes with --follower-of: a chained follower keeps its own \
+             AOF at the leader's coordinates and serves SYNC/PSYNC to its \
+             own followers.")
   in
   let fsync =
     Arg.(
@@ -296,15 +471,18 @@ let () =
       & info [ "snapshot-every" ] ~docv:"N"
           ~doc:
             "Snapshot the store and compact the AOF every $(docv) logged \
-             operations (default: never).")
+             operations, in a background thread (default: never).")
   in
   let follower_of =
     Arg.(
       value & opt (some string) None
-      & info [ "follower-of" ] ~docv:"HOST:PORT"
+      & info [ "follower-of" ] ~docv:"HOST:PORT[,HOST:PORT...]"
           ~doc:
-            "Run as a read-only replica of the given leader, catching up \
-             via PSYNC log shipping.")
+            "Run as a read-only replica, catching up via PSYNC log \
+             shipping.  Extra comma-separated endpoints are failover \
+             candidates: on repeated errors the session rotates to the \
+             next one with jittered exponential backoff, so a promoted \
+             leader is found without restart.")
   in
   let failover_after =
     Arg.(
@@ -318,7 +496,19 @@ let () =
     Arg.(
       value & opt int 50
       & info [ "poll-interval-ms" ] ~docv:"MS"
-          ~doc:"Follower replication poll interval.")
+          ~doc:"Follower replication poll interval (healthy-path pacing).")
+  in
+  let connect_timeout_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "connect-timeout-ms" ] ~docv:"MS"
+          ~doc:"Replication connect timeout.")
+  in
+  let read_timeout_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:"Replication read timeout (SO_RCVTIMEO on the leader link).")
   in
   let cmd =
     Cmd.v
@@ -326,6 +516,6 @@ let () =
       Term.(
         const serve $ port $ workers $ shards $ slowlog_capacity
         $ slowlog_threshold_us $ aof_dir $ fsync $ snapshot_every $ follower_of
-        $ failover_after $ poll_ms)
+        $ failover_after $ poll_ms $ connect_timeout_ms $ read_timeout_ms)
   in
   exit (Cmd.eval cmd)

@@ -63,3 +63,46 @@ let check ~logged ~acked ~recovered_seq ~recovered_dump =
     let expect = Store.dump (oracle ~logged ~upto:recovered_seq) in
     if String.equal expect recovered_dump then Durable
     else Divergent { recovered_seq; expect; got = recovered_dump }
+
+(** {2 Replication WAIT guarantee}
+
+    A [WAIT n] that returned [acked >= n] promised the client: the log
+    prefix up to the wait's target position is durable on at least [n]
+    {e followers} (plus the leader's own AOF) — so the write survives any
+    [n] process losses among leader+followers, because at most [n] of the
+    [n+1] durable holders can be among the killed.
+
+    [check_wait] verifies the holder-count half of that promise at crash
+    time: for every satisfied wait [(target, n)], at least [n] of the
+    per-process durable prefixes in [durable_prefixes] (followers only,
+    leader excluded — mirroring what {!Repl_hub} counts) must cover
+    [target].  The state half — each surviving holder actually recovers
+    the prefix it claims — is {!check} applied per process. *)
+
+type wait_violation = {
+  wv_target : int;  (** log position the WAIT covered *)
+  wv_need : int;  (** followers the WAIT reply promised *)
+  wv_have : int;  (** followers whose durable prefix covers it *)
+}
+
+let pp_wait_violation ppf { wv_target; wv_need; wv_have } =
+  Format.fprintf ppf
+    "WAIT promised %d durable followers at position %d, only %d hold it"
+    wv_need wv_target wv_have
+
+(** [check_wait ~waits ~durable_prefixes]: [waits] are the satisfied
+    waits as [(target, acked_count)] pairs; [durable_prefixes] the
+    follower durable watermarks at crash time.  Returns all violated
+    promises (empty = the WAIT guarantee held). *)
+let check_wait ~waits ~durable_prefixes =
+  List.filter_map
+    (fun (target, need) ->
+      let have =
+        List.fold_left
+          (fun n p -> if p >= target then n + 1 else n)
+          0 durable_prefixes
+      in
+      if have < need then
+        Some { wv_target = target; wv_need = need; wv_have = have }
+      else None)
+    waits

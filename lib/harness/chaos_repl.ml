@@ -1,0 +1,377 @@
+(** Seeded partition/crash chaos for the replication stack.
+
+    One simulated deployment: a leader and [followers] replica processes,
+    each with its own {!Nr_persist.Sim_fs} (so each has an independent
+    crash image), wired either as a star (everyone feeds off the leader)
+    or a chain (follower [i] feeds off follower [i-1] — chained
+    replication, every hop serving PSYNC off its local AOF).  A seeded
+    event schedule interleaves writes, replication polls, REPLACK
+    propagation, [WAIT]s, follower kills (both explicit crash events and
+    {!Nr_sim.Fault_plan} kills at seeded IO effect points, i.e. mid-append
+    or mid-fsync), recoveries, and link partitions.
+
+    The run ends with the big hammer: {e crash every process}, recover
+    every process, and hand the caller everything needed to check the two
+    halves of the replication promise against {!Nr_check.Durable}:
+    - {b WAIT}: every satisfied [WAIT] recorded [(target, count)] — at
+      least [count] follower crash images must still durably hold
+      [target] ([Durable.check_wait]), which is exactly "an acked write
+      survives any [count - 1] kills among leader+followers";
+    - {b state}: each recovered process must equal the oracle replay of
+      its claimed log prefix ([Durable.check] per node), and after a
+      final promotion (max recovered cursor wins) + catch-up rounds all
+      nodes must converge to one fingerprint.
+
+    The harness never checks anything itself — it only simulates and
+    reports — so it lives below [nr_check] in the dependency order and
+    the test layer owns the verdicts. *)
+
+module Command = Nr_kvstore.Command
+module Store = Nr_kvstore.Store
+module Persister = Nr_persist.Persister
+module Replication = Nr_persist.Replication
+module Repl_hub = Nr_persist.Repl_hub
+module Sim_fs = Nr_persist.Sim_fs
+module Aof = Nr_persist.Aof
+module Prng = Nr_workload.Prng
+
+type params = {
+  seed : int;
+  followers : int;  (** replica processes (>= 1); node 0 is the leader *)
+  chain : bool;  (** chain topology instead of a star *)
+  events : int;  (** schedule length *)
+  policy : Aof.fsync_policy;
+  snapshot_every : int option;  (** leader compaction cadence *)
+  kill_io : bool;  (** also arm seeded fault-plan kills at follower IO points *)
+}
+
+let default_params =
+  {
+    seed = 1;
+    followers = 3;
+    chain = false;
+    events = 120;
+    policy = Aof.Always;
+    snapshot_every = None;
+    kill_io = true;
+  }
+
+type node = {
+  id : int;
+  sim : Sim_fs.t;
+  fs : Nr_persist.Vfs.t;
+  mutable p : Persister.t option;  (** [None] = process is down *)
+  mutable link_up : bool;  (** partition switch for this node's uplink *)
+  mutable last_durable : int;  (** durable watermark last observed alive *)
+}
+
+type outcome = {
+  writes : int;
+  waits : (int * int) list;  (** satisfied waits as [(target, count)] *)
+  wait_degraded : int;  (** waits answered below the requested [n] *)
+  polls_ok : int;
+  polls_failed : int;
+  full_resyncs : int;
+  strict_refusals : int;
+  kills : int;
+  recovers : int;
+  partitions : int;
+  logged : Command.t option list;  (** the leader's full logged history *)
+  recovered : (int * int * string) list;
+      (** per node: (id, recovered cursor, recovered dump) after crash-all *)
+  acked_at_crash : (int * int) list;
+      (** per node: (id, durable watermark when it last went down) *)
+  converged : bool;
+  final_cursor : int;  (** the promoted node's cursor after catch-up *)
+  fingerprints : (int * int64) list;  (** per node, after catch-up rounds *)
+}
+
+let node_alive n = n.p <> None
+
+(* Random small-keyspace update: collisions make divergence visible. *)
+let gen_write rng =
+  let key = Printf.sprintf "k%d" (Prng.below rng 8) in
+  match Prng.below rng 4 with
+  | 0 -> Command.Set (key, Printf.sprintf "v%d" (Prng.below rng 1000))
+  | 1 -> Command.Incr key
+  | 2 -> Command.Zadd (key, Prng.below rng 100, Prng.below rng 10)
+  | _ -> Command.Del key
+
+let run params =
+  let rng = Prng.create ~seed:params.seed in
+  let n_nodes = params.followers + 1 in
+  let mk_node id =
+    let plan =
+      (* leader never dies mid-run (the final crash-all covers it);
+         followers optionally get one seeded kill at an IO effect point *)
+      if params.kill_io && id > 0 && Prng.below rng 2 = 0 then
+        Some
+          {
+            Nr_sim.Fault_plan.none with
+            seed = params.seed lxor (id * 0x9E37);
+            (* point >= 2: point 1 is the fresh AOF's header write at the
+               initial boot, which must succeed for the node to exist *)
+            kills_at = [ (0, 2 + Prng.below rng 400) ];
+          }
+      else None
+    in
+    let sim = Sim_fs.create ?plan () in
+    { id; sim; fs = Sim_fs.fs sim; p = None; link_up = true; last_durable = 0 }
+  in
+  let nodes = Array.init n_nodes mk_node in
+  let boot node =
+    match
+      Persister.create node.fs ~policy:params.policy ~now_ms:(fun () -> 0)
+        ?snapshot_every:(if node.id = 0 then params.snapshot_every else None)
+        ()
+    with
+    | Ok (p, _) ->
+        node.p <- Some p;
+        node.last_durable <- Persister.durable_seq p
+    | Error e -> failwith ("chaos_repl: recovery failed: " ^ e)
+  in
+  Array.iter boot nodes;
+  let hub = Repl_hub.create () in
+  let logged = ref [] (* reversed *) and writes = ref 0 in
+  let waits = ref [] and wait_degraded = ref 0 in
+  let polls_ok = ref 0 and polls_failed = ref 0 in
+  let full_resyncs = ref 0 and strict_refusals = ref 0 in
+  let kills = ref 0 and recovers = ref 0 and partitions = ref 0 in
+  let parent i = if params.chain then i - 1 else 0 in
+  let note_durable node =
+    match node.p with
+    | Some p -> node.last_durable <- Persister.durable_seq p
+    | None -> ()
+  in
+  let mark_dead node =
+    node.p <- None;
+    incr kills
+  in
+  (* Propagate one REPLACK for [node] up to the leader's hub; in a chain
+     every intermediate hop must be alive and unpartitioned, modelling
+     hop-by-hop forwarding. *)
+  let ack_node node =
+    match node.p with
+    | None -> ()
+    | Some p ->
+        node.last_durable <- Persister.durable_seq p;
+        let rec path_up i =
+          if i = 0 then true
+          else
+            let n = nodes.(i) in
+            node_alive n && n.link_up && path_up (parent i)
+        in
+        if node_alive nodes.(0) && node.link_up && path_up (parent node.id)
+        then
+          Repl_hub.ack hub ~id:(string_of_int node.id)
+            ~seq:(Persister.durable_seq p)
+  in
+  (* One PSYNC round of [node] against its parent, entirely in-process:
+     the parent answers off its persister exactly as the server's special
+     handler would, and the follower folds the reply through
+     [Replication.apply] with the AOF-keeping callbacks.  A successful
+     round acks immediately, as the server's replication loop does after
+     every applied step. *)
+  let poll_node node =
+    let par = nodes.(parent node.id) in
+    match (node.p, par.p) with
+    | None, _ -> ()
+    | Some _, None -> incr polls_failed (* connect refused: parent down *)
+    | Some p, Some pp -> (
+        if not (node.link_up && par.link_up) then incr polls_failed
+        else
+          let offset = Persister.cursor p in
+          match Persister.handle_sync pp (Command.Psync offset) with
+          | None -> incr polls_failed
+          | Some reply -> (
+              let on_op op = Persister.observe p [ op ] in
+              let on_full ~upto ~dump =
+                incr full_resyncs;
+                Persister.reset_to p ~upto ~dump
+              in
+              match
+                Replication.apply ~on_op ~on_full ~strict:true
+                  ~exec:(fun _ -> Command.Ok_reply)
+                  ~offset reply
+              with
+              | Ok _ ->
+                  incr polls_ok;
+                  ack_node node
+              | Error e ->
+                  incr polls_failed;
+                  if
+                    (* a lagging parent must not regress this replica *)
+                    String.length e >= 24
+                    && String.sub e 0 24 = "replication: full resync"
+                  then incr strict_refusals
+              | exception Sim_fs.Crashed ->
+                  (* fault-plan kill at one of this poll's IO points *)
+                  mark_dead node))
+  in
+  let leader_write () =
+    match nodes.(0).p with
+    | None -> ()
+    | Some p ->
+        let cmd = gen_write rng in
+        Persister.observe p [ Some cmd ];
+        logged := Some cmd :: !logged;
+        incr writes;
+        note_durable nodes.(0)
+  in
+  let leader_wait () =
+    match nodes.(0).p with
+    | None -> ()
+    | Some p ->
+        (* half the waits cover everything logged so far (the server's
+           WAIT semantics); the rest cover an earlier position — a client
+           waiting on its own older write *)
+        let cursor = Persister.cursor p in
+        let target =
+          if Prng.below rng 2 = 0 then cursor else Prng.below rng (cursor + 1)
+        in
+        let n = 1 + Prng.below rng params.followers in
+        let have = Repl_hub.acked hub ~seq:target in
+        (* the reply is the count actually acked — a claim about [have]
+           durable holders whether or not it reached [n] *)
+        if have < n then incr wait_degraded;
+        if have > 0 then waits := (target, min have n) :: !waits
+  in
+  for _ = 1 to params.events do
+    let pick_follower () = 1 + Prng.below rng params.followers in
+    match Prng.below rng 100 with
+    | r when r < 35 -> leader_write ()
+    | r when r < 60 -> poll_node nodes.(pick_follower ())
+    | r when r < 75 -> ack_node nodes.(pick_follower ())
+    | r when r < 83 -> leader_wait ()
+    | r when r < 89 ->
+        (* explicit crash: durable bytes + a seeded pending prefix survive *)
+        let node = nodes.(pick_follower ()) in
+        if node_alive node then begin
+          note_durable node;
+          (try Sim_fs.crash node.sim with Sim_fs.Crashed -> ());
+          mark_dead node
+        end
+    | r when r < 95 ->
+        let node = nodes.(pick_follower ()) in
+        if not (node_alive node) then begin
+          Sim_fs.reboot node.sim;
+          boot node;
+          incr recovers
+        end
+    | _ ->
+        let node = nodes.(pick_follower ()) in
+        node.link_up <- not node.link_up;
+        incr partitions
+  done;
+  (* Final phase 1: crash-all.  Every process dies at once — the
+     strongest kill set any WAIT promise must survive. *)
+  Array.iter
+    (fun node ->
+      if node_alive node then begin
+        note_durable node;
+        (try Sim_fs.crash node.sim with Sim_fs.Crashed -> ());
+        node.p <- None
+      end)
+    nodes;
+  let acked_at_crash =
+    Array.to_list (Array.map (fun n -> (n.id, n.last_durable)) nodes)
+  in
+  (* Final phase 2: recover-all off the crash images. *)
+  Array.iter
+    (fun node ->
+      Sim_fs.reboot node.sim;
+      boot node)
+    nodes;
+  let recovered =
+    Array.to_list
+      (Array.map
+         (fun n ->
+           match n.p with
+           | Some p -> (n.id, Persister.cursor p, Persister.dump p)
+           | None -> assert false)
+         nodes)
+  in
+  (* Final phase 3: promote the longest recovered prefix and let everyone
+     catch up off it (star, links healed), then compare fingerprints. *)
+  let promoted =
+    Array.fold_left
+      (fun best n ->
+        match (n.p, nodes.(best).p) with
+        | Some p, Some bp ->
+            if Persister.cursor p > Persister.cursor bp then n.id else best
+        | _ -> best)
+      0 nodes
+  in
+  let leader_p = Option.get nodes.(promoted).p in
+  let rounds = ref 0 in
+  let all_caught_up () =
+    Array.for_all
+      (fun n ->
+        match n.p with
+        | Some p -> Persister.cursor p = Persister.cursor leader_p
+        | None -> false)
+      nodes
+  in
+  while (not (all_caught_up ())) && !rounds < 4 * n_nodes do
+    incr rounds;
+    Array.iter
+      (fun node ->
+        if node.id <> promoted then
+          match node.p with
+          | None -> ()
+          | Some p -> (
+              let offset = Persister.cursor p in
+              match Persister.handle_sync leader_p (Command.Psync offset) with
+              | None -> ()
+              | Some reply -> (
+                  match
+                    Replication.apply
+                      ~on_op:(fun op -> Persister.observe p [ op ])
+                      ~on_full:(fun ~upto ~dump ->
+                        incr full_resyncs;
+                        Persister.reset_to p ~upto ~dump)
+                      ~strict:true
+                      ~exec:(fun _ -> Command.Ok_reply)
+                      ~offset reply
+                  with
+                  | Ok _ -> incr polls_ok
+                  | Error _ -> incr polls_failed)))
+      nodes
+  done;
+  let fingerprints =
+    Array.to_list
+      (Array.map
+         (fun n ->
+           match n.p with
+           | Some p -> (n.id, Persister.fingerprint p)
+           | None -> (n.id, -1L))
+         nodes)
+  in
+  {
+    writes = !writes;
+    waits = List.rev !waits;
+    wait_degraded = !wait_degraded;
+    polls_ok = !polls_ok;
+    polls_failed = !polls_failed;
+    full_resyncs = !full_resyncs;
+    strict_refusals = !strict_refusals;
+    kills = !kills;
+    recovers = !recovers;
+    partitions = !partitions;
+    logged = List.rev !logged;
+    recovered;
+    acked_at_crash;
+    converged = all_caught_up ();
+    final_cursor = Persister.cursor leader_p;
+    fingerprints;
+  }
+
+(** Follower durable prefixes at crash-all time — what {!check_wait}
+    counts holders over.  The recovered cursor is what each crash image
+    actually yields, which is [>=] the node's durable watermark; using
+    the recovered value checks the implementation end-to-end (frames,
+    snapshots, rotate, reset) rather than trusting the watermark. *)
+let follower_prefixes outcome =
+  List.filter_map
+    (fun (id, cursor, _) -> if id = 0 then None else Some cursor)
+    outcome.recovered

@@ -34,6 +34,14 @@ type t =
   | Psync of int
       (** partial resync from a replication offset; the leader answers
           with a CONTINUE frame batch or demotes to a full resync *)
+  | Wait of int * int
+      (** [WAIT n timeout_ms]: block until >= n followers have acked this
+          connection's write position, or the timeout elapses; replies with
+          the count actually acked (graceful degradation, never an error) *)
+  | Replack of string * int
+      (** [REPLACK id seq]: a follower reporting that its durable state
+          covers log positions < [seq]; feeds the leader's per-follower
+          ack watermarks that WAIT counts *)
 
 type reply =
   | Ok_reply
@@ -46,7 +54,8 @@ type reply =
 
 let is_read_only = function
   | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
-  | Mget _ | Dbsize | Slowlog_get | Slowlog_len | Sync | Psync _ ->
+  | Mget _ | Dbsize | Slowlog_get | Slowlog_len | Sync | Psync _ | Wait _
+  | Replack _ ->
       true
   | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
   | Mset _ | Flushall | Slowlog_reset ->
@@ -55,7 +64,9 @@ let is_read_only = function
 (** Commands answered by the serving layer itself (observability,
     replication), never routed through the replicated store. *)
 let is_server_local = function
-  | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ -> true
+  | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ | Wait _
+  | Replack _ ->
+      true
   | _ -> false
 
 let pp ppf = function
@@ -84,6 +95,8 @@ let pp ppf = function
   | Slowlog_len -> Format.pp_print_string ppf "SLOWLOG LEN"
   | Sync -> Format.pp_print_string ppf "SYNC"
   | Psync off -> Format.fprintf ppf "PSYNC %d" off
+  | Wait (n, ms) -> Format.fprintf ppf "WAIT %d %d" n ms
+  | Replack (id, seq) -> Format.fprintf ppf "REPLACK %s %d" id seq
 
 let rec pp_reply ppf = function
   | Ok_reply -> Format.pp_print_string ppf "OK"
@@ -163,6 +176,13 @@ let of_strings tokens =
   | [ "psync"; _ ], [ _; off ] ->
       let* off = int off in
       Ok (Psync off)
+  | [ "wait"; _; _ ], [ _; n; ms ] ->
+      let* n = int n in
+      let* ms = int ms in
+      Ok (Wait (n, ms))
+  | [ "replack"; _; _ ], [ _; id; seq ] ->
+      let* seq = int seq in
+      Ok (Replack (id, seq))
   | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
   | [], _ -> Error "empty command"
 
@@ -193,3 +213,5 @@ let to_strings = function
   | Slowlog_len -> [ "SLOWLOG"; "LEN" ]
   | Sync -> [ "SYNC" ]
   | Psync off -> [ "PSYNC"; string_of_int off ]
+  | Wait (n, ms) -> [ "WAIT"; string_of_int n; string_of_int ms ]
+  | Replack (id, seq) -> [ "REPLACK"; id; string_of_int seq ]

@@ -124,6 +124,8 @@ let rec execute t (cmd : op) : result =
       Err "SLOWLOG is handled by the server"
   | Sync | Psync _ ->
       Err "SYNC is handled by the server"
+  | Wait _ | Replack _ ->
+      Err "WAIT is handled by the server"
   | Flushall ->
       let keys =
         Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace []
@@ -174,7 +176,8 @@ let footprint t (cmd : op) =
       Nr_runtime.Footprint.v ~key:(Hashtbl.hash ps)
         ~reads:(2 * List.length ps)
         ~writes:(List.length ps) ()
-  | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ ->
+  | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _
+  | Wait _ | Replack _ ->
       Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
   | Flushall ->
       Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize t) ~writes:(dbsize t)

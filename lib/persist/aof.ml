@@ -222,3 +222,31 @@ let read_frames t ~from =
                     | None -> Frame.encode ~kind:Frame.Noop ~seq ""))
               sc.s_entries;
             Ok (Buffer.contents buf))
+
+(** Like {!rotate}, but keep the tail [[base, next_seq)]: the background
+    compaction path snapshots the shadow at some [base] while appends keep
+    landing, so by the time the snapshot is durable the AOF has grown past
+    [base] and the live suffix must survive the rewrite.  The retained
+    frames are re-encoded from the current file and written atomically
+    together with the new header, then appends resume on the new file.
+    Positions and [next_seq] are unchanged; the rewritten bytes are
+    durable ([write_atomic]), so [durable_seq] jumps to [next_seq].
+    Appends must be held off while this runs (the persistence mutex). *)
+let rotate_from t ~base =
+  if base < t.base || base > t.next_seq then
+    invalid_arg "Aof.rotate_from: base outside [old base, next_seq]";
+  (* flush so the re-read below sees every appended frame *)
+  sync t;
+  let keep =
+    match read_frames t ~from:base with
+    | Ok bytes -> bytes
+    | Error _ -> failwith "Aof.rotate_from: cannot re-read live suffix"
+  in
+  t.file.Vfs.close ();
+  let header = Frame.encode ~kind:Frame.Header ~seq:base Frame.aof_format in
+  t.fs.Vfs.write_atomic t.name (header ^ keep);
+  t.file <- t.fs.Vfs.open_append t.name;
+  t.base <- base;
+  t.durable_seq <- t.next_seq;
+  t.unsynced <- 0;
+  t.last_sync_ms <- t.now_ms ()

@@ -42,9 +42,11 @@ module Resp = Nr_kvstore.Resp
 type t = {
   fs : Vfs.t;
   aof : Aof.t;
-  shadow : Store.t;
+  mutable shadow : Store.t;
   snapshot_every : int option;
+  background : bool;  (** compaction runs via the [compaction_*] seam *)
   mutable since_snapshot : int;
+  mutable compacting : bool;  (** a background compaction is in flight *)
 }
 
 let aof_file = "aof"
@@ -74,7 +76,7 @@ type recovery = {
   torn : bool;  (** a torn AOF tail was discarded *)
 }
 
-let create fs ~policy ~now_ms ?snapshot_every () =
+let create fs ~policy ~now_ms ?snapshot_every ?(background = false) () =
   let ( let* ) = Result.bind in
   let* snap = Snapshot.load fs in
   let shadow = Store.create () in
@@ -114,7 +116,17 @@ let create fs ~policy ~now_ms ?snapshot_every () =
        synced nothing new can leave the AOF ending below the snapshot:
        re-base it so appends resume exactly at the recovered position *)
     if aof_end < shadow_seq then Aof.rotate aof ~base:shadow_seq;
-    let t = { fs; aof; shadow; snapshot_every; since_snapshot = 0 } in
+    let t =
+      {
+        fs;
+        aof;
+        shadow;
+        snapshot_every;
+        background;
+        since_snapshot = 0;
+        compacting = false;
+      }
+    in
     Ok
       ( t,
         {
@@ -150,9 +162,69 @@ let snapshot_now t =
   t.since_snapshot <- 0
 
 let maybe_snapshot t =
+  if not t.background then
+    match t.snapshot_every with
+    | Some n when t.since_snapshot >= n -> snapshot_now t
+    | _ -> ()
+
+(** {2 Background compaction seam}
+
+    With [~background:true], [observe] never compacts inline; instead the
+    server polls [compaction_due] and, when it fires, drives the
+    three-step seam so only the bracketing steps hold the persistence
+    mutex while the slow snapshot write runs unlocked:
+    {ol
+    {- [compaction_begin] (under the mutex) — marks a compaction in
+       flight and captures a consistent cut: the current cursor and the
+       shadow's dump at it;}
+    {- [compaction_write] (OFF the mutex) — writes the snapshot
+       atomically; appends proceed concurrently and simply land above the
+       cut;}
+    {- [compaction_finish] (under the mutex) — rewrites the AOF keeping
+       the live suffix above the cut ({!Aof.rotate_from}).}}
+
+    Crash ordering mirrors the inline path: before step 2 completes the
+    old snapshot+AOF pair is intact; between 2 and 3 the new snapshot
+    merely covers a redundant AOF prefix; after 3 the pair is compacted.
+    [reset_to] must not be called while a compaction is in flight. *)
+
+let compaction_due t =
+  t.background
+  && (not t.compacting)
+  &&
   match t.snapshot_every with
-  | Some n when t.since_snapshot >= n -> snapshot_now t
-  | _ -> ()
+  | Some n -> t.since_snapshot >= n
+  | None -> false
+
+let compacting t = t.compacting
+
+let compaction_begin t =
+  t.compacting <- true;
+  let upto = cursor t in
+  (upto, Store.dump t.shadow)
+
+let compaction_write t ~upto ~dump = Snapshot.write t.fs ~upto dump
+
+let compaction_finish t ~upto =
+  Aof.rotate_from t.aof ~base:upto;
+  t.since_snapshot <- cursor t - upto;
+  t.compacting <- false
+
+(** Rebase the whole persistent state onto a leader image (a follower
+    that received [FULLRESYNC upto dump]): replace the shadow, persist
+    the image as a snapshot covering [upto], and rotate the AOF to start
+    there, so subsequent [observe]s append at the leader's coordinates
+    and recovery replays the image + suffix.  Must not race an in-flight
+    background compaction (the server only compacts as a leader). *)
+let reset_to t ~upto ~dump =
+  let ( let* ) = Result.bind in
+  let fresh = Store.create () in
+  let* () = Store.load fresh dump in
+  t.shadow <- fresh;
+  Snapshot.write t.fs ~upto dump;
+  Aof.rotate t.aof ~base:upto;
+  t.since_snapshot <- 0;
+  Ok ()
 
 (** Absorb ops tapped from the log at exactly [cursor t]: append each to
     the AOF (poisoned [None] entries become no-op frames, keeping

@@ -1,0 +1,78 @@
+(** Leader-side replica ACK tracking — the bookkeeping behind [WAIT].
+
+    Followers periodically report their durable watermark with
+    [REPLACK <id> <seq>], meaning: every log position [< seq] is durable
+    on that follower (it has applied and — if it persists — fsynced the
+    prefix).  The hub keeps one monotone watermark per follower id and
+    answers the only question [WAIT n timeout] needs: how many distinct
+    followers have acked at least a given target position?
+
+    The hub never sleeps on a condition variable: [wait] is a bounded
+    poll loop with an injectable clock and sleeper, so the server passes
+    [Unix.gettimeofday]/[Thread.delay] while deterministic tests pass a
+    virtual clock and count the polls.  Watermarks only advance — a
+    late, reordered or replayed REPLACK can never regress the count a
+    previous WAIT already observed. *)
+
+type t = {
+  m : Mutex.t;
+  marks : (string, int) Hashtbl.t;  (** follower id -> acked watermark *)
+  mutable acks_received : int;  (** REPLACK frames processed, for stats *)
+}
+
+let create () = { m = Mutex.create (); marks = Hashtbl.create 8; acks_received = 0 }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(** Record a follower ack.  Monotone: a stale [seq] below the recorded
+    watermark is ignored (acks can arrive out of order over a chain). *)
+let ack t ~id ~seq =
+  with_lock t (fun () ->
+      t.acks_received <- t.acks_received + 1;
+      match Hashtbl.find_opt t.marks id with
+      | Some prev when prev >= seq -> ()
+      | _ -> Hashtbl.replace t.marks id seq)
+
+(** How many distinct followers have acked a watermark [>= seq]. *)
+let acked t ~seq =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ mark n -> if mark >= seq then n + 1 else n) t.marks 0)
+
+(** Number of followers that have ever acked. *)
+let followers t = with_lock t (fun () -> Hashtbl.length t.marks)
+
+let acks_received t = with_lock t (fun () -> t.acks_received)
+
+(** Drop a follower's watermark (its feed disconnected); it re-registers
+    with its first REPLACK after reconnecting. *)
+let forget t ~id = with_lock t (fun () -> Hashtbl.remove t.marks id)
+
+(** Block until [>= n] followers have acked position [seq] or [timeout_ms]
+    elapses; returns the count actually acked at return time — reaching
+    the timeout is graceful degradation, not an error.  [n <= 0] returns
+    immediately with the current count.  [now_ms]/[sleep_ms] default to
+    the real clock; tests inject virtual ones. *)
+let wait ?now_ms ?sleep_ms ?(poll_ms = 2) t ~seq ~n ~timeout_ms =
+  let now_ms =
+    match now_ms with
+    | Some f -> f
+    | None -> fun () -> int_of_float (Unix.gettimeofday () *. 1000.)
+  in
+  let sleep_ms =
+    match sleep_ms with
+    | Some f -> f
+    | None -> fun ms -> Thread.delay (float_of_int ms /. 1000.)
+  in
+  let deadline = now_ms () + max 0 timeout_ms in
+  let rec loop () =
+    let have = acked t ~seq in
+    if have >= n || n <= 0 then have
+    else if now_ms () >= deadline then have
+    else begin
+      sleep_ms poll_ms;
+      loop ()
+    end
+  in
+  loop ()

@@ -21,20 +21,32 @@ module Command = Nr_kvstore.Command
 module Resp = Nr_kvstore.Resp
 
 (** Fold one leader reply into local state.  [exec] receives every
-    replayed update; returns the new replication offset. *)
-let apply ~exec ~offset (reply : Command.reply) =
+    replayed update; returns the new replication offset.
+
+    [on_op] (if given) sees each frame actually applied, in position
+    order, as [Some cmd] / [None] (no-op) — an AOF-keeping follower
+    feeds these straight into its persister so its local AOF stays at
+    the leader's coordinates.  [on_full ~upto ~dump] fires after a full
+    resync replays cleanly, so the same follower can rebase its
+    persistent state ({!Persister.reset_to}); its error aborts the
+    apply.  [strict] (default off) refuses a [FULLRESYNC] whose [upto]
+    is below the current offset: a durable follower must never regress
+    its watermark just because it reconnected to a lagging parent —
+    the caller treats the error as a failed poll and retries
+    elsewhere. *)
+let apply ?on_op ?on_full ?(strict = false) ~exec ~offset
+    (reply : Command.reply) =
   let ( let* ) = Result.bind in
-  let exec_payload payload =
+  let decode_payload payload =
     match Resp.parse_request payload with
     | Resp.Parsed (tokens, _) -> (
         match Command.of_strings tokens with
-        | Ok cmd ->
-            ignore (exec cmd);
-            Ok ()
+        | Ok cmd -> Ok cmd
         | Error e -> Error ("replication: bad op: " ^ e))
     | Resp.Incomplete | Resp.Invalid _ ->
         Error "replication: torn op payload"
   in
+  let observe op = match on_op with Some f -> f op | None -> () in
   match reply with
   | Command.Array [ Command.Bulk "CONTINUE"; Command.Int from; Command.Bulk frames ]
     ->
@@ -55,30 +67,45 @@ let apply ~exec ~offset (reply : Command.reply) =
               else
                 match kind with
                 | Frame.Op ->
-                    let* () = exec_payload payload in
+                    let* cmd = decode_payload payload in
+                    ignore (exec cmd);
+                    observe (Some cmd);
                     Ok (off + 1)
-                | Frame.Noop -> Ok (off + 1)
+                | Frame.Noop ->
+                    observe None;
+                    Ok (off + 1)
                 | Frame.Header | Frame.Snapshot ->
                     Error "replication: unexpected frame kind")
             (Ok offset) fs
   | Command.Array [ Command.Bulk "FULLRESYNC"; Command.Int upto; Command.Bulk dump ]
     ->
-      ignore (exec Command.Flushall);
-      let n = String.length dump in
-      let rec go pos =
-        if pos >= n then Ok upto
-        else
-          match Resp.parse_request ~pos dump with
-          | Resp.Parsed (tokens, consumed) -> (
-              match Command.of_strings tokens with
-              | Ok cmd ->
-                  ignore (exec cmd);
-                  go (pos + consumed)
-              | Error e -> Error ("replication: bad dump entry: " ^ e))
-          | Resp.Incomplete | Resp.Invalid _ ->
-              Error "replication: torn full-resync dump"
-      in
-      go 0
+      if strict && upto < offset then
+        Error
+          (Printf.sprintf
+             "replication: full resync would regress offset (%d < %d)" upto
+             offset)
+      else begin
+        ignore (exec Command.Flushall);
+        let n = String.length dump in
+        let rec go pos =
+          if pos >= n then Ok ()
+          else
+            match Resp.parse_request ~pos dump with
+            | Resp.Parsed (tokens, consumed) -> (
+                match Command.of_strings tokens with
+                | Ok cmd ->
+                    ignore (exec cmd);
+                    go (pos + consumed)
+                | Error e -> Error ("replication: bad dump entry: " ^ e))
+            | Resp.Incomplete | Resp.Invalid _ ->
+                Error "replication: torn full-resync dump"
+        in
+        let* () = go 0 in
+        let* () =
+          match on_full with Some f -> f ~upto ~dump | None -> Ok ()
+        in
+        Ok upto
+      end
   | Command.Err e -> Error ("replication: leader error: " ^ e)
   | _ -> Error "replication: unrecognized sync reply"
 
@@ -89,13 +116,42 @@ type conn = {
   mutable buf : Buffer.t;  (** bytes read but not yet parsed *)
 }
 
-let connect ~host ~port =
+(** Open a connection to [host:port].  [connect_timeout_ms] bounds the
+    TCP handshake (non-blocking connect + select — a black-holed leader
+    fails fast instead of hanging the follower loop for minutes);
+    [read_timeout_ms] arms [SO_RCVTIMEO] so a stalled leader surfaces as
+    a recv error the retry path can back off from. *)
+let connect ?connect_timeout_ms ?read_timeout_ms ~host ~port () =
   match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE SOCK_STREAM ]
   with
   | [] -> Error (Printf.sprintf "replication: cannot resolve %s:%d" host port)
   | ai :: _ -> (
       let fd = Unix.socket ai.ai_family ai.ai_socktype ai.ai_protocol in
-      match Unix.connect fd ai.ai_addr with
+      let do_connect () =
+        match connect_timeout_ms with
+        | None -> Unix.connect fd ai.ai_addr
+        | Some ms -> (
+            Unix.set_nonblock fd;
+            (try Unix.connect fd ai.ai_addr
+             with Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+             -> (
+               let _, writable, _ =
+                 Unix.select [] [ fd ] [] (float_of_int ms /. 1000.)
+               in
+               if writable = [] then
+                 raise (Unix.Unix_error (ETIMEDOUT, "connect", host));
+               match Unix.getsockopt_error fd with
+               | None -> ()
+               | Some e -> raise (Unix.Unix_error (e, "connect", host))));
+            Unix.clear_nonblock fd)
+      in
+      match
+        do_connect ();
+        Option.iter
+          (fun ms ->
+            Unix.setsockopt_float fd SO_RCVTIMEO (float_of_int ms /. 1000.))
+          read_timeout_ms
+      with
       | () -> Ok { fd; buf = Buffer.create 4096 }
       | exception Unix.Unix_error (e, _, _) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -147,7 +203,151 @@ let request conn cmd =
 
 (** One poll round: [PSYNC offset] over an existing connection, folding
     the reply into [exec].  Returns the new offset. *)
-let poll conn ~exec ~offset =
+let poll ?on_op ?on_full ?strict conn ~exec ~offset =
   match request conn (Command.Psync offset) with
-  | Ok reply -> apply ~exec ~offset reply
+  | Ok reply -> apply ?on_op ?on_full ?strict ~exec ~offset reply
   | Error _ as e -> e
+
+(** {2 Sessions} — the hardened reconnect path.
+
+    A [session] owns the follower's view of {e where the leader might
+    be}: an ordered list of candidate endpoints (the configured leader
+    first, then peers that may be promoted after a failover).  Each
+    {!step} either applies one poll round or reports a failure together
+    with a jittered exponential backoff delay ({!Nr_sync.Backoff.Timed})
+    — the session never sleeps itself, so the server loop owns the clock
+    and tests can drive it with a virtual one.  On failure the live
+    connection is dropped and the {e next} endpoint becomes the
+    candidate, so a promoted leader is found without restart; on success
+    the backoff resets. *)
+
+type endpoint = { host : string; port : int }
+
+let pp_endpoint ppf { host; port } = Format.fprintf ppf "%s:%d" host port
+
+(** Parse ["host:port,host:port,..."] (a bare ["host"] defaults to
+    [default_port]). *)
+let endpoints_of_string ?(default_port = 6379) s =
+  let parse one =
+    match String.rindex_opt one ':' with
+    | None when one <> "" -> Ok { host = one; port = default_port }
+    | Some i -> (
+        let host = String.sub one 0 i in
+        let port = String.sub one (i + 1) (String.length one - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && host <> "" -> Ok { host; port = p }
+        | _ -> Error (Printf.sprintf "bad endpoint %S" one))
+    | None -> Error (Printf.sprintf "bad endpoint %S" one)
+  in
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "no endpoints"
+  else
+    List.fold_left
+      (fun acc p ->
+        Result.bind acc (fun eps -> Result.map (fun e -> e :: eps) (parse p)))
+      (Ok []) parts
+    |> Result.map List.rev
+
+type session = {
+  endpoints : endpoint array;
+  mutable idx : int;  (** endpoint the next (re)connect will try *)
+  mutable conn : conn option;
+  backoff : Nr_sync.Backoff.Timed.t;
+  connect_timeout_ms : int option;
+  read_timeout_ms : int option;
+  mutable offset : int;
+  mutable polls : int;  (** successful poll rounds *)
+  mutable errors : int;  (** failed rounds (connect or poll) *)
+}
+
+let make_session ?backoff ?connect_timeout_ms ?read_timeout_ms ~endpoints
+    ~offset () =
+  if endpoints = [] then invalid_arg "Replication.make_session: no endpoints";
+  {
+    endpoints = Array.of_list endpoints;
+    idx = 0;
+    conn = None;
+    backoff =
+      (match backoff with
+      | Some b -> b
+      | None -> Nr_sync.Backoff.Timed.create ());
+    connect_timeout_ms;
+    read_timeout_ms;
+    offset;
+    polls = 0;
+    errors = 0;
+  }
+
+(** The endpoint currently targeted — the best known leader address,
+    what a READONLY rejection should redirect clients to. *)
+let leader s = s.endpoints.(s.idx)
+
+let offset s = s.offset
+let set_offset s off = s.offset <- off
+let connected s = s.conn <> None
+let consecutive_failures s = Nr_sync.Backoff.Timed.failures s.backoff
+let total_failures s = Nr_sync.Backoff.Timed.total_failures s.backoff
+let polls s = s.polls
+let errors s = s.errors
+
+let drop_conn s =
+  (match s.conn with Some c -> close c | None -> ());
+  s.conn <- None
+
+(** The outcome of one {!step}: applied up to a new offset, or failed
+    with the backoff delay (ms) the caller should sleep before the next
+    step, which will try the next candidate endpoint. *)
+type step_result = Applied of int | Retry_after of int * string
+
+let fail s msg =
+  drop_conn s;
+  s.errors <- s.errors + 1;
+  s.idx <- (s.idx + 1) mod Array.length s.endpoints;
+  Retry_after (Nr_sync.Backoff.Timed.next_ms s.backoff, msg)
+
+(** One round of the follower loop: (re)connect if needed, PSYNC at the
+    session offset, fold the reply via [exec]/[on_op]/[on_full]. *)
+let step ?on_op ?on_full ?strict s ~exec =
+  let ep = s.endpoints.(s.idx) in
+  let conn_r =
+    match s.conn with
+    | Some c -> Ok c
+    | None -> (
+        match
+          connect ?connect_timeout_ms:s.connect_timeout_ms
+            ?read_timeout_ms:s.read_timeout_ms ~host:ep.host ~port:ep.port ()
+        with
+        | Ok c ->
+            s.conn <- Some c;
+            Ok c
+        | Error e -> Error e)
+  in
+  match conn_r with
+  | Error e -> fail s e
+  | Ok conn -> (
+      match poll ?on_op ?on_full ?strict conn ~exec ~offset:s.offset with
+      | Ok off ->
+          s.offset <- off;
+          s.polls <- s.polls + 1;
+          Nr_sync.Backoff.Timed.reset s.backoff;
+          Applied off
+      | Error e -> fail s e)
+
+(** Report this follower's durable watermark up the chain:
+    [REPLACK id seq] on the session's live connection.  The parent
+    forwards its own (possibly lower) watermark further up, so acks
+    propagate leaderward hop by hop.  A send failure drops the
+    connection; the next {!step} reconnects. *)
+let ack s ~id ~seq =
+  match s.conn with
+  | None -> Error "replication: not connected"
+  | Some c -> (
+      match request c (Command.Replack (id, seq)) with
+      | Ok (Command.Err e) -> Error ("replication: ack rejected: " ^ e)
+      | Ok _ -> Ok ()
+      | Error e ->
+          drop_conn s;
+          Error e)

@@ -11,7 +11,7 @@ include Nr_kvstore.Store
 
 let route : op -> Sharded.route = function
   | C.Ping | C.Slowlog_get | C.Slowlog_reset | C.Slowlog_len
-  | C.Sync | C.Psync _ ->
+  | C.Sync | C.Psync _ | C.Wait _ | C.Replack _ ->
       (* replication handshakes are answered at the serving layer; routing
          them to a fixed shard just yields the store's polite refusal *)
       Sharded.Single ""

@@ -15,3 +15,63 @@ module Make (R : Nr_runtime.Runtime_intf.S) = struct
     done;
     if t.exp < t.max_exp then t.exp <- t.exp + 1
 end
+
+(** Wall-clock variant for network retry loops: delays in milliseconds that
+    double up to a cap, with seeded jitter so a fleet of reconnecting
+    followers does not stampede a freshly promoted leader in lockstep.
+    This module only {e computes} delays — the caller sleeps — so it works
+    under real threads and under a virtual clock alike, and a seeded
+    instance yields a deterministic delay sequence for tests. *)
+module Timed = struct
+  type t = {
+    base_ms : int;
+    max_ms : int;
+    mutable exp : int;
+    mutable state : int64;  (** splitmix64 jitter stream *)
+    mutable failures : int;  (** consecutive failures since the last reset *)
+    mutable total_failures : int;
+    mutable last_ms : int;  (** last delay handed out *)
+  }
+
+  let create ?(base_ms = 50) ?(max_ms = 5_000) ?(seed = 0x6B8B4567) () =
+    if base_ms <= 0 || max_ms < base_ms then
+      invalid_arg "Backoff.Timed.create: need 0 < base_ms <= max_ms";
+    {
+      base_ms;
+      max_ms;
+      exp = 0;
+      state = Int64.of_int seed;
+      failures = 0;
+      total_failures = 0;
+      last_ms = 0;
+    }
+
+  let reset t =
+    t.exp <- 0;
+    t.failures <- 0
+
+  (* splitmix64: tiny, seeded, no dependency on the workload PRNGs *)
+  let rand t bound =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    if bound <= 0 then 0 else Int64.to_int (Int64.unsigned_rem z (Int64.of_int bound))
+
+  (** Record one failure and return the next delay: the truncated-doubling
+      envelope, jittered into [[envelope/2, envelope]] ("equal jitter") so
+      retries desynchronise without ever collapsing to zero wait. *)
+  let next_ms t =
+    t.failures <- t.failures + 1;
+    t.total_failures <- t.total_failures + 1;
+    let envelope = min t.max_ms (t.base_ms * (1 lsl min t.exp 20)) in
+    if envelope < t.max_ms then t.exp <- t.exp + 1;
+    let d = (envelope / 2) + rand t ((envelope / 2) + 1) in
+    t.last_ms <- d;
+    d
+
+  let failures t = t.failures
+  let total_failures t = t.total_failures
+  let last_ms t = t.last_ms
+end

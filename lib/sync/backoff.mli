@@ -29,3 +29,34 @@ module Make (R : Nr_runtime.Runtime_intf.S) : sig
   (** Spin-wait for the current delay ([R.yield] that many times), then
       double the delay if below the cap. *)
 end
+
+(** Wall-clock retry backoff for network loops (replication reconnect):
+    computes jittered, truncated-doubling delays in milliseconds but never
+    sleeps itself, so the caller owns the clock — real [Thread.delay] in
+    the server, a virtual clock in deterministic tests. *)
+module Timed : sig
+  type t
+
+  val create : ?base_ms:int -> ?max_ms:int -> ?seed:int -> unit -> t
+  (** Delays start at [base_ms] (default 50) and double per failure up to
+      [max_ms] (default 5000); [seed] fixes the jitter stream. *)
+
+  val reset : t -> unit
+  (** Call after a successful round: clears the consecutive-failure count
+      and returns the delay envelope to [base_ms]. *)
+
+  val next_ms : t -> int
+  (** Record one failure and return the delay to sleep before retrying:
+      jittered into [[envelope/2, envelope]] of the current doubling
+      envelope, so independent followers desynchronise. *)
+
+  val failures : t -> int
+  (** Consecutive failures since the last {!reset} — the signal failover
+      promotion triggers on. *)
+
+  val total_failures : t -> int
+  (** Failures over the instance's whole lifetime, for stats. *)
+
+  val last_ms : t -> int
+  (** The delay most recently returned by {!next_ms}. *)
+end

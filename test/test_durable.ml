@@ -592,7 +592,7 @@ let test_tcp_leader_follower () =
   (* a writing client *)
   List.iter (fun cmd -> ignore (exec cmd)) (List.filteri (fun i _ -> i < 6) update_cmds);
   (* the follower connects and catches up over the wire *)
-  (match Replication.connect ~host:"127.0.0.1" ~port with
+  (match Replication.connect ~host:"127.0.0.1" ~port () with
   | Error e -> Alcotest.failf "connect: %s" e
   | Ok conn ->
       let follower = Store.create () in

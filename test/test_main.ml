@@ -19,6 +19,8 @@ let () =
       ("chaos", Test_chaos.suite);
       ("check", Test_check.suite);
       ("durable", Test_durable.suite);
+      ("repl", Test_repl.suite);
+      ("chaos-repl", Test_repl.chaos_suite);
       ("shard", Test_shard.suite);
       ("hot-path", Test_hotpath.suite);
       ("read-path", Test_readpath.suite);

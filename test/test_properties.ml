@@ -325,6 +325,8 @@ let command_gen =
         return C.Slowlog_get;
         return C.Slowlog_reset;
         return C.Slowlog_len;
+        map2 (fun n ms -> C.Wait (n, ms)) (int_bound 16) (int_bound 10_000);
+        map2 (fun id seq -> C.Replack (id, seq)) key nat;
       ])
 
 let command_roundtrip =

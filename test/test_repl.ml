@@ -1,0 +1,843 @@
+(* Replication fault-tolerance tests: WAIT ack tracking, chained
+   followers serving PSYNC off their own AOF, the session reconnect path
+   with jittered backoff, the background-compaction seam, failover
+   promotion of the real server binary — and the seeded partition/crash
+   chaos sweep checking the extended Durable spec (a write acked at
+   [WAIT n] survives killing every process at once, because [n] follower
+   crash images still hold it). *)
+
+module C = Nr_kvstore.Command
+module Store = Nr_kvstore.Store
+module Aof = Nr_persist.Aof
+module Frame = Nr_persist.Frame
+module Vfs = Nr_persist.Vfs
+module Sim_fs = Nr_persist.Sim_fs
+module Persister = Nr_persist.Persister
+module Replication = Nr_persist.Replication
+module Repl_hub = Nr_persist.Repl_hub
+module Timed = Nr_sync.Backoff.Timed
+module Chaos_repl = Nr_harness.Chaos_repl
+module Durable = Nr_check.Durable
+
+let exec_on store cmd = Store.execute store cmd
+
+let update_cmds =
+  [
+    C.Set ("a", "1");
+    C.Set ("b", "2");
+    C.Incr "a";
+    C.Zadd ("z", 5, 1);
+    C.Zincrby ("z", 3, 1);
+    C.Set ("c", "x");
+    C.Del "b";
+    C.Zadd ("z", 2, 2);
+    C.Incr "a";
+    C.Set ("d", "y");
+  ]
+
+let create_persister ?snapshot_every ?(policy = Aof.Always) ?background fs =
+  match
+    Persister.create fs ~policy ~now_ms:(fun () -> 0) ?snapshot_every
+      ?background ()
+  with
+  | Ok pr -> pr
+  | Error e -> Alcotest.failf "persister create: %s" e
+
+(* --- jittered exponential backoff --- *)
+
+let test_backoff_timed () =
+  let b = Timed.create ~base_ms:50 ~max_ms:800 ~seed:42 () in
+  Alcotest.(check int) "no failures yet" 0 (Timed.failures b);
+  let envelope_at i = min 800 (50 * (1 lsl i)) in
+  for i = 0 to 9 do
+    let d = Timed.next_ms b in
+    let env = envelope_at i in
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %d in [env/2, env] for env %d (got %d)" i env d)
+      true
+      (d >= env / 2 && d <= env);
+    Alcotest.(check int) "failure count tracks" (i + 1) (Timed.failures b);
+    Alcotest.(check int) "last_ms" d (Timed.last_ms b)
+  done;
+  Timed.reset b;
+  Alcotest.(check int) "reset clears consecutive" 0 (Timed.failures b);
+  Alcotest.(check int) "lifetime count survives reset" 10 (Timed.total_failures b);
+  let d = Timed.next_ms b in
+  Alcotest.(check bool) "envelope restarted at base" true (d >= 25 && d <= 50);
+  (* same seed, same sequence: the jitter stream is deterministic *)
+  let b1 = Timed.create ~seed:7 () and b2 = Timed.create ~seed:7 () in
+  for _ = 1 to 8 do
+    Alcotest.(check int) "deterministic jitter" (Timed.next_ms b1)
+      (Timed.next_ms b2)
+  done
+
+(* --- leader-side ack hub --- *)
+
+let test_hub_watermarks () =
+  let hub = Repl_hub.create () in
+  Alcotest.(check int) "no followers" 0 (Repl_hub.followers hub);
+  Repl_hub.ack hub ~id:"f1" ~seq:5;
+  Repl_hub.ack hub ~id:"f2" ~seq:3;
+  Alcotest.(check int) "two followers" 2 (Repl_hub.followers hub);
+  Alcotest.(check int) "both cover 3" 2 (Repl_hub.acked hub ~seq:3);
+  Alcotest.(check int) "one covers 5" 1 (Repl_hub.acked hub ~seq:5);
+  Alcotest.(check int) "none cover 6" 0 (Repl_hub.acked hub ~seq:6);
+  (* watermarks are monotone: a reordered stale ack never regresses *)
+  Repl_hub.ack hub ~id:"f1" ~seq:2;
+  Alcotest.(check int) "stale ack ignored" 1 (Repl_hub.acked hub ~seq:5);
+  Repl_hub.ack hub ~id:"f2" ~seq:9;
+  Alcotest.(check int) "advance applies" 2 (Repl_hub.acked hub ~seq:5);
+  Repl_hub.forget hub ~id:"f1";
+  Alcotest.(check int) "forget drops the watermark" 1 (Repl_hub.acked hub ~seq:1);
+  Alcotest.(check int) "acks counted" 4 (Repl_hub.acks_received hub)
+
+let test_hub_wait_virtual_clock () =
+  let hub = Repl_hub.create () in
+  let clock = ref 0 and sleeps = ref 0 in
+  let now_ms () = !clock in
+  let sleep_ms ms =
+    incr sleeps;
+    clock := !clock + ms;
+    (* a follower acks while the client is parked in WAIT *)
+    if !clock >= 10 then Repl_hub.ack hub ~id:"late" ~seq:7
+  in
+  Repl_hub.ack hub ~id:"early" ~seq:7;
+  (* n satisfied without sleeping *)
+  let got = Repl_hub.wait hub ~now_ms ~sleep_ms ~seq:7 ~n:1 ~timeout_ms:50 in
+  Alcotest.(check int) "immediate" 1 got;
+  Alcotest.(check int) "no sleep needed" 0 !sleeps;
+  (* n = 2 becomes satisfiable mid-wait *)
+  let got = Repl_hub.wait hub ~now_ms ~sleep_ms ~seq:7 ~n:2 ~timeout_ms:100 in
+  Alcotest.(check int) "woke when the late ack landed" 2 got;
+  Alcotest.(check bool) "slept at least once" true (!sleeps > 0);
+  (* unsatisfiable n: the timeout degrades to the achieved count *)
+  let t0 = !clock in
+  let got = Repl_hub.wait hub ~now_ms ~sleep_ms ~seq:7 ~n:5 ~timeout_ms:40 in
+  Alcotest.(check int) "graceful degradation" 2 got;
+  Alcotest.(check bool) "respected the deadline" true (!clock >= t0 + 40);
+  (* n <= 0 is an instant census *)
+  let before = !sleeps in
+  Alcotest.(check int) "n=0 instant" 2
+    (Repl_hub.wait hub ~now_ms ~sleep_ms ~seq:7 ~n:0 ~timeout_ms:1000);
+  Alcotest.(check int) "n=0 never sleeps" before !sleeps
+
+(* --- strict apply: no regression for durable followers --- *)
+
+let test_apply_strict_refuses_regression () =
+  let regressing =
+    C.Array [ C.Bulk "FULLRESYNC"; C.Int 5; C.Bulk "" ]
+  in
+  let store = Store.create () in
+  (match
+     Replication.apply ~strict:true ~exec:(exec_on store) ~offset:8 regressing
+   with
+  | Error e ->
+      Alcotest.(check bool) "names the regression" true
+        (String.length e >= 24 && String.sub e 0 24 = "replication: full resync")
+  | Ok _ -> Alcotest.fail "strict apply accepted a regressing full resync");
+  (* without strict (in-memory follower) the resync is accepted *)
+  match Replication.apply ~exec:(exec_on store) ~offset:8 regressing with
+  | Ok off -> Alcotest.(check int) "lenient offset" 5 off
+  | Error e -> Alcotest.failf "lenient apply: %s" e
+
+(* --- chained replication: a follower serves PSYNC off its own AOF --- *)
+
+(* one PSYNC round of an AOF-keeping follower [p] against its parent
+   persister, persisting at the parent's global coordinates *)
+let feed_follower ~parent p =
+  let offset = Persister.cursor p in
+  match Persister.handle_sync parent (C.Psync offset) with
+  | None -> Alcotest.fail "parent ignored PSYNC"
+  | Some reply -> (
+      match
+        Replication.apply ~strict:true
+          ~on_op:(fun op -> Persister.observe p [ op ])
+          ~on_full:(fun ~upto ~dump -> Persister.reset_to p ~upto ~dump)
+          ~exec:(fun _ -> C.Ok_reply)
+          ~offset reply
+      with
+      | Ok off -> Alcotest.(check int) "offset = cursor" (Persister.cursor p) off
+      | Error e -> Alcotest.failf "chained apply: %s" e)
+
+let test_chained_follower_serves_psync () =
+  let leader_sim = Sim_fs.create () in
+  let leader, _ = create_persister ~snapshot_every:6 (Sim_fs.fs leader_sim) in
+  let mid_sim = Sim_fs.create () in
+  let mid, _ = create_persister (Sim_fs.fs mid_sim) in
+  (* leader logs a first batch; the middle hop catches up *)
+  List.iteri
+    (fun i cmd -> if i < 5 then Persister.observe leader [ Some cmd ])
+    update_cmds;
+  feed_follower ~parent:leader mid;
+  Alcotest.(check bool) "mid = leader" true
+    (Persister.fingerprint mid = Persister.fingerprint leader);
+  (* a grandchild syncs ENTIRELY off the middle hop's local AOF *)
+  let tail = Store.create () in
+  let tail_off = ref 0 in
+  let pull_tail () =
+    match Persister.handle_sync mid (C.Psync !tail_off) with
+    | None -> Alcotest.fail "mid ignored PSYNC"
+    | Some reply -> (
+        match Replication.apply ~exec:(exec_on tail) ~offset:!tail_off reply with
+        | Ok off -> tail_off := off
+        | Error e -> Alcotest.failf "tail apply: %s" e)
+  in
+  pull_tail ();
+  Alcotest.(check int) "tail offset" (Persister.cursor leader) !tail_off;
+  Alcotest.(check bool) "grandchild = leader via the chain" true
+    (Store.fingerprint tail = Persister.fingerprint leader);
+  (* more writes; the leader compacts (snapshot_every 6), so the middle
+     hop's next poll is a FULLRESYNC rebase — the chain re-converges and
+     the grandchild still syncs off mid's AOF *)
+  List.iter (fun cmd -> Persister.observe leader [ Some cmd ]) update_cmds;
+  feed_follower ~parent:leader mid;
+  pull_tail ();
+  Alcotest.(check int) "tail offset after compaction"
+    (Persister.cursor leader) !tail_off;
+  Alcotest.(check bool) "chain re-converged" true
+    (Persister.fingerprint mid = Persister.fingerprint leader
+    && Store.fingerprint tail = Persister.fingerprint leader)
+
+let test_chained_follower_recovers_at_global_coordinates () =
+  let leader_sim = Sim_fs.create () in
+  let leader, _ = create_persister (Sim_fs.fs leader_sim) in
+  let f_sim = Sim_fs.create () in
+  let f, _ = create_persister (Sim_fs.fs f_sim) in
+  List.iter (fun cmd -> Persister.observe leader [ Some cmd ]) update_cmds;
+  feed_follower ~parent:leader f;
+  let cursor = Persister.cursor f in
+  Alcotest.(check int) "global cursor" (Persister.cursor leader) cursor;
+  (* crash the follower; its own AOF recovers the replicated prefix at
+     the leader's coordinates (policy Always: everything was durable) *)
+  (try Sim_fs.crash f_sim with Sim_fs.Crashed -> ());
+  Sim_fs.reboot f_sim;
+  let f2, _ = create_persister (Sim_fs.fs f_sim) in
+  Alcotest.(check int) "recovered at global cursor" cursor (Persister.cursor f2);
+  Alcotest.(check bool) "recovered state" true
+    (Persister.fingerprint f2 = Persister.fingerprint leader)
+
+(* --- aof rotate_from: compaction that keeps the live suffix --- *)
+
+let test_rotate_from_keeps_tail () =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let aof, _ =
+    match Aof.open_ fs ~name:"aof" ~policy:Aof.Always ~now_ms:(fun () -> 0) ~start:0 with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "open: %s" e
+  in
+  List.iteri (fun i _ -> Aof.append aof (Some (Printf.sprintf "op%d" i))) update_cmds;
+  Alcotest.(check int) "next_seq" 10 (Aof.next_seq aof);
+  Aof.rotate_from aof ~base:7;
+  Alcotest.(check int) "base moved" 7 (Aof.base aof);
+  Alcotest.(check int) "next_seq kept" 10 (Aof.next_seq aof);
+  Alcotest.(check int) "rewrite is durable" 10 (Aof.durable_seq aof);
+  (* the retained suffix survives a reopen, at its original positions *)
+  Aof.append aof (Some "op10");
+  Aof.close aof;
+  let aof2, scanned =
+    match Aof.open_ fs ~name:"aof" ~policy:Aof.Always ~now_ms:(fun () -> 0) ~start:0 with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "reopen: %s" e
+  in
+  Alcotest.(check int) "reopened base" 7 (Aof.base aof2);
+  Alcotest.(check (list (option string)))
+    "positions 7..10 retained"
+    [ Some "op7"; Some "op8"; Some "op9"; Some "op10" ]
+    scanned.Aof.s_entries
+
+(* --- background compaction seam --- *)
+
+let test_background_compaction_seam () =
+  let sim = Sim_fs.create () in
+  let inner = Sim_fs.fs sim in
+  (* Sim_fs-delayed snapshot write: the compaction's write_atomic stalls
+     until the main thread releases it, proving writes commit while a
+     slow compaction is in flight *)
+  let gate = Mutex.create () in
+  let slow_fs =
+    {
+      inner with
+      Vfs.write_atomic =
+        (fun name content ->
+          if String.length name >= 8 && String.sub name 0 8 = "snapshot" then begin
+            Mutex.lock gate;
+            Mutex.unlock gate
+          end;
+          inner.Vfs.write_atomic name content);
+    }
+  in
+  let p, _ = create_persister ~snapshot_every:4 ~background:true slow_fs in
+  List.iteri
+    (fun i cmd -> if i < 6 then Persister.observe p [ Some cmd ])
+    update_cmds;
+  Alcotest.(check bool) "due after the cadence" true (Persister.compaction_due p);
+  (* hold the gate, start the slow compaction in a background thread *)
+  Mutex.lock gate;
+  let upto, dump = Persister.compaction_begin p in
+  Alcotest.(check int) "cut at the cursor" 6 upto;
+  Alcotest.(check bool) "one in flight" true (Persister.compacting p);
+  Alcotest.(check bool) "not re-due while in flight" false
+    (Persister.compaction_due p);
+  let done_flag = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Persister.compaction_write p ~upto ~dump;
+        Atomic.set done_flag true)
+      ()
+  in
+  Thread.delay 0.02;
+  Alcotest.(check bool) "compaction still writing" false (Atomic.get done_flag);
+  (* the seam: appends proceed while the snapshot write is stuck *)
+  List.iteri
+    (fun i cmd -> if i >= 6 then Persister.observe p [ Some cmd ])
+    update_cmds;
+  Alcotest.(check int) "writes landed during compaction" 10 (Persister.cursor p);
+  Mutex.unlock gate;
+  Thread.join th;
+  Persister.compaction_finish p ~upto;
+  Alcotest.(check int) "aof rebased at the cut" upto (Persister.aof_base p);
+  Alcotest.(check int) "suffix preserved" 10 (Persister.cursor p);
+  (* crash + recover: snapshot at the cut + retained suffix = full state *)
+  (try Sim_fs.crash sim with Sim_fs.Crashed -> ());
+  Sim_fs.reboot sim;
+  let p2, r = create_persister inner in
+  Alcotest.(check int) "recovered everything" 10 (Persister.cursor p2);
+  Alcotest.(check (option int)) "recovered via the snapshot" (Some upto)
+    r.Persister.snapshot_upto;
+  let oracle = Store.create () in
+  List.iter (fun cmd -> ignore (Store.execute oracle cmd)) update_cmds;
+  Alcotest.(check bool) "recovered state = oracle" true
+    (Persister.fingerprint p2 = Store.fingerprint oracle)
+
+let test_background_compaction_crash_between_write_and_finish () =
+  (* die after the snapshot is durable but before the AOF rewrite: the
+     new snapshot covers a redundant AOF prefix; nothing is lost *)
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~snapshot_every:4 ~background:true fs in
+  List.iter (fun cmd -> Persister.observe p [ Some cmd ]) update_cmds;
+  let upto, dump = Persister.compaction_begin p in
+  Persister.compaction_write p ~upto ~dump;
+  (* crash before compaction_finish *)
+  (try Sim_fs.crash sim with Sim_fs.Crashed -> ());
+  Sim_fs.reboot sim;
+  let p2, _ = create_persister fs in
+  Alcotest.(check int) "recovered full prefix" 10 (Persister.cursor p2);
+  let oracle = Store.create () in
+  List.iter (fun cmd -> ignore (Store.execute oracle cmd)) update_cmds;
+  Alcotest.(check bool) "state intact" true
+    (Persister.fingerprint p2 = Store.fingerprint oracle)
+
+(* --- zero-overhead guard: aof without followers is byte-identical --- *)
+
+let test_aof_without_followers_byte_identical () =
+  (* the PR 7 shape: persister alone.  The PR 8 shape: persister + an ack
+     hub that never hears an ack + WAIT queries.  The AOF bytes and
+     fsync counts must not notice the difference. *)
+  let run_shape ~with_hub =
+    let sim = Sim_fs.create () in
+    let fs = Sim_fs.fs sim in
+    let p, _ = create_persister ~snapshot_every:4 ~policy:(Aof.Every_n 3) fs in
+    let hub = if with_hub then Some (Repl_hub.create ()) else None in
+    List.iter
+      (fun cmd ->
+        Persister.observe p [ Some cmd ];
+        match hub with
+        | Some h ->
+            ignore
+              (Repl_hub.wait h
+                 ~now_ms:(fun () -> 0)
+                 ~sleep_ms:(fun _ -> ())
+                 ~seq:(Persister.cursor p) ~n:1 ~timeout_ms:0)
+        | None -> ())
+      update_cmds;
+    let aof_bytes = Option.value (fs.Vfs.read_file "aof") ~default:"" in
+    let snap_bytes = Option.value (fs.Vfs.read_file "snapshot") ~default:"" in
+    (aof_bytes, snap_bytes, Persister.fsyncs p, Persister.cursor p)
+  in
+  let a1, s1, f1, c1 = run_shape ~with_hub:false in
+  let a2, s2, f2, c2 = run_shape ~with_hub:true in
+  Alcotest.(check string) "aof bytes identical" a1 a2;
+  Alcotest.(check string) "snapshot bytes identical" s1 s2;
+  Alcotest.(check int) "fsync count identical" f1 f2;
+  Alcotest.(check int) "cursor identical" c1 c2
+
+(* --- WAIT/REPLACK over real TCP --- *)
+
+(* an in-process leader shaped exactly like the server binary's persist
+   mode: mutex-locked exec+tap, SYNC/PSYNC + WAIT/REPLACK specials *)
+let with_tcp_leader f =
+  let sim = Sim_fs.create () in
+  let fs = Sim_fs.fs sim in
+  let p, _ = create_persister ~policy:Aof.Always fs in
+  let store = Store.create () in
+  let hub = Repl_hub.create () in
+  let m = Mutex.create () in
+  let locked g =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) g
+  in
+  let exec cmd =
+    locked (fun () ->
+        let r = Store.execute store cmd in
+        if not (C.is_read_only cmd) then Persister.observe p [ Some cmd ];
+        r)
+  in
+  let special cmd =
+    match cmd with
+    | C.Sync | C.Psync _ -> locked (fun () -> Persister.handle_sync p cmd)
+    | C.Wait (n, timeout_ms) ->
+        let target = locked (fun () -> Persister.cursor p) in
+        Some (C.Int (Repl_hub.wait hub ~seq:target ~n ~timeout_ms))
+    | C.Replack (id, seq) ->
+        Repl_hub.ack hub ~id ~seq;
+        Some C.Ok_reply
+    | _ -> None
+  in
+  let server = Nr_kvstore.Server.create ~special ~port:0 ~workers:2 exec in
+  let port = Nr_kvstore.Server.port server in
+  let accept_domain = Domain.spawn (fun () -> Nr_kvstore.Server.serve server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Nr_kvstore.Server.shutdown server;
+      Domain.join accept_domain)
+    (fun () ->
+      f ~port ~exec
+        ~cursor:(fun () -> locked (fun () -> Persister.cursor p))
+        ~fingerprint:(fun () -> locked (fun () -> Persister.fingerprint p)))
+
+let test_tcp_wait_and_ack () =
+  with_tcp_leader (fun ~port ~exec ~cursor ~fingerprint ->
+      List.iter
+        (fun cmd -> ignore (exec cmd))
+        (List.filteri (fun i _ -> i < 6) update_cmds);
+      let session =
+        Replication.make_session ~connect_timeout_ms:1000 ~read_timeout_ms:2000
+          ~endpoints:[ { Replication.host = "127.0.0.1"; port } ]
+          ~offset:0 ()
+      in
+      (* a client's WAIT with no follower times out to 0, not an error *)
+      let client =
+        match Replication.connect ~host:"127.0.0.1" ~port () with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "client connect: %s" e
+      in
+      let wait n timeout =
+        match Replication.request client (C.Wait (n, timeout)) with
+        | Ok (C.Int k) -> k
+        | Ok r -> Alcotest.failf "WAIT reply: %a" C.pp_reply r
+        | Error e -> Alcotest.failf "WAIT: %s" e
+      in
+      Alcotest.(check int) "WAIT with nobody acked degrades to 0" 0 (wait 1 60);
+      (* the follower catches up and acks its durable watermark *)
+      let follower = Store.create () in
+      (match Replication.step session ~exec:(exec_on follower) with
+      | Replication.Applied off ->
+          Alcotest.(check int) "caught up" (cursor ()) off
+      | Replication.Retry_after (_, e) -> Alcotest.failf "step: %s" e);
+      (match
+         Replication.ack session ~id:"f1" ~seq:(Replication.offset session)
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ack: %s" e);
+      Alcotest.(check int) "WAIT 1 satisfied" 1 (wait 1 2000);
+      Alcotest.(check int) "WAIT 2 degrades to 1 at timeout" 1 (wait 2 80);
+      (* new write: the follower's old ack no longer covers the target *)
+      ignore (exec (C.Set ("late", "w")));
+      Alcotest.(check int) "stale ack does not cover a later write" 0 (wait 1 60);
+      (match Replication.step session ~exec:(exec_on follower) with
+      | Replication.Applied _ -> ()
+      | Replication.Retry_after (_, e) -> Alcotest.failf "step2: %s" e);
+      (match
+         Replication.ack session ~id:"f1" ~seq:(Replication.offset session)
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ack2: %s" e);
+      Alcotest.(check int) "fresh ack satisfies WAIT again" 1 (wait 1 2000);
+      Alcotest.(check bool) "follower converged" true
+        (Store.fingerprint follower = fingerprint ());
+      Replication.close client)
+
+let test_tcp_session_backoff_failover () =
+  (* a dead endpoint first: the session must back off, rotate, and find
+     the live leader on the next step without being rebuilt *)
+  let dead_port =
+    (* grab a port that refuses connections: bind, read the number, close *)
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    port
+  in
+  with_tcp_leader (fun ~port ~exec ~cursor ~fingerprint ->
+      List.iter
+        (fun cmd -> ignore (exec cmd))
+        (List.filteri (fun i _ -> i < 4) update_cmds);
+      let backoff = Timed.create ~base_ms:10 ~max_ms:80 ~seed:3 () in
+      let session =
+        Replication.make_session ~backoff ~connect_timeout_ms:500
+          ~read_timeout_ms:2000
+          ~endpoints:
+            [
+              { Replication.host = "127.0.0.1"; port = dead_port };
+              { Replication.host = "127.0.0.1"; port };
+            ]
+          ~offset:0 ()
+      in
+      let follower = Store.create () in
+      (match Replication.step session ~exec:(exec_on follower) with
+      | Replication.Retry_after (delay, _) ->
+          Alcotest.(check bool) "jittered backoff delay" true
+            (delay >= 5 && delay <= 10);
+          Alcotest.(check int) "one consecutive failure" 1
+            (Replication.consecutive_failures session)
+      | Replication.Applied _ -> Alcotest.fail "dead endpoint should fail");
+      (match Replication.step session ~exec:(exec_on follower) with
+      | Replication.Applied off ->
+          Alcotest.(check int) "re-resolved to the live leader" (cursor ())
+            off;
+          Alcotest.(check int) "success resets the failure streak" 0
+            (Replication.consecutive_failures session);
+          Alcotest.(check int) "lifetime failure count kept" 1
+            (Replication.total_failures session)
+      | Replication.Retry_after (_, e) -> Alcotest.failf "live step: %s" e);
+      let ep = Replication.leader session in
+      Alcotest.(check int) "leader address re-resolved" port ep.Replication.port;
+      Alcotest.(check bool) "converged after failover" true
+        (Store.fingerprint follower = fingerprint ()))
+
+(* --- the real server binary: failover promotion over TCP --- *)
+
+(* `dune runtest` runs from _build/default/test; `dune exec` from the
+   workspace root — probe both *)
+let kv_server_exe =
+  let candidates =
+    [
+      Filename.concat (Filename.concat ".." "bin") "kv_server.exe";
+      "_build/default/bin/kv_server.exe";
+      "bin/kv_server.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nr_repl_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun file -> Sys.remove (Filename.concat dir file))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+type proc = { pid : int; port : int; out : in_channel }
+
+(* the banner is "kv-server listening on 127.0.0.1:PORT (...)" *)
+let port_of_banner line =
+  let prefix = "kv-server listening on 127.0.0.1:" in
+  let plen = String.length prefix in
+  if String.length line > plen && String.sub line 0 plen = prefix then
+    let digits = Buffer.create 5 in
+    (try
+       String.iter
+         (fun c ->
+           if c >= '0' && c <= '9' then Buffer.add_char digits c
+           else raise Exit)
+         (String.sub line plen (String.length line - plen))
+     with Exit -> ());
+    int_of_string_opt (Buffer.contents digits)
+  else None
+
+(* spawn kv_server.exe on an anonymous port and parse the bound port off
+   its startup banner *)
+let spawn_server args =
+  let r, w = Unix.pipe () in
+  let pid =
+    Unix.create_process kv_server_exe
+      (Array.of_list (kv_server_exe :: "--port" :: "0" :: "--workers" :: "2" :: args))
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  let out = Unix.in_channel_of_descr r in
+  let rec find_port () =
+    match input_line out with
+    | line -> (
+        match port_of_banner line with Some p -> Some p | None -> find_port ())
+    | exception End_of_file -> None
+  in
+  match find_port () with
+  | Some port -> { pid; port; out }
+  | None ->
+      ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      Alcotest.failf "kv-server exited before announcing a port"
+
+let kill_server proc =
+  (try Unix.kill proc.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (try Unix.waitpid [] proc.pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+  try close_in proc.out with Sys_error _ -> ()
+
+(* minimal RESP client over the replication transport's request helper *)
+let client_conn port =
+  match
+    Replication.connect ~connect_timeout_ms:2000 ~read_timeout_ms:5000
+      ~host:"127.0.0.1" ~port ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "client connect :%d: %s" port e
+
+let retry_until ?(deadline_s = 15.) ~what f =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec go () =
+    match f () with
+    | Some v -> v
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "timed out waiting for %s" what
+        else begin
+          Thread.delay 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let test_kv_server_failover_promotion () =
+  with_temp_dir (fun leader_dir ->
+      with_temp_dir (fun follower_dir ->
+          let leader =
+            spawn_server [ "--aof"; leader_dir; "--fsync"; "always" ]
+          in
+          let follower = ref None in
+          Fun.protect
+            ~finally:(fun () ->
+              kill_server leader;
+              match !follower with Some f -> kill_server f | None -> ())
+            (fun () ->
+              let f =
+                spawn_server
+                  [
+                    "--aof"; follower_dir; "--fsync"; "always";
+                    "--follower-of"; Printf.sprintf "127.0.0.1:%d" leader.port;
+                    "--failover-after"; "3";
+                    "--poll-interval-ms"; "10";
+                    "--connect-timeout-ms"; "300";
+                    "--read-timeout-ms"; "1000";
+                  ]
+              in
+              follower := Some f;
+              (* writes + WAIT on the live leader *)
+              let lc = client_conn leader.port in
+              let req conn cmd =
+                match Replication.request conn cmd with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "request %a: %s" C.pp cmd e
+              in
+              ignore (req lc (C.Set ("alpha", "1")));
+              ignore (req lc (C.Set ("beta", "2")));
+              ignore (req lc (C.Incr "alpha"));
+              (* semi-sync: block until the follower's ack covers them *)
+              (match req lc (C.Wait (1, 10_000)) with
+              | C.Int n when n >= 1 -> ()
+              | r -> Alcotest.failf "WAIT: %a" C.pp_reply r);
+              (* the follower rejects writes, naming the leader *)
+              let fc = client_conn f.port in
+              (match req fc (C.Set ("x", "y")) with
+              | C.Err e ->
+                  Alcotest.(check string) "READONLY carries the leader address"
+                    (Printf.sprintf "READONLY leader 127.0.0.1:%d" leader.port)
+                    e
+              | r -> Alcotest.failf "follower accepted a write: %a" C.pp_reply r);
+              Replication.close fc;
+              (* kill the leader; the follower must promote itself *)
+              kill_server leader;
+              Replication.close lc;
+              let fc2 = client_conn f.port in
+              retry_until ~what:"follower promotion" (fun () ->
+                  match Replication.request fc2 (C.Set ("gamma", "3")) with
+                  | Ok C.Ok_reply -> Some ()
+                  | Ok (C.Err _) -> None
+                  | Ok r -> Alcotest.failf "promoted write: %a" C.pp_reply r
+                  | Error e -> Alcotest.failf "promoted write: %s" e);
+              (* the promoted node retained the replicated writes *)
+              (match req fc2 (C.Get "alpha") with
+              | C.Bulk "2" -> ()
+              | r -> Alcotest.failf "alpha after promotion: %a" C.pp_reply r);
+              (* and serves PSYNC to a late rejoiner off its own AOF *)
+              let rejoiner = Store.create () in
+              let rc = client_conn f.port in
+              (match
+                 Replication.poll rc ~exec:(exec_on rejoiner) ~offset:0
+               with
+              | Ok off -> Alcotest.(check bool) "rejoiner offset > 0" true (off > 0)
+              | Error e -> Alcotest.failf "rejoiner poll: %s" e);
+              (match Store.execute rejoiner (C.Get "alpha") with
+              | C.Bulk "2" -> ()
+              | r -> Alcotest.failf "rejoiner alpha: %a" C.pp_reply r);
+              (match Store.execute rejoiner (C.Get "gamma") with
+              | C.Bulk "3" -> ()
+              | r -> Alcotest.failf "rejoiner gamma: %a" C.pp_reply r);
+              Replication.close rc;
+              Replication.close fc2)))
+
+(* --- chaos sweep: the WAIT guarantee under seeded kill schedules --- *)
+
+let check_outcome ?(require_converged = true) params (o : Chaos_repl.outcome) =
+  (* WAIT half: every satisfied WAIT still has its promised holders *)
+  let violations =
+    Durable.check_wait ~waits:o.Chaos_repl.waits
+      ~durable_prefixes:(Chaos_repl.follower_prefixes o)
+  in
+  (match violations with
+  | [] -> ()
+  | v :: _ ->
+      QCheck.Test.fail_reportf "seed %d: %a" params.Chaos_repl.seed
+        Durable.pp_wait_violation v);
+  (* state half: every recovered process is an oracle prefix covering its
+     own durable watermark *)
+  List.iter
+    (fun (id, recovered_seq, recovered_dump) ->
+      let acked = List.assoc id o.Chaos_repl.acked_at_crash in
+      let verdict =
+        Durable.check ~logged:o.Chaos_repl.logged ~acked ~recovered_seq
+          ~recovered_dump
+      in
+      if not (Durable.is_durable verdict) then
+        QCheck.Test.fail_reportf "seed %d node %d: %a" params.Chaos_repl.seed id
+          Durable.pp verdict)
+    o.Chaos_repl.recovered;
+  (* convergence: after recovery + promotion everyone agrees *)
+  if require_converged then begin
+    if not o.Chaos_repl.converged then
+      QCheck.Test.fail_reportf "seed %d: cluster did not converge"
+        params.Chaos_repl.seed;
+    match o.Chaos_repl.fingerprints with
+    | [] -> ()
+    | (_, fp0) :: rest ->
+        List.iter
+          (fun (id, fp) ->
+            if fp <> fp0 then
+              QCheck.Test.fail_reportf
+                "seed %d: node %d fingerprint diverged after catch-up"
+                params.Chaos_repl.seed id)
+          rest
+  end
+
+let chaos_params_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* followers = int_range 1 4 in
+    let* chain = bool in
+    let* events = int_range 60 200 in
+    let* policy = oneofl [ Aof.Always; Aof.Every_n 4; Aof.Never ] in
+    let* snapshot_every = oneofl [ None; Some 8; Some 20 ] in
+    let* kill_io = bool in
+    return
+      {
+        Chaos_repl.seed;
+        followers;
+        chain;
+        events;
+        policy;
+        snapshot_every;
+        kill_io;
+      })
+
+let print_chaos_params p =
+  Printf.sprintf "seed %d, %d followers, %s, %d events, %s, snap %s, kill_io %b"
+    p.Chaos_repl.seed p.Chaos_repl.followers
+    (if p.Chaos_repl.chain then "chain" else "star")
+    p.Chaos_repl.events
+    (Format.asprintf "%a" Aof.pp_policy p.Chaos_repl.policy)
+    (match p.Chaos_repl.snapshot_every with
+    | None -> "never"
+    | Some n -> string_of_int n)
+    p.Chaos_repl.kill_io
+
+let chaos_repl_sweep =
+  QCheck.Test.make ~count:220
+    ~name:"chaos-repl: WAIT guarantee + oracle prefixes + convergence"
+    (QCheck.make chaos_params_gen ~print:print_chaos_params)
+    (fun params ->
+      check_outcome params (Chaos_repl.run params);
+      true)
+
+let test_chaos_repl_golden () =
+  (* pinned seeds as fast regressions; jointly they must actually have
+     faulted and made WAIT promises, or the sweep proves nothing *)
+  let totals = ref (0, 0, 0) in
+  List.iter
+    (fun (seed, chain, policy) ->
+      let params =
+        {
+          Chaos_repl.default_params with
+          seed;
+          chain;
+          policy;
+          followers = 3;
+          events = 160;
+          snapshot_every = Some 10;
+        }
+      in
+      let o = Chaos_repl.run params in
+      check_outcome params o;
+      let k, w, f = !totals in
+      totals :=
+        ( k + o.Chaos_repl.kills,
+          w + List.length o.Chaos_repl.waits,
+          f + o.Chaos_repl.full_resyncs ))
+    [
+      (0xC0FFEE, false, Aof.Always);
+      (0xB0BA, true, Aof.Always);
+      (17, true, Aof.Every_n 4);
+      (424242, false, Aof.Every_n 4);
+    ];
+  let kills, waits, fulls = !totals in
+  Alcotest.(check bool) "the goldens actually killed processes" true (kills > 0);
+  Alcotest.(check bool) "the goldens actually made WAIT promises" true
+    (waits > 0);
+  Alcotest.(check bool) "the goldens exercised full resyncs" true (fulls >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "backoff.timed jitter + envelope" `Quick
+      test_backoff_timed;
+    Alcotest.test_case "hub watermarks monotone" `Quick test_hub_watermarks;
+    Alcotest.test_case "hub wait: block, degrade, census" `Quick
+      test_hub_wait_virtual_clock;
+    Alcotest.test_case "strict apply refuses regression" `Quick
+      test_apply_strict_refuses_regression;
+    Alcotest.test_case "chained follower serves psync" `Quick
+      test_chained_follower_serves_psync;
+    Alcotest.test_case "chained follower global coordinates" `Quick
+      test_chained_follower_recovers_at_global_coordinates;
+    Alcotest.test_case "aof rotate_from keeps tail" `Quick
+      test_rotate_from_keeps_tail;
+    Alcotest.test_case "background compaction seam" `Quick
+      test_background_compaction_seam;
+    Alcotest.test_case "compaction crash between write and finish" `Quick
+      test_background_compaction_crash_between_write_and_finish;
+    Alcotest.test_case "aof without followers byte-identical" `Quick
+      test_aof_without_followers_byte_identical;
+    Alcotest.test_case "tcp wait + replack" `Slow test_tcp_wait_and_ack;
+    Alcotest.test_case "tcp session backoff + failover re-resolution" `Slow
+      test_tcp_session_backoff_failover;
+    Alcotest.test_case "kv-server failover promotion + late rejoiner" `Slow
+      test_kv_server_failover_promotion;
+  ]
+
+let chaos_suite =
+  [
+    Alcotest.test_case "chaos-repl golden seeds" `Quick test_chaos_repl_golden;
+    QCheck_alcotest.to_alcotest chaos_repl_sweep;
+  ]
