@@ -42,11 +42,17 @@ type serving = {
   on_promote : unit -> unit;  (** leader duties on failover promotion *)
 }
 
-let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
-    fsync snapshot_every follower_of failover_after poll_ms connect_timeout_ms
-    read_timeout_ms =
+let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
+    aof_dir fsync snapshot_every follower_of failover_after poll_ms
+    connect_timeout_ms read_timeout_ms =
   let module C = Nr_kvstore.Command in
   let module Repl = Nr_persist.Replication in
+  let net =
+    match net with
+    | "pool" -> Nr_kvstore.Server.Pool
+    | "evloop" -> Nr_kvstore.Server.Evloop
+    | s -> fail "--net: unknown mode %S (expected pool or evloop)" s
+  in
   let policy =
     match Nr_persist.Aof.policy_of_string fsync with
     | Ok p -> p
@@ -334,7 +340,8 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
       ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
   in
   let server =
-    Nr_kvstore.Server.create ~obs ?special:serving.special ~port ~workers exec
+    Nr_kvstore.Server.create ~obs ?special:serving.special ~net ~nodes ~port
+      ~workers exec
   in
   (* the replication loop starts after the server bound its port: the
      REPLACK identity includes it, so watermarks survive leader-side
@@ -384,9 +391,14 @@ let serve port workers shards slowlog_capacity slowlog_threshold_us aof_dir
              in
              loop ())
            ()));
-  Printf.printf "kv-server listening on 127.0.0.1:%d (%d workers, %s%s)\n%!"
+  Printf.printf
+    "kv-server listening on 127.0.0.1:%d (%d workers, net=%s, %s%s)\n%!"
     (Nr_kvstore.Server.port server)
-    workers serving.descr
+    workers
+    (match net with
+    | Nr_kvstore.Server.Pool -> "pool"
+    | Nr_kvstore.Server.Evloop -> "evloop")
+    serving.descr
     (match endpoints with
     | Some (ep :: _) -> Printf.sprintf ", follower of %s:%d" ep.Repl.host ep.Repl.port
     | _ -> "");
@@ -424,6 +436,25 @@ let () =
   in
   let workers =
     Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"Worker threads.")
+  in
+  let net =
+    Arg.(
+      value & opt string "pool"
+      & info [ "net" ] ~docv:"MODE"
+          ~doc:
+            "Serving mode: $(b,pool) (blocking sockets, one worker-pool job \
+             per connection — concurrency capped at --workers) or \
+             $(b,evloop) (epoll event loop + fibers, request batches \
+             executed on per-node work-stealing run queues — thousands of \
+             concurrent connections).")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "net-nodes" ] ~docv:"N"
+          ~doc:
+            "Evloop only: number of per-node run queues; connections are \
+             pinned round-robin so their batches execute on a home node.")
   in
   let shards =
     Arg.(
@@ -514,7 +545,7 @@ let () =
     Cmd.v
       (Cmd.info "kv-server" ~doc:"NR-backed RESP key-value server")
       Term.(
-        const serve $ port $ workers $ shards $ slowlog_capacity
+        const serve $ port $ workers $ net $ nodes $ shards $ slowlog_capacity
         $ slowlog_threshold_us $ aof_dir $ fsync $ snapshot_every $ follower_of
         $ failover_after $ poll_ms $ connect_timeout_ms $ read_timeout_ms)
   in

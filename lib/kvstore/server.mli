@@ -1,19 +1,48 @@
-(** A RESP-speaking TCP front end for the store.  Connections are served by
-    a worker pool; every parsed command goes through a caller-supplied
-    executor, so the same server runs over an NR-wrapped store, a
-    lock-wrapped one, or a bare one. *)
+(** A RESP-speaking TCP front end for the store, with two serving modes:
+
+    - [Pool]: blocking sockets, one worker-pool job per connection (the
+      paper's §7 thread-pool shape).  Concurrency is capped at the pool
+      size; excess connections are shed with a RESP [BUSY] error.
+    - [Evloop]: an epoll readiness event loop with one lightweight fiber
+      per connection — nonblocking sockets, pipelined RESP parsing and
+      batched reply writes — dispatching parsed request batches to
+      per-node work-stealing run queues drained by [workers] executor
+      domains.  Thousands of concurrent connections per process.
+
+    Every parsed command goes through a caller-supplied executor, so the
+    same server runs over an NR-wrapped store, a lock-wrapped one, or a
+    bare one. *)
 
 type t
+
+type net = Pool | Evloop
+
+type stats = {
+  accept_errors : int;
+      (** transient accept failures survived (EMFILE/ECONNABORTED bursts) *)
+  emfile_backoffs : int;  (** accept pauses forced by fd exhaustion *)
+  ev_conns : int;  (** evloop: connections accepted *)
+  ev_batches : int;  (** evloop: request batches submitted to the scheduler *)
+  ev_requests : int;  (** evloop: pipelined requests executed *)
+}
 
 val create :
   ?obs:Kv_obs.t ->
   ?special:(Command.t -> Command.reply option) ->
+  ?net:net ->
+  ?nodes:int ->
   port:int ->
   workers:int ->
   (Command.t -> Command.reply) ->
   t
-(** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the worker
-    pool.  Does not start accepting; call {!serve}.
+(** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the
+    executors ([net] defaults to [Pool]).  Does not start accepting; call
+    {!serve}.
+
+    In [Evloop] mode, [nodes] (default 1) is the number of per-node run
+    queues; connections are pinned round-robin to a node at accept time
+    so a connection's pipelined batches execute on its home node and feed
+    the NR combiner aligned bursts.
 
     With [obs], every executed command is timed into the observability
     state and the SLOWLOG GET/RESET/LEN commands are answered by the
@@ -23,7 +52,7 @@ val create :
     [special] runs before everything else on each parsed command; a
     [Some reply] answers the command at the serving layer (replication
     SYNC/PSYNC, custom introspection), [None] falls through to the
-    normal path.  It is called from worker threads concurrently. *)
+    normal path.  It is called from worker/executor threads concurrently. *)
 
 val obs : t -> Kv_obs.t option
 
@@ -31,16 +60,42 @@ val port : t -> int
 (** The bound port (useful with [port:0]). *)
 
 val pool_stats : t -> Thread_pool.stats
-(** Worker-pool counters: jobs executed/failed, connections shed.  A
-    connection handed to a saturated pool is refused with a RESP
-    [BUSY] error and closed instead of blocking the accept loop. *)
+(** Worker-pool counters (all zero in [Evloop] mode): jobs
+    executed/failed, connections shed.  A connection handed to a
+    saturated pool is refused with a RESP [BUSY] error and closed
+    instead of blocking the accept loop. *)
+
+val sched_stats : t -> Nr_net.Sched.stats option
+(** Work-stealing scheduler counters ([None] in [Pool] mode). *)
+
+val stats : t -> stats
+(** Front-end counters: accept-error survivals, fd-exhaustion backoffs,
+    and (evloop) connection/batch/request totals. *)
 
 val serve : t -> unit
-(** Accept loop; returns after {!shutdown} is called from another thread. *)
+(** Accept loop (pool) or event loop (evloop); returns after {!shutdown}
+    is called from another thread. *)
 
 val shutdown : t -> unit
 (** Stop accepting, close the listening socket, drain in-flight replies
     (bounded wait), break any lingering connections' blocked reads and
-    join the workers.  Safe with long-lived client connections — e.g. a
-    follower's replication link — which previously deadlocked the join
-    behind their blocked [read]. *)
+    join the executors.  Safe with long-lived client connections — e.g.
+    a follower's replication link.  Idempotent: a second call returns
+    immediately instead of re-joining the executor domains. *)
+
+val write_all :
+  ?write:(Unix.file_descr -> bytes -> int -> int -> int) ->
+  Unix.file_descr ->
+  bytes ->
+  unit
+(** Write the whole buffer: loops over short writes, retries zero-byte
+    returns and EINTR instead of silently truncating the reply, raises on
+    a real error.  [?write] lets tests inject short/zero/EINTR writes.
+    Exposed for the replication layer and the regression tests. *)
+
+val accept_error_policy : Unix.error -> [ `Stop | `Ignore | `Backoff of float ]
+(** How the pool accept loop classifies an [accept] failure: EBADF/EINVAL
+    mean the listening socket is gone ([`Stop]); EMFILE/ENFILE back off
+    briefly so existing connections can finish and free fds; everything
+    else — ECONNABORTED bursts, transient ENOBUFS — is survived.
+    Exposed for the regression tests. *)

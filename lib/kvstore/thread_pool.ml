@@ -16,6 +16,9 @@ type t = {
   nonfull : Condition.t;
   capacity : int;
   mutable closed : bool;
+  mutable joining : bool;  (* a shutdown caller is joining the domains *)
+  mutable joined : bool;  (* the join finished *)
+  all_done : Condition.t;
   mutable workers : unit Domain.t array;
   mutable on_error : exn -> unit;
   (* counters are mutated under [mutex] ([executed]/[failed] by workers,
@@ -68,6 +71,9 @@ let create ?(capacity = 1024) ?(on_error = default_on_error) ~workers () =
       nonfull = Condition.create ();
       capacity;
       closed = false;
+      joining = false;
+      joined = false;
+      all_done = Condition.create ();
       workers = [||];
       on_error;
       executed = 0;
@@ -120,13 +126,30 @@ let stats t =
   Mutex.unlock t.mutex;
   s
 
-(** Close the queue and wait for the workers to drain it. *)
+(** Close the queue and wait for the workers to drain it.  Idempotent and
+    safe from concurrent callers: domains are joined exactly once (a
+    double [Domain.join] raises); the first caller joins, any later or
+    concurrent caller waits for that join to finish and then returns. *)
 let shutdown t =
   Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  (* producers blocked in [submit] on a full queue must fail fast rather
-     than wait for draining workers to happen to signal them *)
-  Condition.broadcast t.nonfull;
-  Mutex.unlock t.mutex;
-  Array.iter Domain.join t.workers
+  if t.joined then Mutex.unlock t.mutex
+  else if t.joining then begin
+    while not t.joined do
+      Condition.wait t.all_done t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    t.joining <- true;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    (* producers blocked in [submit] on a full queue must fail fast rather
+       than wait for draining workers to happen to signal them *)
+    Condition.broadcast t.nonfull;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    Mutex.lock t.mutex;
+    t.joined <- true;
+    Condition.broadcast t.all_done;
+    Mutex.unlock t.mutex
+  end

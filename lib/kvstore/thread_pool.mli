@@ -36,4 +36,7 @@ val stats : t -> stats
 
 val shutdown : t -> unit
 (** Close the queue, drain remaining jobs and join the workers.  Producers
-    blocked in {!submit} are woken and fail fast. *)
+    blocked in {!submit} are woken and fail fast.  Idempotent and safe
+    from concurrent callers: the workers are joined exactly once; a
+    second (or concurrent) call waits for the first to finish and
+    returns normally instead of re-joining the domains. *)

@@ -1,0 +1,26 @@
+(** Chase–Lev work-stealing deque, SPMC flavour: one owner pushes/pops at
+    the bottom, any domain steals FIFO from the top.  Fixed capacity —
+    [push] reports fullness instead of growing. *)
+
+type 'a t
+
+val create : ?size_exp:int -> unit -> 'a t
+(** Ring of [2^size_exp] slots (default 12 → 4096).  Raises
+    [Invalid_argument] outside [1..20]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Owner only.  [false] when the deque is full — nothing is enqueued. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed item (LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest item (FIFO).  May return [None]
+    spuriously when racing other consumers; retry or move on. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the item count (exact when quiescent). *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,99 @@
+/* Minimal epoll bindings for the event loop.  Linux only: elsewhere every
+ * stub reports "unsupported" and the OCaml side falls back to
+ * Unix.select (which caps the loop at FD_SETSIZE descriptors — the
+ * reason these stubs exist at all).
+ *
+ * File descriptors cross the boundary as plain ints: on Unix systems
+ * OCaml's Unix.file_descr is an immediate int, and these stubs are only
+ * ever compiled on Unix systems. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+
+#define NR_MAX_EVENTS 1024
+
+/* -1 on failure: the caller falls back to select. */
+CAMLprim value nr_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_long(epoll_create1(0));
+}
+
+/* op: 0 = add, 1 = mod, 2 = del; events: bit 0 = in, bit 1 = out.
+ * Returns 0 on success, the (positive) errno on failure. */
+CAMLprim value nr_epoll_ctl(value epfd, value op, value fd, value events)
+{
+  struct epoll_event ev;
+  int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  ev.events = 0;
+  if (Long_val(events) & 1) ev.events |= EPOLLIN;
+  if (Long_val(events) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(fd);
+  if (epoll_ctl(Int_val(epfd), ops[Long_val(op)], Int_val(fd), &ev) == -1)
+    return Val_long(errno);
+  return Val_long(0);
+}
+
+/* Fills out_fds with ready descriptors (error/hangup conditions count as
+ * ready: the subsequent read/write surfaces the failure).  Returns the
+ * count, 0 on timeout, -1 on EINTR.  Releases the runtime lock around
+ * the wait so executor domains keep running. */
+CAMLprim value nr_epoll_wait(value epfd, value timeout_ms, value out_fds)
+{
+  CAMLparam3(epfd, timeout_ms, out_fds);
+  static __thread struct epoll_event evs[NR_MAX_EVENTS];
+  int max = Wosize_val(out_fds);
+  int n, i;
+  if (max > NR_MAX_EVENTS) max = NR_MAX_EVENTS;
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(epfd), evs, max, Int_val(timeout_ms));
+  caml_acquire_runtime_system();
+  if (n == -1)
+    CAMLreturn(errno == EINTR ? Val_long(-1) : Val_long(-2));
+  for (i = 0; i < n; i++)
+    Field(out_fds, i) = Val_long(evs[i].data.fd);
+  CAMLreturn(Val_long(n));
+}
+
+CAMLprim value nr_epoll_close(value epfd)
+{
+  close(Int_val(epfd));
+  return Val_unit;
+}
+
+#else /* not __linux__ */
+
+CAMLprim value nr_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_long(-1);
+}
+
+CAMLprim value nr_epoll_ctl(value epfd, value op, value fd, value events)
+{
+  (void)epfd; (void)op; (void)fd; (void)events;
+  return Val_long(-1);
+}
+
+CAMLprim value nr_epoll_wait(value epfd, value timeout_ms, value out_fds)
+{
+  (void)epfd; (void)timeout_ms; (void)out_fds;
+  return Val_long(-2);
+}
+
+CAMLprim value nr_epoll_close(value epfd)
+{
+  (void)epfd;
+  return Val_unit;
+}
+
+#endif

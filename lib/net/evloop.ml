@@ -1,0 +1,366 @@
+(* The event loop: an epoll/select readiness reactor running lightweight
+   fibers over OCaml effects.  One OS thread (whoever calls [run]) owns
+   the loop; each accepted connection becomes a fiber whose blocking
+   points — socket readable, socket writable, a promise fulfilled by an
+   executor domain — are effects.  The handler captures the continuation,
+   parks it against the fd (or inside the promise) and returns to the
+   loop, so a suspended connection costs two buffers and a continuation,
+   not an OS thread: tens of thousands of connections fit in one loop.
+
+   Cross-domain wakeups (promise fulfilment from a scheduler worker, and
+   [stop] from anywhere) go through a mutex-protected ready list plus a
+   self-pipe byte, the classic trick to interrupt a sleeping poller.
+
+   Discipline inherited from the effects machinery: an effect handler
+   must never [continue] a continuation inside [effc] — that would nest
+   fiber frames on the handler stack.  Every resumption is queued as a
+   thunk and run from the flat loop in [run]. *)
+
+type 'a pstate =
+  | Empty
+  | Full of 'a
+  | Waiting of ('a -> unit)  (* resumes the parked fiber via the loop *)
+
+type 'a promise = { pm : Mutex.t; mutable pst : 'a pstate }
+
+type _ Effect.t +=
+  | Wait_read : Unix.file_descr -> unit Effect.t
+  | Wait_write : Unix.file_descr -> unit Effect.t
+  | Wait_promise : 'a promise -> 'a Effect.t
+
+type stats = {
+  accepted : int;  (** connections accepted over the loop's lifetime *)
+  cur_conns : int;
+  peak_conns : int;
+  accept_errors : int;  (** transient accept failures (EMFILE bursts &c.) *)
+  emfile_backoffs : int;  (** accept pauses forced by fd exhaustion *)
+}
+
+type t = {
+  poller : Poller.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  wake_m : Mutex.t;
+  mutable wake_armed : bool;  (* collapse bursts into one pipe byte *)
+  ext_m : Mutex.t;
+  mutable ext_ready : (unit -> unit) list;  (* cross-domain resumptions *)
+  runnable : (unit -> unit) Queue.t;  (* loop-local resumptions *)
+  waiting_read : (Unix.file_descr, (unit, unit) Effect.Deep.continuation) Hashtbl.t;
+  waiting_write : (Unix.file_descr, (unit, unit) Effect.Deep.continuation) Hashtbl.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  stopping : bool Atomic.t;
+  running : bool Atomic.t;
+  finished : bool Atomic.t;
+  mutable loop_thread : int;  (* Thread.id of the [run] caller *)
+  (* accept backoff after fd exhaustion *)
+  mutable accept_paused_until : float;
+  mutable accepted_n : int;
+  mutable accept_errors_n : int;
+  mutable emfile_backoffs_n : int;
+  mutable peak_conns_n : int;
+}
+
+let create () =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    poller = Poller.create ();
+    wake_r;
+    wake_w;
+    wake_m = Mutex.create ();
+    wake_armed = false;
+    ext_m = Mutex.create ();
+    ext_ready = [];
+    runnable = Queue.create ();
+    waiting_read = Hashtbl.create 64;
+    waiting_write = Hashtbl.create 16;
+    conns = Hashtbl.create 64;
+    stopping = Atomic.make false;
+    running = Atomic.make false;
+    finished = Atomic.make false;
+    loop_thread = -1;
+    accept_paused_until = 0.0;
+    accepted_n = 0;
+    accept_errors_n = 0;
+    emfile_backoffs_n = 0;
+    peak_conns_n = 0;
+  }
+
+let backend t = Poller.backend t.poller
+
+let stats t =
+  {
+    accepted = t.accepted_n;
+    cur_conns = Hashtbl.length t.conns;
+    peak_conns = t.peak_conns_n;
+    accept_errors = t.accept_errors_n;
+    emfile_backoffs = t.emfile_backoffs_n;
+  }
+
+let wake t =
+  Mutex.lock t.wake_m;
+  let need = not t.wake_armed in
+  if need then t.wake_armed <- true;
+  Mutex.unlock t.wake_m;
+  if need then
+    (* EAGAIN (pipe full: a wake is already pending) and EBADF (the loop
+       already tore the pipe down) both mean "no wake needed" *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* --- promises ------------------------------------------------------- *)
+
+let promise () = { pm = Mutex.create (); pst = Empty }
+
+let fulfill t p v =
+  Mutex.lock p.pm;
+  match p.pst with
+  | Empty ->
+      p.pst <- Full v;
+      Mutex.unlock p.pm
+  | Waiting resume ->
+      p.pst <- Full v;
+      Mutex.unlock p.pm;
+      Mutex.lock t.ext_m;
+      t.ext_ready <- (fun () -> resume v) :: t.ext_ready;
+      Mutex.unlock t.ext_m;
+      wake t
+  | Full _ ->
+      Mutex.unlock p.pm;
+      invalid_arg "Evloop.fulfill: promise already fulfilled"
+
+(* --- fiber-side operations ------------------------------------------ *)
+
+let await p = Effect.perform (Wait_promise p)
+let wait_readable fd = Effect.perform (Wait_read fd)
+let wait_writable fd = Effect.perform (Wait_write fd)
+
+let rec read fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      wait_readable fd;
+      read fd buf pos len
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | 0 ->
+          (* no forward progress without blocking: wait for the socket *)
+          wait_writable fd;
+          go off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait_writable fd;
+          go off
+  in
+  go 0
+
+(* --- the loop ------------------------------------------------------- *)
+
+let enqueue t thunk = Queue.push thunk t.runnable
+
+(* Spawn [f] as a fiber.  Effects park the continuation and return to the
+   loop; resumption thunks re-enter through [continue], which runs the
+   fiber up to its next suspension point and then returns here. *)
+let spawn t (f : unit -> unit) =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          (* fiber bodies do their own cleanup via Fun.protect; anything
+             escaping here is a handler bug worth hearing about *)
+          Printf.eprintf "evloop: fiber raised %s\n%!" (Printexc.to_string e));
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Wait_read fd ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  Hashtbl.replace t.waiting_read fd k;
+                  Poller.add t.poller fd { Poller.read = true; write = false })
+          | Wait_write fd ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  Hashtbl.replace t.waiting_write fd k;
+                  Poller.add t.poller fd { Poller.read = false; write = true })
+          | Wait_promise p ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  Mutex.lock p.pm;
+                  match p.pst with
+                  | Full v ->
+                      Mutex.unlock p.pm;
+                      enqueue t (fun () -> continue k v)
+                  | Empty ->
+                      p.pst <- Waiting (fun v -> continue k v);
+                      Mutex.unlock p.pm
+                  | Waiting _ ->
+                      Mutex.unlock p.pm;
+                      invalid_arg "Evloop: promise awaited twice")
+          | _ -> None);
+    }
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let dispatch t fd =
+  (match Hashtbl.find_opt t.waiting_read fd with
+  | Some k ->
+      Hashtbl.remove t.waiting_read fd;
+      Poller.del t.poller fd;
+      enqueue t (fun () -> Effect.Deep.continue k ())
+  | None -> ());
+  match Hashtbl.find_opt t.waiting_write fd with
+  | Some k ->
+      Hashtbl.remove t.waiting_write fd;
+      Poller.del t.poller fd;
+      enqueue t (fun () -> Effect.Deep.continue k ())
+  | None -> ()
+
+let accept_burst t ~listen ~handler =
+  let continue_accepting = ref true in
+  while !continue_accepting do
+    match Unix.accept listen with
+    | client, _ ->
+        Unix.set_nonblock client;
+        (try Unix.setsockopt client Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        t.accepted_n <- t.accepted_n + 1;
+        Hashtbl.replace t.conns client ();
+        if Hashtbl.length t.conns > t.peak_conns_n then
+          t.peak_conns_n <- Hashtbl.length t.conns;
+        spawn t (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                Hashtbl.remove t.conns client;
+                Poller.del t.poller client;
+                close_quietly client)
+              (fun () ->
+                try handler client
+                with Unix.Unix_error _ | End_of_file -> ()))
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue_accepting := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* out of descriptors: pause accepting so live connections can
+           make progress and free some, instead of spinning on accept *)
+        t.accept_errors_n <- t.accept_errors_n + 1;
+        t.emfile_backoffs_n <- t.emfile_backoffs_n + 1;
+        t.accept_paused_until <- Unix.gettimeofday () +. 0.05;
+        Poller.del t.poller listen;
+        continue_accepting := false
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listening socket gone: shutting down *)
+        Atomic.set t.stopping true;
+        continue_accepting := false
+    | exception Unix.Unix_error (_, _, _) ->
+        (* ECONNABORTED and friends: the would-be client is gone; count
+           it and keep accepting *)
+        t.accept_errors_n <- t.accept_errors_n + 1
+  done
+
+let stop t =
+  Atomic.set t.stopping true;
+  wake t;
+  (* wait for the loop to wind down — unless we ARE the loop thread (a
+     handler asking to stop), which would deadlock *)
+  if Atomic.get t.running && Thread.id (Thread.self ()) <> t.loop_thread then begin
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while (not (Atomic.get t.finished)) && Unix.gettimeofday () < deadline do
+      wake t;
+      Thread.yield ()
+    done
+  end
+
+let run t ~listen ~handler =
+  t.loop_thread <- Thread.id (Thread.self ());
+  Atomic.set t.running true;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Unix.set_nonblock listen;
+  Poller.add t.poller listen { Poller.read = true; write = false };
+  Poller.add t.poller t.wake_r { Poller.read = true; write = false };
+  let listen_parked = ref false in
+  let drain_deadline = ref 0.0 in
+  let finished = ref false in
+  while not !finished do
+    (* 1. imported cross-domain resumptions, oldest first *)
+    Mutex.lock t.ext_m;
+    let ext = List.rev t.ext_ready in
+    t.ext_ready <- [];
+    Mutex.unlock t.ext_m;
+    List.iter (fun f -> f ()) ext;
+    (* 2. loop-local resumptions (each may enqueue more) *)
+    while not (Queue.is_empty t.runnable) do
+      (Queue.pop t.runnable) ()
+    done;
+    (* 3. arm/park the accept gate *)
+    let now = Unix.gettimeofday () in
+    if Atomic.get t.stopping then begin
+      if not !listen_parked then begin
+        listen_parked := true;
+        Poller.del t.poller listen;
+        close_quietly listen;
+        (* break every connection's pending read/write so its fiber
+           finishes; fibers awaiting promises finish via fulfil *)
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.conns;
+        drain_deadline := now +. 2.0
+      end
+    end
+    else if !listen_parked && now >= t.accept_paused_until then begin
+      listen_parked := false;
+      Poller.add t.poller listen { Poller.read = true; write = false }
+    end
+    else if (not !listen_parked) && t.accept_paused_until > now then begin
+      listen_parked := true;
+      Poller.del t.poller listen
+    end;
+    (* 4. exit test: stopped, every fiber done (or drain expired) *)
+    if
+      Atomic.get t.stopping
+      && (Hashtbl.length t.conns = 0 || now > !drain_deadline)
+      && Queue.is_empty t.runnable
+    then finished := true
+    else begin
+      (* 5. sleep until readiness or a cross-domain wake *)
+      let timeout_ms = if Atomic.get t.stopping then 20 else 50 in
+      let ready = Poller.wait t.poller ~timeout_ms in
+      Mutex.lock t.wake_m;
+      t.wake_armed <- false;
+      Mutex.unlock t.wake_m;
+      List.iter
+        (fun fd ->
+          if fd = t.wake_r then begin
+            let b = Bytes.create 64 in
+            try
+              while Unix.read t.wake_r b 0 64 > 0 do
+                ()
+              done
+            with Unix.Unix_error _ -> ()
+          end
+          else if fd = listen then accept_burst t ~listen ~handler
+          else dispatch t fd)
+        ready
+    end
+  done;
+  (* orphaned continuations (conns that outlived the drain window) are
+     dropped; their sockets close here *)
+  Hashtbl.iter (fun fd () -> close_quietly fd) t.conns;
+  Hashtbl.reset t.conns;
+  Hashtbl.reset t.waiting_read;
+  Hashtbl.reset t.waiting_write;
+  Poller.close t.poller;
+  close_quietly t.wake_r;
+  close_quietly t.wake_w;
+  Atomic.set t.finished true

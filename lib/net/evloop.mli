@@ -1,0 +1,67 @@
+(** An epoll/select readiness event loop running lightweight fibers over
+    OCaml effects.  One thread calls {!run}; each accepted connection
+    becomes a fiber whose blocking points (readable, writable, promise
+    fulfilled) suspend the fiber and return to the loop, so a parked
+    connection costs a continuation, not an OS thread.
+
+    The fiber-side operations ({!read}, {!write_all}, {!await}) may only
+    be called from inside a handler fiber — they perform effects the loop
+    interprets.  {!fulfill} and {!stop} are thread-safe and may be called
+    from any domain. *)
+
+type t
+
+type 'a promise
+
+type stats = {
+  accepted : int;  (** connections accepted over the loop's lifetime *)
+  cur_conns : int;
+  peak_conns : int;
+  accept_errors : int;  (** transient accept failures (EMFILE bursts &c.) *)
+  emfile_backoffs : int;  (** accept pauses forced by fd exhaustion *)
+}
+
+val create : unit -> t
+
+val backend : t -> Poller.backend
+(** [Epoll] on Linux; [Select] fallback caps the loop near 1024 fds. *)
+
+val run : t -> listen:Unix.file_descr -> handler:(Unix.file_descr -> unit) -> unit
+(** Accept connections on [listen] (made nonblocking) and run [handler]
+    as a fiber per connection; the client fd is nonblocking and is closed
+    by the loop when the handler returns or raises.  Returns after
+    {!stop}: accepting ceases, open connections are shut down so their
+    pending reads see EOF, and the loop drains remaining fibers (bounded).
+    Ignores SIGPIPE process-wide (dead peers surface as EPIPE). *)
+
+val stop : t -> unit
+(** Ask the loop to wind down; blocks (bounded) until {!run} returns when
+    called from another thread.  Callable from any domain, including a
+    handler fiber's executor. *)
+
+(** {2 Fiber-side operations} *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** Like [Unix.read], suspending the fiber instead of blocking; retries
+    EINTR.  [0] means EOF. *)
+
+val write_all : Unix.file_descr -> bytes -> unit
+(** Write the whole buffer, suspending on a full socket, retrying EINTR
+    and zero-length progress; raises on a dead peer. *)
+
+val wait_readable : Unix.file_descr -> unit
+val wait_writable : Unix.file_descr -> unit
+
+val await : 'a promise -> 'a
+(** Suspend until the promise is fulfilled.  Each promise may be awaited
+    at most once. *)
+
+(** {2 Cross-domain operations} *)
+
+val promise : unit -> 'a promise
+
+val fulfill : t -> 'a promise -> 'a -> unit
+(** Fulfil from any domain; resumes the awaiting fiber via the loop.
+    Raises [Invalid_argument] on a double fulfil. *)
+
+val stats : t -> stats

@@ -1,0 +1,100 @@
+(* Readiness notification behind one interface: epoll(7) where the C stub
+   reports support (Linux), Unix.select elsewhere.  select caps the loop
+   at FD_SETSIZE (1024) descriptors, which is exactly what the epoll
+   backend exists to lift; [backend] lets callers size tests accordingly.
+
+   Interests are level-triggered and persistent until [del].  An fd has
+   one interest set at a time ([add] replaces).  Error/hangup conditions
+   surface as readiness — the next read/write on the fd reports the
+   failure, which is how the event loop learns about dead peers. *)
+
+external epoll_create : unit -> int = "nr_epoll_create"
+external epoll_ctl : int -> int -> int -> int -> int = "nr_epoll_ctl"
+external epoll_wait_raw : int -> int -> int array -> int = "nr_epoll_wait"
+external epoll_close : int -> unit = "nr_epoll_close"
+
+(* On Unix, Unix.file_descr is represented as an int. *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+type interest = { read : bool; write : bool }
+
+type backend = Epoll | Select
+
+type t = {
+  backend : backend;
+  epfd : int;  (* epoll only *)
+  out_fds : int array;  (* epoll only: preallocated result buffer *)
+  interests : (Unix.file_descr, interest) Hashtbl.t;
+      (* select: the wait sets; epoll: mirrors kernel state for add/del
+         bookkeeping (whether to ADD or MOD) *)
+}
+
+let create () =
+  let epfd = epoll_create () in
+  let backend = if epfd >= 0 then Epoll else Select in
+  {
+    backend;
+    epfd;
+    out_fds = Array.make 1024 0;
+    interests = Hashtbl.create 64;
+  }
+
+let backend t = t.backend
+
+let mask i = (if i.read then 1 else 0) lor if i.write then 2 else 0
+
+let add t fd i =
+  if not (i.read || i.write) then invalid_arg "Poller.add: empty interest";
+  let known = Hashtbl.mem t.interests fd in
+  Hashtbl.replace t.interests fd i;
+  match t.backend with
+  | Select -> ()
+  | Epoll ->
+      let op = if known then 1 else 0 in
+      let rc = epoll_ctl t.epfd op (int_of_fd fd) (mask i) in
+      if rc <> 0 then begin
+        (* reconcile a stale mirror: retry with the other op once *)
+        let rc2 = epoll_ctl t.epfd (1 - op) (int_of_fd fd) (mask i) in
+        if rc2 <> 0 then
+          failwith (Printf.sprintf "Poller.add: epoll_ctl errno %d" rc2)
+      end
+
+let del t fd =
+  if Hashtbl.mem t.interests fd then begin
+    Hashtbl.remove t.interests fd;
+    match t.backend with
+    | Select -> ()
+    | Epoll ->
+        (* the fd may already be closed (kernel auto-deregisters); any
+           error here is benign *)
+        ignore (epoll_ctl t.epfd 2 (int_of_fd fd) 0)
+  end
+
+let wait t ~timeout_ms =
+  match t.backend with
+  | Epoll -> (
+      match epoll_wait_raw t.epfd timeout_ms t.out_fds with
+      | -1 -> [] (* EINTR: let the caller's loop come around again *)
+      | -2 -> failwith "Poller.wait: epoll_wait failed"
+      | n ->
+          let rec collect i acc =
+            if i < 0 then acc
+            else collect (i - 1) (fd_of_int t.out_fds.(i) :: acc)
+          in
+          collect (n - 1) [])
+  | Select -> (
+      let rd, wr =
+        Hashtbl.fold
+          (fun fd i (rd, wr) ->
+            ((if i.read then fd :: rd else rd),
+             if i.write then fd :: wr else wr))
+          t.interests ([], [])
+      in
+      match Unix.select rd wr [] (float_of_int timeout_ms /. 1000.) with
+      | r, w, _ -> List.sort_uniq compare (r @ w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> [])
+
+let close t =
+  Hashtbl.reset t.interests;
+  match t.backend with Epoll -> epoll_close t.epfd | Select -> ()

@@ -1,0 +1,25 @@
+(** Level-triggered readiness notification: epoll(7) on Linux, a
+    [Unix.select] fallback elsewhere (capped at FD_SETSIZE descriptors —
+    size many-connection work by {!backend}). *)
+
+type t
+
+type interest = { read : bool; write : bool }
+
+type backend = Epoll | Select
+
+val create : unit -> t
+val backend : t -> backend
+
+val add : t -> Unix.file_descr -> interest -> unit
+(** Register (or replace) the interest set for [fd].  Persistent until
+    {!del}.  Raises [Invalid_argument] on an empty interest. *)
+
+val del : t -> Unix.file_descr -> unit
+(** Forget [fd].  Safe if the fd was never added or is already closed. *)
+
+val wait : t -> timeout_ms:int -> Unix.file_descr list
+(** Descriptors with at least one ready (or error/hangup) condition.
+    [[]] on timeout or EINTR. *)
+
+val close : t -> unit

@@ -1,0 +1,196 @@
+(* Per-node work-stealing request scheduler.  One Chase–Lev deque per
+   NUMA node, fed by a single producer (the event loop) and drained by
+   [domains] executor domains.  A worker prefers its home node's queue
+   (FIFO steals keep request order roughly arrival order) and steals from
+   the other nodes when home is dry, probing victims in a seeded
+   per-worker order so the steal schedule is reproducible: the same seed
+   yields the same victim rotation, which the determinism test pins.
+
+   Parking: a worker that finds every queue empty for a few rounds sleeps
+   on a condition variable.  [submit] bumps the atomic queued count
+   before signalling under the same mutex the sleeper checks it under, so
+   wakeups are never lost.  Shutdown drains: workers exit only once
+   stopping is set AND the queues are empty, so every accepted job runs. *)
+
+type stats = {
+  executed : int;  (** jobs run to completion (or raised) *)
+  failed : int;  (** jobs that raised *)
+  stolen : int;  (** jobs taken from a non-home node's queue *)
+}
+
+type t = {
+  queues : (unit -> unit) Deque.t array;  (* one per node *)
+  submit_mutex : Mutex.t;  (* serializes producers; uncontended in the server *)
+  nodes : int;
+  m : Mutex.t;
+  work : Condition.t;
+  done_c : Condition.t;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable joining : bool;
+  mutable workers : unit Domain.t array;
+  mutable started : bool;
+  seed : int;
+  queued : int Atomic.t;
+  executed_n : int Atomic.t;
+  failed_n : int Atomic.t;
+  stolen_n : int Atomic.t;
+}
+
+(* splitmix-style mix: cheap, stateless, good enough to decorrelate the
+   per-worker victim rotations *)
+let mix x =
+  (* splitmix64 constants, wrapped into OCaml's 63-bit int *)
+  let x = x * 0x1E3779B97F4A7C15 in
+  let x = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let x = (x lxor (x lsr 27)) * 0x14D049BB133111EB in
+  x lxor (x lsr 31)
+
+let worker t i () =
+  Mutex.lock t.m;
+  while not t.started do
+    Condition.wait t.work t.m
+  done;
+  Mutex.unlock t.m;
+  let home = i mod t.nodes in
+  let rng = ref (mix (t.seed + (i * 7919) + 1)) in
+  let next_rand () =
+    rng := mix !rng;
+    !rng land max_int
+  in
+  let try_take () =
+    match Deque.steal t.queues.(home) with
+    | Some _ as j -> j
+    | None ->
+        if t.nodes = 1 then None
+        else begin
+          (* probe the other nodes starting at a seeded offset *)
+          let start = next_rand () mod t.nodes in
+          let rec probe k =
+            if k = t.nodes then None
+            else
+              let v = (start + k) mod t.nodes in
+              if v = home then probe (k + 1)
+              else
+                match Deque.steal t.queues.(v) with
+                | Some _ as j ->
+                    Atomic.incr t.stolen_n;
+                    j
+                | None -> probe (k + 1)
+          in
+          probe 0
+        end
+  in
+  let run job =
+    Atomic.decr t.queued;
+    (match job () with
+    | () -> ()
+    | exception _ -> Atomic.incr t.failed_n);
+    Atomic.incr t.executed_n
+  in
+  let rec loop spins =
+    match try_take () with
+    | Some job ->
+        run job;
+        loop 0
+    | None ->
+        if spins < 64 then begin
+          Domain.cpu_relax ();
+          loop (spins + 1)
+        end
+        else begin
+          Mutex.lock t.m;
+          (* recheck under the lock: submit signals under it after the
+             queued bump, so a sleep here cannot miss new work *)
+          if Atomic.get t.queued = 0 && not t.stopping then
+            Condition.wait t.work t.m;
+          let stop_now = t.stopping && Atomic.get t.queued = 0 in
+          Mutex.unlock t.m;
+          if not stop_now then loop 0
+        end
+  in
+  loop 0
+
+let create ?(seed = 0) ?(queue_size_exp = 13) ?(autostart = true) ~domains
+    ~nodes () =
+  if domains <= 0 then invalid_arg "Sched.create: domains must be > 0";
+  if nodes <= 0 then invalid_arg "Sched.create: nodes must be > 0";
+  let t =
+    {
+      queues = Array.init nodes (fun _ -> Deque.create ~size_exp:queue_size_exp ());
+      submit_mutex = Mutex.create ();
+      nodes;
+      m = Mutex.create ();
+      work = Condition.create ();
+      done_c = Condition.create ();
+      stopping = false;
+      joined = false;
+      joining = false;
+      workers = [||];
+      started = autostart;
+      seed;
+      queued = Atomic.make 0;
+      executed_n = Atomic.make 0;
+      failed_n = Atomic.make 0;
+      stolen_n = Atomic.make 0;
+    }
+  in
+  t.workers <- Array.init domains (fun i -> Domain.spawn (worker t i));
+  t
+
+let start t =
+  Mutex.lock t.m;
+  t.started <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m
+
+let nodes t = t.nodes
+
+let submit t ~node job =
+  if t.stopping then invalid_arg "Sched.submit: scheduler is shut down";
+  let q = t.queues.(((node mod t.nodes) + t.nodes) mod t.nodes) in
+  Mutex.lock t.submit_mutex;
+  (* a full run queue means the executors are saturated; throttling the
+     producer here is the backpressure *)
+  while not (Deque.push q job) do
+    Domain.cpu_relax ()
+  done;
+  Mutex.unlock t.submit_mutex;
+  Atomic.incr t.queued;
+  Mutex.lock t.m;
+  Condition.signal t.work;
+  Mutex.unlock t.m
+
+let backlog t = Atomic.get t.queued
+
+let stats t =
+  {
+    executed = Atomic.get t.executed_n;
+    failed = Atomic.get t.failed_n;
+    stolen = Atomic.get t.stolen_n;
+  }
+
+(* Idempotent and safe from concurrent callers: the first caller joins,
+   later callers wait for it to finish. *)
+let shutdown t =
+  Mutex.lock t.m;
+  if t.joined then Mutex.unlock t.m
+  else if t.joining then begin
+    while not t.joined do
+      Condition.wait t.done_c t.m
+    done;
+    Mutex.unlock t.m
+  end
+  else begin
+    t.joining <- true;
+    t.stopping <- true;
+    t.started <- true;
+    (* unstarted workers must run to drain and exit *)
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    Mutex.lock t.m;
+    t.joined <- true;
+    Condition.broadcast t.done_c;
+    Mutex.unlock t.m
+  end

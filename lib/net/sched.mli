@@ -1,0 +1,49 @@
+(** Per-node work-stealing request scheduler: one Chase–Lev run queue per
+    NUMA node fed by a single producer (the event loop), drained by a
+    fixed set of executor domains that prefer their home node's queue and
+    steal from the others in a seeded, reproducible victim order. *)
+
+type t
+
+type stats = {
+  executed : int;  (** jobs run to completion (or raised) *)
+  failed : int;  (** jobs that raised *)
+  stolen : int;  (** jobs taken from a non-home node's queue *)
+}
+
+val create :
+  ?seed:int ->
+  ?queue_size_exp:int ->
+  ?autostart:bool ->
+  domains:int ->
+  nodes:int ->
+  unit ->
+  t
+(** Spawn [domains] executor domains over [nodes] run queues of
+    [2^queue_size_exp] slots each (default 8192).  Worker [i]'s home node
+    is [i mod nodes].  [seed] fixes every worker's steal-victim rotation.
+    With [~autostart:false] the workers park until {!start} — submissions
+    queue up meanwhile, which is how the determinism test pins a steal
+    schedule. *)
+
+val start : t -> unit
+(** Release workers parked by [~autostart:false].  Idempotent. *)
+
+val submit : t -> node:int -> (unit -> unit) -> unit
+(** Enqueue a job on [node]'s run queue (wrapped into range).  Blocks
+    (spinning) only when that queue is full — the executors are
+    saturated and this is the backpressure.  Raises [Invalid_argument]
+    after {!shutdown} has begun.  A job that raises is counted in
+    {!stats} and never kills its worker. *)
+
+val nodes : t -> int
+
+val backlog : t -> int
+(** Jobs submitted but not yet started (racy snapshot). *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Drain every queue, then join the workers.  Idempotent and safe from
+    concurrent callers: the first joins, the rest wait for it.  Do not
+    race {!submit} against {!shutdown} — stop the producer first. *)

@@ -161,13 +161,20 @@ let connect ?connect_timeout_ms ?read_timeout_ms ~host ~port () =
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* Same contract as [Server.write_all]: retry zero-byte returns (the old
+   code spun forever at the same offset) and EINTR instead of dropping
+   the link; real errors raise to the caller. *)
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let len = Bytes.length b in
   let rec go off =
     if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
+      match Unix.write fd b off (len - off) with
+      | 0 ->
+          Thread.yield ();
+          go off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
