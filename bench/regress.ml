@@ -425,6 +425,115 @@ let run_server_mode ~net ~mode_name ~conns ~pings ~workers =
     sv_p99_us = p99;
   }
 
+(* Open-loop phase: arrivals are clock-driven, not reply-driven.  A
+   closed-loop client (like the latency phase above) can never overload
+   the server — it waits for each reply before sending again, so measured
+   throughput saturates at capacity and says nothing about behavior past
+   it.  Here requests arrive at a fixed offered rate across a handful of
+   pipelined connections regardless of how fast replies come back; when
+   the server falls behind, TCP backpressure pushes EAGAIN into the
+   sender and those arrivals are counted as shed.  Goodput is replies
+   completed within the measurement window — the number that should stay
+   near capacity (not collapse) when offered load exceeds it. *)
+
+type open_point = {
+  ol_mode : string;
+  ol_rate : int;  (** offered arrivals per second *)
+  ol_offered : int;
+  ol_sent : int;
+  ol_replies : int;
+  ol_goodput_per_s : float;
+}
+
+let run_open_loop ~net ~mode_name ~rate ~duration_s ~conns ~workers =
+  let store = Nr_kvstore.Store.create () in
+  let m = Mutex.create () in
+  let exec cmd =
+    Mutex.lock m;
+    let r = Nr_kvstore.Store.execute store cmd in
+    Mutex.unlock m;
+    r
+  in
+  let server = Nr_kvstore.Server.create ~net ~port:0 ~workers exec in
+  let port = Nr_kvstore.Server.port server in
+  let serve_thread =
+    Thread.create (fun () -> Nr_kvstore.Server.serve server) ()
+  in
+  Thread.delay 0.05;
+  let socks =
+    Array.init conns (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.set_nonblock s;
+        s)
+  in
+  let ping = "PING\r\n" in
+  let plen = String.length ping in
+  (* replies are uniform "+PONG\r\n": counting is byte arithmetic *)
+  let rlen = 7 in
+  let reply_bytes = Array.make conns 0 in
+  let rbuf = Bytes.create 65536 in
+  let drain i =
+    let rec go () =
+      match Unix.read socks.(i) rbuf 0 (Bytes.length rbuf) with
+      | 0 -> ()
+      | k ->
+          reply_bytes.(i) <- reply_bytes.(i) + k;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+    in
+    go ()
+  in
+  let offered = ref 0 and sent = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration_s in
+  let next = ref 0 in
+  let now = ref t0 in
+  while !now < deadline do
+    (* arrivals owed by the clock, delivered in bounded bursts *)
+    let due =
+      let target = int_of_float ((!now -. t0) *. float_of_int rate) in
+      min (target - !offered) 256
+    in
+    if due > 0 then begin
+      offered := !offered + due;
+      let batch = Bytes.of_string (String.concat "" (List.init due (fun _ -> ping))) in
+      let i = !next in
+      next := (!next + 1) mod conns;
+      (match Unix.write socks.(i) batch 0 (Bytes.length batch) with
+      | k -> sent := !sent + (k / plen)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* the pipe is full: this burst is shed, not queued *)
+          ())
+    end;
+    for i = 0 to conns - 1 do
+      drain i
+    done;
+    if due <= 0 then Thread.delay 0.0002;
+    now := Unix.gettimeofday ()
+  done;
+  (* short grace: replies to requests sent inside the window still count *)
+  let grace = Unix.gettimeofday () +. 0.2 in
+  while Unix.gettimeofday () < grace do
+    for i = 0 to conns - 1 do
+      drain i
+    done;
+    Thread.delay 0.002
+  done;
+  Array.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) socks;
+  Nr_kvstore.Server.shutdown server;
+  Thread.join serve_thread;
+  let replies = Array.fold_left (fun a b -> a + (b / rlen)) 0 reply_bytes in
+  {
+    ol_mode = mode_name;
+    ol_rate = rate;
+    ol_offered = !offered;
+    ol_sent = !sent;
+    ol_replies = replies;
+    ol_goodput_per_s = float_of_int replies /. duration_s;
+  }
+
 let run_server_sweep scale =
   (* connection counts sized to the poller: the select fallback caps the
      loop below FD_SETSIZE *)
@@ -451,8 +560,21 @@ let run_server_sweep scale =
         ~pings ~workers;
     ]
   in
+  (* overload point: offer well past single-mutex-store capacity and see
+     what each front end actually completes *)
+  let rate, duration_s =
+    if scale.scale_name = "quick" then (100_000, 0.4) else (250_000, 0.8)
+  in
+  let open_points =
+    [
+      run_open_loop ~net:Nr_kvstore.Server.Pool ~mode_name:"pool" ~rate
+        ~duration_s ~conns:4 ~workers;
+      run_open_loop ~net:Nr_kvstore.Server.Evloop ~mode_name:"evloop" ~rate
+        ~duration_s ~conns:4 ~workers;
+    ]
+  in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-  (wall_ms, points)
+  (wall_ms, points, open_points)
 
 (* --- domains micro-benchmarks ------------------------------------- *)
 
@@ -555,11 +677,11 @@ let read_file path =
 
 let emit ~out ~scale ~wall_ms ~points ~read_wall_ms ~read_points
     ~shard_wall_ms ~shard_points ~durable_wall_ms ~durable_points
-    ~server_wall_ms ~server_points ~micros =
+    ~server_wall_ms ~server_points ~open_points ~micros =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"nr-regress/5\",\n";
+  add "  \"schema\": \"nr-regress/6\",\n";
   add "  \"scale\": %S,\n" scale.scale_name;
   add "  \"sim_sweep\": {\n";
   add
@@ -643,6 +765,18 @@ let emit ~out ~scale ~wall_ms ~points ~read_wall_ms ~read_points
         p.sv_pings p.sv_p50_us p.sv_p99_us
         (if i = List.length server_points - 1 then "" else ","))
     server_points;
+  add "    ],\n";
+  add
+    "    \"open_loop\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"mode\": %S, \"offered_per_s\": %d, \"offered\": %d, \
+         \"sent\": %d, \"replies\": %d, \"goodput_per_s\": %.0f}%s\n"
+        p.ol_mode p.ol_rate p.ol_offered p.ol_sent p.ol_replies
+        p.ol_goodput_per_s
+        (if i = List.length open_points - 1 then "" else ","))
+    open_points;
   add "    ]\n";
   add "  },\n";
   add "  \"domains_micro\": [\n";
@@ -703,7 +837,7 @@ let () =
       Format.printf "  %-12s %8.4f ops/us  (%d ops, %d fsyncs)@." p.dp_policy
         p.dp_ops_per_us p.dp_ops p.dp_fsyncs)
     durable_points;
-  let server_wall_ms, server_points = run_server_sweep scale in
+  let server_wall_ms, server_points, open_points = run_server_sweep scale in
   Format.printf "server sweep: %.1f ms wall@." server_wall_ms;
   List.iter
     (fun p ->
@@ -712,6 +846,14 @@ let () =
         p.sv_mode p.sv_workers p.sv_conns_sustained p.sv_conns_attempted
         p.sv_p50_us p.sv_p99_us)
     server_points;
+  List.iter
+    (fun p ->
+      Format.printf
+        "  %-7s open-loop @%d/s  offered %d  sent %d  replies %d  goodput \
+         %.0f/s@."
+        p.ol_mode p.ol_rate p.ol_offered p.ol_sent p.ol_replies
+        p.ol_goodput_per_s)
+    open_points;
   let micros = run_micros scale in
   List.iter
     (fun m ->
@@ -720,5 +862,5 @@ let () =
     micros;
   emit ~out ~scale ~wall_ms ~points ~read_wall_ms ~read_points ~shard_wall_ms
     ~shard_points ~durable_wall_ms ~durable_points ~server_wall_ms
-    ~server_points ~micros;
+    ~server_points ~open_points ~micros;
   Format.printf "wrote %s@." out

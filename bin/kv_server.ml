@@ -72,6 +72,10 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
     fail "--follower-of requires --shards 1";
   let topo = Nr_sim.Topology.tiny in
   let module R = (val Nr_runtime.Runtime_domains.make topo) in
+  let now_ms_wall () = int_of_float (Unix.gettimeofday () *. 1000.) in
+  (* lazily-sampled wall clock for the read path: keys past their deadline
+     answer as missing before the wheel's logged eviction lands *)
+  Nr_kvstore.Store.read_clock := Some now_ms_wall;
   (* worker threads carry runtime identities round-robin over the topology;
      register lazily: pool workers are domains created by the server *)
   let next_tid = Atomic.make 0 in
@@ -82,6 +86,39 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
         ~tid:(Atomic.fetch_and_add next_tid 1 mod R.max_threads ())
   in
   let writable = Atomic.make (endpoints = None) in
+  (* per-shard expiry wheels: an acked PEXPIREAT arms the key's home-shard
+     wheel; a driver thread turns due deadlines into logged TICK +
+     EVICT entries (leader only — followers keep their wheels warm from
+     the replication stream so promotion picks up pending expiries).
+     With no TTLs in play the wheels stay empty and the driver never
+     logs anything: the no-TTL op stream and AOF bytes are untouched. *)
+  let wheels =
+    Array.init (max 1 shards) (fun _ ->
+        (Mutex.create (), Nr_txn.Wheel.create ~start_ms:(now_ms_wall ()) ()))
+  in
+  let wheel_route = ref (fun (_ : string) -> 0) in
+  let wheel_add k d =
+    let m, w = wheels.(!wheel_route k) in
+    Mutex.lock m;
+    Nr_txn.Wheel.add w ~key:k ~deadline:d;
+    Mutex.unlock m
+  in
+  (* arm wheels from acked deadlines, including those inside a committed
+     transaction's reply array *)
+  let rec feed_wheel (cmd : Nr_kvstore.Command.t)
+      (reply : Nr_kvstore.Command.reply) =
+    let module C = Nr_kvstore.Command in
+    match (cmd, reply) with
+    | C.Pexpireat (k, d), C.Int 1 -> wheel_add k d
+    | C.Txn (_, body), C.Array rs when List.length body = List.length rs ->
+        List.iter2 feed_wheel body rs
+    | _ -> ()
+  in
+  let with_feed f cmd =
+    let reply = f cmd in
+    feed_wheel cmd reply;
+    reply
+  in
   (* the session is created before connecting: it owns the candidate
      endpoint list and the reconnect backoff, and its current target is
      the best known leader address (shown in READONLY rejections) *)
@@ -126,7 +163,7 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
              image, then tail either the local NR log (leader) or the
              upstream replication stream (follower) into the persister *)
           let fs = Nr_persist.Vfs.real ~root:dir in
-          let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.) in
+          let now_ms = now_ms_wall in
           let background = snapshot_every <> None in
           let p, recovery =
             match
@@ -149,6 +186,12 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
                 | Error e -> fail "recovery failed: %s" e);
                 s)
           in
+          (* re-arm the expiry wheel from the recovered image: deadlines
+             that passed while the server was down evict on the first
+             driver tick *)
+          List.iter
+            (fun (k, d) -> wheel_add k d)
+            (Nr_kvstore.Store.expirations (Db.Unsafe.replica db 0));
           Printf.printf
             "recovered to position %d (snapshot %s, %d ops replayed%s)\n%!"
             (Nr_persist.Persister.cursor p)
@@ -298,6 +341,7 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
           ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
           ()
       in
+      wheel_route := Nr_shard.Router.shard_of (Sh.router db);
       let exec cmd =
         register ();
         Sh.execute db cmd
@@ -325,22 +369,60 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
   in
   (* follower mode: replicate from the leader, refuse client writes until
      promoted — pointing the client at the best-known leader address *)
-  let exec cmd =
-    if (not (Atomic.get writable)) && not (C.is_read_only cmd) then
-      match session with
-      | Some s ->
-          let ep = Repl.leader s in
-          C.Err
-            (Printf.sprintf "READONLY leader %s:%d" ep.Repl.host ep.Repl.port)
-      | None -> C.Err "READONLY replica; writes go to the leader"
-    else serving.execute cmd
+  let exec =
+    with_feed (fun cmd ->
+        (* writability is classification-derived: anything [Command.class_of]
+           calls a write is refused on a replica, everything else serves
+           locally — one table for the gate, the session fast path and the
+           store *)
+        if (not (Atomic.get writable)) && not (C.is_read_only cmd) then
+          match session with
+          | Some s ->
+              let ep = Repl.leader s in
+              C.Err
+                (Printf.sprintf "READONLY leader %s:%d" ep.Repl.host
+                   ep.Repl.port)
+          | None -> C.Err "READONLY replica; writes go to the leader"
+        else serving.execute cmd)
   in
+  (* the expiry driver: turn due wheel entries into logged entries through
+     the normal execution path — one TICK anchoring the logical clock,
+     then the evictions, all replicated and persisted like client writes *)
+  ignore
+    (Thread.create
+       (fun () ->
+         while true do
+           Thread.delay 0.01;
+           if Atomic.get writable then begin
+             let now = now_ms_wall () in
+             let due =
+               Array.fold_left
+                 (fun acc (m, w) ->
+                   if Nr_txn.Wheel.is_empty w then acc
+                   else begin
+                     Mutex.lock m;
+                     let d = Nr_txn.Wheel.advance w ~now in
+                     Mutex.unlock m;
+                     acc @ d
+                   end)
+                 [] wheels
+             in
+             if due <> [] then begin
+               ignore (exec (C.Tick now));
+               List.iter
+                 (fun (k, d) -> ignore (exec (C.Expire_evict (k, d))))
+                 due
+             end
+           end
+         done)
+       ());
   let obs =
     Nr_kvstore.Kv_obs.create ~slowlog_capacity
       ~slowlog_threshold:(slowlog_threshold_us * 1000) ()
   in
   let server =
-    Nr_kvstore.Server.create ~obs ?special:serving.special ~net ~nodes ~port
+    Nr_kvstore.Server.create ~obs ?special:serving.special
+      ~session:Nr_txn.Session.hook ~clock:now_ms_wall ~net ~nodes ~port
       ~workers exec
   in
   (* the replication loop starts after the server bound its port: the
@@ -361,7 +443,8 @@ let serve port workers net nodes shards slowlog_capacity slowlog_threshold_us
                  (match
                     Repl.step ?on_op:serving.repl_on_op
                       ?on_full:serving.repl_on_full
-                      ~strict:serving.repl_strict s ~exec:serving.repl_exec
+                      ~strict:serving.repl_strict s
+                      ~exec:(with_feed serving.repl_exec)
                   with
                  | Repl.Applied _ ->
                      (* report our durable watermark upstream, then relay

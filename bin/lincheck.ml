@@ -38,7 +38,7 @@ let substrates_term =
     value
     & opt strings_conv E.all_substrates
     & info [ "d"; "substrates" ] ~docv:"DS"
-        ~doc:"Substrates to check: stack, queue, dict, pq, kv.")
+        ~doc:"Substrates to check: stack, queue, dict, pq, kv, txn.")
 
 let engines_conv =
   let parse s =
@@ -114,6 +114,16 @@ let skip_validate_term =
           "Plant the skip-read-validate bug in the optimistic-read engines \
            (readers omit the post-read seqlock stamp check) — the \
            NR-cna/NR-robust-opt sweep must then flag a violation.")
+
+let skip_log_term =
+  Arg.(
+    value & flag
+    & info [ "mutate-expire-skip-log" ]
+        ~doc:
+          "Plant the expire-skip-log bug in the store (reads purge expired \
+           keys locally, bumping the version stamp without a log entry, so \
+           replica stamps diverge) — the txn sweep must then flag a \
+           violation.")
 
 let budget_term =
   Arg.(
@@ -217,19 +227,33 @@ let runner_of_substrate = function
             E.Run_kv.check_one ~budget ~topo ~threads ~seed ~salt ~plan
               ~ops_per_thread ~key_space ~engine ~mutation ());
       }
+  | "txn" ->
+      {
+        sweep =
+          (fun ~budget ~topo ~threads ~seeds ~salts ~plans ~ops_per_thread
+               ~key_space ~engines ~mutation ->
+            E.Run_txn.sweep ~budget ~topo ~threads ~seeds ~salts ~plans
+              ~ops_per_thread ~key_space ~engines ~mutation ());
+        check_one =
+          (fun ~budget ~topo ~threads ~seed ~salt ~plan ~ops_per_thread
+               ~key_space ~engine ~mutation ->
+            E.Run_txn.check_one ~budget ~topo ~threads ~seed ~salt ~plan
+              ~ops_per_thread ~key_space ~engine ~mutation ());
+      }
   | s ->
       Printf.eprintf
-        "lincheck: unknown substrate %S (stack|queue|dict|pq|kv)\n" s;
+        "lincheck: unknown substrate %S (stack|queue|dict|pq|kv|txn)\n" s;
       exit 2
 
 (* -- sweep -- *)
 
 let sweep_run substrates engines topo threads ops keys seeds salts plans
-    stale bypass skip_validate expect_violation budget =
-  (* one mutation switch downstream: each engine plants its own seeded
-     bug (NR-shard the router bypass, NR-cna/NR-robust-opt the skipped
-     read validation, the plain NR engines the stale read) *)
-  let mutation = stale || bypass || skip_validate in
+    stale bypass skip_validate skip_log expect_violation budget =
+  (* one mutation switch downstream: each substrate/engine plants its own
+     seeded bug (txn the store's unlogged expiry purge, NR-shard the
+     router bypass, NR-cna/NR-robust-opt the skipped read validation, the
+     plain NR engines the stale read) *)
+  let mutation = stale || bypass || skip_validate || skip_log in
   let t0 = Unix.gettimeofday () in
   let total = ref 0 and steals = ref 0 and kills = ref 0 in
   let cx = ref None in
@@ -300,14 +324,14 @@ let sweep_cmd =
     Term.(
       const sweep_run $ substrates_term $ engines_term $ topo_term
       $ threads_term $ ops_term $ keys_term $ seeds $ salts $ plans
-      $ mutation_term $ bypass_term $ skip_validate_term $ expect
-      $ budget_term)
+      $ mutation_term $ bypass_term $ skip_validate_term $ skip_log_term
+      $ expect $ budget_term)
 
 (* -- replay -- *)
 
 let replay_run substrate engines topo threads ops keys seed salt plan stale
-    bypass skip_validate budget =
-  let mutation = stale || bypass || skip_validate in
+    bypass skip_validate skip_log budget =
+  let mutation = stale || bypass || skip_validate || skip_log in
   let r = runner_of_substrate substrate in
   let engine =
     match engines with
@@ -351,7 +375,7 @@ let replay_cmd =
     Term.(
       const replay_run $ substrate $ engines_term $ topo_term $ threads_term
       $ ops_term $ keys_term $ seed $ salt $ plan $ mutation_term
-      $ bypass_term $ skip_validate_term $ budget_term)
+      $ bypass_term $ skip_validate_term $ skip_log_term $ budget_term)
 
 let () =
   let doc = "linearizability checking on the deterministic simulator" in

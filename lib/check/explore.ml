@@ -121,13 +121,18 @@ let plan_allows ~spec engine =
   | ("steal" | "death") :: _ -> engine = Nr_robust || engine = Nr_robust_opt
   | _ -> true
 
-(* The flag each engine's seeded mutation answers to in a replay
-   invocation: sharded builds plant the router bypass, optimistic-read
-   builds skip the seqlock validation, plain NR builds the stale read. *)
-let mutation_flag = function
-  | "NR-shard" -> " --mutate-router-bypass"
-  | "NR-cna" | "NR-robust-opt" -> " --mutate-skip-read-validate"
-  | _ -> " --mutate-stale-reads"
+(* The flag each seeded mutation answers to in a replay invocation: the
+   txn substrate plants its bug in the store itself (reads purge expired
+   keys without logging), sharded builds plant the router bypass,
+   optimistic-read builds skip the seqlock validation, plain NR builds
+   the stale read. *)
+let mutation_flag ~substrate ~engine =
+  if substrate = "txn" then " --mutate-expire-skip-log"
+  else
+    match engine with
+    | "NR-shard" -> " --mutate-router-bypass"
+    | "NR-cna" | "NR-robust-opt" -> " --mutate-skip-read-validate"
+    | _ -> " --mutate-stale-reads"
 
 let topo_of_name = function
   | "tiny" -> T.tiny
@@ -157,7 +162,8 @@ let replay_command cx =
      --plan %s --ops %d --keys %d%s"
     cx.substrate cx.engine cx.topo cx.threads cx.seed cx.salt cx.plan
     cx.ops_per_thread cx.key_space
-    (if cx.mutation then mutation_flag cx.engine else "")
+    (if cx.mutation then mutation_flag ~substrate:cx.substrate ~engine:cx.engine
+     else "")
 
 let pp_cx ppf cx =
   Format.fprintf ppf
@@ -185,6 +191,14 @@ module type SUBSTRATE = sig
 
   val name : string
   val factory : unit -> Seq.t
+
+  val prepare : mutation:bool -> bool
+  (** Called once per run point, before the engine is built: reset or arm
+      any substrate-global hooks (planted store bugs, read-clock
+      samplers).  Returns the mutation flag to hand to the {e engine}
+      builder — a substrate whose planted bug lives below the engine
+      returns [false] so only its own bug is armed. *)
+
   val gen_op : key_space:int -> Nr_workload.Prng.t -> Seq.op
 
   val partition : Seq.op -> int
@@ -284,7 +298,8 @@ module Run (Sub : SUBSTRATE) = struct
     Nr_sim.Sched.set_fault_plan sched (plan_of_spec ~spec:plan);
     let rt = Nr_runtime.Runtime_sim.make sched in
     Nr_core.Stats.start_collection ();
-    match build engine rt ~threads ~mutation with
+    let engine_mutation = Sub.prepare ~mutation in
+    match build engine rt ~threads ~mutation:engine_mutation with
     | None ->
         ignore (Nr_core.Stats.collect ());
         None
@@ -430,6 +445,7 @@ module Stack_sub = struct
 
   let name = "stack"
   let factory () = Nr_seqds.Stack_ds.create ()
+  let prepare ~mutation = mutation
 
   let gen_op ~key_space rng : Seq.op =
     if Nr_workload.Prng.below rng 2 = 0 then
@@ -473,6 +489,7 @@ module Queue_sub = struct
 
   let name = "queue"
   let factory () = Nr_seqds.Queue_ds.create ()
+  let prepare ~mutation = mutation
   let gen_op ~key_space rng = Nr_harness.Chaos.queue_op key_space rng
   let partition (_ : Seq.op) = 0
   let special (_ : engine) = None
@@ -493,6 +510,7 @@ module Dict_sub = struct
 
   let name = "dict"
   let factory () = Nr_seqds.Skiplist_dict.create ()
+  let prepare ~mutation = mutation
   let gen_op ~key_space rng = Nr_harness.Chaos.dict_op key_space rng
 
   let partition : Seq.op -> int = function
@@ -534,6 +552,8 @@ module Dict_sub = struct
 
     let merge _ ~shards:_ ~shard_of:_ _ =
       invalid_arg "dict has no cross-shard operations"
+
+    let txn = None
   end
 
   let sharded =
@@ -556,6 +576,7 @@ module Pq_sub = struct
 
   let name = "pq"
   let factory () = Nr_seqds.Pairing_pq.create ()
+  let prepare ~mutation = mutation
   let gen_op ~key_space rng = Nr_harness.Chaos.pq_op key_space rng
   let partition (_ : Seq.op) = 0
   let special (_ : engine) = None
@@ -573,6 +594,14 @@ module Kv_sub = struct
 
   let name = "kv"
   let factory () = Nr_kvstore.Store.create ()
+
+  (* the kv substrate never issues TTL or transaction commands: make sure
+     a preceding txn run's global hooks are disarmed so its behavior is
+     bit-for-bit the pre-expiry store's *)
+  let prepare ~mutation =
+    Nr_kvstore.Store.read_clock := None;
+    Nr_kvstore.Store.expire_skip_log := false;
+    mutation
 
   let gen_op ~key_space rng : Seq.op =
     let key () =
@@ -602,10 +631,90 @@ module Kv_sub = struct
         Sh.execute t)
 end
 
+(* The transactions & expiry surface of the KV store: TXN compound
+   entries with version-stamp watches, PEXPIREAT deadlines against the
+   TICK-driven logical clock, and a sampled read clock that runs ahead of
+   it — the substrate whose histories exercise {!Spec.Kv}'s
+   expired-or-not windows.  [prepare] arms a deterministic monotone
+   sampler (one tick per 64 reads, so small deadlines stay ambiguous for
+   a while before the sampler overtakes them) and, under [mutation], the
+   planted [Expire_skip_log] bug: reads purge expired keys locally and
+   bump the version stamp without logging, so replica stamps diverge —
+   which the spec's reads-never-bump rule catches. *)
+module Txn_sub = struct
+  module Seq = Nr_kvstore.Store
+  module Spec = Spec.Kv
+  module C = Nr_kvstore.Command
+  module P = Nr_workload.Prng
+
+  let name = "txn"
+  let factory () = Nr_kvstore.Store.create ()
+
+  let prepare ~mutation =
+    let calls = ref 0 in
+    Nr_kvstore.Store.read_clock :=
+      Some
+        (fun () ->
+          incr calls;
+          !calls lsr 6);
+    Nr_kvstore.Store.expire_skip_log := mutation;
+    (* the planted bug lives in the store, below every engine *)
+    false
+
+  let gen_op ~key_space rng : Seq.op =
+    let key () = Nr_workload.String_keys.key (P.below rng key_space) in
+    let value () = string_of_int (P.below rng 4) in
+    let deadline () = 1 + P.below rng 12 in
+    let stamp () = P.below rng 4 in
+    let body_cmd () =
+      match P.below rng 5 with
+      | 0 -> C.Get (key ())
+      | 1 -> C.Set (key (), value ())
+      | 2 -> C.Del (key ())
+      | 3 -> C.Pexpireat (key (), deadline ())
+      | _ -> C.Ttl (key ())
+    in
+    let body () = List.init (1 + P.below rng 2) (fun _ -> body_cmd ()) in
+    match P.below rng 100 with
+    | r when r < 15 -> C.Get (key ())
+    | r when r < 28 -> C.Set (key (), value ())
+    | r when r < 34 -> C.Del (key ())
+    | r when r < 46 -> C.Pexpireat (key (), deadline ())
+    | r when r < 54 -> C.Tick (deadline ())
+    | r when r < 60 -> C.Ttl (key ())
+    | r when r < 64 -> C.Persist (key ())
+    | r when r < 72 -> C.Getver (key ())
+    | r when r < 76 -> C.Dbsize
+    | r when r < 82 -> C.Txn_test [ (key (), stamp ()) ]
+    | r when r < 91 ->
+        (* unguarded transaction: always commits *)
+        C.Txn ([], body ())
+    | _ ->
+        (* guarded: stamps start at 0 and move fast, so early watches
+           commit and later ones exercise the abort path *)
+        C.Txn ([ (key (), stamp ()) ], body ())
+
+  let partition (_ : Seq.op) = 0
+  let special (_ : engine) = None
+
+  let sharded =
+    Some
+      (fun rt ~threads:_ ~mutation ->
+        let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+        let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
+        let t =
+          Sh.create ~cfg:(shard_cfg ~mutation)
+            ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+            ()
+        in
+        Sh.execute t)
+end
+
 module Run_stack = Run (Stack_sub)
 module Run_queue = Run (Queue_sub)
 module Run_dict = Run (Dict_sub)
 module Run_pq = Run (Pq_sub)
 module Run_kv = Run (Kv_sub)
+module Run_txn = Run (Txn_sub)
 
-let all_substrates = [ "stack"; "queue"; "dict"; "pq"; "kv" ]
+let all_substrates = [ "stack"; "queue"; "dict"; "pq"; "kv"; "txn" ]

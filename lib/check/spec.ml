@@ -120,58 +120,288 @@ module Dict_key :
 end
 
 (** String-keyed KV map over the {!Nr_kvstore.Command} GET / SET / DEL /
-    MGET / MSET vocabulary — the spec the sharded engine's cross-shard
-    histories are checked against ({e whole-map}, partition-free: MGET
-    and MSET couple keys, so per-key composition does not apply).
-    MSET binds left to right, later bindings of a repeated key winning,
-    matching {!Nr_kvstore.Store}. *)
+    MGET / MSET vocabulary plus the transaction & expiry surface
+    (PEXPIREAT / PERSIST / TTL / PTTL / TICK / EVICT / GETVER / TXN) —
+    the spec the sharded engine's cross-shard histories are checked
+    against ({e whole-map}, partition-free: MGET, MSET and TXN couple
+    keys, so per-key composition does not apply).  MSET binds left to
+    right, later bindings of a repeated key winning, matching
+    {!Nr_kvstore.Store}.
+
+    {2 Time model}
+
+    [now] is the logical clock, advanced only by [Tick] — the only clock
+    mutations consult, exactly as in the store.  The implementation's
+    {e read} path may additionally consult a monotonic sampler
+    ([Store.read_clock]) that runs ahead of the last Tick, so a read of a
+    key whose deadline lies beyond [now] is {e ambiguous}: still there,
+    or already expired.  [horizon] tracks what reads have revealed about
+    the sampler ("it has reached at least h"): once some read observes a
+    key with deadline [d > now] as expired, every deadline [<= d] must
+    read as expired from then on (the sampler is monotone).  [step_any]
+    returns both branches for such window reads, committing [horizon] on
+    the expired branch — the "expired-or-not window".
+
+    Version stamps ([vers]) move only on effective mutations (including
+    evictions and mutation-path purges), never on reads, which is what
+    lets the checker catch the planted [Expire_skip_log] bug.
+
+    Transaction bodies replay on every replica at one log position, so
+    inside [Txn] every read is {e logical} (no sampler, no ambiguity):
+    the body is stepped deterministically. *)
 module Kv :
   S
     with type op = Nr_kvstore.Command.t
      and type result = Nr_kvstore.Command.reply = struct
   module C = Nr_kvstore.Command
 
-  type state = (string * string) list  (** sorted by key: canonical form *)
+  type entry = { v : string; dl : int option }
+
+  type state = {
+    kvs : (string * entry) list;  (** sorted by key: canonical form *)
+    vers : (string * int) list;  (** sorted; absent = 0 *)
+    now : int;  (** logical clock (Ticks linearized so far) *)
+    horizon : int;  (** proven sampler lower bound, [>= now] meaningful *)
+  }
 
   type op = C.t
   type result = C.reply
 
-  let init () = []
+  let init () = { kvs = []; vers = []; now = 0; horizon = 0 }
 
-  let rec set st k v =
-    match st with
-    | [] -> [ (k, v) ]
+  let rec put k x = function
+    | [] -> [ (k, x) ]
     | ((k', _) as b) :: tl ->
-        if k < k' then (k, v) :: st
-        else if k = k' then (k, v) :: tl
-        else b :: set tl k v
+        if k < k' then (k, x) :: b :: tl
+        else if k = k' then (k, x) :: tl
+        else b :: put k x tl
 
-  let get st k =
-    match List.assoc_opt k st with Some v -> C.Bulk v | None -> C.Nil
+  let ver st k = Option.value ~default:0 (List.assoc_opt k st.vers)
+  let bump st k = { st with vers = put k (ver st k + 1) st.vers }
+  let floor_ st = max st.now st.horizon
 
-  let step_any st : op -> (result * state) list = function
-    | C.Get k -> [ (get st k, st) ]
-    | C.Set (k, v) -> [ (C.Ok_reply, set st k v) ]
-    | C.Del k -> (
-        match List.assoc_opt k st with
-        | Some _ -> [ (C.Int 1, List.remove_assoc k st) ]
-        | None -> [ (C.Int 0, st) ])
+  (* liveness classes on the read path *)
+  type live = Absent | Alive of entry | Dead | Window of entry
+
+  let classify ?(logical = false) st k =
+    match List.assoc_opt k st.kvs with
+    | None -> Absent
+    | Some e -> (
+        match e.dl with
+        | None -> Alive e
+        | Some d ->
+            let cut = if logical then st.now else floor_ st in
+            if d <= cut then Dead
+            else if logical then Alive e
+            else if d <= floor_ st then Dead
+            else Window e)
+
+  (* a Window entry is Alive too unless the sampler already passed it;
+     [branches_of_read] returns every legal (result, state) of reading key
+     [k] where [alive] renders the present case and [dead] the absent one *)
+  let branches_of_read ~logical st k ~alive ~dead =
+    match classify ~logical st k with
+    | Absent | Dead -> [ (dead, st) ]
+    | Alive e -> [ (alive e, st) ]
+    | Window e ->
+        let d = Option.get e.dl in
+        [ (alive e, st); (dead, { st with horizon = d }) ]
+
+  let mutation_dead st k =
+    match List.assoc_opt k st.kvs with
+    | Some { dl = Some d; _ } -> d <= st.now
+    | _ -> false
+
+  let drop st k = { st with kvs = List.remove_assoc k st.kvs }
+
+  (* mutation-path purge of a logically expired key: one bump, like the
+     store's [purge_if_dead] + the command's own bump folded together *)
+  let purge st k = bump (drop st k)  k
+
+  (* deterministic stepping for transaction bodies: logical reads only *)
+  let rec step_logical st (op : op) : result * state =
+    match step ~logical:true st op with
+    | [ rs ] -> rs
+    | _ -> assert false
+
+  and step ~logical st : op -> (result * state) list = function
+    | C.Ping -> [ (C.Pong, st) ]
+    | C.Get k ->
+        branches_of_read ~logical st k
+          ~alive:(fun e -> C.Bulk e.v)
+          ~dead:C.Nil
     | C.Exists k ->
-        [ (C.Int (if List.mem_assoc k st then 1 else 0), st) ]
-    | C.Mget ks -> [ (C.Array (List.map (get st) ks), st) ]
+        branches_of_read ~logical st k
+          ~alive:(fun _ -> C.Int 1)
+          ~dead:(C.Int 0)
+    | C.Set (k, v) ->
+        [ (C.Ok_reply, bump { st with kvs = put k { v; dl = None } st.kvs } k) ]
+    | C.Del k ->
+        if mutation_dead st k then [ (C.Int 0, purge st k) ]
+        else if List.mem_assoc k st.kvs then [ (C.Int 1, bump (drop st k) k) ]
+        else [ (C.Int 0, st) ]
+    | C.Incr k -> step ~logical st (C.Incrby (k, 1))
+    | C.Incrby (k, n) -> (
+        let fresh st =
+          [
+            ( C.Int n,
+              bump { st with kvs = put k { v = string_of_int n; dl = None } st.kvs } k
+            );
+          ]
+        in
+        if mutation_dead st k then fresh (drop st k)
+        else
+          match List.assoc_opt k st.kvs with
+          | None -> fresh st
+          | Some e -> (
+              match int_of_string_opt e.v with
+              | Some v ->
+                  let v = v + n in
+                  [
+                    ( C.Int v,
+                      bump
+                        { st with kvs = put k { e with v = string_of_int v } st.kvs }
+                        k );
+                  ]
+              | None ->
+                  [ (C.Err "value is not an integer or out of range", st) ]))
+    | C.Mget ks ->
+        (* the sharded engine samples the clock once per shard, not once
+           per command, so the per-key outcomes are independent (any key
+           order is possible within the command's window); the one sound
+           cross-key fact is that every later command samples at or past
+           this command's largest sample, so the expired branches commit
+           [max] of their deadlines at the end *)
+        let rec go acc hmax = function
+          | [] ->
+              [
+                ( C.Array (List.rev acc),
+                  { st with horizon = max st.horizon hmax } );
+              ]
+          | k :: tl -> (
+              match classify ~logical st k with
+              | Absent | Dead -> go (C.Nil :: acc) hmax tl
+              | Alive e -> go (C.Bulk e.v :: acc) hmax tl
+              | Window e ->
+                  let d = Option.get e.dl in
+                  go (C.Bulk e.v :: acc) hmax tl
+                  @ go (C.Nil :: acc) (max hmax d) tl)
+        in
+        go [] 0 ks
     | C.Mset ps ->
-        [ (C.Ok_reply, List.fold_left (fun st (k, v) -> set st k v) st ps) ]
+        [
+          ( C.Ok_reply,
+            List.fold_left
+              (fun st (k, v) -> bump { st with kvs = put k { v; dl = None } st.kvs } k)
+              st ps );
+        ]
+    | C.Dbsize ->
+        (* window keys may or may not be counted: the sharded engine
+           samples once per shard, so any count between "every window key
+           already gone" and "all still there" is admissible; no horizon
+           is committed (we cannot tell which keys the scan dropped) *)
+        let cut = if logical then st.now else floor_ st in
+        let certain, window =
+          List.fold_left
+            (fun (c, w) (_, e) ->
+              match e.dl with
+              | None -> (c + 1, w)
+              | Some d -> if d <= cut then (c, w) else (c, w + 1))
+            (0, 0) st.kvs
+        in
+        if logical then [ (C.Int (certain + window), st) ]
+        else List.init (window + 1) (fun i -> (C.Int (certain + i), st))
+    | C.Pexpireat (k, d) ->
+        if mutation_dead st k then [ (C.Int 0, purge st k) ]
+        else (
+          match List.assoc_opt k st.kvs with
+          | None -> [ (C.Int 0, st) ]
+          | Some e when e.dl = Some d -> [ (C.Int 1, st) ]
+          | Some e ->
+              [
+                ( C.Int 1,
+                  bump { st with kvs = put k { e with dl = Some d } st.kvs } k
+                );
+              ])
+    | C.Persist k ->
+        if mutation_dead st k then [ (C.Int 0, purge st k) ]
+        else (
+          match List.assoc_opt k st.kvs with
+          | Some ({ dl = Some _; _ } as e) ->
+              [
+                ( C.Int 1,
+                  bump { st with kvs = put k { e with dl = None } st.kvs } k )
+              ]
+          | Some _ | None -> [ (C.Int 0, st) ])
+    | (C.Ttl k | C.Pttl k) as op -> (
+        let scale ms = match op with C.Ttl _ -> (ms + 999) / 1000 | _ -> ms in
+        match classify ~logical st k with
+        | Absent | Dead -> [ (C.Int (-2), st) ]
+        | Alive { dl = None; _ } -> [ (C.Int (-1), st) ]
+        | Alive { dl = Some d; _ } ->
+            (* logical mode only: remaining vs the logical clock *)
+            [ (C.Int (scale (d - st.now)), st) ]
+        | Window { dl = Some d; _ } ->
+            (* the sampler may sit anywhere in [floor, d): each position e
+               yields remaining d - e (and proves the sampler reached e);
+               at or past d the key reads as gone *)
+            let f = floor_ st in
+            let alive =
+              List.init (d - f) (fun i ->
+                  let e = f + i in
+                  (C.Int (scale (d - e)), { st with horizon = max st.horizon e }))
+            in
+            List.sort_uniq compare
+              (alive @ [ (C.Int (-2), { st with horizon = d }) ])
+        | Window { dl = None; _ } -> assert false)
+    | C.Getver k -> [ (C.Int (ver st k), st) ]
+    | C.Setver (k, v) -> [ (C.Ok_reply, { st with vers = put k v st.vers }) ]
+    | C.Tick n ->
+        let now = max st.now n in
+        [ (C.Int now, { st with now }) ]
+    | C.Expire_evict (k, d) -> (
+        match List.assoc_opt k st.kvs with
+        | Some { dl = Some d'; _ } when d' = d ->
+            [ (C.Int 1, bump (drop st k) k) ]
+        | _ -> [ (C.Int 0, st) ])
+    | C.Txn_test ws ->
+        [
+          ( C.Int (if List.for_all (fun (k, v) -> ver st k = v) ws then 1 else 0),
+            st );
+        ]
+    | C.Txn (ws, body) ->
+        if List.for_all (fun (k, v) -> ver st k = v) ws then (
+          let rs, st' =
+            List.fold_left
+              (fun (acc, st) c ->
+                let r, st = step_logical st c in
+                (r :: acc, st))
+              ([], st) body
+          in
+          [ (C.Array (List.rev rs), st') ])
+        else [ (C.Nil, st) ]
     | op ->
         invalid_arg
           (Format.asprintf "Spec.Kv: %a outside the checked vocabulary" C.pp
              op)
 
+  let step_any st op = step ~logical:false st op
   let equal = ( = )
 
   let fingerprint st =
-    Fp.fp_list
-      (fun (k, v) -> Fp.fp_combine (Hashtbl.hash k) (Hashtbl.hash v))
-      Fp.fp_empty st
+    let fkvs =
+      Fp.fp_list
+        (fun (k, e) ->
+          Fp.fp_combine (Hashtbl.hash k)
+            (Fp.fp_combine (Hashtbl.hash e.v) (Hashtbl.hash e.dl)))
+        Fp.fp_empty st.kvs
+    in
+    let fvers =
+      Fp.fp_list
+        (fun (k, v) -> Fp.fp_combine (Hashtbl.hash k) v)
+        Fp.fp_empty st.vers
+    in
+    Fp.fp_combine fkvs (Fp.fp_combine fvers (Fp.fp_combine st.now st.horizon))
 
   let pp_op = C.pp
   let pp_result = C.pp_reply

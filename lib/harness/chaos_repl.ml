@@ -89,13 +89,30 @@ type outcome = {
 let node_alive n = n.p <> None
 
 (* Random small-keyspace update: collisions make divergence visible. *)
-let gen_write rng =
+let gen_plain rng =
   let key = Printf.sprintf "k%d" (Prng.below rng 8) in
-  match Prng.below rng 4 with
+  match Prng.below rng 5 with
   | 0 -> Command.Set (key, Printf.sprintf "v%d" (Prng.below rng 1000))
   | 1 -> Command.Incr key
   | 2 -> Command.Zadd (key, Prng.below rng 100, Prng.below rng 10)
+  | 3 -> Command.Pexpireat (key, 1 + Prng.below rng 400)
   | _ -> Command.Del key
+
+(* The logged alphabet includes the transactions & TTL subsystem: compound
+   [Txn] entries (guarded ones mostly abort — both paths must replay
+   identically on every node), deadline arms, logical-clock ticks and
+   wheel-driven evictions.  Everything is deterministic under replay, so
+   the oracle-prefix and convergence checks apply unchanged. *)
+let gen_write rng =
+  let key = Printf.sprintf "k%d" (Prng.below rng 8) in
+  match Prng.below rng 8 with
+  | 0 | 1 | 2 | 3 -> gen_plain rng
+  | 4 -> Command.Tick (Prng.below rng 500)
+  | 5 -> Command.Expire_evict (key, 1 + Prng.below rng 400)
+  | 6 ->
+      Command.Txn
+        ([], List.init (1 + Prng.below rng 3) (fun _ -> gen_plain rng))
+  | _ -> Command.Txn ([ (key, Prng.below rng 4) ], [ gen_plain rng ])
 
 let run params =
   let rng = Prng.create ~seed:params.seed in

@@ -1,0 +1,81 @@
+(** Transactions experiment (no paper counterpart — the MULTI/EXEC PR):
+    one compound [Txn] log entry versus the same body logged as N
+    individual commands.
+
+    The black-box trick makes transactions nearly free: a MULTI/EXEC
+    block is one log entry, so it pays one combiner hand-off, one log
+    append and one slot round trip no matter how many commands ride
+    inside, where the naive encoding pays all three N times.  Both series
+    execute the same N SETs per measured operation — the y-axis is
+    directly comparable and the gap is pure per-entry overhead. *)
+
+module W = Families.Wrap (Nr_kvstore.Store)
+
+let factory (params : Params.t) () =
+  let t = Nr_kvstore.Store.create () in
+  for i = 0 to params.Params.population - 1 do
+    ignore
+      (Nr_kvstore.Store.execute t
+         (Nr_kvstore.Command.Set (Nr_workload.String_keys.key i, "0")))
+  done;
+  t
+
+(* one measured op = [batch] SET commands, uniform keys *)
+let body (params : Params.t) ~pool ~batch ~compound ~exec rt ~tid =
+  let module R = (val rt : Nr_runtime.Runtime_intf.S) in
+  let n = Array.length pool in
+  let rng =
+    Nr_workload.Prng.create ~seed:(params.Params.seed + (tid * 7919) + 1)
+  in
+  let keys = Array.make batch "" in
+  fun () ->
+    R.work 40;
+    for i = 0 to batch - 1 do
+      keys.(i) <- pool.(Nr_workload.Prng.below rng n)
+    done;
+    if compound then
+      ignore
+        (exec
+           (Nr_kvstore.Command.Txn
+              ( [],
+                Array.to_list
+                  (Array.map (fun k -> Nr_kvstore.Command.Set (k, "1")) keys)
+              )))
+    else
+      for i = 0 to batch - 1 do
+        ignore (exec (Nr_kvstore.Command.Set (keys.(i), "1")))
+      done
+
+let setup (params : Params.t) ~batch ~compound ~threads rt =
+  let exec = W.build rt Method.NR ~threads ~factory:(factory params) () in
+  let pool = Nr_workload.String_keys.pool params.Params.population in
+  body params ~pool ~batch ~compound ~exec rt
+
+let batch_axis = [ 1; 2; 4; 8; 16 ]
+
+let batch_figure (params : Params.t) =
+  let threads = min 56 (Params.max_threads params) in
+  let series =
+    List.map
+      (fun (label, compound) ->
+        Sweep.axis_series params ~label ~axis:batch_axis ~threads
+          ~setup:(fun ~x rt -> setup params ~batch:x ~compound ~threads rt))
+      [ ("N logged SETs", false); ("one EXEC of N", true) ]
+  in
+  {
+    Table.id = "txn-batch";
+    title = "compound EXEC entry vs N individually logged commands";
+    x_label = "commands per transaction";
+    y_label = "txns/us";
+    series;
+    notes =
+      [
+        Printf.sprintf
+          "%d uniform string keys, %d threads, 100%% updates; one measured \
+           op executes its whole body, so at x=1 the series must coincide \
+           and the widening gap is per-log-entry overhead"
+          params.Params.population threads;
+      ];
+  }
+
+let figures params = [ batch_figure params ]

@@ -91,6 +91,11 @@ let groups =
       description = "durability: fsync batching and recovery cost";
       run = (fun p -> print_figures (Exp_durable.figures p));
     };
+    {
+      id = "txn";
+      description = "transactions: compound EXEC entry vs N logged commands";
+      run = (fun p -> print_figures (Exp_txn.figures p));
+    };
   ]
 
 let ids () = List.map (fun g -> g.id) groups

@@ -42,6 +42,46 @@ type t =
       (** [REPLACK id seq]: a follower reporting that its durable state
           covers log positions < [seq]; feeds the leader's per-follower
           ack watermarks that WAIT counts *)
+  (* -- transactions (per-connection session state; see lib/txn) -- *)
+  | Multi  (** open a transaction block; subsequent commands are queued *)
+  | Exec
+      (** submit the queued block as one compound {!Txn} log entry —
+          atomic and isolated because it linearizes at a single log
+          position (the paper's compound-op trick, ROADMAP item 3) *)
+  | Discard  (** drop the queued block and all watches *)
+  | Watch of string
+      (** optimistic concurrency: record the key's current version stamp;
+          EXEC aborts if any watched stamp moved by apply time *)
+  | Unwatch
+  (* -- expiry (TTL) -- *)
+  | Expire of string * int  (** key, relative seconds; session-normalized *)
+  | Pexpire of string * int  (** key, relative milliseconds *)
+  | Pexpireat of string * int
+      (** key, absolute ms deadline — the only expiry-setting form that
+          reaches the store/log, so replicas agree on deadlines *)
+  | Ttl of string
+  | Pttl of string
+  | Persist of string  (** drop a key's deadline *)
+  (* -- internal plumbing (log/replication frames, never typed by users) -- *)
+  | Getver of string  (** read a key's version stamp (0 if never touched) *)
+  | Setver of string * int
+      (** snapshot replay: raise a key's version counter to an absolute
+          value so FULLRESYNC'd followers reach identical WATCH verdicts *)
+  | Tick of int
+      (** advance the store's logical clock to [max now n]; the only way
+          mutations ever observe time, so replay is deterministic *)
+  | Expire_evict of string * int
+      (** wheel-driven eviction: delete key iff its deadline still equals
+          the stamp (incarnation guard makes stale wheel entries no-ops) *)
+  | Txn_test of (string * int) list
+      (** read-only probe: do all (key, version) watch stamps still hold? *)
+  | Txn of (string * int) list * t list
+      (** the compound entry EXEC submits: watch stamps + queued body *)
+  | Reset
+      (** hard reset (keyspace, deadlines, version stamps, logical clock) —
+          the prologue of a FULLRESYNC, where FLUSHALL won't do because
+          flushing bumps version stamps and stamps of keys the leader
+          never saw cannot be overridden by the dump *)
 
 type reply =
   | Ok_reply
@@ -52,24 +92,51 @@ type reply =
   | Array of reply list
   | Err of string
 
-let is_read_only = function
-  | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
-  | Mget _ | Dbsize | Slowlog_get | Slowlog_len | Sync | Psync _ | Wait _
-  | Replack _ ->
-      true
-  | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
-  | Mset _ | Flushall | Slowlog_reset ->
-      false
+(** Where a command is answered.  This single classification drives every
+    derived table — [is_read_only], [is_server_local], the kv_server
+    READONLY gate, and the evloop fast-path filter — so a new constructor
+    that is missing here is a compile error, not a silent misroute. *)
+type cls =
+  | Read  (** read-only, routed through the replicated store *)
+  | Write  (** mutating, routed through the replicated store (logged) *)
+  | Server_local
+      (** answered by the serving layer (observability, replication) *)
+  | Session_state
+      (** answered or rewritten by the per-connection transaction/clock
+          session (MULTI/EXEC/WATCH, relative-expiry normalization) *)
 
-(** Commands answered by the serving layer itself (observability,
-    replication), never routed through the replicated store. *)
-let is_server_local = function
+let rec class_of = function
+  | Ping | Get _ | Exists _ | Zrank _ | Zscore _ | Zcard _ | Zrange _
+  | Mget _ | Dbsize | Ttl _ | Pttl _ | Getver _ | Txn_test _ ->
+      Read
+  | Set _ | Del _ | Incr _ | Incrby _ | Zadd _ | Zincrby _ | Zrem _
+  | Mset _ | Flushall | Pexpireat _ | Persist _ | Setver _ | Tick _
+  | Expire_evict _ | Reset ->
+      Write
   | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _ | Wait _
   | Replack _ ->
-      true
-  | _ -> false
+      Server_local
+  | Multi | Exec | Discard | Watch _ | Unwatch | Expire _ | Pexpire _ ->
+      Session_state
+  | Txn (_, cmds) ->
+      (* an all-read transaction may take the (linearizable) read path;
+         anything else must be logged *)
+      if List.for_all (fun c -> class_of c = Read) cmds then Read else Write
 
-let pp ppf = function
+let is_read_only c =
+  match class_of c with
+  | Read | Server_local | Session_state -> true
+  | Write -> false
+
+(** Commands answered before the replicated store (by the serving layer or
+    the connection session) — also the set gated out of the evloop
+    run-to-completion fast path. *)
+let is_server_local c =
+  match class_of c with
+  | Server_local | Session_state -> true
+  | Read | Write -> false
+
+let rec pp ppf = function
   | Ping -> Format.pp_print_string ppf "PING"
   | Get k -> Format.fprintf ppf "GET %s" k
   | Set (k, v) -> Format.fprintf ppf "SET %s %s" k v
@@ -97,6 +164,32 @@ let pp ppf = function
   | Psync off -> Format.fprintf ppf "PSYNC %d" off
   | Wait (n, ms) -> Format.fprintf ppf "WAIT %d %d" n ms
   | Replack (id, seq) -> Format.fprintf ppf "REPLACK %s %d" id seq
+  | Multi -> Format.pp_print_string ppf "MULTI"
+  | Exec -> Format.pp_print_string ppf "EXEC"
+  | Discard -> Format.pp_print_string ppf "DISCARD"
+  | Watch k -> Format.fprintf ppf "WATCH %s" k
+  | Unwatch -> Format.pp_print_string ppf "UNWATCH"
+  | Expire (k, s) -> Format.fprintf ppf "EXPIRE %s %d" k s
+  | Pexpire (k, ms) -> Format.fprintf ppf "PEXPIRE %s %d" k ms
+  | Pexpireat (k, ms) -> Format.fprintf ppf "PEXPIREAT %s %d" k ms
+  | Ttl k -> Format.fprintf ppf "TTL %s" k
+  | Pttl k -> Format.fprintf ppf "PTTL %s" k
+  | Persist k -> Format.fprintf ppf "PERSIST %s" k
+  | Getver k -> Format.fprintf ppf "GETVER %s" k
+  | Setver (k, v) -> Format.fprintf ppf "SETVER %s %d" k v
+  | Tick n -> Format.fprintf ppf "TICK %d" n
+  | Expire_evict (k, d) -> Format.fprintf ppf "EVICT %s %d" k d
+  | Txn_test ws ->
+      Format.fprintf ppf "TXNTEST %s"
+        (String.concat " "
+           (List.concat_map (fun (k, v) -> [ k; string_of_int v ]) ws))
+  | Reset -> Format.pp_print_string ppf "RESETSTORE"
+  | Txn (ws, cmds) ->
+      Format.fprintf ppf "TXN [%s] {%s}"
+        (String.concat " "
+           (List.concat_map (fun (k, v) -> [ k; string_of_int v ]) ws))
+        (String.concat "; "
+           (List.map (fun c -> Format.asprintf "%a" pp c) cmds))
 
 let rec pp_reply ppf = function
   | Ok_reply -> Format.pp_print_string ppf "OK"
@@ -113,13 +206,30 @@ let rec pp_reply ppf = function
   | Err e -> Format.fprintf ppf "(error) %s" e
 
 (** Parse a tokenized request (e.g. from the RESP layer). *)
-let of_strings tokens =
+let rec of_strings tokens =
   let int s =
     match int_of_string_opt s with
     | Some n -> Ok n
     | None -> Error (Printf.sprintf "value is not an integer: %S" s)
   in
   let ( let* ) = Result.bind in
+  (* [k1 v1 ... kn vn] -> [(k1, v1); ...] with integer stamps *)
+  let rec stamp_pairs = function
+    | [] -> Ok []
+    | [ _ ] -> Error "odd number of watch-stamp tokens"
+    | k :: v :: rest ->
+        let* v = int v in
+        let* tl = stamp_pairs rest in
+        Ok ((k, v) :: tl)
+  in
+  let split_at n l =
+    let rec go acc n = function
+      | rest when n = 0 -> Ok (List.rev acc, rest)
+      | [] -> Error "truncated TXN frame"
+      | x :: rest -> go (x :: acc) (n - 1) rest
+    in
+    go [] n l
+  in
   match List.map String.lowercase_ascii tokens, tokens with
   | [ "ping" ], _ -> Ok Ping
   | [ "get"; _ ], [ _; k ] -> Ok (Get k)
@@ -183,13 +293,77 @@ let of_strings tokens =
   | [ "replack"; _; _ ], [ _; id; seq ] ->
       let* seq = int seq in
       Ok (Replack (id, seq))
+  | [ "multi" ], _ -> Ok Multi
+  | [ "exec" ], _ -> Ok Exec
+  | [ "discard" ], _ -> Ok Discard
+  | [ "watch"; _ ], [ _; k ] -> Ok (Watch k)
+  | [ "unwatch" ], _ -> Ok Unwatch
+  | [ "expire"; _; _ ], [ _; k; s ] ->
+      let* s = int s in
+      Ok (Expire (k, s))
+  | [ "pexpire"; _; _ ], [ _; k; ms ] ->
+      let* ms = int ms in
+      Ok (Pexpire (k, ms))
+  | [ "pexpireat"; _; _ ], [ _; k; ms ] ->
+      let* ms = int ms in
+      Ok (Pexpireat (k, ms))
+  | [ "ttl"; _ ], [ _; k ] -> Ok (Ttl k)
+  | [ "pttl"; _ ], [ _; k ] -> Ok (Pttl k)
+  | [ "persist"; _ ], [ _; k ] -> Ok (Persist k)
+  | [ "getver"; _ ], [ _; k ] -> Ok (Getver k)
+  | [ "setver"; _; _ ], [ _; k; v ] ->
+      let* v = int v in
+      Ok (Setver (k, v))
+  | [ "resetstore" ], _ -> Ok Reset
+  | [ "tick"; _ ], [ _; n ] ->
+      let* n = int n in
+      Ok (Tick n)
+  | [ "evict"; _; _ ], [ _; k; d ] ->
+      let* d = int d in
+      Ok (Expire_evict (k, d))
+  | "txntest" :: _, _ :: stamps ->
+      let* ws = stamp_pairs stamps in
+      Ok (Txn_test ws)
+  | "txn" :: _, _ :: rest -> (
+      (* TXN <nwatches> k1 v1 .. <ncmds> <ntok> tok.. <ntok> tok..
+         — flat tokens with explicit counts, so the compound entry rides
+         the ordinary RESP request framing through Aof/Persister *)
+      match rest with
+      | nw :: rest ->
+          let* nw = int nw in
+          let* stamps, rest = split_at (2 * nw) rest in
+          let* ws = stamp_pairs stamps in
+          let* rest =
+            match rest with
+            | nc :: rest ->
+                let* nc = int nc in
+                Ok (nc, rest)
+            | [] -> Error "truncated TXN frame"
+          in
+          let nc, rest = rest in
+          let rec cmds acc n rest =
+            if n = 0 then
+              if rest = [] then Ok (List.rev acc)
+              else Error "trailing tokens after TXN frame"
+            else
+              match rest with
+              | nt :: rest ->
+                  let* nt = int nt in
+                  let* toks, rest = split_at nt rest in
+                  let* c = of_strings toks in
+                  cmds (c :: acc) (n - 1) rest
+              | [] -> Error "truncated TXN frame"
+          in
+          let* body = cmds [] nc rest in
+          Ok (Txn (ws, body))
+      | [] -> Error "truncated TXN frame")
   | cmd :: _, _ -> Error (Printf.sprintf "unknown command %S" cmd)
   | [], _ -> Error "empty command"
 
 (** Inverse of {!of_strings} (up to command-name case): the token list a
     client would send.  [of_strings (to_strings c) = Ok c] for every
     command — the RESP round-trip property tests lean on this. *)
-let to_strings = function
+let rec to_strings = function
   | Ping -> [ "PING" ]
   | Get k -> [ "GET"; k ]
   | Set (k, v) -> [ "SET"; k; v ]
@@ -215,3 +389,49 @@ let to_strings = function
   | Psync off -> [ "PSYNC"; string_of_int off ]
   | Wait (n, ms) -> [ "WAIT"; string_of_int n; string_of_int ms ]
   | Replack (id, seq) -> [ "REPLACK"; id; string_of_int seq ]
+  | Multi -> [ "MULTI" ]
+  | Exec -> [ "EXEC" ]
+  | Discard -> [ "DISCARD" ]
+  | Watch k -> [ "WATCH"; k ]
+  | Unwatch -> [ "UNWATCH" ]
+  | Expire (k, s) -> [ "EXPIRE"; k; string_of_int s ]
+  | Pexpire (k, ms) -> [ "PEXPIRE"; k; string_of_int ms ]
+  | Pexpireat (k, ms) -> [ "PEXPIREAT"; k; string_of_int ms ]
+  | Ttl k -> [ "TTL"; k ]
+  | Pttl k -> [ "PTTL"; k ]
+  | Persist k -> [ "PERSIST"; k ]
+  | Getver k -> [ "GETVER"; k ]
+  | Setver (k, v) -> [ "SETVER"; k; string_of_int v ]
+  | Tick n -> [ "TICK"; string_of_int n ]
+  | Reset -> [ "RESETSTORE" ]
+  | Expire_evict (k, d) -> [ "EVICT"; k; string_of_int d ]
+  | Txn_test ws ->
+      "TXNTEST"
+      :: List.concat_map (fun (k, v) -> [ k; string_of_int v ]) ws
+  | Txn (ws, cmds) ->
+      ("TXN" :: string_of_int (List.length ws)
+      :: List.concat_map (fun (k, v) -> [ k; string_of_int v ]) ws)
+      @ string_of_int (List.length cmds)
+        :: List.concat_map
+             (fun c ->
+               let toks = to_strings c in
+               string_of_int (List.length toks) :: toks)
+             cmds
+
+(** One value per constructor, for table-driven totality tests (the
+    compile-time guarantee is {!class_of}'s wildcard-free match; this list
+    lets tests pin the derived classifications and the wire round-trip). *)
+let exemplars =
+  [
+    Ping; Get "k"; Set ("k", "v"); Del "k"; Exists "k"; Incr "k";
+    Incrby ("k", 2); Zadd ("k", 1, 2); Zincrby ("k", 1, 2); Zrank ("k", 2);
+    Zscore ("k", 2); Zcard "k"; Zrange ("k", 0, 1); Zrem ("k", 2);
+    Mget [ "a"; "b" ]; Mset [ ("a", "1"); ("b", "2") ]; Dbsize; Flushall;
+    Slowlog_get; Slowlog_reset; Slowlog_len; Sync; Psync 3; Wait (1, 50);
+    Replack ("id", 7); Multi; Exec; Discard; Watch "k"; Unwatch;
+    Expire ("k", 5); Pexpire ("k", 500); Pexpireat ("k", 1500); Ttl "k";
+    Pttl "k"; Persist "k"; Getver "k"; Setver ("k", 3); Tick 9;
+    Expire_evict ("k", 1500); Reset;
+    Txn_test [ ("a", 1); ("b", 0) ];
+    Txn ([ ("a", 1) ], [ Set ("a", "2"); Get "b"; Expire ("a", 3) ]);
+  ]

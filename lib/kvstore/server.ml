@@ -22,6 +22,20 @@
 
 type net = Pool | Evloop
 
+type session_hook =
+  exec:(Command.t -> Command.reply) ->
+  clock:(unit -> int) ->
+  Command.t ->
+  Command.reply option
+(** Per-connection command interceptor, created once per connection and
+    consulted before the executor: [Some r] answers the command itself
+    (MULTI queueing, WATCH bookkeeping, EXPIRE normalization…), [None]
+    hands it through untouched.  [exec] runs a command on the server's
+    normal path (the session uses it for WATCH stamp reads and for the
+    compound entry EXEC submits); [clock] is the server's millisecond
+    clock.  The hook lives above the store, so the fast path for
+    connections with no session state is one [passthrough] test. *)
+
 type stats = {
   accept_errors : int;
       (** transient accept failures survived (EMFILE/ECONNABORTED bursts) *)
@@ -40,6 +54,8 @@ type t = {
   nodes : int;
   exec : Command.t -> Command.reply;
   special : (Command.t -> Command.reply option) option;
+  session : session_hook option;
+  clock : unit -> int;
   obs : Kv_obs.t option;
   mutable stop : bool;
   mutable shut : bool;  (* shutdown already ran (idempotence) *)
@@ -84,6 +100,17 @@ let run_command t cmd =
               Kv_obs.observe obs cmd
                 ~duration_ns:(Nr_obs.Clock.elapsed_ns ~since:t0);
               reply))
+
+(* Instantiate the per-connection session (if the server has one) and
+   compose it in front of [run_command].  Connections that never touch
+   session state pay one predicate call per command. *)
+let conn_exec t =
+  match t.session with
+  | None -> fun cmd -> run_command t cmd
+  | Some hook ->
+      let sess = hook ~exec:(run_command t) ~clock:t.clock in
+      fun cmd ->
+        (match sess cmd with Some r -> r | None -> run_command t cmd)
 
 (* Replies can be far larger than one [Unix.write] accepts (snapshot
    streams, shipped frame batches): loop until every byte is out.
@@ -151,6 +178,7 @@ let handle_connection t client =
   else begin
     let buf = Buffer.create 256 in
     let chunk = Bytes.create 4096 in
+    let exec = conn_exec t in
     let rec serve () =
       (* parse as many complete requests as the buffer holds: O(total)
          over a pipelined burst — the cursor walks [data] once and the
@@ -162,7 +190,7 @@ let handle_connection t client =
         | Resp.Parsed (tokens, consumed) ->
             let reply =
               match Command.of_strings tokens with
-              | Ok cmd -> run_command t cmd
+              | Ok cmd -> exec cmd
               | Error e -> Command.Err e
             in
             send_reply t client reply;
@@ -209,10 +237,13 @@ let handle_connection_ev t sched ev ~node client =
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 8192 in
   let out = Buffer.create 1024 in
+  (* the session is only ever stepped by one job at a time: the fiber
+     awaits a batch's replies before parsing more of the connection *)
+  let exec = conn_exec t in
   let exec_one parsed =
     match parsed with
     | Ok cmd -> (
-        try run_command t cmd
+        try exec cmd
         with e ->
           Command.Err
             (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
@@ -276,7 +307,8 @@ let handle_connection_ev t sched ev ~node client =
 
 (* --- lifecycle ------------------------------------------------------ *)
 
-let create ?obs ?special ?(net = Pool) ?(nodes = 1) ~port ~workers exec =
+let create ?obs ?special ?session ?(clock = fun () -> 0) ?(net = Pool)
+    ?(nodes = 1) ~port ~workers exec =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -300,6 +332,8 @@ let create ?obs ?special ?(net = Pool) ?(nodes = 1) ~port ~workers exec =
     nodes = max 1 nodes;
     exec;
     special;
+    session;
+    clock;
     obs;
     stop = false;
     shut = false;

@@ -17,6 +17,19 @@ type t
 
 type net = Pool | Evloop
 
+type session_hook =
+  exec:(Command.t -> Command.reply) ->
+  clock:(unit -> int) ->
+  Command.t ->
+  Command.reply option
+(** Per-connection command interceptor, instantiated once per accepted
+    connection: [Some r] answers the command at the session layer (MULTI
+    queueing, WATCH stamp bookkeeping, relative-expiry normalization),
+    [None] falls through to the executor.  [exec] runs a command on the
+    server's normal path — the session uses it for WATCH stamp reads and
+    for the compound entry EXEC submits; [clock] is the server's
+    millisecond clock.  See {!Nr_txn.Session.hook}. *)
+
 type stats = {
   accept_errors : int;
       (** transient accept failures survived (EMFILE/ECONNABORTED bursts) *)
@@ -29,6 +42,8 @@ type stats = {
 val create :
   ?obs:Kv_obs.t ->
   ?special:(Command.t -> Command.reply option) ->
+  ?session:session_hook ->
+  ?clock:(unit -> int) ->
   ?net:net ->
   ?nodes:int ->
   port:int ->
@@ -38,6 +53,13 @@ val create :
 (** Bind 127.0.0.1:[port] ([0] picks any free port) and spawn the
     executors ([net] defaults to [Pool]).  Does not start accepting; call
     {!serve}.
+
+    [session] enables per-connection transaction sessions (MULTI / EXEC /
+    DISCARD / WATCH / UNWATCH and relative EXPIRE/PEXPIRE); without it
+    those commands fall through to the executor, whose store answers them
+    with a polite refusal.  [clock] (milliseconds, default the constant
+    0) anchors relative expiries; servers with real TTL support pass a
+    monotonic wall clock.
 
     In [Evloop] mode, [nodes] (default 1) is the number of per-node run
     queues; connections are pinned round-robin to a node at accept time

@@ -13,15 +13,95 @@ type value = Str of string | Zset of Zset.t
 type t = {
   keyspace : (string, value) Nr_seqds.Hashtable.t;
   mutable zset_seed : int;  (** deterministic seeds for new zsets *)
+  expires : (string, int) Nr_seqds.Hashtable.t;
+      (** absolute ms deadlines; a key may sit here logically dead until a
+          logged [Expire_evict] or a mutation materializes the removal *)
+  versions : (string, int) Nr_seqds.Hashtable.t;
+      (** monotone per-key version stamps for WATCH; never reset on delete
+          (ABA protection), bumped only by effective, logged mutations so
+          every replica agrees on every stamp *)
+  mutable now_ms : int;
+      (** logical clock: advanced only by logged [Tick] entries (monotone
+          max), the only notion of time mutations may consult — replicas
+          applying the same log prefix always agree on it *)
 }
 
 type op = Command.t
 type result = Command.reply
 
-let create () =
-  { keyspace = Nr_seqds.Hashtable.create (); zset_seed = 0x25E7 }
+(* {2 Process-global knobs}
 
-let dbsize t = Nr_seqds.Hashtable.length t.keyspace
+   [read_clock]: optional wall-clock sampler consulted by the *read* path
+   only — a key reads as expired once its deadline passes
+   [max now_ms (sample ())], so the server can observe expirations between
+   wheel ticks.  Mutations never sample it (they would diverge across
+   replicas applying at different wall times).  [None] (the default) keeps
+   reads purely logical: bit-for-bit the pre-TTL behavior when no expiry
+   commands are issued.
+
+   [expire_skip_log]: the planted [Expire_skip_log] mutation — a read that
+   observes an expired key "helpfully" deletes it from the local replica
+   (bumping its stamp) without logging the eviction, the classic
+   expiry-not-propagated bug.  Replica version stamps diverge and the
+   lincheck WATCH/GETVER coverage flags it. *)
+
+let read_clock : (unit -> int) option ref = ref None
+let expire_skip_log = ref false
+
+let create () =
+  {
+    keyspace = Nr_seqds.Hashtable.create ();
+    zset_seed = 0x25E7;
+    expires = Nr_seqds.Hashtable.create ();
+    versions = Nr_seqds.Hashtable.create ();
+    now_ms = 0;
+  }
+
+let bump t k =
+  Nr_seqds.Hashtable.set t.versions k
+    (1 + Option.value ~default:0 (Nr_seqds.Hashtable.find t.versions k))
+
+let version t k = Option.value ~default:0 (Nr_seqds.Hashtable.find t.versions k)
+let deadline t k = Nr_seqds.Hashtable.find t.expires k
+
+(** The read path's view of "now": the logical clock, advanced by the
+    sampler when one is installed.  [logical] forces pure logical time —
+    used inside transaction bodies so a logged [Txn] replays identically
+    on every replica. *)
+let read_now ~logical t =
+  match (logical, !read_clock) with
+  | false, Some f -> max t.now_ms (f ())
+  | _ -> t.now_ms
+
+let dead_at t k ~now =
+  match deadline t k with Some d -> d <= now | None -> false
+
+(** Dead for mutation purposes: logical clock only. *)
+let mutation_dead t k = dead_at t k ~now:t.now_ms
+
+(** Materialize a logically-expired key on the *mutation* path (same log
+    position on every replica, hence deterministic).  Returns true if a
+    purge happened; callers fold the purge into their own single version
+    bump for the command. *)
+let purge_if_dead t k =
+  if mutation_dead t k then begin
+    ignore (Nr_seqds.Hashtable.remove t.keyspace k);
+    ignore (Nr_seqds.Hashtable.remove t.expires k);
+    true
+  end
+  else false
+
+let dbsize_raw t = Nr_seqds.Hashtable.length t.keyspace
+
+(** Live keys only: a key past its (read-visible) deadline no longer
+    counts even before a wheel eviction materializes the removal. *)
+let dbsize ?(logical = false) t =
+  if Nr_seqds.Hashtable.length t.expires = 0 then dbsize_raw t
+  else
+    let now = read_now ~logical t in
+    Nr_seqds.Hashtable.fold
+      (fun acc k _ -> if dead_at t k ~now then acc else acc + 1)
+      t.keyspace 0
 
 let zset_of t key =
   match Nr_seqds.Hashtable.find t.keyspace key with
@@ -40,51 +120,105 @@ let get_or_make_zset t key =
       Ok z
   | Error e -> Error e
 
-let rec execute t (cmd : op) : result =
+(* [logical]: inside a logged [Txn] body every read must use the logical
+   clock only, so the compound entry replays identically on every replica
+   and on AOF recovery. *)
+let rec exec ~logical t (cmd : op) : result =
   let open Command in
+  (* the wall sampler is consulted lazily — a command over keys with no
+     deadline never pays for it (nor perturbs it in tests) *)
+  let now = lazy (read_now ~logical t) in
+  let dead k =
+    match deadline t k with Some d -> d <= Lazy.force now | None -> false
+  in
+  (* the read path's masked lookup: a key past its read-visible deadline
+     answers as missing but is *not* removed — reads never mutate (paper
+     §4); materialization is a logged Expire_evict or a later mutation *)
+  let read_find k =
+    if dead k then begin
+      if !expire_skip_log then begin
+        (* planted Expire_skip_log bug: apply the expiry locally, without
+           logging it — this replica's stamp now disagrees with the rest *)
+        ignore (Nr_seqds.Hashtable.remove t.keyspace k);
+        ignore (Nr_seqds.Hashtable.remove t.expires k);
+        bump t k
+      end;
+      None
+    end
+    else Nr_seqds.Hashtable.find t.keyspace k
+  in
   let with_zset key f =
-    match zset_of t key with
-    | Ok z -> f z
-    | Error "__missing__" -> Nil
-    | Error e -> Err e
+    match read_find key with
+    | Some (Zset z) -> f z
+    | Some (Str _) ->
+        Err "WRONGTYPE operation against a key holding the wrong kind of value"
+    | None -> Nil
   in
   match cmd with
   | Ping -> Pong
   | Get k -> (
-      match Nr_seqds.Hashtable.find t.keyspace k with
+      match read_find k with
       | Some (Str s) -> Bulk s
       | Some (Zset _) ->
           Err "WRONGTYPE operation against a key holding the wrong kind of value"
       | None -> Nil)
   | Set (k, v) ->
+      ignore (Nr_seqds.Hashtable.remove t.expires k);
       Nr_seqds.Hashtable.set t.keyspace k (Str v);
+      bump t k;
       Ok_reply
-  | Del k -> Int (match Nr_seqds.Hashtable.remove t.keyspace k with
-                  | Some _ -> 1
-                  | None -> 0)
-  | Exists k -> Int (if Nr_seqds.Hashtable.mem t.keyspace k then 1 else 0)
-  | Incr k -> execute t (Incrby (k, 1))
-  | Incrby (k, n) -> (
-      match Nr_seqds.Hashtable.find t.keyspace k with
-      | Some (Str s) -> (
-          match int_of_string_opt s with
-          | Some v ->
-              let v = v + n in
-              Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int v));
-              Int v
-          | None -> Err "value is not an integer or out of range")
-      | Some (Zset _) ->
-          Err "WRONGTYPE operation against a key holding the wrong kind of value"
-      | None ->
-          Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int n));
-          Int n)
+  | Del k ->
+      if purge_if_dead t k then begin
+        bump t k;
+        Int 0
+      end
+      else (
+        match Nr_seqds.Hashtable.remove t.keyspace k with
+        | Some _ ->
+            ignore (Nr_seqds.Hashtable.remove t.expires k);
+            bump t k;
+            Int 1
+        | None -> Int 0)
+  | Exists k -> Int (match read_find k with Some _ -> 1 | None -> 0)
+  | Incr k -> exec ~logical t (Incrby (k, 1))
+  | Incrby (k, n) ->
+      if purge_if_dead t k then begin
+        Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int n));
+        bump t k;
+        Int n
+      end
+      else (
+        match Nr_seqds.Hashtable.find t.keyspace k with
+        | Some (Str s) -> (
+            match int_of_string_opt s with
+            | Some v ->
+                let v = v + n in
+                Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int v));
+                bump t k;
+                Int v
+            | None -> Err "value is not an integer or out of range")
+        | Some (Zset _) ->
+            Err
+              "WRONGTYPE operation against a key holding the wrong kind of value"
+        | None ->
+            Nr_seqds.Hashtable.set t.keyspace k (Str (string_of_int n));
+            bump t k;
+            Int n)
   | Zadd (k, s, m) -> (
+      ignore (purge_if_dead t k);
       match get_or_make_zset t k with
-      | Ok z -> Int (if Zset.add z ~member:m ~score:s then 1 else 0)
+      | Ok z ->
+          let added = Zset.add z ~member:m ~score:s in
+          bump t k;
+          Int (if added then 1 else 0)
       | Error e -> Err e)
   | Zincrby (k, d, m) -> (
+      ignore (purge_if_dead t k);
       match get_or_make_zset t k with
-      | Ok z -> Int (Zset.incrby z ~member:m ~delta:d)
+      | Ok z ->
+          let v = Zset.incrby z ~member:m ~delta:d in
+          bump t k;
+          Int v
       | Error e -> Err e)
   | Zrank (k, m) ->
       with_zset k (fun z ->
@@ -93,10 +227,11 @@ let rec execute t (cmd : op) : result =
       with_zset k (fun z ->
           match Zset.score z m with Some s -> Int s | None -> Nil)
   | Zcard k -> (
-      match zset_of t k with
-      | Ok z -> Int (Zset.cardinal z)
-      | Error "__missing__" -> Int 0
-      | Error e -> Err e)
+      match read_find k with
+      | Some (Zset z) -> Int (Zset.cardinal z)
+      | Some (Str _) ->
+          Err "WRONGTYPE operation against a key holding the wrong kind of value"
+      | None -> Int 0)
   | Zrange (k, a, b) ->
       with_zset k (fun z ->
           Array
@@ -104,20 +239,30 @@ let rec execute t (cmd : op) : result =
                (fun (m, s) -> [ Int m; Int s ])
                (Zset.range z ~start:a ~stop:b)))
   | Zrem (k, m) ->
-      with_zset k (fun z -> Int (if Zset.remove z m then 1 else 0))
+      if purge_if_dead t k then Nil
+      else
+        with_zset k (fun z ->
+            let hit = Zset.remove z m in
+            if hit then bump t k;
+            Int (if hit then 1 else 0))
   | Mget ks ->
       (* like Redis: a wrong-typed key yields nil, never an error *)
       Array
         (List.map
            (fun k ->
-             match Nr_seqds.Hashtable.find t.keyspace k with
+             match read_find k with
              | Some (Str s) -> Bulk s
              | Some (Zset _) | None -> Nil)
            ks)
   | Mset ps ->
-      List.iter (fun (k, v) -> Nr_seqds.Hashtable.set t.keyspace k (Str v)) ps;
+      List.iter
+        (fun (k, v) ->
+          ignore (Nr_seqds.Hashtable.remove t.expires k);
+          Nr_seqds.Hashtable.set t.keyspace k (Str v);
+          bump t k)
+        ps;
       Ok_reply
-  | Dbsize -> Int (dbsize t)
+  | Dbsize -> Int (dbsize ~logical t)
   | Slowlog_get | Slowlog_reset | Slowlog_len ->
       (* answered by the serving layer; a store reached directly (tests,
          bare executors) reports the misrouting instead of crashing *)
@@ -126,12 +271,97 @@ let rec execute t (cmd : op) : result =
       Err "SYNC is handled by the server"
   | Wait _ | Replack _ ->
       Err "WAIT is handled by the server"
+  | Multi | Exec | Discard | Watch _ | Unwatch ->
+      Err "MULTI is handled by the server"
+  | Expire _ | Pexpire _ ->
+      (* relative expiries are session-normalized to absolute PEXPIREAT
+         before they may reach the log; anything else is a misroute *)
+      Err "EXPIRE is handled by the server"
+  | Pexpireat (k, d) ->
+      if purge_if_dead t k then begin
+        bump t k;
+        Int 0
+      end
+      else if not (Nr_seqds.Hashtable.mem t.keyspace k) then Int 0
+      else if deadline t k = Some d then Int 1
+      else begin
+        Nr_seqds.Hashtable.set t.expires k d;
+        bump t k;
+        Int 1
+      end
+  | Persist k ->
+      if purge_if_dead t k then begin
+        bump t k;
+        Int 0
+      end
+      else if Nr_seqds.Hashtable.mem t.keyspace k && deadline t k <> None
+      then begin
+        ignore (Nr_seqds.Hashtable.remove t.expires k);
+        bump t k;
+        Int 1
+      end
+      else Int 0
+  | Ttl k | Pttl k -> (
+      match read_find k with
+      | None -> Int (-2)
+      | Some _ -> (
+          match deadline t k with
+          | None -> Int (-1)
+          | Some d -> (
+              let ms = d - Lazy.force now in
+              match cmd with
+              | Ttl _ -> Int ((ms + 999) / 1000)
+              | _ -> Int ms)))
+  | Getver k -> Int (version t k)
+  | Setver (k, v) ->
+      (* absolute assignment: a dump's SETVER section comes after all data
+         lines and covers every versioned key, so replay — whether into a
+         fresh store or over a flushed one whose Flushall bumps inflated
+         stamps — lands exactly on the dumping store's values *)
+      Nr_seqds.Hashtable.set t.versions k v;
+      Ok_reply
+  | Tick n ->
+      t.now_ms <- max t.now_ms n;
+      Int t.now_ms
+  | Expire_evict (k, d) ->
+      (* incarnation guard: only evict if the deadline is still the one the
+         wheel saw — a Set/Persist/re-expire in between makes this a no-op *)
+      if deadline t k = Some d then begin
+        ignore (Nr_seqds.Hashtable.remove t.keyspace k);
+        ignore (Nr_seqds.Hashtable.remove t.expires k);
+        bump t k;
+        Int 1
+      end
+      else Int 0
+  | Txn_test ws ->
+      Int (if List.for_all (fun (k, v) -> version t k = v) ws then 1 else 0)
+  | Txn (ws, cmds) ->
+      if List.for_all (fun (k, v) -> version t k = v) ws then
+        Array (List.map (exec ~logical:true t) cmds)
+      else Nil
   | Flushall ->
       let keys =
         Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.keyspace []
       in
-      List.iter (fun k -> ignore (Nr_seqds.Hashtable.remove t.keyspace k)) keys;
+      List.iter
+        (fun k ->
+          ignore (Nr_seqds.Hashtable.remove t.keyspace k);
+          ignore (Nr_seqds.Hashtable.remove t.expires k);
+          bump t k)
+        keys;
       Ok_reply
+  | Reset ->
+      let clear tbl =
+        let keys = Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) tbl [] in
+        List.iter (fun k -> ignore (Nr_seqds.Hashtable.remove tbl k)) keys
+      in
+      clear t.keyspace;
+      clear t.expires;
+      clear t.versions;
+      t.now_ms <- 0;
+      Ok_reply
+
+let execute t cmd = exec ~logical:false t cmd
 
 let is_read_only = Command.is_read_only
 
@@ -179,9 +409,31 @@ let footprint t (cmd : op) =
   | Dbsize | Slowlog_get | Slowlog_reset | Slowlog_len | Sync | Psync _
   | Wait _ | Replack _ ->
       Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
-  | Flushall ->
-      Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize t) ~writes:(dbsize t)
-        ~hot_write:true ()
+  | Multi | Exec | Discard | Watch _ | Unwatch ->
+      Nr_runtime.Footprint.v ~key:0 ~reads:1 ()
+  | Expire (k, _) | Pexpire (k, _) | Ttl k | Pttl k | Getver k ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash k) ~reads:2 ()
+  | Pexpireat (k, _) | Persist k | Expire_evict (k, _) | Setver (k, _) ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash k) ~reads:2 ~writes:1 ()
+  | Tick _ -> Nr_runtime.Footprint.v ~key:0 ~reads:1 ~writes:1 ()
+  | Txn_test ws ->
+      Nr_runtime.Footprint.v ~key:(Hashtbl.hash ws)
+        ~reads:(1 + (2 * List.length ws))
+        ()
+  | Txn (ws, cmds) ->
+      (* one compound entry: the watch probes plus a flat estimate for the
+         body — the point of the exercise is that this is *one* combiner
+         handoff regardless of body length.  The line key hashes the body
+         itself so distinct transactions touch distinct simulated lines,
+         exactly as their commands would individually. *)
+      Nr_runtime.Footprint.v
+        ~key:(Hashtbl.hash (ws, cmds))
+        ~reads:((2 * List.length ws) + (2 * List.length cmds))
+        ~writes:(max 1 (List.length cmds))
+        ()
+  | Flushall | Reset ->
+      Nr_runtime.Footprint.v ~key:0 ~reads:(dbsize_raw t)
+        ~writes:(dbsize_raw t) ~hot_write:true ()
 
 (* {2 Snapshot codec} — the store serialized as the command stream that
    rebuilds it: one RESP-encoded SET per string key, one ZADD per sorted-set
@@ -198,7 +450,7 @@ let dump t =
   in
   List.iter
     (fun k ->
-      match Nr_seqds.Hashtable.find t.keyspace k with
+      (match Nr_seqds.Hashtable.find t.keyspace k with
       | Some (Str v) -> Buffer.add_string buf (Resp.encode_request [ "SET"; k; v ])
       | Some (Zset z) ->
           List.iter
@@ -207,8 +459,30 @@ let dump t =
                 (Resp.encode_request
                    [ "ZADD"; k; string_of_int s; string_of_int m ]))
             (Zset.to_list z)
+      | None -> ());
+      match Nr_seqds.Hashtable.find t.expires k with
+      | Some d ->
+          Buffer.add_string buf
+            (Resp.encode_request [ "PEXPIREAT"; k; string_of_int d ])
       | None -> ())
     keys;
+  (* version stamps, including deleted-but-once-versioned keys: a
+     FULLRESYNC'd follower must reach the same WATCH verdicts as the
+     leader.  [Setver] assigns absolutely and this section follows every
+     data line, so it overrides replay-accumulated bumps no matter how
+     the target store arrived here (fresh recovery or flush-and-reload). *)
+  let vkeys =
+    List.sort compare
+      (Nr_seqds.Hashtable.fold (fun acc k _ -> k :: acc) t.versions [])
+  in
+  List.iter
+    (fun k ->
+      Buffer.add_string buf
+        (Resp.encode_request [ "SETVER"; k; string_of_int (version t k) ]))
+    vkeys;
+  if t.now_ms > 0 then
+    Buffer.add_string buf
+      (Resp.encode_request [ "TICK"; string_of_int t.now_ms ]);
   Buffer.contents buf
 
 (** Replay a {!dump} stream into [t] (which need not be empty: replication
@@ -245,6 +519,15 @@ let fingerprint t =
           0x100000001b3L)
     s;
   !h
+
+(** All (key, absolute-ms deadline) pairs — wheel reseeding after
+    recovery.  Stale entries are harmless: {!Command.Expire_evict} carries
+    the deadline it saw and the store ignores mismatches. *)
+let expirations t =
+  List.sort compare
+    (Nr_seqds.Hashtable.fold (fun acc k d -> (k, d) :: acc) t.expires [])
+
+let logical_now t = t.now_ms
 
 let lines t =
   let zset_lines =

@@ -85,7 +85,11 @@ let apply ?on_op ?on_full ?(strict = false) ~exec ~offset
              "replication: full resync would regress offset (%d < %d)" upto
              offset)
       else begin
-        ignore (exec Command.Flushall);
+        (* hard reset, not FLUSHALL: flushing bumps version stamps, and
+           stamps of keys the leader never versioned would survive the
+           dump's SETVER section, skewing later WATCH verdicts (and the
+           fingerprint) *)
+        ignore (exec Command.Reset);
         let n = String.length dump in
         let rec go pos =
           if pos >= n then Ok ()

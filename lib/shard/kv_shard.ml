@@ -11,9 +11,11 @@ include Nr_kvstore.Store
 
 let route : op -> Sharded.route = function
   | C.Ping | C.Slowlog_get | C.Slowlog_reset | C.Slowlog_len
-  | C.Sync | C.Psync _ | C.Wait _ | C.Replack _ ->
-      (* replication handshakes are answered at the serving layer; routing
-         them to a fixed shard just yields the store's polite refusal *)
+  | C.Sync | C.Psync _ | C.Wait _ | C.Replack _
+  (* session-state commands are answered before routing; reaching a shard
+     just yields the store's polite refusal *)
+  | C.Multi | C.Exec | C.Discard | C.Watch _ | C.Unwatch
+  | C.Expire _ | C.Pexpire _ ->
       Sharded.Single ""
   | C.Get k
   | C.Set (k, _)
@@ -27,9 +29,26 @@ let route : op -> Sharded.route = function
   | C.Zscore (k, _)
   | C.Zcard k
   | C.Zrange (k, _, _)
-  | C.Zrem (k, _) ->
+  | C.Zrem (k, _)
+  | C.Pexpireat (k, _)
+  | C.Ttl k
+  | C.Pttl k
+  | C.Persist k
+  | C.Getver k
+  | C.Setver (k, _)
+  | C.Expire_evict (k, _) ->
       Sharded.Single k
-  | C.Mget _ | C.Mset _ | C.Dbsize | C.Flushall -> Sharded.Cross
+  | C.Txn_test ws ->
+      (* standalone probe: home it on its first watched key (the sharded
+         coordinator issues per-shard probes directly, never through here) *)
+      Sharded.Single (match ws with (k, _) :: _ -> k | [] -> "")
+  | C.Mget _ | C.Mset _ | C.Dbsize | C.Flushall
+  (* TICK must advance every shard's logical clock; RESET every shard *)
+  | C.Tick _ | C.Reset
+  (* transactions are intercepted by the coordinator's txn support before
+     routing; Cross documents "may touch anything" for completeness *)
+  | C.Txn _ ->
+      Sharded.Cross
 
 (* Bucket [items] by shard of [key_of item], preserving relative order
    within a shard (MSET's later-wins semantics depends on it), ascending
@@ -45,6 +64,8 @@ let split op ~shards ~shard_of =
   match op with
   | C.Dbsize -> List.init shards (fun i -> (i, C.Dbsize))
   | C.Flushall -> List.init shards (fun i -> (i, C.Flushall))
+  | C.Tick n -> List.init shards (fun i -> (i, C.Tick n))
+  | C.Reset -> List.init shards (fun i -> (i, C.Reset))
   | C.Mget ks ->
       List.map
         (fun (i, ks) -> (i, C.Mget ks))
@@ -62,7 +83,10 @@ let merge op ~shards ~shard_of results =
         (List.fold_left
            (fun acc (_, r) -> match r with C.Int n -> acc + n | _ -> acc)
            0 results)
-  | C.Flushall | C.Mset _ -> C.Ok_reply
+  | C.Flushall | C.Mset _ | C.Reset -> C.Ok_reply
+  | C.Tick _ ->
+      (* every shard reports its (identical) advanced clock; any one will do *)
+      (match results with (_, r) :: _ -> r | [] -> C.Int 0)
   | C.Mget ks ->
       (* each shard answered its keys in the order [split] sent them,
          i.e. original order restricted to the shard: replay the original
@@ -83,3 +107,16 @@ let merge op ~shards ~shard_of results =
              | [] -> C.Nil)
            ks)
   | _ -> invalid_arg "Kv_shard.merge: not a cross-shard command"
+
+let txn : (op, result) Sharded.txn_support option =
+  Some
+    {
+      Sharded.decompose =
+        (function C.Txn (ws, body) -> Some (ws, body) | _ -> None);
+      test = (fun ws -> C.Txn_test ws);
+      passed = (function C.Int 1 -> true | _ -> false);
+      abort = C.Nil;
+      commit = (fun rs -> C.Array rs);
+      lift = (fun c -> C.Txn ([], [ c ]));
+      unlift = (function C.Array [ r ] -> r | r -> r);
+    }

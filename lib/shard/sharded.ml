@@ -38,6 +38,32 @@ type route =
   | Single of string  (** touches one key: executes on its home shard *)
   | Cross  (** multi-key / whole-store: goes through the coordinator *)
 
+(** How the coordinator takes a compound transaction apart.  A structure
+    that has transactions exposes [decompose]; everything else says
+    [None] and pays nothing.
+
+    A transaction whose keys (watches + body) all live on one shard is
+    submitted whole through that shard's NR — one compound log entry,
+    plain NR's linearization.  A cross-shard transaction runs as a
+    two-phase guarded window under the canonical-order write locks:
+    phase 1 probes each involved shard's watch stamps with [test] (a
+    read), and only if every probe [passed] does phase 2 execute the body
+    commands — so no shard ever commits a transaction another shard
+    aborted, and the fully-locked window gives the whole block one
+    linearization point exactly as for the other cross-shard ops. *)
+type ('op, 'res) txn_support = {
+  decompose : 'op -> ((string * int) list * 'op list) option;
+  test : (string * int) list -> 'op;  (** read-only per-shard stamp probe *)
+  passed : 'res -> bool;  (** did the probe validate? *)
+  abort : 'res;  (** the whole-transaction abort reply *)
+  commit : 'res list -> 'res;  (** assemble body replies *)
+  lift : 'op -> 'op;
+      (** wrap one body command so it executes with the transaction's
+          deterministic (logical-clock) read semantics when submitted to
+          a shard on its own — e.g. as a singleton compound entry *)
+  unlift : 'res -> 'res;  (** undo [lift] on the command's reply *)
+}
+
 (** What the sharded wrapper needs beyond {!Nr_core.Ds_intf.S}: a route
     per operation, and for cross-shard operations a split into at most
     one sub-operation per shard plus a merge of the sub-results. *)
@@ -60,6 +86,9 @@ module type SHARDABLE = sig
     result
   (** Combine the sub-results (same shard indices [split] produced) into
       the operation's reply. *)
+
+  val txn : (op, result) txn_support option
+  (** [None] for structures without compound transactions. *)
 end
 
 module Make (R : Nr_runtime.Runtime_intf.S) (Sub : SHARDABLE) = struct
@@ -146,17 +175,98 @@ module Make (R : Nr_runtime.Runtime_intf.S) (Sub : SHARDABLE) = struct
         ~arg:locks "cross";
     Sub.merge op ~shards ~shard_of results
 
+  (* Two-phase guarded transaction across shards; all involved locks are
+     already ordered ascending by construction of [slots]. *)
+  let exec_txn t ts op ~watches ~body =
+    let n = Array.length t.shards in
+    let shard_of = Router.shard_of t.router in
+    let involved = Array.make n false in
+    List.iter (fun (k, _) -> involved.(shard_of k) <- true) watches;
+    List.iter
+      (fun c ->
+        match Sub.route c with
+        | Single k -> involved.(shard_of k) <- true
+        | Cross -> Array.fill involved 0 n true)
+      body;
+    let slots =
+      List.filter (fun i -> involved.(i)) (List.init n (fun i -> i))
+    in
+    match slots with
+    | [] | [ _ ] ->
+        (* at most one shard involved: the compound entry goes through that
+           shard's log whole — a single linearization point for free *)
+        let s = match slots with [ s ] -> s | _ -> 0 in
+        exec_single t s op
+    | slots ->
+        let tracing = Nr_obs.Sink.tracing () in
+        if tracing then
+          Nr_obs.Sink.span_begin ~tid:(R.tid ()) ~node:(R.my_node ())
+            ~cat:"shard" "txn";
+        List.iter (fun i -> Rw.write_lock t.locks.(i)) slots;
+        let ok =
+          List.for_all
+            (fun i ->
+              let ws_i =
+                List.filter (fun (k, _) -> shard_of k = i) watches
+              in
+              ws_i = []
+              || ts.passed (NR.execute t.shards.(i) (ts.test ws_i)))
+            slots
+        in
+        let result =
+          if not ok then ts.abort
+          else
+            ts.commit
+              (List.map
+                 (fun c ->
+                   (* body commands submitted per shard are lifted so their
+                      reads stay logical — byte-for-byte the semantics the
+                      single-shard compound entry gives the same body *)
+                   match Sub.route c with
+                   | Single k ->
+                       ts.unlift
+                         (NR.execute t.shards.(shard_of k) (ts.lift c))
+                   | Cross ->
+                       let subs = Sub.split c ~shards:n ~shard_of in
+                       Sub.merge c ~shards:n ~shard_of
+                         (List.map
+                            (fun (i, sub) ->
+                              ( i,
+                                ts.unlift
+                                  (NR.execute t.shards.(i) (ts.lift sub)) ))
+                            subs))
+                 body)
+        in
+        List.iter (fun i -> Rw.write_unlock t.locks.(i)) slots;
+        let locks = List.length slots in
+        Shard_stats.record_cross t.stats ~subops:(List.length body) ~locks;
+        if tracing then
+          Nr_obs.Sink.span_end ~tid:(R.tid ()) ~node:(R.my_node ())
+            ~cat:"shard" ~arg:locks "txn";
+        result
+
   let execute t op =
     if Array.length t.locks = 0 then NR.execute t.shards.(0) op
     else
-      match Sub.route op with
-      | Single key ->
-          let s =
-            if Sub.is_read_only op then Router.read_shard_of t.router key
-            else Router.shard_of t.router key
-          in
-          exec_single t s op
-      | Cross -> exec_cross t op
+      let parts =
+        match Sub.txn with
+        | Some ts -> (
+            match ts.decompose op with
+            | Some (w, b) -> Some (ts, w, b)
+            | None -> None)
+        | None -> None
+      in
+      match parts with
+      | Some (ts, watches, body) -> exec_txn t ts op ~watches ~body
+      | None -> (
+          match Sub.route op with
+          | Single key ->
+              let s =
+                if Sub.is_read_only op then Router.read_shard_of t.router key
+                else Router.shard_of t.router key
+              in
+              exec_single t s op
+          | Cross -> exec_cross t op)
 
   let register_metrics reg ?prefix t =
     Shard_stats.register_metrics reg ?prefix t.stats

@@ -1,0 +1,116 @@
+(** Per-connection transaction session: the MULTI/EXEC/WATCH/DISCARD state
+    machine, and the place relative expiries become absolute.
+
+    The session never touches the store directly.  It answers
+    session-state commands itself ([Reply]) and rewrites everything else
+    into the command that should actually run ([Execute]) — for EXEC that
+    is one compound {!Nr_kvstore.Command.Txn} entry, which the caller
+    submits through the NR log like any other mutation.  Because the
+    compound entry linearizes at a single log position, atomicity and
+    isolation come for free (the paper's black-box trick; ROADMAP
+    item 3): no concurrent reader can land between its body commands.
+
+    WATCH is optimistic concurrency via version stamps: at WATCH time the
+    session reads the key's current stamp through [exec_read] (a
+    linearizable read), and the stamps ride inside the [Txn] entry, where
+    every replica re-validates them at apply time. *)
+
+module C = Nr_kvstore.Command
+
+type t = {
+  mutable watches : (string * int) list;  (* newest first *)
+  mutable queue : C.t list option;  (* Some = in MULTI, newest first *)
+  mutable dirty : bool;  (* a queued command failed to classify *)
+}
+
+type action = Reply of C.reply | Execute of C.t
+
+let create () = { watches = []; queue = None; dirty = false }
+let in_multi t = t.queue <> None
+
+(** True when the command needs no session handling in the current state —
+    the evloop run-to-completion fast path may execute it directly. *)
+let passthrough t (cmd : C.t) =
+  t.queue = None && C.class_of cmd <> C.Session_state
+
+let reset t =
+  t.watches <- [];
+  t.queue <- None;
+  t.dirty <- false
+
+(* relative expiries become absolute deadlines at the last possible
+   moment (EXEC / submission), against the *server* clock — the store's
+   logical clock only advances on Tick entries and must never be used to
+   anchor "now + 5s" *)
+let normalize ~now_ms (cmd : C.t) : C.t =
+  match cmd with
+  | C.Expire (k, s) -> C.Pexpireat (k, now_ms + (1000 * s))
+  | C.Pexpire (k, ms) -> C.Pexpireat (k, now_ms + ms)
+  | c -> c
+
+let step t ~exec_read ~now_ms (cmd : C.t) : action =
+  match (t.queue, cmd) with
+  (* ---- not in a MULTI block ---- *)
+  | None, C.Multi ->
+      t.queue <- Some [];
+      t.dirty <- false;
+      Reply C.Ok_reply
+  | None, C.Exec -> Reply (C.Err "EXEC without MULTI")
+  | None, C.Discard -> Reply (C.Err "DISCARD without MULTI")
+  | None, C.Watch k -> (
+      match exec_read (C.Getver k) with
+      | C.Int v ->
+          t.watches <- (k, v) :: List.remove_assoc k t.watches;
+          Reply C.Ok_reply
+      | C.Err e -> Reply (C.Err e)
+      | _ -> Reply (C.Err "WATCH: unexpected reply reading version stamp"))
+  | None, C.Unwatch ->
+      t.watches <- [];
+      Reply C.Ok_reply
+  | None, (C.Expire _ | C.Pexpire _) -> Execute (normalize ~now_ms:(now_ms ()) cmd)
+  | None, c -> Execute c
+  (* ---- queuing inside MULTI ---- *)
+  | Some _, C.Multi -> Reply (C.Err "MULTI calls can not be nested")
+  | Some _, C.Watch _ -> Reply (C.Err "WATCH inside MULTI is not allowed")
+  | Some _, C.Unwatch ->
+      (* harmless inside MULTI: the stamps are consumed at EXEC anyway *)
+      Reply C.Ok_reply
+  | Some _, C.Discard ->
+      reset t;
+      Reply C.Ok_reply
+  | Some q, C.Exec ->
+      if t.dirty then begin
+        reset t;
+        Reply (C.Err "EXECABORT Transaction discarded because of previous errors.")
+      end
+      else begin
+        let now = now_ms () in
+        let body = List.rev_map (normalize ~now_ms:now) q in
+        let watches = List.rev t.watches in
+        reset t;
+        Execute (C.Txn (watches, body))
+      end
+  | Some q, c -> (
+      match C.class_of c with
+      | C.Read | C.Write | C.Session_state ->
+          (* Session_state here can only be EXPIRE/PEXPIRE (the rest were
+             matched above); they queue and normalize at EXEC time *)
+          t.queue <- Some (c :: q);
+          Reply (C.Bulk "QUEUED")
+      | C.Server_local ->
+          t.dirty <- true;
+          Reply
+            (C.Err
+               (Format.asprintf "%a is not allowed in transactions" C.pp c)))
+
+(** A {!Nr_kvstore.Server.session_hook}: one session per connection,
+    stepped in front of the server's normal execution path. *)
+let hook ~exec ~clock =
+  let t = create () in
+  fun cmd ->
+    if passthrough t cmd then None
+    else
+      Some
+        (match step t ~exec_read:exec ~now_ms:clock cmd with
+        | Reply r -> r
+        | Execute c -> exec c)

@@ -1,0 +1,97 @@
+(** Hierarchical timer wheel for key expiry, millisecond ticks.
+
+    Four levels of 64 slots: level 0 resolves single milliseconds, each
+    higher level covers 64x the span of the one below (~4.7 h total);
+    further-out deadlines park in an overflow list rescanned when the top
+    level cascades.  Everything is deterministic in (add, advance) order —
+    no clock is read here; callers feed time in, so the same schedule on
+    the simulator's virtual clock and on a wall clock produces the same
+    eviction sequence.  [advance] returns due entries sorted by
+    (deadline, key) so per-shard expiration order is reproducible.
+
+    The wheel is an *optimistic index*, not the source of truth: entries
+    are never removed on [Persist]/[Del]/overwrite.  A due entry is
+    emitted with the deadline it was registered under, and the store's
+    [Expire_evict] incarnation guard drops stale ones. *)
+
+type t = {
+  levels : (string * int) list array array;  (* 4 levels x 64 slots *)
+  mutable overflow : (string * int) list;
+  mutable due_now : (string * int) list;  (* already due when added *)
+  mutable now : int;  (* last tick processed, ms *)
+  mutable count : int;
+}
+
+let slot_bits = 6
+let slots = 1 lsl slot_bits (* 64 *)
+let nlevels = 4
+let span l = 1 lsl (slot_bits * (l + 1))  (* ms covered by levels 0..l *)
+
+let create ~start_ms () =
+  {
+    levels = Array.init nlevels (fun _ -> Array.make slots []);
+    overflow = [];
+    due_now = [];
+    now = max 0 start_ms;
+    count = 0;
+  }
+
+let size t = t.count
+let is_empty t = t.count = 0
+let now t = t.now
+
+let place t ((_, d) as e) =
+  let delta = d - t.now in
+  if delta <= 0 then t.due_now <- e :: t.due_now
+  else if delta >= span (nlevels - 1) then t.overflow <- e :: t.overflow
+  else begin
+    let rec level l = if delta < span l then l else level (l + 1) in
+    let l = level 0 in
+    let idx = (d asr (slot_bits * l)) land (slots - 1) in
+    t.levels.(l).(idx) <- e :: t.levels.(l).(idx)
+  end
+
+let add t ~key ~deadline =
+  place t (key, deadline);
+  t.count <- t.count + 1
+
+(** Advance virtual/wall time to [now]; return every entry whose deadline
+    has passed, sorted by (deadline, key). *)
+let advance t ~now:target =
+  let due = ref t.due_now in
+  t.due_now <- [];
+  let cascade l idx =
+    let es = t.levels.(l).(idx) in
+    t.levels.(l).(idx) <- [];
+    List.iter (place t) es
+  in
+  while t.now < target do
+    t.now <- t.now + 1;
+    let n = t.now in
+    if n land (slots - 1) = 0 then begin
+      if n land (span 1 - 1) = 0 then begin
+        if n land (span 2 - 1) = 0 then begin
+          cascade 3 ((n asr (slot_bits * 3)) land (slots - 1));
+          let keep, move =
+            List.partition (fun (_, d) -> d - n >= span (nlevels - 1)) t.overflow
+          in
+          t.overflow <- keep;
+          List.iter (place t) move
+        end;
+        cascade 2 ((n asr (slot_bits * 2)) land (slots - 1))
+      end;
+      cascade 1 ((n asr slot_bits) land (slots - 1))
+    end;
+    let idx = n land (slots - 1) in
+    let es = t.levels.(0).(idx) in
+    t.levels.(0).(idx) <- [];
+    due := es @ !due;
+    (* entries placed into already-due slots by a cascade land in due_now *)
+    if t.due_now <> [] then begin
+      due := t.due_now @ !due;
+      t.due_now <- []
+    end
+  done;
+  let due = List.sort compare (List.map (fun (k, d) -> (d, k)) !due) in
+  t.count <- t.count - List.length due;
+  List.map (fun (d, k) -> (k, d)) due

@@ -78,8 +78,9 @@ let test_figure_registry () =
   Alcotest.(check bool) "has shard" true (Figures.find "shard" <> None);
   Alcotest.(check bool) "has durable" true (Figures.find "durable" <> None);
   Alcotest.(check bool) "has cna" true (Figures.find "cna" <> None);
+  Alcotest.(check bool) "has txn" true (Figures.find "txn" <> None);
   Alcotest.(check bool) "unknown id" true (Figures.find "nope" = None);
-  Alcotest.(check int) "16 groups" 16 (List.length (Figures.ids ()))
+  Alcotest.(check int) "17 groups" 17 (List.length (Figures.ids ()))
 
 (* Cross-method smoke at miniature scale: every black-box method produces a
    working executor and nonzero throughput on the PQ workload. *)

@@ -12,6 +12,7 @@ let () =
       ("node-replication", Test_nr.suite);
       ("baselines", Test_baselines.suite);
       ("kvstore", Test_kvstore.suite);
+      ("txn", Test_txn.suite);
       ("net", Test_net.suite);
       ("harness", Test_harness.suite);
       ("observability", Test_obs.suite);

@@ -257,11 +257,19 @@ let reply_gen =
           (1, map (fun s -> C.Err s) line);
         ]
     in
-    frequency
-      [
-        (4, scalar);
-        (1, map (fun rs -> C.Array rs) (list_size (int_bound 4) scalar));
-      ])
+    (* depth 2 nests arrays inside arrays — the EXEC reply shape: a
+       transaction whose body contains ZRANGE/MGET answers comes back as
+       an array of arrays *)
+    let rec tree depth =
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (4, scalar);
+            (1, map (fun rs -> C.Array rs) (list_size (int_bound 4) (tree (depth - 1))));
+          ]
+    in
+    tree 2)
 
 let reply_roundtrip =
   QCheck.Test.make ~count:300 ~name:"resp reply roundtrip"
@@ -327,6 +335,38 @@ let command_gen =
         return C.Slowlog_len;
         map2 (fun n ms -> C.Wait (n, ms)) (int_bound 16) (int_bound 10_000);
         map2 (fun id seq -> C.Replack (id, seq)) key nat;
+        return C.Multi;
+        return C.Exec;
+        return C.Discard;
+        map (fun k -> C.Watch k) key;
+        return C.Unwatch;
+        map2 (fun k s -> C.Expire (k, s)) key nat;
+        map2 (fun k ms -> C.Pexpire (k, ms)) key nat;
+        map2 (fun k d -> C.Pexpireat (k, d)) key nat;
+        map (fun k -> C.Ttl k) key;
+        map (fun k -> C.Pttl k) key;
+        map (fun k -> C.Persist k) key;
+        map (fun k -> C.Getver k) key;
+        map2 (fun k v -> C.Setver (k, v)) key nat;
+        map (fun ms -> C.Tick ms) nat;
+        map2 (fun k d -> C.Expire_evict (k, d)) key nat;
+        map
+          (fun ws -> C.Txn_test ws)
+          (list_size (int_range 1 3) (pair key nat));
+        (* one level of nesting: bodies are plain commands, the codec's
+           count-prefixed token framing must delimit them unambiguously *)
+        map2
+          (fun ws body -> C.Txn (ws, body))
+          (list_size (int_bound 2) (pair key nat))
+          (list_size (int_range 1 4)
+             (oneof
+                [
+                  map (fun k -> C.Get k) key;
+                  map2 (fun k v -> C.Set (k, v)) key value;
+                  map (fun k -> C.Del k) key;
+                  map2 (fun k d -> C.Pexpireat (k, d)) key nat;
+                  map (fun ks -> C.Mget ks) (list_size (int_range 1 3) key);
+                ]));
       ])
 
 let command_roundtrip =
@@ -335,6 +375,45 @@ let command_roundtrip =
          String.concat " " (Nr_kvstore.Command.to_strings c)))
     (fun c ->
       Nr_kvstore.Command.of_strings (Nr_kvstore.Command.to_strings c) = Ok c)
+
+(* --- every constructor: wire roundtrip + classification coherence ---
+
+   [Command.exemplars] has one value per constructor, so this pins two
+   table-driven totality facts for the whole command alphabet at once:
+   the wire codec inverts itself, and the derived predicates
+   ([is_read_only], [is_server_local], the kv_server READONLY gate) stay
+   consistent views of the single [class_of] classification. *)
+
+let exemplar_totality () =
+  let module C = Nr_kvstore.Command in
+  List.iter
+    (fun c ->
+      let name = Format.asprintf "%a" C.pp c in
+      Alcotest.(check bool)
+        (name ^ " wire roundtrip") true
+        (C.of_strings (C.to_strings c) = Ok c);
+      (* is_read_only / is_server_local are projections of class_of *)
+      let cls = C.class_of c in
+      Alcotest.(check bool)
+        (name ^ " read-only derives from class") true
+        (C.is_read_only c = (cls <> C.Write));
+      Alcotest.(check bool)
+        (name ^ " server-local derives from class") true
+        (C.is_server_local c
+        = (cls = C.Server_local || cls = C.Session_state));
+      (* the replica write gate refuses exactly the logged commands *)
+      Alcotest.(check bool)
+        (name ^ " READONLY gate = not read-only") true
+        ((not (C.is_read_only c)) = (cls = C.Write)))
+    C.exemplars;
+  (* a transaction is logged iff its body writes *)
+  let module C = Nr_kvstore.Command in
+  Alcotest.(check bool)
+    "all-read txn takes the read path" true
+    (C.class_of (C.Txn ([], [ C.Get "a"; C.Mget [ "b" ] ])) = C.Read);
+  Alcotest.(check bool)
+    "writing txn is logged" false
+    (C.is_read_only (C.Txn ([], [ C.Get "a"; C.Set ("b", "1") ])))
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
@@ -352,4 +431,7 @@ let suite =
       reply_roundtrip;
       big_bulk_roundtrip;
       command_roundtrip;
+    ]
+  @ [
+      Alcotest.test_case "command exemplar totality" `Quick exemplar_totality;
     ]

@@ -1,0 +1,542 @@
+(* Transactions & TTL subsystem tests: the MULTI/EXEC session state
+   machine, compound-entry semantics and WATCH validation in the store,
+   the logical expiry clock, the hierarchical timer wheel, deterministic
+   expiry under sharding, AOF recovery of compound/expiry frames, and the
+   zero-overhead guarantee when no transactions or TTLs are in play. *)
+
+module C = Nr_kvstore.Command
+module Store = Nr_kvstore.Store
+module Session = Nr_txn.Session
+module Wheel = Nr_txn.Wheel
+
+let reply = Alcotest.testable C.pp_reply ( = )
+
+(* Globals [Store.read_clock] / [Store.expire_skip_log] are process-wide;
+   every test that arms them must restore the defaults. *)
+let with_clean_globals f =
+  let saved_clock = !Store.read_clock and saved_bug = !Store.expire_skip_log in
+  Store.read_clock := None;
+  Store.expire_skip_log := false;
+  Fun.protect f ~finally:(fun () ->
+      Store.read_clock := saved_clock;
+      Store.expire_skip_log := saved_bug)
+
+(* --- session state machine ----------------------------------------- *)
+
+let no_exec cmd =
+  Alcotest.failf "session executed %a outside EXEC" C.pp cmd
+
+let zero_ms () = 0
+
+let test_session_multi_exec () =
+  let t = Session.create () in
+  let step ?(exec_read = no_exec) ?(now_ms = zero_ms) cmd =
+    Session.step t ~exec_read ~now_ms cmd
+  in
+  (match step C.Multi with
+  | Session.Reply C.Ok_reply -> ()
+  | _ -> Alcotest.fail "MULTI should reply OK");
+  Alcotest.(check bool) "in multi" true (Session.in_multi t);
+  (match step (C.Set ("a", "1")) with
+  | Session.Reply (C.Bulk "QUEUED") -> ()
+  | _ -> Alcotest.fail "queued write should reply QUEUED");
+  (match step (C.Get "a") with
+  | Session.Reply (C.Bulk "QUEUED") -> ()
+  | _ -> Alcotest.fail "queued read should reply QUEUED");
+  (* EXEC emits one compound entry, body in submission order *)
+  (match step C.Exec with
+  | Session.Execute (C.Txn ([], [ C.Set ("a", "1"); C.Get "a" ])) -> ()
+  | Session.Execute c -> Alcotest.failf "wrong compound entry: %a" C.pp c
+  | Session.Reply r -> Alcotest.failf "EXEC replied %a" C.pp_reply r);
+  Alcotest.(check bool) "multi cleared" false (Session.in_multi t)
+
+let test_session_guards () =
+  let t = Session.create () in
+  let step ?(exec_read = no_exec) cmd =
+    Session.step t ~exec_read ~now_ms:zero_ms cmd
+  in
+  (match step C.Exec with
+  | Session.Reply (C.Err "EXEC without MULTI") -> ()
+  | _ -> Alcotest.fail "bare EXEC must fail");
+  (match step C.Discard with
+  | Session.Reply (C.Err "DISCARD without MULTI") -> ()
+  | _ -> Alcotest.fail "bare DISCARD must fail");
+  ignore (step C.Multi);
+  (match step C.Multi with
+  | Session.Reply (C.Err "MULTI calls can not be nested") -> ()
+  | _ -> Alcotest.fail "nested MULTI must fail");
+  (match step (C.Watch "k") with
+  | Session.Reply (C.Err "WATCH inside MULTI is not allowed") -> ()
+  | _ -> Alcotest.fail "WATCH inside MULTI must fail");
+  (* a server-local command can not ride inside a transaction; queueing it
+     poisons the block and EXEC aborts *)
+  (match step C.Sync with
+  | Session.Reply (C.Err _) -> ()
+  | _ -> Alcotest.fail "server-local command must be refused in MULTI");
+  (match step (C.Set ("a", "1")) with
+  | Session.Reply (C.Bulk "QUEUED") -> ()
+  | _ -> Alcotest.fail "later commands still queue");
+  (match step C.Exec with
+  | Session.Reply (C.Err m) ->
+      Alcotest.(check bool)
+        "EXECABORT" true
+        (String.length m >= 9 && String.sub m 0 9 = "EXECABORT")
+  | _ -> Alcotest.fail "poisoned EXEC must abort");
+  Alcotest.(check bool) "aborted block cleared" false (Session.in_multi t)
+
+let test_session_watch_and_discard () =
+  let t = Session.create () in
+  (* WATCH reads the stamp through the session's linearizable read hook *)
+  let stamp = ref 7 in
+  let exec_read = function
+    | C.Getver "k" -> C.Int !stamp
+    | c -> no_exec c
+  in
+  let step cmd = Session.step t ~exec_read ~now_ms:zero_ms cmd in
+  (match step (C.Watch "k") with
+  | Session.Reply C.Ok_reply -> ()
+  | _ -> Alcotest.fail "WATCH should reply OK");
+  (* re-WATCH replaces the stamp instead of duplicating the key *)
+  stamp := 9;
+  ignore (step (C.Watch "k"));
+  ignore (step C.Multi);
+  ignore (step (C.Set ("k", "v")));
+  (match step C.Exec with
+  | Session.Execute (C.Txn ([ ("k", 9) ], [ C.Set ("k", "v") ])) -> ()
+  | _ -> Alcotest.fail "EXEC must carry the latest WATCH stamp");
+  (* DISCARD drops both the queue and the watches *)
+  ignore (step (C.Watch "k"));
+  ignore (step C.Multi);
+  ignore (step (C.Set ("k", "w")));
+  (match step C.Discard with
+  | Session.Reply C.Ok_reply -> ()
+  | _ -> Alcotest.fail "DISCARD should reply OK");
+  ignore (step C.Multi);
+  (match step C.Exec with
+  | Session.Execute (C.Txn ([], [])) -> ()
+  | _ -> Alcotest.fail "watches must not survive DISCARD")
+
+let test_session_normalizes_expiry () =
+  let t = Session.create () in
+  let step ?(now_ms = fun () -> 10_000) cmd =
+    Session.step t ~exec_read:no_exec ~now_ms cmd
+  in
+  (* outside MULTI: immediate rewrite against the server clock *)
+  (match step (C.Expire ("k", 5)) with
+  | Session.Execute (C.Pexpireat ("k", 15_000)) -> ()
+  | _ -> Alcotest.fail "EXPIRE must become absolute PEXPIREAT");
+  (match step (C.Pexpire ("k", 250)) with
+  | Session.Execute (C.Pexpireat ("k", 10_250)) -> ()
+  | _ -> Alcotest.fail "PEXPIRE must become absolute PEXPIREAT");
+  (* inside MULTI: queued relative, anchored at EXEC time, not queue time *)
+  ignore (step C.Multi);
+  ignore (step (C.Expire ("k", 2)));
+  (match step ~now_ms:(fun () -> 50_000) C.Exec with
+  | Session.Execute (C.Txn ([], [ C.Pexpireat ("k", 52_000) ])) -> ()
+  | _ -> Alcotest.fail "queued EXPIRE must anchor at EXEC time")
+
+let test_session_passthrough () =
+  let t = Session.create () in
+  Alcotest.(check bool)
+    "plain write passes through" true
+    (Session.passthrough t (C.Set ("a", "1")));
+  Alcotest.(check bool)
+    "MULTI needs the session" false
+    (Session.passthrough t C.Multi);
+  Alcotest.(check bool)
+    "relative expiry needs the session" false
+    (Session.passthrough t (C.Expire ("k", 1)));
+  ignore (Session.step t ~exec_read:no_exec ~now_ms:zero_ms C.Multi);
+  Alcotest.(check bool)
+    "inside MULTI nothing passes through" false
+    (Session.passthrough t (C.Set ("a", "1")))
+
+(* --- store: compound entries and WATCH validation ------------------- *)
+
+let test_store_txn_atomic () =
+  with_clean_globals @@ fun () ->
+  let s = Store.create () in
+  ignore (Store.execute s (C.Set ("a", "1")));
+  let r =
+    Store.execute s
+      (C.Txn ([], [ C.Incr "a"; C.Get "a"; C.Set ("b", "9"); C.Dbsize ]))
+  in
+  Alcotest.check reply "committed body replies"
+    (C.Array [ C.Int 2; C.Bulk "2"; C.Ok_reply; C.Int 2 ])
+    r
+
+let test_store_txn_watch_validation () =
+  with_clean_globals @@ fun () ->
+  let s = Store.create () in
+  ignore (Store.execute s (C.Set ("a", "1")));
+  let v = match Store.execute s (C.Getver "a") with
+    | C.Int v -> v
+    | _ -> Alcotest.fail "GETVER"
+  in
+  (* stale stamp: another write bumped the version since WATCH *)
+  ignore (Store.execute s (C.Set ("a", "2")));
+  Alcotest.check reply "stale watch aborts" C.Nil
+    (Store.execute s (C.Txn ([ ("a", v) ], [ C.Set ("a", "3") ])));
+  Alcotest.check reply "aborted body did not run" (C.Bulk "2")
+    (Store.execute s (C.Get "a"));
+  (* fresh stamp commits *)
+  let v' = match Store.execute s (C.Getver "a") with
+    | C.Int v -> v
+    | _ -> Alcotest.fail "GETVER"
+  in
+  Alcotest.check reply "fresh watch commits"
+    (C.Array [ C.Ok_reply ])
+    (Store.execute s (C.Txn ([ ("a", v') ], [ C.Set ("a", "3") ])));
+  Alcotest.check reply "committed" (C.Bulk "3") (Store.execute s (C.Get "a"))
+
+let test_store_ttl_logical_clock () =
+  with_clean_globals @@ fun () ->
+  let s = Store.create () in
+  ignore (Store.execute s (C.Set ("k", "v")));
+  Alcotest.check reply "no deadline" (C.Int (-1)) (Store.execute s (C.Pttl "k"));
+  Alcotest.check reply "arm" (C.Int 1)
+    (Store.execute s (C.Pexpireat ("k", 500)));
+  Alcotest.check reply "remaining ms" (C.Int 500)
+    (Store.execute s (C.Pttl "k"));
+  Alcotest.check reply "TTL rounds up" (C.Int 1) (Store.execute s (C.Ttl "k"));
+  (* time only advances through logged Tick entries *)
+  Alcotest.check reply "tick" (C.Int 499) (Store.execute s (C.Tick 499));
+  Alcotest.check reply "still alive" (C.Bulk "v") (Store.execute s (C.Get "k"));
+  Alcotest.check reply "tick past deadline" (C.Int 500)
+    (Store.execute s (C.Tick 500));
+  Alcotest.check reply "dead to reads" C.Nil (Store.execute s (C.Get "k"));
+  Alcotest.check reply "dead to TTL" (C.Int (-2)) (Store.execute s (C.Ttl "k"));
+  Alcotest.check reply "dead to EXISTS" (C.Int 0)
+    (Store.execute s (C.Exists "k"));
+  (* ticks are monotone: a lower timestamp can not rewind the clock *)
+  Alcotest.check reply "tick is monotone max" (C.Int 500)
+    (Store.execute s (C.Tick 100));
+  (* a masked-dead key revives fresh on the next write *)
+  Alcotest.check reply "set revives" C.Ok_reply
+    (Store.execute s (C.Set ("k", "w")));
+  Alcotest.check reply "no inherited deadline" (C.Int (-1))
+    (Store.execute s (C.Pttl "k"))
+
+let test_store_persist_and_evict () =
+  with_clean_globals @@ fun () ->
+  let s = Store.create () in
+  ignore (Store.execute s (C.Set ("k", "v")));
+  ignore (Store.execute s (C.Pexpireat ("k", 500)));
+  Alcotest.check reply "persist clears" (C.Int 1)
+    (Store.execute s (C.Persist "k"));
+  Alcotest.check reply "persist idempotent" (C.Int 0)
+    (Store.execute s (C.Persist "k"));
+  ignore (Store.execute s (C.Pexpireat ("k", 500)));
+  (* an eviction carrying a stale incarnation is dropped: the wheel is an
+     optimistic index, the store's deadline is the truth *)
+  ignore (Store.execute s (C.Pexpireat ("k", 900)));
+  ignore (Store.execute s (C.Tick 600));
+  Alcotest.check reply "stale evict is a no-op" (C.Int 0)
+    (Store.execute s (C.Expire_evict ("k", 500)));
+  Alcotest.check reply "key survives" (C.Int 1) (Store.execute s (C.Exists "k"));
+  ignore (Store.execute s (C.Tick 900));
+  Alcotest.check reply "current evict removes" (C.Int 1)
+    (Store.execute s (C.Expire_evict ("k", 900)));
+  Alcotest.(check (list (pair string int)))
+    "no expirations left" [] (Store.expirations s)
+
+let test_store_sampled_reads () =
+  with_clean_globals @@ fun () ->
+  (* a wall-clock sampler makes dead keys disappear from reads without any
+     Tick having been logged; mutations still only trust the logical
+     clock, so nothing is deleted and no version moves *)
+  let now = ref 0 in
+  Store.read_clock := Some (fun () -> !now);
+  let s = Store.create () in
+  ignore (Store.execute s (C.Set ("k", "v")));
+  ignore (Store.execute s (C.Pexpireat ("k", 500)));
+  let v0 = Store.execute s (C.Getver "k") in
+  now := 600;
+  Alcotest.check reply "sampled read masks the corpse" C.Nil
+    (Store.execute s (C.Get "k"));
+  Alcotest.check reply "dbsize ignores the corpse" (C.Int 0)
+    (Store.execute s C.Dbsize);
+  Alcotest.check reply "read did not bump the version" v0
+    (Store.execute s (C.Getver "k"));
+  Alcotest.(check int) "logical clock untouched" 0 (Store.logical_now s);
+  (* transaction bodies are logical: without a Tick the key is still alive
+     inside a compound entry, on every replica identically *)
+  Alcotest.check reply "txn body reads logically"
+    (C.Array [ C.Bulk "v" ])
+    (Store.execute s (C.Txn ([], [ C.Get "k" ])))
+
+(* --- timer wheel ---------------------------------------------------- *)
+
+let test_wheel_basics () =
+  let w = Wheel.create ~start_ms:0 () in
+  Alcotest.(check bool) "fresh empty" true (Wheel.is_empty w);
+  Wheel.add w ~key:"b" ~deadline:5;
+  Wheel.add w ~key:"a" ~deadline:5;
+  Wheel.add w ~key:"c" ~deadline:3;
+  Wheel.add w ~key:"far" ~deadline:100_000;
+  Alcotest.(check int) "size" 4 (Wheel.size w);
+  Alcotest.(check (list (pair string int)))
+    "due sorted by (deadline, key)"
+    [ ("c", 3); ("a", 5); ("b", 5) ]
+    (Wheel.advance w ~now:10);
+  Alcotest.(check (list (pair string int))) "nothing due" []
+    (Wheel.advance w ~now:50);
+  Alcotest.(check (list (pair string int)))
+    "far entry cascades down" [ ("far", 100_000) ]
+    (Wheel.advance w ~now:100_000);
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+let test_wheel_past_and_overflow () =
+  let w = Wheel.create ~start_ms:1000 () in
+  (* already-due entries surface on the next advance *)
+  Wheel.add w ~key:"late" ~deadline:900;
+  (* beyond the four levels' span: parks in overflow, still delivered *)
+  let huge = 1000 + (1 lsl 26) in
+  Wheel.add w ~key:"huge" ~deadline:huge;
+  Alcotest.(check (list (pair string int)))
+    "past deadline due immediately"
+    [ ("late", 900) ]
+    (Wheel.advance w ~now:1001);
+  Alcotest.(check (list (pair string int)))
+    "overflow delivered" [ ("huge", huge) ]
+    (Wheel.advance w ~now:huge);
+  Alcotest.(check int) "empty" 0 (Wheel.size w)
+
+let wheel_vs_model =
+  QCheck.Test.make ~count:200 ~name:"wheel agrees with sorted model"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 40)
+           (pair (int_bound 5000) (int_bound 9)))
+        (list_of_size (QCheck.Gen.int_range 1 6) (int_bound 2000)))
+    (fun (adds, steps) ->
+      let w = Wheel.create ~start_ms:0 () in
+      List.iter
+        (fun (d, k) -> Wheel.add w ~key:(Printf.sprintf "k%d" k) ~deadline:d)
+        adds;
+      let pending =
+        ref
+          (List.map (fun (d, k) -> (d, Printf.sprintf "k%d" k)) adds
+          |> List.sort compare)
+      in
+      let now = ref 0 in
+      List.for_all
+        (fun step ->
+          now := !now + step;
+          let due = Wheel.advance w ~now:!now in
+          let exp, rest = List.partition (fun (d, _) -> d <= !now) !pending in
+          pending := rest;
+          due = List.map (fun (d, k) -> (k, d)) exp)
+        steps)
+
+(* --- deterministic expiry under sharding ----------------------------
+
+   Same seed + same virtual clock schedule => the same per-shard eviction
+   order and the same DBSIZE trajectory, run after run.  This is the
+   property that makes sharded TTL figures reproducible: nothing in the
+   expiry path consults a real clock or an OS scheduler. *)
+
+let sharded_expiry_trace ~seed =
+  let module R = (val Nr_runtime.Runtime_domains.make Nr_sim.Topology.tiny) in
+  let module Sh = Nr_shard.Sharded.Make (R) (Nr_shard.Kv_shard) in
+  let trace = ref [] in
+  Nr_runtime.Runtime_domains.parallel_run ~nthreads:1 (fun _ ->
+      let shards = 4 in
+      let t =
+        Sh.create
+          ~cfg:{ Nr_core.Config.default with shards }
+          ~factory:(fun ~shard:_ ~shard_of:_ () -> Nr_kvstore.Store.create ())
+          ()
+      in
+      let route = Nr_shard.Router.shard_of (Sh.router t) in
+      let wheels =
+        Array.init shards (fun _ -> Wheel.create ~start_ms:0 ())
+      in
+      let rng = Nr_workload.Prng.create ~seed in
+      (* populate: every key gets a pseudo-random deadline in [1, 256] *)
+      for i = 0 to 63 do
+        let k = Nr_workload.String_keys.key i in
+        let d = 1 + Nr_workload.Prng.below rng 256 in
+        ignore (Sh.execute t (C.Set (k, string_of_int i)));
+        ignore (Sh.execute t (C.Pexpireat (k, d)));
+        Wheel.add wheels.(route k) ~key:k ~deadline:d
+      done;
+      (* virtual clock: fixed 32 ms steps; per step, per shard, evict due
+         entries through the logged path and record what happened *)
+      for step = 1 to 8 do
+        let now = step * 32 in
+        ignore (Sh.execute t (C.Tick now));
+        Array.iteri
+          (fun shard w ->
+            List.iter
+              (fun (k, d) ->
+                let r = Sh.execute t (C.Expire_evict (k, d)) in
+                trace := (now, shard, k, d, r = C.Int 1) :: !trace)
+              (Wheel.advance w ~now))
+          wheels;
+        match Sh.execute t C.Dbsize with
+        | C.Int n -> trace := (now, -1, "", n, true) :: !trace
+        | _ -> Alcotest.fail "DBSIZE"
+      done);
+  List.rev !trace
+
+let test_sharded_expiry_deterministic () =
+  with_clean_globals @@ fun () ->
+  let t1 = sharded_expiry_trace ~seed:0xE1 in
+  let t2 = sharded_expiry_trace ~seed:0xE1 in
+  Alcotest.(check bool) "trace non-trivial" true (List.length t1 > 40);
+  Alcotest.(check bool)
+    "same seed, same eviction order and DBSIZE trajectory" true (t1 = t2);
+  (* every eviction with a current incarnation landed *)
+  Alcotest.(check bool)
+    "evictions all effective" true
+    (List.for_all (fun (_, shard, _, _, ok) -> shard < 0 || ok) t1);
+  (* a different seed produces a genuinely different schedule *)
+  let t3 = sharded_expiry_trace ~seed:0xE2 in
+  Alcotest.(check bool) "different seed, different trace" false (t1 = t3);
+  (* the DBSIZE trajectory is monotone non-increasing and ends at 0 once
+     every deadline (<= 256) has passed *)
+  let sizes =
+    List.filter_map
+      (fun (_, shard, _, n, _) -> if shard < 0 then Some n else None)
+      t1
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "trajectory monotone" true (monotone sizes);
+  Alcotest.(check int) "all expired at the horizon" 0
+    (List.nth sizes (List.length sizes - 1))
+
+(* --- AOF: compound and expiry frames replay ------------------------- *)
+
+let test_recovery_replays_txn_and_expiry () =
+  with_clean_globals @@ fun () ->
+  let module Persister = Nr_persist.Persister in
+  let sim = Nr_persist.Sim_fs.create () in
+  let fs = Nr_persist.Sim_fs.fs sim in
+  let create () =
+    match
+      Persister.create fs ~policy:Nr_persist.Aof.Always ~now_ms:zero_ms ()
+    with
+    | Ok pr -> pr
+    | Error e -> Alcotest.failf "persister create: %s" e
+  in
+  let logged =
+    [
+      C.Set ("a", "1");
+      (* a compound entry with watches, body mutations and a deadline *)
+      C.Txn
+        ( [ ("a", 1) ],
+          [ C.Incr "n"; C.Set ("b", "2"); C.Pexpireat ("b", 700) ] );
+      C.Pexpireat ("a", 400);
+      C.Tick 500;
+      C.Expire_evict ("a", 400);
+    ]
+  in
+  let p, _ = create () in
+  Persister.observe p (List.map Option.some logged);
+  Persister.close p;
+  let p2, r = create () in
+  Alcotest.(check int) "all frames replayed" (List.length logged)
+    r.Persister.replayed;
+  (* the recovered image equals a fresh store fed the same entries *)
+  let oracle = Store.create () in
+  List.iter (fun c -> ignore (Store.execute oracle c)) logged;
+  Alcotest.(check bool)
+    "fingerprint matches oracle" true
+    (Persister.fingerprint p2 = Store.fingerprint oracle);
+  (* and a store seeded from the dump re-arms exactly the surviving
+     deadline — what kv_server feeds back into the wheel on restart *)
+  let seeded = Store.create () in
+  (match Store.load seeded (Persister.dump p2) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  Alcotest.(check (list (pair string int)))
+    "surviving deadline re-armed"
+    [ ("b", 700) ]
+    (Store.expirations seeded);
+  Alcotest.check reply "evicted key gone" (C.Int 0)
+    (Store.execute seeded (C.Exists "a"));
+  Alcotest.check reply "txn body recovered" (C.Bulk "1")
+    (Store.execute seeded (C.Get "n"));
+  Alcotest.(check int) "logical clock recovered" 500
+    (Store.logical_now seeded);
+  Persister.close p2
+
+(* --- zero overhead without transactions or TTLs ---------------------
+
+   With no MULTI/EXEC, no WATCH and no deadline ever set, the subsystem
+   must be invisible: a sampler-armed store answers a plain workload with
+   byte-identical replies, an identical dump (hence identical AOF
+   snapshot bytes) and an identical fingerprint; the wheel driver's
+   empty-wheel guard never submits a Tick, so the log carries exactly the
+   client's own entries. *)
+
+let plain_workload =
+  [
+    C.Set ("a", "1"); C.Incr "n"; C.Get "a"; C.Mset [ ("b", "2"); ("c", "3") ];
+    C.Zadd ("z", 5, 7); C.Mget [ "a"; "b"; "missing" ]; C.Del "c"; C.Dbsize;
+    C.Zrange ("z", 0, -1); C.Exists "a"; C.Incrby ("n", 41); C.Ttl "a";
+  ]
+
+let test_zero_overhead_without_ttl () =
+  with_clean_globals @@ fun () ->
+  let run () =
+    let s = Store.create () in
+    let replies = List.map (Store.execute s) plain_workload in
+    (replies, Store.dump s, Store.fingerprint s)
+  in
+  let plain = run () in
+  let samples = ref 0 in
+  Store.read_clock :=
+    Some
+      (fun () ->
+        incr samples;
+        987_654_321);
+  let armed = run () in
+  Store.read_clock := None;
+  Alcotest.(check bool) "identical replies, dump and fingerprint" true
+    (plain = armed);
+  (* the sampler is lazy: no key ever had a deadline, so the hot read path
+     never paid for a clock read *)
+  Alcotest.(check int) "sampler never consulted" 0 !samples;
+  (* the server's expiry driver is a no-op on an empty wheel: no Tick is
+     ever submitted, so the AOF carries only the client's entries *)
+  let w = Wheel.create ~start_ms:0 () in
+  Alcotest.(check bool) "empty wheel short-circuits the driver" true
+    (Wheel.is_empty w)
+
+let suite =
+  [
+    Alcotest.test_case "session MULTI/EXEC compound entry" `Quick
+      test_session_multi_exec;
+    Alcotest.test_case "session guards and EXECABORT" `Quick
+      test_session_guards;
+    Alcotest.test_case "session WATCH stamps and DISCARD" `Quick
+      test_session_watch_and_discard;
+    Alcotest.test_case "session normalizes relative expiry" `Quick
+      test_session_normalizes_expiry;
+    Alcotest.test_case "session passthrough predicate" `Quick
+      test_session_passthrough;
+    Alcotest.test_case "store txn atomic body" `Quick test_store_txn_atomic;
+    Alcotest.test_case "store txn WATCH validation" `Quick
+      test_store_txn_watch_validation;
+    Alcotest.test_case "store TTL logical clock" `Quick
+      test_store_ttl_logical_clock;
+    Alcotest.test_case "store PERSIST and evict incarnations" `Quick
+      test_store_persist_and_evict;
+    Alcotest.test_case "store sampled reads mask corpses" `Quick
+      test_store_sampled_reads;
+    Alcotest.test_case "wheel basics" `Quick test_wheel_basics;
+    Alcotest.test_case "wheel past deadlines and overflow" `Quick
+      test_wheel_past_and_overflow;
+    QCheck_alcotest.to_alcotest wheel_vs_model;
+    Alcotest.test_case "sharded expiry deterministic" `Quick
+      test_sharded_expiry_deterministic;
+    Alcotest.test_case "recovery replays txn and expiry frames" `Quick
+      test_recovery_replays_txn_and_expiry;
+    Alcotest.test_case "zero overhead without txn/TTL" `Quick
+      test_zero_overhead_without_ttl;
+  ]
